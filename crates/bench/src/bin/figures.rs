@@ -1,0 +1,224 @@
+//! Regenerates the paper's evaluation artifacts as text.
+//!
+//! ```text
+//! figures [all|figure5|figure6|figure7|headline|examples|cpp] [--scale N]
+//! ```
+//!
+//! `--scale` multiplies the corpus size (default 1 ≈ 200 files; the
+//! paper's corpus was 1075 files ≈ `--scale 5`).
+
+use seminal_bench::{harness_corpus, FIGURE10_CPP, FIGURE2, FIGURE8, FIGURE9, MULTI_ERROR};
+use seminal_core::{message, Searcher};
+use seminal_corpus::session::{group_sizes, histogram, summarize};
+use seminal_eval::{evaluate_corpus, figure5, render_figure5};
+use seminal_eval::figure7::{figure7, render_figure7};
+use seminal_ml::parser::parse_program;
+use seminal_typeck::TypeCheckOracle;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut which = "all".to_owned();
+    let mut target: Option<String> = None;
+    let mut scale = 1usize;
+    let mut i = 0;
+    let mut positional = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                scale = args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or(1);
+                i += 2;
+            }
+            other => {
+                if positional == 0 {
+                    which = other.to_owned();
+                } else {
+                    target = Some(other.to_owned());
+                }
+                positional += 1;
+                i += 1;
+            }
+        }
+    }
+
+    match which.as_str() {
+        "figure5" | "headline" => print_figure5(scale),
+        "figure6" => print_figure6(scale),
+        "figure7" => print_figure7(scale),
+        "examples" => print_examples(),
+        "cpp" => print_cpp(),
+        "ablations" => print_ablations(scale),
+        "export" => export_corpus(scale, target.as_deref().unwrap_or("corpus-out")),
+        "debug-kinds" => debug_kinds(scale),
+        "all" => {
+            print_examples();
+            print_figure5(scale);
+            print_figure6(scale);
+            print_figure7(scale);
+            print_ablations(scale);
+            print_cpp();
+        }
+        other => {
+            eprintln!("unknown artifact `{other}`; try figure5|figure6|figure7|examples|cpp|all");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn print_ablations(scale: usize) {
+    banner("Ablations (§2's mechanisms removed one at a time) and §3.1 location-only check");
+    let corpus = harness_corpus(scale);
+    println!("corpus: {} files (scale {scale})\n", corpus.len());
+    println!("{}", seminal_eval::render_ablations(&seminal_eval::ablations(&corpus)));
+    println!("{}", seminal_eval::render_location_only(&seminal_eval::location_only(&corpus)));
+}
+
+/// Writes the assignments and the generated corpus to disk — the data
+/// release the paper promised ("We plan to make the assignments and data
+/// available", §3.1). Layout:
+///
+/// ```text
+/// <dir>/templates/<name>.ml        the well-typed assignment programs
+/// <dir>/corpus/<id>.ml             the ill-typed files
+/// <dir>/corpus/MANIFEST.tsv        ground truth per file
+/// ```
+fn export_corpus(scale: usize, dir: &str) {
+    use std::fs;
+    use std::path::Path;
+    let root = Path::new(dir);
+    let templates_dir = root.join("templates");
+    let corpus_dir = root.join("corpus");
+    fs::create_dir_all(&templates_dir).expect("create templates dir");
+    fs::create_dir_all(&corpus_dir).expect("create corpus dir");
+
+    for t in seminal_corpus::TEMPLATES {
+        fs::write(templates_dir.join(format!("{}.ml", t.name)), t.source)
+            .expect("write template");
+    }
+
+    let corpus = harness_corpus(scale);
+    let mut manifest = String::from(
+        "id\tprogrammer\tassignment\ttemplate\tfaults\tspans\texpected_fixes\n",
+    );
+    for f in &corpus {
+        fs::write(corpus_dir.join(format!("{}.ml", f.id)), &f.source).expect("write file");
+        let kinds: Vec<&str> = f.truths.iter().map(|t| t.kind.label()).collect();
+        let spans: Vec<String> =
+            f.truths.iter().map(|t| format!("{}..{}", t.span.start, t.span.end)).collect();
+        let fixes: Vec<String> =
+            f.truths.iter().map(|t| t.original.replace('\t', " ")).collect();
+        manifest.push_str(&format!(
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
+            f.id,
+            f.programmer,
+            f.assignment,
+            f.template,
+            kinds.join(","),
+            spans.join(","),
+            fixes.join(" | "),
+        ));
+    }
+    fs::write(corpus_dir.join("MANIFEST.tsv"), manifest).expect("write manifest");
+    println!(
+        "exported {} templates and {} corpus files to {}",
+        seminal_corpus::TEMPLATES.len(),
+        corpus.len(),
+        root.display()
+    );
+}
+
+/// Per-fault-class breakdown (§3.3's qualitative comparison, made
+/// quantitative).
+fn debug_kinds(scale: usize) {
+    let corpus = harness_corpus(scale);
+    let results = evaluate_corpus(&corpus);
+    println!("{}", seminal_eval::render_by_kind(&seminal_eval::by_kind(&corpus, &results)));
+    println!("sample disagreements (id, kind, baseline, no-triage, full):");
+    for (file, r) in corpus.iter().zip(&results).take(300) {
+        if r.full.score() != r.baseline.score() {
+            println!(
+                "  {:<34} {:<14} base={} nt={} full={}",
+                r.id,
+                file.truths.iter().map(|t| t.kind.label()).collect::<Vec<_>>().join("+"),
+                r.baseline.score(),
+                r.no_triage.score(),
+                r.full.score()
+            );
+        }
+    }
+}
+
+fn banner(title: &str) {
+    println!("\n{}\n{}\n", "=".repeat(72), title);
+}
+
+fn print_examples() {
+    banner("Worked examples (Figures 2, 8, 9 and the §2.4 multi-error program)");
+    let searcher = Searcher::new(TypeCheckOracle::new());
+    for (name, src) in [
+        ("Figure 2 (map2, tupled vs curried)", FIGURE2),
+        ("Figure 8 (swapped arguments)", FIGURE8),
+        ("Figure 9 (missing argument to List.nth)", FIGURE9),
+        ("§2.4 (two independent errors — triage)", MULTI_ERROR),
+    ] {
+        println!("--- {name} ---");
+        let prog = parse_program(src).expect("example parses");
+        let report = searcher.search(&prog);
+        if let Some(err) = &report.baseline {
+            println!("Type-checker: {}", err.render(src));
+        }
+        println!("Our approach:\n{}", message::render_report(&report, src, 1));
+        println!(
+            "(oracle calls: {}, time: {:?}, triage: {})\n",
+            report.stats.oracle_calls, report.stats.elapsed, report.stats.triage_used
+        );
+    }
+}
+
+fn print_figure5(scale: usize) {
+    banner("Figure 5 and §3.2 headline statistics");
+    let corpus = harness_corpus(scale);
+    println!("corpus: {} files (scale {scale})\n", corpus.len());
+    let results = evaluate_corpus(&corpus);
+    let fig = figure5(&results);
+    println!("{}", render_figure5(&fig));
+}
+
+fn print_figure6(scale: usize) {
+    banner("Figure 6: sizes of same-problem file groups (log scale)");
+    let problems = 215 * scale.max(1); // ≈ paper's 1075 at scale 5
+    let sizes = group_sizes(problems, 2007);
+    let s = summarize(&sizes);
+    println!(
+        "collected files: {}   analyzed (groups): {}   (paper: 2122 / 1075)\n",
+        s.collected, s.analyzed
+    );
+    println!("{:>6}  {:>7}  bar (log scale)", "size", "groups");
+    for (size, count) in histogram(&sizes) {
+        let bar = "#".repeat(((count as f64).ln_1p() * 8.0).ceil() as usize);
+        println!("{size:>6}  {count:>7}  {bar}");
+    }
+}
+
+fn print_figure7(scale: usize) {
+    banner("Figure 7: cumulative distribution of search time");
+    let corpus = harness_corpus(scale);
+    println!("corpus: {} files (scale {scale})\n", corpus.len());
+    let fig = figure7(&corpus);
+    println!("{}", render_figure7(&fig));
+}
+
+fn print_cpp() {
+    banner("Figures 10/11: the C++ template-function prototype");
+    let prog = seminal_cpp::parse_cpp(FIGURE10_CPP).expect("figure 10 parses");
+    let report = seminal_cpp::search_cpp(&prog);
+    println!("gcc-style diagnostics ({} errors):\n", report.baseline.len());
+    for e in &report.baseline {
+        print!("{}", e.render(FIGURE10_CPP));
+    }
+    println!("\nOur approach:");
+    match report.best() {
+        Some(s) => println!("  {}", s.render()),
+        None => println!("  (no suggestion)"),
+    }
+    println!("  (oracle calls: {})", report.oracle_calls);
+}

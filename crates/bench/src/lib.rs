@@ -1,0 +1,114 @@
+//! # seminal-bench — harness that regenerates every table and figure
+//!
+//! The `figures` binary prints the paper's evaluation artifacts from the
+//! synthesized corpus; the Criterion benches under `benches/` measure the
+//! searcher's cost on the paper's worked examples and corpus.
+//!
+//! | Paper artifact | Here |
+//! |---|---|
+//! | Figure 2 / 8 / 9 examples | [`FIGURE2`], [`FIGURE8`], [`FIGURE9`], `benches/paper_examples.rs` |
+//! | Figure 5(a)/(b) + §3.2 headline | `figures figure5`, `benches/figure5.rs` |
+//! | Figure 6 group sizes | `figures figure6` |
+//! | Figure 7 runtime CDF | `figures figure7`, `benches/search_time.rs` |
+//! | Figure 10/11 C++ example | `figures cpp`, `benches/cpp_search.rs` |
+//! | Oracle cost (§2's efficiency argument) | `benches/oracle.rs` |
+
+use seminal_corpus::generate::{generate, CorpusConfig, CorpusFile};
+
+/// Figure 2's program: `map2` with a tupled-instead-of-curried lambda.
+pub const FIGURE2: &str = "\
+let map2 f aList bList = List.map (fun (a, b) -> f a b) (List.combine aList bList)
+let lst = map2 (fun (x, y) -> x + y) [1;2;3] [4;5;6]
+let ans = List.filter (fun x -> x == 0) lst
+";
+
+/// Figure 8's program: `add` called with swapped arguments.
+pub const FIGURE8: &str = "\
+let add str lst = if List.mem str lst then lst else str :: lst
+let vList1 = [\"a\"]
+let s = \"b\"
+let r = add vList1 s
+";
+
+/// Figure 9's program: a partial application of `List.nth` that only
+/// explodes at the recursive call site.
+pub const FIGURE9: &str = "\
+type move = For of int * move list | Other
+let rec loop movelist x acc =
+  match movelist with
+    [] -> acc
+  | For (moves, lst) :: tl ->
+      let rec finalLst index searchLst = if index = (moves - 1) then [] else (List.nth searchLst) :: (finalLst (index + 1) searchLst) in
+      loop (finalLst 0 lst) x acc
+  | Other :: tl -> loop tl x acc
+";
+
+/// The §2.4 multi-error program (triage's motivating example).
+pub const MULTI_ERROR: &str = "\
+let go () =
+  let x = 3 + true in
+  let a = 1 + 2 in
+  let b = a * 3 in
+  let c = 4 + \"hi\" in
+  b + c
+";
+
+/// Figure 10's C++ program.
+pub const FIGURE10_CPP: &str = "\
+#include <algorithm>
+#include <vector>
+#include <functional>
+using namespace std;
+
+void myFun(vector<long>& inv, vector<long>& outv) {
+  transform(inv.begin(), inv.end(), outv.begin(),
+            compose1(bind1st(multiplies<long>(), 5), labs));
+}
+";
+
+/// The corpus used by the figure harness. `scale` multiplies the number
+/// of problems per (programmer, assignment) cell; scale 1 ≈ 200 files.
+pub fn harness_corpus(scale: usize) -> Vec<CorpusFile> {
+    let cfg = CorpusConfig {
+        seed: 2007,
+        problems_per_cell: 4 * scale.max(1),
+        ..CorpusConfig::default()
+    };
+    generate(&cfg)
+}
+
+/// A quick corpus for benches (≈ 30 files).
+pub fn bench_corpus() -> Vec<CorpusFile> {
+    let cfg = CorpusConfig {
+        seed: 7,
+        programmers: 3,
+        assignments: 5,
+        problems_per_cell: 2,
+        ..CorpusConfig::default()
+    };
+    generate(&cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seminal_ml::parser::parse_program;
+    use seminal_typeck::check_program;
+
+    #[test]
+    fn example_sources_parse_and_fail_typecheck() {
+        for src in [FIGURE2, FIGURE8, FIGURE9, MULTI_ERROR] {
+            let prog = parse_program(src).unwrap();
+            assert!(check_program(&prog).is_err());
+        }
+    }
+
+    #[test]
+    fn harness_corpus_is_nonempty_and_deterministic() {
+        let a = harness_corpus(1);
+        let b = harness_corpus(1);
+        assert!(a.len() >= 100, "corpus too small: {}", a.len());
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a[0].source, b[0].source);
+    }
+}

@@ -1,0 +1,131 @@
+//! Suggestions: the unit of output of the search procedure.
+
+use seminal_ml::ast::{Expr, NodeId, Pat, Program};
+use seminal_ml::span::Span;
+
+/// What sort of change a suggestion makes, in the paper's taxonomy.
+///
+/// The ranker's class order is `Constructive` > `Adaptation` > `Removal`
+/// (§2.3), with triaged suggestions of any class after untriaged ones
+/// (§2.4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChangeKind {
+    /// A specific syntactic rewrite (Figure 3), with a human-readable
+    /// description of the rewrite family.
+    Constructive(String),
+    /// `e` → `adapt e`: the expression is fine, its context is not (§2.3).
+    Adaptation,
+    /// `e` → `[[...]]` (§2.1).
+    Removal,
+}
+
+impl ChangeKind {
+    /// Class rank; lower is preferred.
+    pub fn class(&self) -> u8 {
+        match self {
+            ChangeKind::Constructive(_) => 0,
+            ChangeKind::Adaptation => 1,
+            ChangeKind::Removal => 2,
+        }
+    }
+}
+
+/// The primary location a suggestion changes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Focus {
+    /// Replace the expression node.
+    Expr { target: NodeId, replacement: Expr },
+    /// Replace the pattern node (produced by triage's pattern phase).
+    Pat { target: NodeId, replacement: Pat },
+    /// Turn the `let` declaration into `let rec`.
+    DeclRec { decl: NodeId },
+}
+
+/// One candidate error message: a change at a location that makes (a
+/// possibly triaged view of) the program type-check.
+#[derive(Debug, Clone)]
+pub struct Suggestion {
+    pub focus: Focus,
+    pub kind: ChangeKind,
+    /// Whether this came out of triage — i.e., other problematic regions
+    /// were wildcarded away and the program still has errors beyond this
+    /// change (§2.4).
+    pub triaged: bool,
+    /// How many sibling regions triage removed to reach this suggestion.
+    pub removed_siblings: usize,
+    /// Concrete syntax of the node being replaced.
+    pub original_str: String,
+    /// Concrete syntax of the replacement.
+    pub replacement_str: String,
+    /// Principal type of the replacement in the successful variant, when
+    /// computed ("of type int -> int -> int").
+    pub new_type: Option<String>,
+    /// The enclosing declaration with the change applied — the "within
+    /// context …" line of the paper's messages.
+    pub context_str: String,
+    /// Source span of the changed node in the *original* file.
+    pub span: Span,
+    /// Depth of the target below its declaration root (ranking: deeper is
+    /// preferred for constructive/removal, shallower for adaptation).
+    pub depth: usize,
+    /// Node count of the replaced subtree.
+    pub size: usize,
+    /// Position within the enclosing application chain (head = 0,
+    /// arguments 1..); ties prefer the rightmost (§2.1's heuristic).
+    pub right_pos: i32,
+    /// Whether every atom (variable/literal leaf) of the original
+    /// expression survives in the replacement. Rearrangements preserve
+    /// content; dropped-argument changes do not, and rank below.
+    pub preserves_content: bool,
+    /// True for a wholesale removal whose node triage then handled: the
+    /// paper presents the triaged small change instead of "remove this
+    /// entire expression" (§2.4), so these rank dead last.
+    pub superseded: bool,
+    /// The full program variant that type-checked (with triage context
+    /// applied, if any). Kept so tests and tools can re-validate.
+    pub variant: Program,
+    /// §3.3 refinement: when removing a variable works but adapting it
+    /// does not, the variable itself is unbound/misspelled.
+    pub unbound_hint: Option<String>,
+}
+
+impl Suggestion {
+    /// A stable key used to deduplicate equal suggestions discovered by
+    /// different search paths.
+    pub fn dedup_key(&self) -> (u32, String, bool) {
+        let id = match &self.focus {
+            Focus::Expr { target, .. } | Focus::Pat { target, .. } => target.0,
+            Focus::DeclRec { decl } => decl.0,
+        };
+        (id, self.replacement_str.clone(), self.triaged)
+    }
+}
+
+/// A constructive change to try at a node, produced by the enumerator.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    pub replacement: Expr,
+    /// Change-family description shown to the user.
+    pub description: String,
+}
+
+/// A unit of enumerator output. `Gated` implements the paper's structured
+/// change collections: the gate (e.g. an all-wildcards tuple) is checked
+/// first, and the follow-ups are attempted only if it succeeds, keeping
+/// exponential families (argument permutations) tractable (§2.2).
+#[derive(Debug, Clone)]
+pub enum Probe {
+    One(Candidate),
+    Gated { gate: Expr, then: Vec<Candidate> },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_order_matches_paper() {
+        assert!(ChangeKind::Constructive("x".into()).class() < ChangeKind::Adaptation.class());
+        assert!(ChangeKind::Adaptation.class() < ChangeKind::Removal.class());
+    }
+}

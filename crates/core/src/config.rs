@@ -1,0 +1,116 @@
+//! Search configuration.
+//!
+//! The defaults correspond to the full tool of the paper's evaluation;
+//! the flags exist so the evaluation harness can run the ablations of
+//! Figure 5 (triage off) and Figure 7 (slow constructive change off).
+
+/// Tuning knobs for the [`Searcher`](crate::search::Searcher).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearchConfig {
+    /// Enable the triage extension for multiple independent errors (§2.4).
+    pub triage: bool,
+    /// Enable adaptation-to-context changes (§2.3).
+    pub adaptation: bool,
+    /// Enable constructive changes (§2.2). With this off the system is the
+    /// pure top-down-removal searcher of §2.1.
+    pub constructive: bool,
+    /// Use the deliberately exhaustive variant of the nested-`match`
+    /// reparenthesizing change — the "performance bug in a single
+    /// constructive change" the paper identifies in Figure 7.
+    pub slow_match_reassoc: bool,
+    /// Budget on oracle invocations; the search stops gracefully when
+    /// exhausted (the paper measures cost in type-checker calls).
+    pub max_oracle_calls: u64,
+    /// Cap on suggestions gathered before the search stops early.
+    pub max_suggestions: usize,
+    /// Minimum node count for a subtree to be considered "a nontrivial
+    /// number of descendants" worth triaging (§2.4).
+    pub triage_size_threshold: usize,
+    /// Maximum nesting of triage within triage.
+    pub max_triage_depth: usize,
+    /// Largest argument count for which full permutations are attempted
+    /// (gated on the all-wildcards probe succeeding, §2.2).
+    pub max_permutation_args: usize,
+    /// Memoize oracle verdicts by rendered program text: different search
+    /// paths often construct identical variants (e.g. a removal revisited
+    /// during triage), and the checker is deterministic, so cached
+    /// verdicts are always safe. Off by default so oracle-call counts
+    /// stay comparable with the paper's cost model.
+    pub memoize_oracle: bool,
+    /// Record a [`TraceEvent`](crate::search::TraceEvent) per oracle
+    /// probe, for debugging and for teaching how the search proceeds.
+    pub collect_trace: bool,
+}
+
+impl Default for SearchConfig {
+    fn default() -> SearchConfig {
+        SearchConfig {
+            triage: true,
+            adaptation: true,
+            constructive: true,
+            slow_match_reassoc: false,
+            max_oracle_calls: 50_000,
+            max_suggestions: 64,
+            triage_size_threshold: 6,
+            max_triage_depth: 3,
+            max_permutation_args: 4,
+            memoize_oracle: false,
+            collect_trace: false,
+        }
+    }
+}
+
+impl SearchConfig {
+    /// The full tool.
+    pub fn full() -> SearchConfig {
+        SearchConfig::default()
+    }
+
+    /// The tool with triage disabled — the "without triage" arm of the
+    /// evaluation (§3.2, Figures 5 and 7).
+    pub fn without_triage() -> SearchConfig {
+        SearchConfig { triage: false, ..SearchConfig::default() }
+    }
+
+    /// The tool with the slow reparenthesizing change enabled — the
+    /// bottom curve of Figure 7.
+    pub fn with_slow_match_reassoc() -> SearchConfig {
+        SearchConfig { slow_match_reassoc: true, ..SearchConfig::default() }
+    }
+
+    /// Adaptation disabled (§2.3 ablation).
+    pub fn without_adaptation() -> SearchConfig {
+        SearchConfig { adaptation: false, ..SearchConfig::default() }
+    }
+
+    /// Constructive changes disabled (§2.2 ablation).
+    pub fn without_constructive() -> SearchConfig {
+        SearchConfig { constructive: false, ..SearchConfig::default() }
+    }
+
+    /// Pure removal search (§2.1), for ablation benches.
+    pub fn removal_only() -> SearchConfig {
+        SearchConfig {
+            constructive: false,
+            adaptation: false,
+            triage: false,
+            ..SearchConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_differ_only_where_documented() {
+        let full = SearchConfig::full();
+        assert!(full.triage && full.adaptation && full.constructive);
+        assert!(!full.slow_match_reassoc);
+        assert!(!SearchConfig::without_triage().triage);
+        assert!(SearchConfig::with_slow_match_reassoc().slow_match_reassoc);
+        let removal = SearchConfig::removal_only();
+        assert!(!removal.constructive && !removal.adaptation && !removal.triage);
+    }
+}

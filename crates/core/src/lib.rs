@@ -1,0 +1,50 @@
+//! # seminal-core — searching for type-error messages
+//!
+//! The primary contribution of Lerner, Flower, Grossman & Chambers,
+//! *Searching for Type-Error Messages* (PLDI 2007): a search procedure
+//! that produces type-error messages **without modifying the
+//! type-checker**. The checker is a black-box [`Oracle`]; the changer
+//! builds nearby program variants, keeps the ones that type-check, and a
+//! ranker orders them into messages such as
+//!
+//! ```text
+//! Try replacing fun (x, y) -> x + y with fun x y -> x + y
+//! of type int -> int -> int
+//! within context let lst = map2 (fun x y -> x + y) [1;2;3] [4;5;6]
+//! ```
+//!
+//! The four stages of the paper's §2 map onto this crate as:
+//!
+//! * top-down removal (§2.1) — [`search::Searcher`]'s recursive descent;
+//! * constructive changes (§2.2) — [`enumerate::changes_for`];
+//! * adaptation to context (§2.3) — `adapt e` probes in the searcher;
+//! * triage for multiple errors (§2.4) — sibling-wildcarding and the
+//!   three match phases in the searcher.
+//!
+//! ```
+//! use seminal_core::{Searcher, message};
+//! use seminal_ml::parser::parse_program;
+//! use seminal_typeck::TypeCheckOracle;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let src = "let lst = List.map (fun (x, y) -> x + y) (List.combine [1] [2])";
+//! let prog = parse_program(src)?;
+//! let report = Searcher::new(TypeCheckOracle::new()).search(&prog);
+//! assert!(report.best().is_none()); // this one type-checks
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod change;
+pub mod config;
+pub mod enumerate;
+pub mod message;
+pub mod rank;
+pub mod search;
+
+pub use change::{Candidate, ChangeKind, Focus, Probe, Suggestion};
+pub use config::SearchConfig;
+pub use search::{Outcome, SearchReport, SearchStats, Searcher};
+
+// Re-export the oracle trait so downstream users need one import.
+pub use seminal_typeck::{Oracle, TypeCheckOracle};

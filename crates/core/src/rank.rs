@@ -1,0 +1,142 @@
+//! The ranker (§2.2–2.4).
+//!
+//! Class order: constructive > adaptation > removal; untriaged before
+//! triaged. Within a class: constructive and removal prefer changes
+//! "closer to the leaves" (deeper, then smaller), breaking ties in favour
+//! of the expression on the right of an application; adaptation instead
+//! prefers *larger* expressions — the point of §2.3 is to find the
+//! highest place where a type constraint was unsolvable. Triaged
+//! suggestions additionally prefer removing fewer sibling regions.
+
+use crate::change::{ChangeKind, Suggestion};
+use std::cmp::Ordering;
+
+/// Sorts suggestions best-first.
+pub fn rank(suggestions: &mut [Suggestion]) {
+    suggestions.sort_by(compare);
+}
+
+/// Total order on suggestions, best first.
+pub fn compare(a: &Suggestion, b: &Suggestion) -> Ordering {
+    // Removals that triage superseded sink to the bottom (§2.4).
+    (a.superseded as u8)
+        .cmp(&(b.superseded as u8))
+        // Untriaged first.
+        .then((a.triaged as u8).cmp(&(b.triaged as u8)))
+        // Then class: constructive, adaptation, removal.
+        .then(a.kind.class().cmp(&b.kind.class()))
+        // Triage prefers fewer wildcarded siblings.
+        .then(a.removed_siblings.cmp(&b.removed_siblings))
+        .then_with(|| within_class(a, b))
+        // Final determinism: earlier source position.
+        .then(a.span.start.cmp(&b.span.start))
+}
+
+fn within_class(a: &Suggestion, b: &Suggestion) -> Ordering {
+    match (&a.kind, &b.kind) {
+        (ChangeKind::Adaptation, ChangeKind::Adaptation) => {
+            // Larger expressions first, then shallower.
+            b.size.cmp(&a.size).then(a.depth.cmp(&b.depth))
+        }
+        _ => {
+            // Content-preserving rewrites first, then deeper, then
+            // rightmost within an application, then smaller subtrees.
+            (b.preserves_content as u8)
+                .cmp(&(a.preserves_content as u8))
+                .then(b.depth.cmp(&a.depth))
+                .then(b.right_pos.cmp(&a.right_pos))
+                .then(a.size.cmp(&b.size))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::change::Focus;
+    use seminal_ml::ast::{Expr, NodeId, Program};
+    use seminal_ml::span::Span;
+
+    fn mk(kind: ChangeKind, triaged: bool, depth: usize, size: usize, right: i32) -> Suggestion {
+        Suggestion {
+            focus: Focus::Expr { target: NodeId(0), replacement: Expr::hole(Span::DUMMY) },
+            kind,
+            triaged,
+            removed_siblings: 0,
+            original_str: String::new(),
+            replacement_str: String::new(),
+            new_type: None,
+            context_str: String::new(),
+            span: Span::DUMMY,
+            depth,
+            size,
+            right_pos: right,
+            preserves_content: true,
+            superseded: false,
+            variant: Program::new(),
+            unbound_hint: None,
+        }
+    }
+
+    #[test]
+    fn constructive_beats_adaptation_beats_removal() {
+        let mut v = vec![
+            mk(ChangeKind::Removal, false, 9, 1, 0),
+            mk(ChangeKind::Adaptation, false, 9, 9, 0),
+            mk(ChangeKind::Constructive("x".into()), false, 0, 50, 0),
+        ];
+        rank(&mut v);
+        assert!(matches!(v[0].kind, ChangeKind::Constructive(_)));
+        assert!(matches!(v[1].kind, ChangeKind::Adaptation));
+        assert!(matches!(v[2].kind, ChangeKind::Removal));
+    }
+
+    #[test]
+    fn untriaged_beats_triaged_regardless_of_class() {
+        let mut v = vec![
+            mk(ChangeKind::Constructive("x".into()), true, 5, 1, 0),
+            mk(ChangeKind::Removal, false, 1, 1, 0),
+        ];
+        rank(&mut v);
+        assert!(!v[0].triaged);
+    }
+
+    #[test]
+    fn removal_prefers_deeper_then_rightmost() {
+        let mut v = vec![
+            mk(ChangeKind::Removal, false, 2, 1, 0),
+            mk(ChangeKind::Removal, false, 3, 1, 0),
+        ];
+        rank(&mut v);
+        assert_eq!(v[0].depth, 3);
+
+        // The Figure 2 tie: same depth, prefer the right-hand expression.
+        let mut v = vec![
+            mk(ChangeKind::Removal, false, 3, 1, 0),
+            mk(ChangeKind::Removal, false, 3, 7, 1),
+        ];
+        rank(&mut v);
+        assert_eq!(v[0].right_pos, 1);
+    }
+
+    #[test]
+    fn adaptation_prefers_larger() {
+        let mut v = vec![
+            mk(ChangeKind::Adaptation, false, 5, 2, 0),
+            mk(ChangeKind::Adaptation, false, 4, 9, 0),
+        ];
+        rank(&mut v);
+        assert_eq!(v[0].size, 9);
+    }
+
+    #[test]
+    fn triaged_prefers_fewer_removed_siblings() {
+        let mut a = mk(ChangeKind::Removal, true, 3, 1, 0);
+        a.removed_siblings = 3;
+        let mut b = mk(ChangeKind::Removal, true, 3, 1, 0);
+        b.removed_siblings = 1;
+        let mut v = vec![a, b];
+        rank(&mut v);
+        assert_eq!(v[0].removed_siblings, 1);
+    }
+}

@@ -1,0 +1,918 @@
+//! The searcher: the core loop of the paper's architecture (Figure 1).
+//!
+//! Given an ill-typed program, the searcher:
+//!
+//! 1. finds the first ill-typed top-level definition by checking
+//!    increasingly long prefixes (§2.1);
+//! 2. descends top-down, replacing subexpressions with the wildcard
+//!    `[[...]]` and asking the oracle which replacements type-check —
+//!    descending only where removal succeeds (sound pruning: the wildcard
+//!    imposes no constraints, so if it fails, nothing inside can help);
+//! 3. at each successful-removal node, tries the enumerator's constructive
+//!    changes (§2.2) and adaptation to context (§2.3);
+//! 4. when the only suggestion for a sizeable node is removing it
+//!    wholesale, enters *triage* (§2.4): wildcard some sibling regions and
+//!    search the rest, recovering precision when the program has several
+//!    independent errors.
+//!
+//! The searcher talks to the type-checker exclusively through the
+//! [`Oracle`] trait — it has no knowledge of type-system specifics.
+
+use crate::change::{ChangeKind, Focus, Suggestion};
+use crate::config::SearchConfig;
+use crate::enumerate::changes_for;
+use crate::rank::rank;
+use seminal_ml::ast::*;
+use seminal_ml::edit::{self, app_chain, Edit};
+use seminal_ml::pretty::{decl_to_string, expr_to_string, pat_to_string};
+use seminal_ml::span::Span;
+use seminal_typeck::{check_program_types, Oracle, TypeError};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// One oracle probe, recorded when
+/// [`SearchConfig::collect_trace`](crate::SearchConfig) is on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// What the probe was trying ("removal", "constructive: …",
+    /// "adaptation", "gate", "prefix", "triage-context", …).
+    pub action: String,
+    /// Concrete syntax of the node being changed (empty for whole-program
+    /// probes such as prefixes).
+    pub target: String,
+    /// Whether the variant type-checked.
+    pub success: bool,
+}
+
+/// Cost and coverage counters for one search.
+#[derive(Debug, Clone, Default)]
+pub struct SearchStats {
+    /// Oracle invocations (the paper's cost unit).
+    pub oracle_calls: u64,
+    /// Wall-clock duration of the search.
+    pub elapsed: Duration,
+    /// Whether triage mode was entered.
+    pub triage_used: bool,
+    /// Whether the oracle-call budget stopped the search early.
+    pub budget_exhausted: bool,
+    /// Index (1-based) of the first ill-typed top-level definition.
+    pub first_bad_decl: usize,
+    /// Oracle calls answered from the memo cache
+    /// ([`SearchConfig::memoize_oracle`](crate::SearchConfig)).
+    pub memo_hits: u64,
+}
+
+/// What the search concluded.
+#[derive(Debug, Clone)]
+pub enum Outcome {
+    /// The input already type-checks; the search system is bypassed.
+    WellTyped,
+    /// Ranked candidate messages, best first.
+    Suggestions(Vec<Suggestion>),
+    /// Nothing found (fall back to the baseline message).
+    NoSuggestion,
+}
+
+/// The result of running [`Searcher::search`].
+#[derive(Debug, Clone)]
+pub struct SearchReport {
+    pub outcome: Outcome,
+    pub stats: SearchStats,
+    /// The conventional type-checker's message for the same input, for
+    /// side-by-side presentation and for the evaluation harness.
+    pub baseline: Option<TypeError>,
+    /// Probe-by-probe log (empty unless
+    /// [`SearchConfig::collect_trace`](crate::SearchConfig) is set).
+    pub trace: Vec<TraceEvent>,
+}
+
+impl SearchReport {
+    /// The top-ranked suggestion, if any.
+    pub fn best(&self) -> Option<&Suggestion> {
+        match &self.outcome {
+            Outcome::Suggestions(s) => s.first(),
+            _ => None,
+        }
+    }
+
+    /// All suggestions (empty unless `outcome` is `Suggestions`).
+    pub fn suggestions(&self) -> &[Suggestion] {
+        match &self.outcome {
+            Outcome::Suggestions(s) => s,
+            _ => &[],
+        }
+    }
+}
+
+/// A user-registered constructive change: given a node, propose
+/// replacements to try there. This realizes the paper's §6 vision of "an
+/// open system where programmers could describe new search strategies or
+/// constructive changes" — safe to add because a bad change can never
+/// threaten correctness, only waste oracle calls.
+pub type CustomChange = Box<dyn Fn(&Expr) -> Vec<crate::change::Candidate> + Send + Sync>;
+
+/// The search engine. Generic over the oracle so tests can instrument it;
+/// use [`seminal_typeck::TypeCheckOracle`] for the real thing.
+pub struct Searcher<O> {
+    oracle: O,
+    config: SearchConfig,
+    extra_changes: Vec<CustomChange>,
+}
+
+impl<O: std::fmt::Debug> std::fmt::Debug for Searcher<O> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Searcher")
+            .field("oracle", &self.oracle)
+            .field("config", &self.config)
+            .field("extra_changes", &self.extra_changes.len())
+            .finish()
+    }
+}
+
+impl<O: Oracle> Searcher<O> {
+    /// A searcher with the full-tool configuration.
+    pub fn new(oracle: O) -> Searcher<O> {
+        Searcher { oracle, config: SearchConfig::default(), extra_changes: Vec::new() }
+    }
+
+    /// A searcher with an explicit configuration (for the ablations).
+    pub fn with_config(oracle: O, config: SearchConfig) -> Searcher<O> {
+        Searcher { oracle, config, extra_changes: Vec::new() }
+    }
+
+    /// Registers a user-defined constructive change (§6's open framework).
+    /// The change is consulted at every node whose removal succeeds, like
+    /// the built-in families; candidates it proposes are oracle-validated
+    /// before they can become suggestions, so user changes cannot produce
+    /// unsound messages.
+    pub fn add_change(&mut self, change: CustomChange) -> &mut Searcher<O> {
+        self.extra_changes.push(change);
+        self
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SearchConfig {
+        &self.config
+    }
+
+    /// Runs the full search on `prog`.
+    pub fn search(&self, prog: &Program) -> SearchReport {
+        let start = Instant::now();
+        let mut run = Run {
+            oracle: &self.oracle,
+            cfg: &self.config,
+            extra_changes: &self.extra_changes,
+            calls: 0,
+            budget_hit: false,
+            triage_used: false,
+            suggestions: Vec::new(),
+            memo: HashMap::new(),
+            memo_hits: 0,
+            trace: Vec::new(),
+            probe_label: (String::new(), String::new()),
+        };
+        let baseline = match run.check_full(prog) {
+            Ok(()) => {
+                return SearchReport {
+                    outcome: Outcome::WellTyped,
+                    stats: SearchStats {
+                        oracle_calls: run.calls,
+                        elapsed: start.elapsed(),
+                        ..SearchStats::default()
+                    },
+                    baseline: None,
+                    trace: Vec::new(),
+                }
+            }
+            Err(e) => e,
+        };
+
+        // §2.1: prefix search for the first ill-typed definition.
+        let mut first_bad = prog.decls.len();
+        for k in 1..=prog.decls.len() {
+            run.label("prefix", format!("first {k} declaration(s)"));
+            if !run.check(&prog.prefix(k)) {
+                first_bad = k;
+                break;
+            }
+        }
+        let scope_prog = prog.prefix(first_bad);
+        let scope = Scope::new(scope_prog);
+        run.search_decl(&scope, first_bad - 1);
+
+        let mut suggestions = std::mem::take(&mut run.suggestions);
+        // Deduplicate across search paths.
+        let mut seen = std::collections::HashSet::new();
+        suggestions.retain(|s| seen.insert(s.dedup_key()));
+        rank(&mut suggestions);
+        let outcome = if suggestions.is_empty() {
+            Outcome::NoSuggestion
+        } else {
+            Outcome::Suggestions(suggestions)
+        };
+        SearchReport {
+            outcome,
+            stats: SearchStats {
+                oracle_calls: run.calls,
+                elapsed: start.elapsed(),
+                triage_used: run.triage_used,
+                budget_exhausted: run.budget_hit,
+                first_bad_decl: first_bad,
+                memo_hits: run.memo_hits,
+            },
+            baseline: Some(baseline),
+            trace: std::mem::take(&mut run.trace),
+        }
+    }
+}
+
+/// Node metadata for ranking and enumeration, computed per scope.
+#[derive(Debug, Clone, Copy)]
+struct Meta {
+    depth: usize,
+    right_pos: i32,
+    top_of_chain: bool,
+}
+
+/// A program being searched plus per-node metadata. Triage creates nested
+/// scopes by materializing its sibling removals into a fresh program;
+/// node ids of retained subtrees are stable across that, so suggestions
+/// found in inner scopes still address the original nodes.
+struct Scope {
+    prog: Program,
+    meta: HashMap<NodeId, Meta>,
+}
+
+impl Scope {
+    fn new(prog: Program) -> Scope {
+        let mut meta = HashMap::new();
+        for decl in &prog.decls {
+            match &decl.kind {
+                DeclKind::Let { bindings, .. } => {
+                    for b in bindings {
+                        build_meta(&b.body, 0, None, &mut meta);
+                    }
+                }
+                DeclKind::Expr(e) => build_meta(e, 0, None, &mut meta),
+                _ => {}
+            }
+        }
+        Scope { prog, meta }
+    }
+
+    fn meta(&self, id: NodeId) -> Meta {
+        self.meta.get(&id).copied().unwrap_or(Meta {
+            depth: 0,
+            right_pos: 0,
+            top_of_chain: true,
+        })
+    }
+}
+
+fn build_meta(
+    e: &Expr,
+    depth: usize,
+    parent: Option<(&Expr, usize)>,
+    out: &mut HashMap<NodeId, Meta>,
+) {
+    let top_of_chain = match (&e.kind, parent) {
+        (ExprKind::App(_, _), Some((p, idx))) => {
+            !(matches!(p.kind, ExprKind::App(_, _)) && idx == 0)
+        }
+        _ => true,
+    };
+    let right_pos = parent.map(|(_, idx)| idx as i32).unwrap_or(0);
+    out.insert(e.id, Meta { depth, right_pos, top_of_chain });
+    let mut idx = 0;
+    e.for_each_child(&mut |c| {
+        build_meta(c, depth + 1, Some((e, idx)), out);
+        idx += 1;
+    });
+}
+
+struct Run<'a, O> {
+    oracle: &'a O,
+    cfg: &'a SearchConfig,
+    extra_changes: &'a [CustomChange],
+    calls: u64,
+    budget_hit: bool,
+    triage_used: bool,
+    suggestions: Vec<Suggestion>,
+    memo: HashMap<String, bool>,
+    memo_hits: u64,
+    trace: Vec<TraceEvent>,
+    /// Context labels for the next probe's trace entry.
+    probe_label: (String, String),
+}
+
+impl<O: Oracle> Run<'_, O> {
+    fn check_full(&mut self, prog: &Program) -> Result<(), TypeError> {
+        self.calls += 1;
+        self.oracle.check(prog)
+    }
+
+    /// Budgeted boolean oracle query, optionally memoized and traced.
+    fn check(&mut self, prog: &Program) -> bool {
+        if self.calls >= self.cfg.max_oracle_calls {
+            self.budget_hit = true;
+            return false;
+        }
+        let ok = if self.cfg.memoize_oracle {
+            let key = seminal_ml::pretty::program_to_string(prog);
+            if let Some(&cached) = self.memo.get(&key) {
+                self.memo_hits += 1;
+                cached
+            } else {
+                self.calls += 1;
+                let verdict = self.oracle.check(prog).is_ok();
+                self.memo.insert(key, verdict);
+                verdict
+            }
+        } else {
+            self.calls += 1;
+            self.oracle.check(prog).is_ok()
+        };
+        if self.cfg.collect_trace {
+            let (action, target) = std::mem::take(&mut self.probe_label);
+            self.trace.push(TraceEvent {
+                action: if action.is_empty() { "probe".to_owned() } else { action },
+                target,
+                success: ok,
+            });
+        }
+        ok
+    }
+
+    /// Labels the next `check` call's trace entry.
+    fn label(&mut self, action: impl Into<String>, target: impl Into<String>) {
+        if self.cfg.collect_trace {
+            self.probe_label = (action.into(), target.into());
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.budget_hit || self.suggestions.len() >= self.cfg.max_suggestions
+    }
+
+    // ------------------------------------------------------------------
+    // Declaration level
+    // ------------------------------------------------------------------
+
+    fn search_decl(&mut self, scope: &Scope, idx: usize) {
+        let decl = scope.prog.decls[idx].clone();
+        match &decl.kind {
+            DeclKind::Let { rec, bindings } => {
+                // Declaration-level `let` → `let rec` (Figure 3's last row).
+                if !*rec
+                    && bindings.iter().all(|b| matches!(b.pat.kind, PatKind::Var(_)))
+                {
+                    let mut variant = scope.prog.clone();
+                    if let DeclKind::Let { rec, .. } = &mut variant.decls[idx].kind {
+                        *rec = true;
+                    }
+                    if self.check(&variant) {
+                        let context_str = decl_to_string(&variant.decls[idx]);
+                        self.suggestions.push(Suggestion {
+                            focus: Focus::DeclRec { decl: decl.id },
+                            kind: ChangeKind::Constructive(
+                                "make the declaration recursive (`let rec`)".to_owned(),
+                            ),
+                            triaged: false,
+                            removed_siblings: 0,
+                            original_str: "let".to_owned(),
+                            replacement_str: "let rec".to_owned(),
+                            new_type: None,
+                            context_str,
+                            span: decl.span,
+                            depth: 0,
+                            size: 1,
+                            right_pos: 0,
+                            preserves_content: true,
+                            superseded: false,
+                            variant,
+                            unbound_hint: None,
+                        });
+                    }
+                }
+                let roots: Vec<NodeId> = bindings.iter().map(|b| b.body.id).collect();
+                let before = self.suggestions.len();
+                for root in &roots {
+                    self.search_expr(scope, *root, 0, false, 0);
+                }
+                // Multiple simultaneous bindings, none individually fixable:
+                // triage across the binding bodies.
+                if self.suggestions.len() == before && roots.len() > 1 && self.cfg.triage {
+                    self.triage_siblings(scope, &roots, 0);
+                }
+            }
+            DeclKind::Expr(e) => {
+                self.search_expr(scope, e.id, 0, false, 0);
+            }
+            // Errors inside type/exception declarations have no
+            // expressions to search; the baseline message stands.
+            DeclKind::Type(_) | DeclKind::Exception(_, _) => {}
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Expression level (§2.1–2.3)
+    // ------------------------------------------------------------------
+
+    /// Searches below `node_id`; returns whether removing the node (alone)
+    /// produced a type-correct program, which is the licence to descend.
+    fn search_expr(
+        &mut self,
+        scope: &Scope,
+        node_id: NodeId,
+        triage_depth: usize,
+        triaged: bool,
+        removed_siblings: usize,
+    ) -> bool {
+        if self.done() {
+            return false;
+        }
+        let Some(node) = scope.prog.find_expr(node_id).cloned() else {
+            return false;
+        };
+        if node.is_hole() {
+            return false;
+        }
+        // Removal probe.
+        let removal_variant = edit::remove_expr(&scope.prog, node_id);
+        self.label("removal", expr_to_string(&node));
+        if !self.check(&removal_variant) {
+            return false;
+        }
+
+        // Recurse into children first; their success makes this node's
+        // own removal uninteresting to report.
+        let mut child_ids = Vec::new();
+        node.for_each_child(&mut |c| child_ids.push(c.id));
+        let mut any_child = false;
+        for c in child_ids {
+            if self.search_expr(scope, c, triage_depth, triaged, removed_siblings) {
+                any_child = true;
+            }
+        }
+
+        let meta = scope.meta(node_id);
+        let mut any_specific = false;
+
+        // Constructive changes (§2.2).
+        if self.cfg.constructive {
+            for probe in changes_for(&node, meta.top_of_chain, self.cfg) {
+                if self.done() {
+                    break;
+                }
+                match probe {
+                    crate::change::Probe::One(c) => {
+                        if self.try_candidate(
+                            scope,
+                            &node,
+                            &c.replacement,
+                            ChangeKind::Constructive(c.description),
+                            triaged,
+                            removed_siblings,
+                        ) {
+                            any_specific = true;
+                        }
+                    }
+                    crate::change::Probe::Gated { gate, then } => {
+                        let gate_variant = edit::replace_expr(&scope.prog, node_id, gate);
+                        self.label("gate", expr_to_string(&node));
+                        if self.check(&gate_variant) {
+                            for c in then {
+                                if self.done() {
+                                    break;
+                                }
+                                if self.try_candidate(
+                                    scope,
+                                    &node,
+                                    &c.replacement,
+                                    ChangeKind::Constructive(c.description),
+                                    triaged,
+                                    removed_siblings,
+                                ) {
+                                    any_specific = true;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // User-registered constructive changes (§6's open framework).
+        if self.cfg.constructive {
+            let extra_candidates: Vec<crate::change::Candidate> =
+                self.extra_changes.iter().flat_map(|ch| ch(&node)).collect();
+            for c in extra_candidates {
+                if self.done() {
+                    break;
+                }
+                if self.try_candidate(
+                    scope,
+                    &node,
+                    &c.replacement,
+                    ChangeKind::Constructive(c.description),
+                    triaged,
+                    removed_siblings,
+                ) {
+                    any_specific = true;
+                }
+            }
+        }
+
+        // Adaptation to context (§2.3).
+        let mut adapt_ok = false;
+        if self.cfg.adaptation && !matches!(node.kind, ExprKind::Adapt(_)) {
+            let adapted =
+                Expr::synth(ExprKind::Adapt(Box::new(node.clone())), Span::DUMMY);
+            if self.try_candidate(
+                scope,
+                &node,
+                &adapted,
+                ChangeKind::Adaptation,
+                triaged,
+                removed_siblings,
+            ) {
+                adapt_ok = true;
+                any_specific = true;
+            }
+        }
+
+        // Triage (§2.4): only when wholesale removal of a sizeable node is
+        // the best this subtree offered. Runs before the removal is
+        // recorded so the removal can be marked as superseded: the paper
+        // presents the triaged small change, never "remove it all".
+        let mut triage_found = false;
+        if self.cfg.triage
+            && !any_child
+            && !any_specific
+            && node.size() >= self.cfg.triage_size_threshold
+            && triage_depth < self.cfg.max_triage_depth
+        {
+            let before = self.suggestions.len();
+            self.triage(scope, &node, triage_depth);
+            triage_found = self.suggestions.len() > before;
+        }
+
+        // Removal is reported only at minimal removable nodes — deeper
+        // successes subsume it.
+        if !any_child {
+            // §3.3: a variable whose removal helps but whose adaptation
+            // does not is itself the problem (unbound/misspelled), since
+            // adaptation keeps the variable and only frees its result type.
+            let unbound_hint = match (&node.kind, self.cfg.adaptation, adapt_ok) {
+                (ExprKind::Var(name), true, false) => Some(name.clone()),
+                _ => None,
+            };
+            self.push_suggestion(
+                scope,
+                &node,
+                &Expr::hole(Span::DUMMY),
+                removal_variant,
+                ChangeKind::Removal,
+                triaged,
+                removed_siblings,
+                unbound_hint,
+            );
+            if triage_found {
+                if let Some(last) = self.suggestions.last_mut() {
+                    last.superseded = true;
+                }
+            }
+        }
+        true
+    }
+
+    /// Tries one replacement; on success records a suggestion.
+    fn try_candidate(
+        &mut self,
+        scope: &Scope,
+        node: &Expr,
+        replacement: &Expr,
+        kind: ChangeKind,
+        triaged: bool,
+        removed_siblings: usize,
+    ) -> bool {
+        let variant = edit::replace_expr(&scope.prog, node.id, replacement.clone());
+        let action = match &kind {
+            ChangeKind::Constructive(d) => format!("constructive: {d}"),
+            ChangeKind::Adaptation => "adaptation".to_owned(),
+            ChangeKind::Removal => "removal".to_owned(),
+        };
+        self.label(action, expr_to_string(node));
+        if !self.check(&variant) {
+            return false;
+        }
+        self.push_suggestion(
+            scope,
+            node,
+            replacement,
+            variant,
+            kind,
+            triaged,
+            removed_siblings,
+            None,
+        );
+        true
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn push_suggestion(
+        &mut self,
+        scope: &Scope,
+        node: &Expr,
+        replacement: &Expr,
+        variant: Program,
+        kind: ChangeKind,
+        triaged: bool,
+        removed_siblings: usize,
+        unbound_hint: Option<String>,
+    ) {
+        let meta = scope.meta(node.id);
+        // Root id of the inserted subtree: synthesized roots take the
+        // first fresh id; reused subtree roots keep their id.
+        let inserted_root = if replacement.id == NodeId::SYNTH {
+            NodeId(scope.prog.next_id)
+        } else {
+            replacement.id
+        };
+        // Principal type of the replacement, for the "of type …" line.
+        // This re-check is message formatting, not search, so it is not
+        // counted against the oracle budget.
+        let new_type =
+            check_program_types(&variant, &[inserted_root]).ok().and_then(|mut m| {
+                m.remove(&inserted_root)
+            });
+        let context_str = variant
+            .decl_of(inserted_root)
+            .map(|i| decl_to_string(&variant.decls[i]))
+            .unwrap_or_default();
+        let preserves_content = {
+            let original_leaves = leaf_atoms(node);
+            let new_leaves = leaf_atoms(replacement);
+            original_leaves.iter().all(|l| new_leaves.contains(l))
+        };
+        self.suggestions.push(Suggestion {
+            focus: Focus::Expr { target: node.id, replacement: replacement.clone() },
+            kind,
+            triaged,
+            removed_siblings,
+            original_str: expr_to_string(node),
+            replacement_str: expr_to_string(replacement),
+            new_type,
+            context_str,
+            span: node.span,
+            depth: meta.depth,
+            size: node.size(),
+            right_pos: meta.right_pos,
+            preserves_content,
+            superseded: false,
+            variant,
+            unbound_hint,
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Triage (§2.4)
+    // ------------------------------------------------------------------
+
+    fn triage(&mut self, scope: &Scope, node: &Expr, depth: usize) {
+        self.triage_used = true;
+        match &node.kind {
+            ExprKind::Match(scrut, arms) => {
+                self.triage_match(scope, node, scrut, arms, depth)
+            }
+            _ => {
+                let members = triage_members(node);
+                if members.len() >= 2 {
+                    self.triage_siblings(scope, &members, depth);
+                }
+            }
+        }
+    }
+
+    /// Generic sibling triage: focus each member while cumulatively
+    /// wildcarding the others (rightmost first), recurring in the first
+    /// context that admits any fix for the focus.
+    fn triage_siblings(&mut self, scope: &Scope, members: &[NodeId], depth: usize) {
+        self.triage_used = true;
+        for &focus in members {
+            if self.done() {
+                return;
+            }
+            let others: Vec<NodeId> =
+                members.iter().copied().filter(|&m| m != focus).collect();
+            // j = 0 (focus removed alone) is already known to fail — the
+            // regular search tried it before entering triage.
+            for j in 1..=others.len() {
+                let removed = &others[others.len() - j..];
+                let mut probe_edit = Edit::new().remove_expr(focus);
+                for &r in removed {
+                    probe_edit = probe_edit.remove_expr(r);
+                }
+                self.label(
+                    "triage-context",
+                    format!("focus {} with {} sibling(s) removed", focus, j),
+                );
+                if self.check(&edit::apply(&scope.prog, &probe_edit)) {
+                    // Some fix exists for the focus in this context.
+                    let mut ctx_edit = Edit::new();
+                    for &r in removed {
+                        ctx_edit = ctx_edit.remove_expr(r);
+                    }
+                    let ctx = Scope::new(edit::apply(&scope.prog, &ctx_edit));
+                    self.search_expr(&ctx, focus, depth + 1, true, j);
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Match-expression triage in three phases (§2.4, Figure 4):
+    /// scrutinee first, then patterns, then arm bodies.
+    fn triage_match(
+        &mut self,
+        scope: &Scope,
+        node: &Expr,
+        scrut: &Expr,
+        arms: &[Arm],
+        depth: usize,
+    ) {
+        // Phase 1: scrutinee alone — `match scrut with _ -> [[...]]`.
+        let phase1 = Expr::synth(
+            ExprKind::Match(
+                Box::new(scrut.clone()),
+                vec![Arm { pat: Pat::wild(Span::DUMMY), guard: None, body: Expr::hole(Span::DUMMY) }],
+            ),
+            Span::DUMMY,
+        );
+        let p1 = edit::replace_expr(&scope.prog, node.id, phase1);
+        self.label("triage-match-phase1 (scrutinee)", expr_to_string(scrut));
+        if !self.check(&p1) {
+            let ctx = Scope::new(p1);
+            self.search_expr(&ctx, scrut.id, depth + 1, true, arms.len());
+            return;
+        }
+
+        // Phase 2: patterns, with every arm body removed.
+        let phase2 = Expr::synth(
+            ExprKind::Match(
+                Box::new(scrut.clone()),
+                arms.iter()
+                    .map(|arm| Arm {
+                        pat: arm.pat.clone(),
+                        // Guards are dropped for the pattern phase: they
+                        // may carry their own errors, which phase 3 and
+                        // the regular descent handle.
+                        guard: None,
+                        body: Expr::hole(Span::DUMMY),
+                    })
+                    .collect(),
+            ),
+            Span::DUMMY,
+        );
+        let p2 = edit::replace_expr(&scope.prog, node.id, phase2);
+        self.label("triage-match-phase2 (patterns)", expr_to_string(node));
+        if !self.check(&p2) {
+            self.triage_patterns(&Scope::new(p2), arms);
+            return;
+        }
+
+        // Phase 3: the arm bodies, as ordinary siblings.
+        let members: Vec<NodeId> = arms.iter().map(|a| a.body.id).collect();
+        if !members.is_empty() {
+            self.triage_siblings(scope, &members, depth);
+        }
+    }
+
+    /// Pattern-phase triage: focus each arm pattern while cumulatively
+    /// wildcarding the others, then search for the smallest subpattern
+    /// whose replacement with `_` fixes the (body-less) match.
+    fn triage_patterns(&mut self, scope: &Scope, arms: &[Arm]) {
+        let pats: Vec<NodeId> = arms.iter().map(|a| a.pat.id).collect();
+        for (i, &focus) in pats.iter().enumerate() {
+            if self.done() {
+                return;
+            }
+            let others: Vec<NodeId> =
+                pats.iter().enumerate().filter(|&(j, _)| j != i).map(|(_, p)| *p).collect();
+            for j in 0..=others.len() {
+                let removed = &others[others.len() - j..];
+                let mut probe = Edit::new().replace_pat(focus, Pat::wild(Span::DUMMY));
+                for &r in removed {
+                    probe = probe.replace_pat(r, Pat::wild(Span::DUMMY));
+                }
+                if self.check(&edit::apply(&scope.prog, &probe)) {
+                    let mut ctx_edit = Edit::new();
+                    for &r in removed {
+                        ctx_edit = ctx_edit.replace_pat(r, Pat::wild(Span::DUMMY));
+                    }
+                    let ctx = Scope::new(edit::apply(&scope.prog, &ctx_edit));
+                    let pat = arms[i].pat.clone();
+                    self.search_pattern(&ctx, &pat, j);
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Descends into a pattern looking for the smallest subpattern whose
+    /// replacement by `_` makes the context type-check; reports it as a
+    /// (triaged) removal — "try replacing `5` with `_`".
+    fn search_pattern(&mut self, scope: &Scope, pat: &Pat, removed_siblings: usize) -> bool {
+        let variant = edit::apply(
+            &scope.prog,
+            &Edit::new().replace_pat(pat.id, Pat::wild(Span::DUMMY)),
+        );
+        if !self.check(&variant) {
+            return false;
+        }
+        let mut children = Vec::new();
+        pat.for_each_child(&mut |c| children.push(c.clone()));
+        let mut any_child = false;
+        for c in &children {
+            if self.search_pattern(scope, c, removed_siblings) {
+                any_child = true;
+            }
+        }
+        if !any_child && !matches!(pat.kind, PatKind::Wild) {
+            // The context is the declaration containing the match in the
+            // *variant* program (bodies holed, other patterns wildcarded,
+            // this pattern fixed) — the presentation of Figure 4.
+            let context_str = variant
+                .decls
+                .iter()
+                .map(decl_to_string)
+                .find(|s| s.contains("match"))
+                .unwrap_or_else(|| {
+                    variant.decls.last().map(decl_to_string).unwrap_or_default()
+                });
+            self.suggestions.push(Suggestion {
+                focus: Focus::Pat {
+                    target: pat.id,
+                    replacement: Pat::wild(Span::DUMMY),
+                },
+                kind: ChangeKind::Removal,
+                triaged: true,
+                removed_siblings,
+                original_str: pat_to_string(pat),
+                replacement_str: "_".to_owned(),
+                new_type: None,
+                context_str,
+                span: pat.span,
+                depth: 0,
+                size: pat.size(),
+                right_pos: 0,
+                preserves_content: false,
+                superseded: false,
+                variant,
+                unbound_hint: None,
+            });
+        }
+        true
+    }
+}
+
+/// The variable and literal atoms of an expression, used by the
+/// content-preservation ranking heuristic.
+fn leaf_atoms(e: &Expr) -> Vec<String> {
+    let mut out = Vec::new();
+    e.walk(&mut |n| match &n.kind {
+        ExprKind::Var(name) => out.push(name.clone()),
+        ExprKind::Lit(_) => out.push(expr_to_string(n)),
+        _ => {}
+    });
+    out
+}
+
+/// The independent, binding-free sub-regions of a node that triage may
+/// wildcard while focusing on a sibling.
+fn triage_members(node: &Expr) -> Vec<NodeId> {
+    match &node.kind {
+        ExprKind::App(_, _) => {
+            let (head, args) = app_chain(node);
+            let mut m = vec![head.id];
+            m.extend(args.iter().map(|a| a.id));
+            m
+        }
+        ExprKind::Tuple(es) | ExprKind::List(es) => es.iter().map(|e| e.id).collect(),
+        ExprKind::BinOp(_, l, r) | ExprKind::Seq(l, r) => vec![l.id, r.id],
+        ExprKind::If(c, t, e) => {
+            let mut m = vec![c.id, t.id];
+            if let Some(e) = e {
+                m.push(e.id);
+            }
+            m
+        }
+        ExprKind::Record(fields) => fields.iter().map(|(_, v)| v.id).collect(),
+        ExprKind::Let { bindings, body, .. } => {
+            let mut m: Vec<NodeId> = bindings.iter().map(|b| b.body.id).collect();
+            m.push(body.id);
+            m
+        }
+        _ => Vec::new(),
+    }
+}

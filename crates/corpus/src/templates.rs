@@ -1,0 +1,407 @@
+//! Well-typed homework-style template programs.
+//!
+//! The paper's corpus came from five homework assignments in a graduate
+//! PL course (100–200 lines each, students new to Caml). We cannot ship
+//! that private data, so these templates play the same role: small,
+//! idiomatic Caml programs in the styles those assignments exercise.
+//! The mutator (`mutate`) injects the error classes the paper reports to
+//! produce the ill-typed corpus files.
+
+/// One template: a correct program plus its assignment number (1–5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Template {
+    /// Stable name used in corpus file ids.
+    pub name: &'static str,
+    /// Homework assignment this belongs to (1–5), increasing experience.
+    pub assignment: u8,
+    /// The well-typed source.
+    pub source: &'static str,
+}
+
+/// Assignment 1: list basics.
+const SUM_LEN_REV: Template = Template {
+    name: "sum_len_rev",
+    assignment: 1,
+    source: "\
+let rec sum xs = match xs with [] -> 0 | x :: t -> x + sum t
+let rec len xs = match xs with [] -> 0 | _ :: t -> 1 + len t
+let rec rev_onto acc xs = match xs with [] -> acc | x :: t -> rev_onto (x :: acc) t
+let reverse xs = rev_onto [] xs
+let total = sum (reverse [3; 1; 4; 1; 5])
+let count = len [1; 2; 3]
+let report = print_string (string_of_int (total + count))
+",
+};
+
+const ADD_UNIQUE: Template = Template {
+    name: "add_unique",
+    assignment: 1,
+    source: "\
+let add str lst = if List.mem str lst then lst else str :: lst
+let rec dedup xs = match xs with [] -> [] | x :: t -> add x (dedup t)
+let vList1 = add \"alpha\" [\"beta\"; \"gamma\"]
+let vList2 = dedup [\"a\"; \"b\"; \"a\"; \"c\"]
+let shown = String.concat \", \" (vList1 @ vList2)
+let main = print_endline shown
+",
+};
+
+const JOIN_WORDS: Template = Template {
+    name: "join_words",
+    assignment: 1,
+    source: "\
+let rec join sep xs =
+  match xs with
+    [] -> \"\"
+  | [w] -> w
+  | w :: rest -> w ^ sep ^ join sep rest
+let sentence = join \" \" [\"the\"; \"quick\"; \"brown\"; \"fox\"]
+let shout s = String.uppercase s ^ \"!\"
+let main = print_endline (shout sentence)
+",
+};
+
+const MIN_MAX: Template = Template {
+    name: "min_max",
+    assignment: 1,
+    source: "\
+let rec minimum xs d = match xs with [] -> d | x :: t -> minimum t (min x d)
+let rec maximum xs d = match xs with [] -> d | x :: t -> maximum t (max x d)
+let spread xs = maximum xs min_int - minimum xs max_int
+let main = print_int (spread [4; 9; 2; 7])
+",
+};
+
+/// Assignment 2: higher-order functions.
+const MAP2_COMBINE: Template = Template {
+    name: "map2_combine",
+    assignment: 2,
+    source: "\
+let map2 f aList bList = List.map (fun (a, b) -> f a b) (List.combine aList bList)
+let lst = map2 (fun x y -> x + y) [1; 2; 3] [4; 5; 6]
+let ans = List.filter (fun x -> x == 0) lst
+let main = print_int (List.length ans)
+",
+};
+
+const PIPELINE: Template = Template {
+    name: "pipeline",
+    assignment: 2,
+    source: "\
+let compose f g = fun x -> f (g x)
+let double n = n * 2
+let offset n = n + 7
+let both = compose double offset
+let evens xs = List.filter (fun x -> x mod 2 = 0) xs
+let staged = List.map both (evens [1; 2; 3; 4; 5; 6])
+let main = print_int (List.fold_left (fun a b -> a + b) 0 staged)
+",
+};
+
+const FLOAT_STATS: Template = Template {
+    name: "float_stats",
+    assignment: 2,
+    source: "\
+let rec sumf xs = match xs with [] -> 0.0 | x :: t -> x +. sumf t
+let mean xs = sumf xs /. float_of_int (List.length xs)
+let area r = 3.14159 *. r *. r
+let radii = [1.0; 2.5; 4.0]
+let areas = List.map area radii
+let main = print_float (mean areas)
+",
+};
+
+const ZIP_WITH: Template = Template {
+    name: "zip_with",
+    assignment: 2,
+    source: "\
+let rec zip_with f xs ys =
+  match (xs, ys) with
+    (x :: xt, y :: yt) -> f x y :: zip_with f xt yt
+  | _ -> []
+let dots v1 v2 = List.fold_left (+) 0 (zip_with (fun a b -> a * b) v1 v2)
+let main = print_int (dots [1; 2; 3] [4; 5; 6])
+",
+};
+
+/// Assignment 3: user datatypes.
+const TREE_OPS: Template = Template {
+    name: "tree_ops",
+    assignment: 3,
+    source: "\
+type 'a tree = Leaf | Node of 'a tree * 'a * 'a tree
+let rec size t = match t with Leaf -> 0 | Node (l, _, r) -> 1 + size l + size r
+let rec insert x t =
+  match t with
+    Leaf -> Node (Leaf, x, Leaf)
+  | Node (l, v, r) -> if x < v then Node (insert x l, v, r) else Node (l, v, insert x r)
+let rec to_list t = match t with Leaf -> [] | Node (l, v, r) -> to_list l @ (v :: to_list r)
+let built = insert 4 (insert 1 (insert 3 Leaf))
+let main = print_int (size built + List.length (to_list built))
+",
+};
+
+const SHAPES: Template = Template {
+    name: "shapes",
+    assignment: 3,
+    source: "\
+type shape = Circle of float | Rect of float * float | Point
+let area s =
+  match s with
+    Circle r -> 3.14159 *. r *. r
+  | Rect (w, h) -> w *. h
+  | Point -> 0.0
+let rec total_area shapes = match shapes with [] -> 0.0 | s :: rest -> area s +. total_area rest
+let gallery = [Circle 1.0; Rect (2.0, 3.5); Point]
+let main = print_float (total_area gallery)
+",
+};
+
+const OPTION_UTILS: Template = Template {
+    name: "option_utils",
+    assignment: 3,
+    source: "\
+let with_default d o = match o with None -> d | Some v -> v
+let rec find_first p xs =
+  match xs with
+    [] -> None
+  | x :: t -> if p x then Some x else find_first p t
+let first_even = find_first (fun x -> x mod 2 = 0) [1; 3; 6; 7]
+let main = print_int (with_default 0 first_even)
+",
+};
+
+/// Assignment 4: interpreters.
+const ARITH_INTERP: Template = Template {
+    name: "arith_interp",
+    assignment: 4,
+    source: "\
+type expr = Num of int | Add of expr * expr | Mul of expr * expr | Var of string
+let rec eval env e =
+  match e with
+    Num n -> n
+  | Add (a, b) -> eval env a + eval env b
+  | Mul (a, b) -> eval env a * eval env b
+  | Var x -> List.assoc x env
+let env0 = [(\"x\", 3); (\"y\", 4)]
+let prog = Add (Mul (Var \"x\", Num 2), Var \"y\")
+let main = print_int (eval env0 prog)
+",
+};
+
+const LOGO_MOVES: Template = Template {
+    name: "logo_moves",
+    assignment: 4,
+    source: "\
+type move = For of int * move list | Rot of int | Stop
+let rec steps m =
+  match m with
+    For (n, ms) -> n * List.fold_left (fun acc m2 -> acc + steps m2) 1 ms
+  | Rot _ -> 0
+  | Stop -> 0
+let rec run movelist acc =
+  match movelist with
+    [] -> acc
+  | m :: rest -> run rest (acc + steps m)
+let routine = [For (3, [Rot 90; Stop]); Rot 45; For (2, [])]
+let main = print_int (run routine 0)
+",
+};
+
+const NESTED_DISPATCH: Template = Template {
+    name: "nested_dispatch",
+    assignment: 4,
+    source: "\
+let describe code sub =
+  match code with
+    0 -> (match sub with 0 -> \"zero\" | 1 -> \"one\" | 2 -> \"two\" | 3 -> \"three\" | _ -> \"small\")
+  | 1 -> (match sub with 0 -> \"ten\" | 1 -> \"eleven\" | 2 -> \"twelve\" | 3 -> \"thirteen\" | _ -> \"teen\")
+  | 2 -> (match sub with 0 -> \"twenty\" | 5 -> \"twenty-five\" | 9 -> \"twenty-nine\" | _ -> \"twenties\")
+  | 3 -> (match sub with 0 -> \"thirty\" | 3 -> \"thirty-three\" | 7 -> \"thirty-seven\" | _ -> \"thirties\")
+  | 4 -> (match sub with 0 -> \"forty\" | 2 -> \"forty-two\" | 4 -> \"forty-four\" | _ -> \"forties\")
+  | _ -> \"big\"
+let rec describe_all pairs =
+  match pairs with
+    [] -> []
+  | (c, s) :: rest -> describe c s :: describe_all rest
+let report = String.concat \", \" (describe_all [(0, 1); (1, 2); (2, 5); (4, 2)])
+let main = print_endline report
+",
+};
+
+const TOKEN_CLASSIFIER: Template = Template {
+    name: "token_classifier",
+    assignment: 4,
+    source: "\
+type token = Word of string | Num of int | Punct
+let weight t =
+  match t with
+    Word w -> (match String.length w with 0 -> 0 | 1 -> 1 | _ -> 2)
+  | Num n -> (match n with 0 -> 0 | _ -> if n < 0 then 1 else 3)
+  | Punct -> 0
+let rec total ts = match ts with [] -> 0 | t :: rest -> weight t + total rest
+let sample = [Word \"hi\"; Num 42; Punct; Word \"\"]
+let main = print_int (total sample)
+",
+};
+
+/// Assignment 5: records, refs, and state.
+const ACCOUNTS: Template = Template {
+    name: "accounts",
+    assignment: 5,
+    source: "\
+type account = { owner : string; mutable balance : int }
+let deposit acct amount = acct.balance <- acct.balance + amount
+let open_account name = { owner = name; balance = 0 }
+let alice = open_account \"alice\"
+let startup = deposit alice 100; deposit alice 50
+let summary = alice.owner ^ \": \" ^ string_of_int alice.balance
+let main = print_endline summary
+",
+};
+
+const REF_STACK: Template = Template {
+    name: "ref_stack",
+    assignment: 5,
+    source: "\
+let stack = ref []
+let push x = stack := x :: !stack
+let pop () =
+  match !stack with
+    [] -> None
+  | x :: rest -> stack := rest; Some x
+let setup = push 1; push 2; push 3
+let top = match pop () with None -> 0 | Some v -> v
+let main = print_int top
+",
+};
+
+const GRADE_BANDS: Template = Template {
+    name: "grade_bands",
+    assignment: 3,
+    source: "\
+let band score =
+  match score with
+    s when s >= 90 -> \"A\"
+  | s when s >= 80 -> \"B\"
+  | s when s >= 70 -> \"C\"
+  | _ -> \"F\"
+let rec bands xs = match xs with [] -> [] | s :: rest -> band s :: bands rest
+let report = String.concat \" \" (bands [95; 83; 61])
+let main = print_endline report
+",
+};
+
+const SAFE_LOOKUP: Template = Template {
+    name: "safe_lookup",
+    assignment: 5,
+    source: "\
+let env = [(\"x\", 10); (\"y\", 20)]
+let lookup name = try List.assoc name env with Not_found -> 0
+let parse_or_zero s = try int_of_string s with Failure _ -> 0
+let total = lookup \"x\" + lookup \"z\" + parse_or_zero \"7\" + parse_or_zero \"oops\"
+let main = print_int total
+",
+};
+
+const INVENTORY: Template = Template {
+    name: "inventory",
+    assignment: 5,
+    source: "\
+type item = { label : string; mutable qty : int }
+let restock it n = it.qty <- it.qty + n
+let take it n = if it.qty >= n then (it.qty <- it.qty - n; true) else false
+let widgets = { label = \"widget\"; qty = 10 }
+let ops = restock widgets 5; ignore (take widgets 3)
+let line = widgets.label ^ \": \" ^ string_of_int widgets.qty
+let main = print_endline line
+",
+};
+
+const COUNTERS: Template = Template {
+    name: "counters",
+    assignment: 5,
+    source: "\
+let counter = ref 0
+let bump () = counter := !counter + 1; !counter
+let rec bump_n n = if n = 0 then () else (ignore (bump ()); bump_n (n - 1))
+let run = bump_n 5
+let label = \"count=\" ^ string_of_int !counter
+let main = print_endline label
+",
+};
+
+/// Every template, across all five assignments.
+pub const TEMPLATES: &[Template] = &[
+    SUM_LEN_REV,
+    ADD_UNIQUE,
+    JOIN_WORDS,
+    MIN_MAX,
+    MAP2_COMBINE,
+    PIPELINE,
+    FLOAT_STATS,
+    ZIP_WITH,
+    TREE_OPS,
+    SHAPES,
+    OPTION_UTILS,
+    GRADE_BANDS,
+    ARITH_INTERP,
+    LOGO_MOVES,
+    NESTED_DISPATCH,
+    TOKEN_CLASSIFIER,
+    ACCOUNTS,
+    REF_STACK,
+    SAFE_LOOKUP,
+    INVENTORY,
+    COUNTERS,
+];
+
+/// Templates belonging to one assignment.
+pub fn for_assignment(assignment: u8) -> Vec<&'static Template> {
+    TEMPLATES.iter().filter(|t| t.assignment == assignment).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seminal_ml::parser::parse_program;
+    use seminal_typeck::check_program;
+
+    #[test]
+    fn every_template_parses_and_type_checks() {
+        for t in TEMPLATES {
+            let prog = parse_program(t.source)
+                .unwrap_or_else(|e| panic!("{} does not parse: {e}", t.name));
+            if let Err(err) = check_program(&prog) {
+                panic!("{} does not type-check: {}", t.name, err.render(t.source));
+            }
+        }
+    }
+
+    #[test]
+    fn every_assignment_has_templates() {
+        for a in 1..=5 {
+            assert!(!for_assignment(a).is_empty(), "assignment {a} empty");
+        }
+    }
+
+    #[test]
+    fn template_names_unique() {
+        let mut names: Vec<_> = TEMPLATES.iter().map(|t| t.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), TEMPLATES.len());
+    }
+
+    #[test]
+    fn templates_round_trip_through_printer() {
+        use seminal_ml::pretty::program_to_string;
+        for t in TEMPLATES {
+            let p1 = parse_program(t.source).unwrap();
+            let s1 = program_to_string(&p1);
+            let p2 = parse_program(&s1)
+                .unwrap_or_else(|e| panic!("{} print not reparseable: {e}\n{s1}", t.name));
+            assert_eq!(s1, program_to_string(&p2), "{} not a fixpoint", t.name);
+        }
+    }
+}

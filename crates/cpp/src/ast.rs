@@ -1,0 +1,321 @@
+//! AST for the mini-C++ subset (§4): functions, template functions, and
+//! the expression forms the STL examples need.
+//!
+//! Users declare only functions; class types (`vector`, `multiplies`,
+//! `unary_compose`, …) come from the built-in [`prelude`](crate::prelude),
+//! mirroring how the paper's prototype leans on the real STL headers.
+
+use crate::types::CType;
+use std::fmt;
+
+/// Node identity (unique within a program), used by the searcher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CId(pub u32);
+
+impl CId {
+    /// Placeholder for synthesized nodes, renumbered on splice.
+    pub const SYNTH: CId = CId(u32::MAX);
+}
+
+/// Byte span into the user source.
+pub type CSpan = seminal_ml::span::Span;
+
+/// A whole translation unit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CProgram {
+    pub fns: Vec<CFn>,
+    pub next_id: u32,
+}
+
+impl CProgram {
+    pub fn new() -> CProgram {
+        CProgram { fns: Vec::new(), next_id: 0 }
+    }
+
+    pub fn fresh_id(&mut self) -> CId {
+        let id = CId(self.next_id);
+        self.next_id += 1;
+        id
+    }
+
+    /// Finds an expression anywhere in the program.
+    pub fn find_expr(&self, id: CId) -> Option<&CExpr> {
+        self.fns.iter().find_map(|f| f.find_expr(id))
+    }
+}
+
+impl Default for CProgram {
+    fn default() -> CProgram {
+        CProgram::new()
+    }
+}
+
+/// A function definition; `tparams` is empty for ordinary functions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CFn {
+    pub name: String,
+    pub tparams: Vec<String>,
+    pub ret: CType,
+    pub params: Vec<(String, CType)>,
+    pub body: Vec<CStmt>,
+    pub span: CSpan,
+}
+
+impl CFn {
+    /// Finds an expression in this function's body.
+    pub fn find_expr(&self, id: CId) -> Option<&CExpr> {
+        self.body.iter().find_map(|s| s.find_expr(id))
+    }
+
+    /// Calls `f` on every expression in the body, preorder.
+    pub fn for_each_expr<'a>(&'a self, f: &mut impl FnMut(&'a CExpr)) {
+        for s in &self.body {
+            s.for_each_expr(f);
+        }
+    }
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CStmt {
+    pub id: CId,
+    pub span: CSpan,
+    pub kind: CStmtKind,
+}
+
+/// Statement shapes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CStmtKind {
+    /// `e;`
+    Expr(CExpr),
+    /// `T x = e;` (initializer optional).
+    VarDecl { ty: CType, name: String, init: Option<CExpr> },
+    /// `return e;` / `return;`
+    Return(Option<CExpr>),
+}
+
+impl CStmt {
+    pub fn find_expr(&self, id: CId) -> Option<&CExpr> {
+        let mut found = None;
+        self.for_each_expr(&mut |e| {
+            if e.id == id && found.is_none() {
+                found = Some(e);
+            }
+        });
+        found
+    }
+
+    pub fn for_each_expr<'a>(&'a self, f: &mut impl FnMut(&'a CExpr)) {
+        match &self.kind {
+            CStmtKind::Expr(e) => e.walk(f),
+            CStmtKind::VarDecl { init, .. } => {
+                if let Some(e) = init {
+                    e.walk(f);
+                }
+            }
+            CStmtKind::Return(e) => {
+                if let Some(e) = e {
+                    e.walk(f);
+                }
+            }
+        }
+    }
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CExpr {
+    pub id: CId,
+    pub span: CSpan,
+    pub kind: CExprKind,
+}
+
+/// Expression shapes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CExprKind {
+    /// Variable, parameter, or function name.
+    Var(String),
+    /// Integer literal (type `int`).
+    Int(i64),
+    /// `callee(args)` — a named call (possibly a template function or a
+    /// functor object in scope).
+    Call { callee: Box<CExpr>, args: Vec<CExpr> },
+    /// `Class<targs>(args)` — explicit construction, e.g. `multiplies<long>()`.
+    Ctor { class: String, targs: Vec<CType>, args: Vec<CExpr> },
+    /// `obj.name(args)` — method call, e.g. `inv.begin()`.
+    Method { obj: Box<CExpr>, name: String, args: Vec<CExpr> },
+    /// `obj.name` — field access.
+    Member { obj: Box<CExpr>, name: String, arrow: bool },
+    /// `magicFun(0)`: the search's removal wildcard. Unlike Caml's
+    /// `raise Foo`, its type must be *deducible from context* (§4.2);
+    /// where it is not, the checker rejects it.
+    Magic,
+    /// `magicFun(e)`: adaptation — type-check `e`, result type from
+    /// context (same deducibility limitation).
+    MagicAdapt(Box<CExpr>),
+}
+
+impl CExpr {
+    pub fn synth(kind: CExprKind, span: CSpan) -> CExpr {
+        CExpr { id: CId::SYNTH, span, kind }
+    }
+
+    /// Calls `f` on each direct child.
+    pub fn for_each_child<'a>(&'a self, f: &mut impl FnMut(&'a CExpr)) {
+        match &self.kind {
+            CExprKind::Var(_) | CExprKind::Int(_) | CExprKind::Magic => {}
+            CExprKind::Call { callee, args } => {
+                f(callee);
+                for a in args {
+                    f(a);
+                }
+            }
+            CExprKind::Ctor { args, .. } => {
+                for a in args {
+                    f(a);
+                }
+            }
+            CExprKind::Method { obj, args, .. } => {
+                f(obj);
+                for a in args {
+                    f(a);
+                }
+            }
+            CExprKind::Member { obj, .. } => f(obj),
+            CExprKind::MagicAdapt(inner) => f(inner),
+        }
+    }
+
+    /// Calls `f` on this node and descendants, preorder.
+    pub fn walk<'a>(&'a self, f: &mut impl FnMut(&'a CExpr)) {
+        f(self);
+        self.for_each_child(&mut |c| c.walk(f));
+    }
+
+    /// Node count.
+    pub fn size(&self) -> usize {
+        let mut n = 0;
+        self.walk(&mut |_| n += 1);
+        n
+    }
+}
+
+impl fmt::Display for CExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            CExprKind::Var(name) => write!(f, "{name}"),
+            CExprKind::Int(n) => write!(f, "{n}"),
+            CExprKind::Call { callee, args } => {
+                write!(f, "{callee}(")?;
+                write_args(f, args)?;
+                write!(f, ")")
+            }
+            CExprKind::Ctor { class, targs, args } => {
+                write!(f, "{class}")?;
+                if !targs.is_empty() {
+                    write!(f, "<")?;
+                    for (i, t) in targs.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{t}")?;
+                    }
+                    write!(f, ">")?;
+                }
+                write!(f, "(")?;
+                write_args(f, args)?;
+                write!(f, ")")
+            }
+            CExprKind::Method { obj, name, args } => {
+                write!(f, "{obj}.{name}(")?;
+                write_args(f, args)?;
+                write!(f, ")")
+            }
+            CExprKind::Member { obj, name, arrow } => {
+                write!(f, "{obj}{}{name}", if *arrow { "->" } else { "." })
+            }
+            CExprKind::Magic => write!(f, "magicFun(0)"),
+            CExprKind::MagicAdapt(inner) => write!(f, "magicFun({inner})"),
+        }
+    }
+}
+
+fn write_args(f: &mut fmt::Formatter<'_>, args: &[CExpr]) -> fmt::Result {
+    for (i, a) in args.iter().enumerate() {
+        if i > 0 {
+            write!(f, ", ")?;
+        }
+        write!(f, "{a}")?;
+    }
+    Ok(())
+}
+
+impl fmt::Display for CStmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            CStmtKind::Expr(e) => write!(f, "{e};"),
+            CStmtKind::VarDecl { ty, name, init: Some(e) } => {
+                write!(f, "{ty} {name} = {e};")
+            }
+            CStmtKind::VarDecl { ty, name, init: None } => write!(f, "{ty} {name};"),
+            CStmtKind::Return(Some(e)) => write!(f, "return {e};"),
+            CStmtKind::Return(None) => write!(f, "return;"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seminal_ml::span::Span;
+
+    fn var(name: &str) -> CExpr {
+        CExpr::synth(CExprKind::Var(name.into()), Span::DUMMY)
+    }
+
+    #[test]
+    fn display_call_chain() {
+        let e = CExpr::synth(
+            CExprKind::Call {
+                callee: Box::new(var("compose1")),
+                args: vec![var("f"), var("labs")],
+            },
+            Span::DUMMY,
+        );
+        assert_eq!(e.to_string(), "compose1(f, labs)");
+    }
+
+    #[test]
+    fn display_ctor_and_method() {
+        let ctor = CExpr::synth(
+            CExprKind::Ctor {
+                class: "multiplies".into(),
+                targs: vec![CType::Long],
+                args: vec![],
+            },
+            Span::DUMMY,
+        );
+        assert_eq!(ctor.to_string(), "multiplies<long int>()");
+        let m = CExpr::synth(
+            CExprKind::Method { obj: Box::new(var("inv")), name: "begin".into(), args: vec![] },
+            Span::DUMMY,
+        );
+        assert_eq!(m.to_string(), "inv.begin()");
+    }
+
+    #[test]
+    fn magic_display() {
+        assert_eq!(CExpr::synth(CExprKind::Magic, Span::DUMMY).to_string(), "magicFun(0)");
+        let a = CExpr::synth(CExprKind::MagicAdapt(Box::new(var("labs"))), Span::DUMMY);
+        assert_eq!(a.to_string(), "magicFun(labs)");
+    }
+
+    #[test]
+    fn size_counts() {
+        let e = CExpr::synth(
+            CExprKind::Call { callee: Box::new(var("f")), args: vec![var("a"), var("b")] },
+            Span::DUMMY,
+        );
+        assert_eq!(e.size(), 4);
+    }
+}

@@ -1,0 +1,785 @@
+//! Instantiation-time checking with gcc-style errors (§4).
+//!
+//! Ordinary functions are checked at their definition; template-function
+//! bodies are checked once per implicit instantiation, with errors
+//! reported against the *user* call site through an "instantiated from
+//! here" chain — the message structure the paper's C++ prototype keys
+//! off (§4.2: focus on the first error's `instantiated from here` line;
+//! a change succeeds if it removes errors without introducing new ones).
+
+use crate::ast::*;
+use crate::prelude::{prelude, CallRule, ClassDef, Prelude};
+use crate::types::{deduce, CType};
+use seminal_ml::span::{LineMap, Span};
+use std::collections::{HashMap, HashSet};
+
+/// One diagnostic, with its user-code site and instantiation chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CppError {
+    /// The gcc-style message body.
+    pub message: String,
+    /// Location in *user* code: the outermost instantiation site for
+    /// errors inside templates, the expression itself otherwise.
+    pub site: Span,
+    /// Instantiation context lines, outermost first.
+    pub chain: Vec<String>,
+}
+
+impl CppError {
+    /// Stable identity for the searcher's no-new-errors comparison.
+    pub fn key(&self) -> String {
+        format!("{}@{}", self.message, self.site)
+    }
+
+    /// Renders the error the way gcc would, given the user source.
+    pub fn render(&self, source: &str) -> String {
+        let lm = LineMap::new(source);
+        let mut out = String::new();
+        for line in &self.chain {
+            out.push_str("<prelude>: ");
+            out.push_str(line);
+            out.push('\n');
+        }
+        if !self.chain.is_empty() {
+            out.push_str(&format!("input.cpp: {}: instantiated from here\n", lm.describe(self.site)));
+        }
+        out.push_str(&format!("input.cpp: {}: error: {}\n", lm.describe(self.site), self.message));
+        out
+    }
+}
+
+/// Checks the whole translation unit, returning every diagnostic in
+/// source order (empty = well-typed).
+pub fn check(prog: &CProgram) -> Vec<CppError> {
+    let mut ck = Checker {
+        prelude: prelude(),
+        user_fns: prog.fns.iter().map(|f| (f.name.clone(), f.clone())).collect(),
+        errors: Vec::new(),
+        chain: Vec::new(),
+        site_stack: Vec::new(),
+        completed: HashSet::new(),
+        instantiating: HashSet::new(),
+        depth: 0,
+    };
+    for f in &prog.fns {
+        if f.tparams.is_empty() {
+            ck.check_fn(f);
+        }
+    }
+    ck.errors
+}
+
+struct Checker {
+    prelude: Prelude,
+    user_fns: HashMap<String, CFn>,
+    errors: Vec<CppError>,
+    chain: Vec<String>,
+    /// User-code spans of the instantiation stack (outermost first).
+    site_stack: Vec<Span>,
+    /// Class instantiations already completed (error-deduplicated).
+    completed: HashSet<CType>,
+    /// Function-template instantiations in progress / done.
+    instantiating: HashSet<String>,
+    depth: usize,
+}
+
+type Env = HashMap<String, CType>;
+
+impl Checker {
+    fn err(&mut self, span: Span, message: impl Into<String>) {
+        let site = self.site_stack.first().copied().unwrap_or(span);
+        self.errors.push(CppError {
+            message: message.into(),
+            site,
+            chain: self.chain.clone(),
+        });
+    }
+
+    fn check_fn(&mut self, f: &CFn) {
+        let mut env: Env = f.params.iter().cloned().collect();
+        let body = f.body.clone();
+        for stmt in &body {
+            self.check_stmt(&mut env, stmt, &f.ret);
+        }
+    }
+
+    fn check_stmt(&mut self, env: &mut Env, stmt: &CStmt, ret: &CType) {
+        match &stmt.kind {
+            CStmtKind::Expr(e) => {
+                self.check_expr(env, e, None);
+            }
+            CStmtKind::VarDecl { ty, name, init } => {
+                if !ty.is_object() {
+                    self.err(stmt.span, format!("variable '{name}' has invalid type '{ty}'"));
+                }
+                if let Some(e) = init {
+                    if let Some(t) = self.check_expr(env, e, Some(ty)) {
+                        if !compatible(&t, ty) {
+                            self.err(
+                                e.span,
+                                format!("cannot convert '{t}' to '{ty}' in initialization"),
+                            );
+                        }
+                    }
+                }
+                env.insert(name.clone(), ty.clone());
+            }
+            CStmtKind::Return(Some(e)) => {
+                if let Some(t) = self.check_expr(env, e, Some(ret)) {
+                    if !compatible(&t, ret) {
+                        self.err(e.span, format!("cannot convert '{t}' to '{ret}' in return"));
+                    }
+                }
+            }
+            CStmtKind::Return(None) => {
+                if *ret != CType::Void {
+                    self.err(stmt.span, "return-statement with no value");
+                }
+            }
+        }
+    }
+
+    /// Type-checks an expression; `None` means "already reported, stop
+    /// cascading". `expected` enables `magicFun` where C++'s partial
+    /// inference can resolve the return type (§4.2).
+    fn check_expr(&mut self, env: &Env, e: &CExpr, expected: Option<&CType>) -> Option<CType> {
+        match &e.kind {
+            CExprKind::Int(_) => Some(CType::Int),
+            CExprKind::Var(name) => {
+                if let Some(t) = env.get(name) {
+                    return Some(t.clone());
+                }
+                if let Some((params, ret)) = self.prelude.functions.get(name) {
+                    return Some(CType::function(params.clone(), ret.clone()));
+                }
+                if let Some(f) = self.user_fns.get(name) {
+                    if f.tparams.is_empty() {
+                        let params = f.params.iter().map(|(_, t)| t.clone()).collect();
+                        return Some(CType::function(params, f.ret.clone()));
+                    }
+                }
+                self.err(e.span, format!("'{name}' was not declared in this scope"));
+                None
+            }
+            CExprKind::Magic => match expected {
+                Some(t) => Some(t.clone()),
+                None => {
+                    self.err(
+                        e.span,
+                        "no matching function for call to 'magicFun(int)': couldn't \
+                         deduce template parameter 'B'",
+                    );
+                    None
+                }
+            },
+            CExprKind::MagicAdapt(inner) => {
+                self.check_expr(env, inner, None)?;
+                match expected {
+                    Some(t) => Some(t.clone()),
+                    None => {
+                        self.err(
+                            e.span,
+                            "no matching function for call to 'magicFun(...)': couldn't \
+                             deduce template parameter 'B'",
+                        );
+                        None
+                    }
+                }
+            }
+            CExprKind::Ctor { class, targs, args } => {
+                let Some(def) = self.prelude.classes.get(class).cloned() else {
+                    self.err(e.span, format!("'{class}' does not name a type"));
+                    return None;
+                };
+                if targs.len() != def.tparams.len() {
+                    self.err(
+                        e.span,
+                        format!(
+                            "wrong number of template arguments ({}, should be {}) for '{class}'",
+                            targs.len(),
+                            def.tparams.len()
+                        ),
+                    );
+                    return None;
+                }
+                let ty = CType::Class(class.clone(), targs.clone());
+                self.complete_class(&ty, e.span);
+                // Constructor arguments initialize the fields in order
+                // (or none, default construction).
+                if !args.is_empty() {
+                    let map: HashMap<String, CType> =
+                        def.tparams.iter().cloned().zip(targs.iter().cloned()).collect();
+                    if args.len() != def.fields.len() {
+                        self.err(
+                            e.span,
+                            format!(
+                                "no matching constructor for '{ty}' taking {} argument(s)",
+                                args.len()
+                            ),
+                        );
+                    } else {
+                        for (arg, (_, fty)) in args.iter().zip(&def.fields) {
+                            let want = fty.subst(&map);
+                            if let Some(got) = self.check_expr(env, arg, Some(&want)) {
+                                if !compatible(&got, &want) {
+                                    self.err(
+                                        arg.span,
+                                        format!("cannot convert '{got}' to '{want}'"),
+                                    );
+                                }
+                            }
+                        }
+                    }
+                } else {
+                    // Default construction requires object-typed fields,
+                    // which complete_class has already validated.
+                }
+                Some(ty)
+            }
+            CExprKind::Method { obj, name, args } => {
+                let t = self.check_expr(env, obj, None)?;
+                let t = t.strip_ref().clone();
+                let CType::Class(cname, targs) = &t else {
+                    self.err(
+                        e.span,
+                        format!("request for member '{name}' in something of non-class type '{t}'"),
+                    );
+                    return None;
+                };
+                let Some(def) = self.prelude.classes.get(cname).cloned() else {
+                    self.err(e.span, format!("'{cname}' does not name a type"));
+                    return None;
+                };
+                let map: HashMap<String, CType> =
+                    def.tparams.iter().cloned().zip(targs.iter().cloned()).collect();
+                let Some((_, params, ret)) =
+                    def.methods.iter().find(|(m, _, _)| m == name).cloned()
+                else {
+                    self.err(e.span, format!("'{t}' has no member named '{name}'"));
+                    return None;
+                };
+                let params: Vec<CType> = params.iter().map(|p| p.subst(&map)).collect();
+                self.check_args(env, e.span, name, args, &params)?;
+                Some(ret.subst(&map))
+            }
+            CExprKind::Member { obj, name, arrow } => {
+                let t = self.check_expr(env, obj, None)?;
+                if *arrow {
+                    self.err(
+                        e.span,
+                        format!(
+                            "base operand of '->' has non-pointer type '{}'",
+                            t.strip_ref()
+                        ),
+                    );
+                    return None;
+                }
+                let CType::Class(cname, targs) = t.strip_ref() else {
+                    self.err(
+                        e.span,
+                        format!("request for member '{name}' in something of non-class type '{t}'"),
+                    );
+                    return None;
+                };
+                let def = self.prelude.classes.get(cname).cloned()?;
+                let map: HashMap<String, CType> =
+                    def.tparams.iter().cloned().zip(targs.iter().cloned()).collect();
+                match def.fields.iter().find(|(f, _)| f == name) {
+                    Some((_, fty)) => Some(fty.subst(&map)),
+                    None => {
+                        self.err(
+                            e.span,
+                            format!("'{}' has no member named '{name}'", t.strip_ref()),
+                        );
+                        None
+                    }
+                }
+            }
+            CExprKind::Call { callee, args } => {
+                // Named calls may hit template functions, which need the
+                // argument types for deduction.
+                if let CExprKind::Var(name) = &callee.kind {
+                    if !env.contains_key(name) {
+                        if let Some(tf) = self
+                            .prelude
+                            .templates
+                            .get(name)
+                            .cloned()
+                            .or_else(|| {
+                                self.user_fns
+                                    .get(name)
+                                    .filter(|f| !f.tparams.is_empty())
+                                    .cloned()
+                            })
+                        {
+                            return self.instantiate_call(env, &tf, args, e.span);
+                        }
+                    }
+                }
+                let t = self.check_expr(env, callee, None)?;
+                self.call_value(env, &t, args, e.span)
+            }
+        }
+    }
+
+    fn check_args(
+        &mut self,
+        env: &Env,
+        span: Span,
+        what: &str,
+        args: &[CExpr],
+        params: &[CType],
+    ) -> Option<()> {
+        if args.len() != params.len() {
+            self.err(
+                span,
+                format!(
+                    "too {} arguments to '{what}' (expected {}, got {})",
+                    if args.len() < params.len() { "few" } else { "many" },
+                    params.len(),
+                    args.len()
+                ),
+            );
+            return None;
+        }
+        for (arg, want) in args.iter().zip(params) {
+            if let Some(got) = self.check_expr(env, arg, Some(want)) {
+                if !compatible(&got, want) {
+                    self.err(arg.span, format!("cannot convert '{got}' to '{want}'"));
+                }
+            }
+        }
+        Some(())
+    }
+
+    /// Calls a value of type `t` (functor object, function, or function
+    /// pointer) — the adapter call rules live here.
+    fn call_value(
+        &mut self,
+        env: &Env,
+        t: &CType,
+        args: &[CExpr],
+        span: Span,
+    ) -> Option<CType> {
+        let t = t.strip_ref().clone();
+        match &t {
+            CType::Function(params, ret) => {
+                self.check_args(env, span, &t.to_string(), args, params)?;
+                Some((**ret).clone())
+            }
+            CType::Class(name, targs) => {
+                let def = self.prelude.classes.get(name).cloned()?;
+                let map: HashMap<String, CType> =
+                    def.tparams.iter().cloned().zip(targs.iter().cloned()).collect();
+                let arg_tys: Vec<CType> = args
+                    .iter()
+                    .map(|a| self.check_expr(env, a, None))
+                    .collect::<Option<Vec<_>>>()?;
+                self.call_class(&def, &map, &t, &arg_tys, span)
+            }
+            other => {
+                self.err(span, format!("'{other}' cannot be used as a function"));
+                None
+            }
+        }
+    }
+
+    fn no_match_call(&mut self, span: Span, ty: &CType, arg_tys: &[CType]) {
+        let rendered: Vec<String> = arg_tys.iter().map(|t| format!("{t}&")).collect();
+        self.err(
+            span,
+            format!("no match for call to '({ty}) ({})'", rendered.join(", ")),
+        );
+    }
+
+    fn call_class(
+        &mut self,
+        def: &ClassDef,
+        map: &HashMap<String, CType>,
+        ty: &CType,
+        arg_tys: &[CType],
+        span: Span,
+    ) -> Option<CType> {
+        match &def.call {
+            CallRule::Direct(sigs) => {
+                for (params, ret) in sigs {
+                    let params: Vec<CType> = params.iter().map(|p| p.subst(map)).collect();
+                    if params.len() == arg_tys.len()
+                        && params.iter().zip(arg_tys).all(|(w, g)| compatible(g, w))
+                    {
+                        return Some(ret.subst(map));
+                    }
+                }
+                self.no_match_call(span, ty, arg_tys);
+                None
+            }
+            CallRule::Binder1st => {
+                let op = map.get("Op")?.clone();
+                if !op.is_class() {
+                    self.err(span, format!("'{op}' is not a class, struct, or union type"));
+                    return None;
+                }
+                // Op must be a binary functor; bind the first argument.
+                let (b, r) = self.binary_functor(&op, span)?;
+                if arg_tys.len() != 1 || !compatible(&arg_tys[0], &b) {
+                    self.no_match_call(span, ty, arg_tys);
+                    return None;
+                }
+                Some(r)
+            }
+            CallRule::UnaryCompose => {
+                let op1 = map.get("Op1")?.clone();
+                let op2 = map.get("Op2")?.clone();
+                if arg_tys.len() != 1 {
+                    self.no_match_call(span, ty, arg_tys);
+                    return None;
+                }
+                if !op2.is_class() {
+                    // Figure 11's final cascading error.
+                    self.no_match_call(span, ty, arg_tys);
+                    return None;
+                }
+                let (a2, mid) = self.unary_functor(&op2, span)?;
+                if !compatible(&arg_tys[0], &a2) {
+                    self.no_match_call(span, ty, arg_tys);
+                    return None;
+                }
+                if !op1.is_class() {
+                    self.err(span, format!("'{op1}' is not a class, struct, or union type"));
+                    return None;
+                }
+                let (a1, r) = self.unary_functor(&op1, span)?;
+                if !compatible(&mid, &a1) {
+                    self.no_match_call(span, ty, arg_tys);
+                    return None;
+                }
+                Some(r)
+            }
+            CallRule::PtrFunction => {
+                let a = map.get("A")?.clone();
+                let r = map.get("R")?.clone();
+                if arg_tys.len() != 1 || !compatible(&arg_tys[0], &a) {
+                    self.no_match_call(span, ty, arg_tys);
+                    return None;
+                }
+                Some(r)
+            }
+            CallRule::None => {
+                self.no_match_call(span, ty, arg_tys);
+                None
+            }
+        }
+    }
+
+    /// Resolves a class type to its unary `operator()` signature.
+    fn unary_functor(&mut self, t: &CType, span: Span) -> Option<(CType, CType)> {
+        let sig = self.functor_sig(t, 1, span)?;
+        Some((sig.0[0].clone(), sig.1))
+    }
+
+    /// Resolves a class type to its binary `operator()` signature.
+    fn binary_functor(&mut self, t: &CType, span: Span) -> Option<(CType, CType)> {
+        let sig = self.functor_sig(t, 2, span)?;
+        Some((sig.0[1].clone(), sig.1))
+    }
+
+    fn functor_sig(
+        &mut self,
+        t: &CType,
+        arity: usize,
+        span: Span,
+    ) -> Option<(Vec<CType>, CType)> {
+        let CType::Class(name, targs) = t.strip_ref() else {
+            self.err(span, format!("'{t}' is not a class, struct, or union type"));
+            return None;
+        };
+        let def = self.prelude.classes.get(name).cloned()?;
+        let map: HashMap<String, CType> =
+            def.tparams.iter().cloned().zip(targs.iter().cloned()).collect();
+        match &def.call {
+            CallRule::Direct(sigs) => sigs
+                .iter()
+                .find(|(params, _)| params.len() == arity)
+                .map(|(params, ret)| {
+                    (params.iter().map(|p| p.subst(&map)).collect(), ret.subst(&map))
+                }),
+            CallRule::Binder1st if arity == 1 => {
+                let op = map.get("Op")?.clone();
+                let (b, r) = self.binary_functor(&op, span)?;
+                Some((vec![b], r))
+            }
+            CallRule::PtrFunction if arity == 1 => {
+                Some((vec![map.get("A")?.clone()], map.get("R")?.clone()))
+            }
+            CallRule::UnaryCompose if arity == 1 => {
+                let op2 = map.get("Op2")?.clone();
+                let op1 = map.get("Op1")?.clone();
+                let (a2, mid) = self.unary_functor(&op2, span)?;
+                let (a1, r) = self.unary_functor(&op1, span)?;
+                if !compatible(&mid, &a1) {
+                    return None;
+                }
+                Some((vec![a2], r))
+            }
+            _ => None,
+        }
+    }
+
+    /// Completes a class instantiation: every field must have object type
+    /// (Figure 11's "invalidly declared function type").
+    fn complete_class(&mut self, ty: &CType, span: Span) {
+        if !self.completed.insert(ty.clone()) {
+            return;
+        }
+        let CType::Class(name, targs) = ty else { return };
+        let Some(def) = self.prelude.classes.get(name).cloned() else { return };
+        let map: HashMap<String, CType> =
+            def.tparams.iter().cloned().zip(targs.iter().cloned()).collect();
+        for (fname, fty) in &def.fields {
+            let fty = fty.subst(&map);
+            if !fty.is_object() {
+                self.chain.push(format!("In instantiation of '{ty}':"));
+                self.err(span, format!("'{fty}' is not a class, struct, or union type"));
+                self.err(
+                    span,
+                    format!("field '{name}::{fname}' invalidly declared function type"),
+                );
+                self.chain.pop();
+            }
+        }
+    }
+
+    /// Implicit template-function instantiation (§4.1's delayed checking).
+    fn instantiate_call(
+        &mut self,
+        env: &Env,
+        tf: &CFn,
+        args: &[CExpr],
+        span: Span,
+    ) -> Option<CType> {
+        let arg_tys: Vec<CType> = args
+            .iter()
+            .map(|a| self.check_expr(env, a, None))
+            .collect::<Option<Vec<_>>>()?;
+        if arg_tys.len() != tf.params.len() {
+            self.err(
+                span,
+                format!(
+                    "no matching function for call to '{}' (wrong number of arguments)",
+                    tf.name
+                ),
+            );
+            return None;
+        }
+        let mut map = HashMap::new();
+        for ((_, pty), aty) in tf.params.iter().zip(&arg_tys) {
+            if !deduce(pty, aty, &mut map) {
+                self.err(
+                    span,
+                    format!(
+                        "no matching function for call to '{}': template argument \
+                         deduction/substitution failed ('{pty}' vs '{aty}')",
+                        tf.name
+                    ),
+                );
+                return None;
+            }
+        }
+        for tp in &tf.tparams {
+            if !map.contains_key(tp) {
+                self.err(
+                    span,
+                    format!(
+                        "no matching function for call to '{}': couldn't deduce \
+                         template parameter '{tp}'",
+                        tf.name
+                    ),
+                );
+                return None;
+            }
+        }
+        let key = format!(
+            "{}<{}>",
+            tf.name,
+            tf.tparams.iter().map(|p| map[p].to_string()).collect::<Vec<_>>().join(", ")
+        );
+        let ret = tf.ret.subst(&map);
+        if self.instantiating.contains(&key) || self.depth > 16 {
+            return Some(ret);
+        }
+        self.instantiating.insert(key.clone());
+        self.depth += 1;
+
+        let entered_user_code = self.site_stack.is_empty();
+        if entered_user_code {
+            self.site_stack.push(span);
+        }
+        let bindings = tf
+            .tparams
+            .iter()
+            .map(|p| format!("{p} = {}", map[p]))
+            .collect::<Vec<_>>()
+            .join(", ");
+        self.chain.push(format!("In instantiation of '{} [with {bindings}]':", tf.name));
+
+        let mut inner_env: Env = tf
+            .params
+            .iter()
+            .map(|(n, t)| (n.clone(), t.subst(&map)))
+            .collect();
+        let body: Vec<CStmt> = tf.body.iter().map(|s| subst_stmt(s, &map)).collect();
+        for stmt in &body {
+            self.check_stmt(&mut inner_env, stmt, &ret);
+        }
+
+        self.chain.pop();
+        if entered_user_code {
+            self.site_stack.pop();
+        }
+        self.depth -= 1;
+        Some(ret)
+    }
+}
+
+/// Numeric types interconvert; everything else must match (refs ignored).
+pub fn compatible(got: &CType, want: &CType) -> bool {
+    let g = got.strip_ref();
+    let w = want.strip_ref();
+    if g == w {
+        return true;
+    }
+    let numeric =
+        |t: &CType| matches!(t, CType::Int | CType::Long | CType::Double | CType::Bool);
+    numeric(g) && numeric(w)
+}
+
+fn subst_stmt(s: &CStmt, map: &HashMap<String, CType>) -> CStmt {
+    let kind = match &s.kind {
+        CStmtKind::Expr(e) => CStmtKind::Expr(subst_expr(e, map)),
+        CStmtKind::VarDecl { ty, name, init } => CStmtKind::VarDecl {
+            ty: ty.subst(map),
+            name: name.clone(),
+            init: init.as_ref().map(|e| subst_expr(e, map)),
+        },
+        CStmtKind::Return(e) => CStmtKind::Return(e.as_ref().map(|e| subst_expr(e, map))),
+    };
+    CStmt { id: s.id, span: s.span, kind }
+}
+
+fn subst_expr(e: &CExpr, map: &HashMap<String, CType>) -> CExpr {
+    let kind = match &e.kind {
+        CExprKind::Var(_) | CExprKind::Int(_) | CExprKind::Magic => e.kind.clone(),
+        CExprKind::Call { callee, args } => CExprKind::Call {
+            callee: Box::new(subst_expr(callee, map)),
+            args: args.iter().map(|a| subst_expr(a, map)).collect(),
+        },
+        CExprKind::Ctor { class, targs, args } => CExprKind::Ctor {
+            class: class.clone(),
+            targs: targs.iter().map(|t| t.subst(map)).collect(),
+            args: args.iter().map(|a| subst_expr(a, map)).collect(),
+        },
+        CExprKind::Method { obj, name, args } => CExprKind::Method {
+            obj: Box::new(subst_expr(obj, map)),
+            name: name.clone(),
+            args: args.iter().map(|a| subst_expr(a, map)).collect(),
+        },
+        CExprKind::Member { obj, name, arrow } => CExprKind::Member {
+            obj: Box::new(subst_expr(obj, map)),
+            name: name.clone(),
+            arrow: *arrow,
+        },
+        CExprKind::MagicAdapt(inner) => {
+            CExprKind::MagicAdapt(Box::new(subst_expr(inner, map)))
+        }
+    };
+    CExpr { id: e.id, span: e.span, kind }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_cpp;
+
+    #[test]
+    fn compatible_numeric_conversions() {
+        assert!(compatible(&CType::Int, &CType::Long));
+        assert!(compatible(&CType::Long, &CType::Double));
+        assert!(compatible(&CType::Bool, &CType::Int));
+        assert!(!compatible(&CType::Int, &CType::Void));
+        assert!(!compatible(
+            &CType::class("vector", vec![CType::Long]),
+            &CType::class("vector", vec![CType::Int])
+        ));
+    }
+
+    #[test]
+    fn compatible_strips_references() {
+        let vl = CType::class("vector", vec![CType::Long]);
+        assert!(compatible(&CType::Ref(Box::new(vl.clone())), &vl));
+    }
+
+    #[test]
+    fn unknown_name_reported_once_per_use() {
+        let prog = parse_cpp("void f() { mystery(3); }").unwrap();
+        let errors = check(&prog);
+        assert_eq!(errors.len(), 1);
+        assert!(errors[0].message.contains("was not declared"));
+    }
+
+    #[test]
+    fn method_on_non_class_blamed() {
+        let prog = parse_cpp("void f(long x) { x.size(); }").unwrap();
+        let errors = check(&prog);
+        assert!(errors[0].message.contains("non-class type"));
+    }
+
+    #[test]
+    fn return_type_mismatch() {
+        let prog =
+            parse_cpp("long f(vector<long>& v) { return v; }").unwrap();
+        let errors = check(&prog);
+        assert!(errors[0].message.contains("cannot convert"));
+    }
+
+    #[test]
+    fn error_key_distinguishes_sites() {
+        let prog = parse_cpp("void f() { mystery(1); mystery(2); }").unwrap();
+        let errors = check(&prog);
+        assert_eq!(errors.len(), 2);
+        assert_ne!(errors[0].key(), errors[1].key());
+    }
+
+    #[test]
+    fn instantiation_memoized_per_signature() {
+        // Two identical calls: the body is checked once; errors are not
+        // duplicated for the same instantiation.
+        let prog = parse_cpp(
+            "void f(vector<long>& v) { for_each(v.begin(), v.end(), multiplies<long>()); for_each(v.begin(), v.end(), multiplies<long>()); }",
+        )
+        .unwrap();
+        let errors = check(&prog);
+        // One "no match" from the single instantiation of for_each with
+        // this signature (sites coincide at the first call).
+        assert_eq!(
+            errors.iter().filter(|e| e.message.contains("no match")).count(),
+            1,
+            "{:?}",
+            errors.iter().map(|e| &e.message).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn var_decl_with_invalid_type() {
+        // A variable of function type is invalid, as for fields.
+        let prog = parse_cpp(
+            "template <class A> void g(A x) { A y = x; } void f() { g(labs); }",
+        )
+        .unwrap();
+        let errors = check(&prog);
+        assert!(
+            errors.iter().any(|e| e.message.contains("invalid type")),
+            "{:?}",
+            errors.iter().map(|e| &e.message).collect::<Vec<_>>()
+        );
+    }
+}

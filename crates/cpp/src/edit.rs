@@ -1,0 +1,202 @@
+//! Node-addressed editing for the C++ AST (the changer's substrate).
+
+use crate::ast::*;
+
+/// Replaces the expression `target` with `replacement` (SYNTH ids in the
+/// replacement are renumbered; its span defaults to the target's).
+pub fn replace_expr(prog: &CProgram, target: CId, replacement: CExpr) -> CProgram {
+    let mut next = prog.next_id;
+    let fns = prog
+        .fns
+        .iter()
+        .map(|f| CFn {
+            body: f.body.iter().map(|s| stmt(s, target, &replacement, &mut next)).collect(),
+            ..f.clone()
+        })
+        .collect();
+    CProgram { fns, next_id: next }
+}
+
+/// Deletes the statement with the given id.
+pub fn remove_stmt(prog: &CProgram, target: CId) -> CProgram {
+    replace_stmt(prog, target, Vec::new())
+}
+
+/// Replaces the statement `target` with a (possibly empty) sequence.
+pub fn replace_stmt(prog: &CProgram, target: CId, with: Vec<CStmt>) -> CProgram {
+    let mut next = prog.next_id;
+    let fns = prog
+        .fns
+        .iter()
+        .map(|f| {
+            let mut body = Vec::new();
+            for s in &f.body {
+                if s.id == target {
+                    for mut ns in with.clone() {
+                        if ns.id == CId::SYNTH {
+                            ns.id = CId(next);
+                            next += 1;
+                        }
+                        if ns.span == CSpan::DUMMY {
+                            ns.span = s.span;
+                        }
+                        let mut renumbered = ns.clone();
+                        renumber_stmt_exprs(&mut renumbered, s.span, &mut next);
+                        body.push(renumbered);
+                    }
+                } else {
+                    body.push(s.clone());
+                }
+            }
+            CFn { body, ..f.clone() }
+        })
+        .collect();
+    CProgram { fns, next_id: next }
+}
+
+fn stmt(s: &CStmt, target: CId, replacement: &CExpr, next: &mut u32) -> CStmt {
+    let kind = match &s.kind {
+        CStmtKind::Expr(e) => CStmtKind::Expr(expr(e, target, replacement, next)),
+        CStmtKind::VarDecl { ty, name, init } => CStmtKind::VarDecl {
+            ty: ty.clone(),
+            name: name.clone(),
+            init: init.as_ref().map(|e| expr(e, target, replacement, next)),
+        },
+        CStmtKind::Return(e) => {
+            CStmtKind::Return(e.as_ref().map(|e| expr(e, target, replacement, next)))
+        }
+    };
+    CStmt { id: s.id, span: s.span, kind }
+}
+
+fn expr(e: &CExpr, target: CId, replacement: &CExpr, next: &mut u32) -> CExpr {
+    if e.id == target {
+        let mut r = replacement.clone();
+        renumber(&mut r, e.span, next);
+        return r;
+    }
+    let kind = match &e.kind {
+        CExprKind::Var(_) | CExprKind::Int(_) | CExprKind::Magic => e.kind.clone(),
+        CExprKind::Call { callee, args } => CExprKind::Call {
+            callee: Box::new(expr(callee, target, replacement, next)),
+            args: args.iter().map(|a| expr(a, target, replacement, next)).collect(),
+        },
+        CExprKind::Ctor { class, targs, args } => CExprKind::Ctor {
+            class: class.clone(),
+            targs: targs.clone(),
+            args: args.iter().map(|a| expr(a, target, replacement, next)).collect(),
+        },
+        CExprKind::Method { obj, name, args } => CExprKind::Method {
+            obj: Box::new(expr(obj, target, replacement, next)),
+            name: name.clone(),
+            args: args.iter().map(|a| expr(a, target, replacement, next)).collect(),
+        },
+        CExprKind::Member { obj, name, arrow } => CExprKind::Member {
+            obj: Box::new(expr(obj, target, replacement, next)),
+            name: name.clone(),
+            arrow: *arrow,
+        },
+        CExprKind::MagicAdapt(inner) => {
+            CExprKind::MagicAdapt(Box::new(expr(inner, target, replacement, next)))
+        }
+    };
+    CExpr { id: e.id, span: e.span, kind }
+}
+
+fn renumber(e: &mut CExpr, default_span: CSpan, next: &mut u32) {
+    if e.id == CId::SYNTH {
+        e.id = CId(*next);
+        *next += 1;
+    }
+    if e.span == CSpan::DUMMY {
+        e.span = default_span;
+    }
+    match &mut e.kind {
+        CExprKind::Var(_) | CExprKind::Int(_) | CExprKind::Magic => {}
+        CExprKind::Call { callee, args } => {
+            renumber(callee, default_span, next);
+            for a in args {
+                renumber(a, default_span, next);
+            }
+        }
+        CExprKind::Ctor { args, .. } => {
+            for a in args {
+                renumber(a, default_span, next);
+            }
+        }
+        CExprKind::Method { obj, args, .. } => {
+            renumber(obj, default_span, next);
+            for a in args {
+                renumber(a, default_span, next);
+            }
+        }
+        CExprKind::Member { obj, .. } => renumber(obj, default_span, next),
+        CExprKind::MagicAdapt(inner) => renumber(inner, default_span, next),
+    }
+}
+
+fn renumber_stmt_exprs(s: &mut CStmt, default_span: CSpan, next: &mut u32) {
+    match &mut s.kind {
+        CStmtKind::Expr(e) => renumber(e, default_span, next),
+        CStmtKind::VarDecl { init, .. } => {
+            if let Some(e) = init {
+                renumber(e, default_span, next);
+            }
+        }
+        CStmtKind::Return(e) => {
+            if let Some(e) = e {
+                renumber(e, default_span, next);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_cpp;
+    use seminal_ml::span::Span;
+
+    #[test]
+    fn replace_leaves_original_untouched() {
+        let prog = parse_cpp("void f() { print_long(3); }").unwrap();
+        let mut target = None;
+        prog.fns[0].for_each_expr(&mut |e| {
+            if matches!(e.kind, CExprKind::Int(3)) {
+                target = Some(e.id);
+            }
+        });
+        let edited = replace_expr(&prog, target.unwrap(), CExpr::synth(CExprKind::Magic, Span::DUMMY));
+        assert_ne!(prog, edited);
+        let mut found_magic = false;
+        edited.fns[0].for_each_expr(&mut |e| {
+            if matches!(e.kind, CExprKind::Magic) {
+                found_magic = true;
+            }
+        });
+        assert!(found_magic);
+    }
+
+    #[test]
+    fn remove_stmt_shrinks_body() {
+        let prog = parse_cpp("void f() { print_long(3); print_long(4); }").unwrap();
+        let sid = prog.fns[0].body[0].id;
+        let edited = remove_stmt(&prog, sid);
+        assert_eq!(edited.fns[0].body.len(), 1);
+    }
+
+    #[test]
+    fn replace_stmt_with_sequence() {
+        let prog = parse_cpp("void f() { print_long(3); }").unwrap();
+        let sid = prog.fns[0].body[0].id;
+        let s1 = CStmt {
+            id: CId::SYNTH,
+            span: Span::DUMMY,
+            kind: CStmtKind::Expr(CExpr::synth(CExprKind::Magic, Span::DUMMY)),
+        };
+        let edited = replace_stmt(&prog, sid, vec![s1.clone(), s1]);
+        assert_eq!(edited.fns[0].body.len(), 2);
+        // Renumbered ids must be unique.
+        assert_ne!(edited.fns[0].body[0].id, edited.fns[0].body[1].id);
+    }
+}

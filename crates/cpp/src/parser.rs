@@ -1,0 +1,624 @@
+//! Parser for the mini-C++ subset.
+//!
+//! Covers what §4's examples need: template and ordinary function
+//! definitions, variable declarations, calls, explicit constructor calls
+//! with template arguments, member/method access with `.` and `->`, and
+//! `magicFun(...)` (recognized specially so printed suggestions
+//! re-parse). `#include` lines and `using namespace …;` are skipped.
+
+use crate::ast::*;
+use crate::types::CType;
+use seminal_ml::span::Span;
+use std::fmt;
+
+/// A C++ parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CppParseError {
+    pub message: String,
+    pub span: Span,
+}
+
+impl fmt::Display for CppParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C++ parse error at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for CppParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    Lt,
+    Gt,
+    Comma,
+    Semi,
+    Amp,
+    Dot,
+    Arrow,
+    Eq,
+    Star,
+    Eof,
+}
+
+#[derive(Debug, Clone)]
+struct SpTok {
+    tok: Tok,
+    span: Span,
+}
+
+fn lex(src: &str) -> Result<Vec<SpTok>, CppParseError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let start = i;
+        let b = bytes[i];
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                i += 1;
+            }
+            b'#' => {
+                // Preprocessor line — skip to end of line.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                i += 2;
+                while i + 1 < bytes.len() && !(bytes[i] == b'*' && bytes[i + 1] == b'/') {
+                    i += 1;
+                }
+                i = (i + 2).min(bytes.len());
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b':')
+                {
+                    i += 1;
+                }
+                let text = std::str::from_utf8(&bytes[start..i]).unwrap();
+                // Qualified names like std::transform keep only the tail.
+                let text = text.rsplit("::").next().unwrap_or(text).to_owned();
+                out.push(SpTok {
+                    tok: Tok::Ident(text),
+                    span: Span::new(start as u32, i as u32),
+                });
+            }
+            b'0'..=b'9' => {
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let n: i64 = std::str::from_utf8(&bytes[start..i]).unwrap().parse().unwrap();
+                out.push(SpTok { tok: Tok::Int(n), span: Span::new(start as u32, i as u32) });
+            }
+            _ => {
+                let (tok, len) = match b {
+                    b'(' => (Tok::LParen, 1),
+                    b')' => (Tok::RParen, 1),
+                    b'{' => (Tok::LBrace, 1),
+                    b'}' => (Tok::RBrace, 1),
+                    b'<' => (Tok::Lt, 1),
+                    b'>' => (Tok::Gt, 1),
+                    b',' => (Tok::Comma, 1),
+                    b';' => (Tok::Semi, 1),
+                    b'&' => (Tok::Amp, 1),
+                    b'*' => (Tok::Star, 1),
+                    b'=' => (Tok::Eq, 1),
+                    b'.' => (Tok::Dot, 1),
+                    b'-' if i + 1 < bytes.len() && bytes[i + 1] == b'>' => (Tok::Arrow, 2),
+                    other => {
+                        return Err(CppParseError {
+                            message: format!("unexpected character '{}'", other as char),
+                            span: Span::new(start as u32, start as u32 + 1),
+                        })
+                    }
+                };
+                i += len;
+                out.push(SpTok { tok, span: Span::new(start as u32, i as u32) });
+            }
+        }
+    }
+    out.push(SpTok { tok: Tok::Eof, span: Span::new(i as u32, i as u32) });
+    Ok(out)
+}
+
+/// Rewrites nullary class types whose names are template parameters into
+/// [`CType::Param`].
+fn paramize(ty: CType, tparams: &[String]) -> CType {
+    match ty {
+        CType::Class(name, args) if args.is_empty() && tparams.contains(&name) => {
+            CType::Param(name)
+        }
+        CType::Class(name, args) => {
+            CType::Class(name, args.into_iter().map(|a| paramize(a, tparams)).collect())
+        }
+        CType::Ref(inner) => CType::Ref(Box::new(paramize(*inner, tparams))),
+        CType::Function(params, ret) => CType::Function(
+            params.into_iter().map(|p| paramize(p, tparams)).collect(),
+            Box::new(paramize(*ret, tparams)),
+        ),
+        other => other,
+    }
+}
+
+/// Parses a translation unit.
+///
+/// # Errors
+///
+/// The first syntax error.
+pub fn parse_cpp(src: &str) -> Result<CProgram, CppParseError> {
+    let toks = lex(src)?;
+    let mut p = P { toks, pos: 0 };
+    let mut prog = CProgram::new();
+    loop {
+        // Skip `using namespace foo;`.
+        while p.at_ident("using") {
+            while !p.eat(&Tok::Semi) && !p.at(&Tok::Eof) {
+                p.bump();
+            }
+        }
+        if p.at(&Tok::Eof) {
+            break;
+        }
+        let f = p.function(&mut prog)?;
+        prog.fns.push(f);
+    }
+    Ok(prog)
+}
+
+struct P {
+    toks: Vec<SpTok>,
+    pos: usize,
+}
+
+impl P {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos.min(self.toks.len() - 1)].tok
+    }
+
+    fn span(&self) -> Span {
+        self.toks[self.pos.min(self.toks.len() - 1)].span
+    }
+
+    fn prev_span(&self) -> Span {
+        self.toks[self.pos.saturating_sub(1)].span
+    }
+
+    fn bump(&mut self) -> SpTok {
+        let t = self.toks[self.pos.min(self.toks.len() - 1)].clone();
+        if self.pos < self.toks.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at(&self, t: &Tok) -> bool {
+        self.peek() == t
+    }
+
+    fn at_ident(&self, s: &str) -> bool {
+        matches!(self.peek(), Tok::Ident(i) if i == s)
+    }
+
+    fn eat(&mut self, t: &Tok) -> bool {
+        if self.at(t) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_ident(&mut self, s: &str) -> bool {
+        if self.at_ident(s) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: Tok, what: &str) -> Result<Span, CppParseError> {
+        if self.at(&t) {
+            Ok(self.bump().span)
+        } else {
+            Err(self.error(format!("expected {what}")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<(String, Span), CppParseError> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                let sp = self.bump().span;
+                Ok((s, sp))
+            }
+            _ => Err(self.error("expected identifier")),
+        }
+    }
+
+    fn error(&self, message: impl Into<String>) -> CppParseError {
+        CppParseError { message: message.into(), span: self.span() }
+    }
+
+    // ------------------------------------------------------------------
+
+    fn function(&mut self, prog: &mut CProgram) -> Result<CFn, CppParseError> {
+        let start = self.span();
+        let mut tparams = Vec::new();
+        if self.eat_ident("template") {
+            self.expect(Tok::Lt, "'<'")?;
+            loop {
+                if !(self.eat_ident("class") || self.eat_ident("typename")) {
+                    return Err(self.error("expected 'class' in template parameter list"));
+                }
+                let (name, _) = self.ident()?;
+                tparams.push(name);
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+            self.expect(Tok::Gt, "'>'")?;
+        }
+        let ret = self.ctype()?;
+        let (name, _) = self.ident()?;
+        self.expect(Tok::LParen, "'('")?;
+        let mut params = Vec::new();
+        if !self.at(&Tok::RParen) {
+            loop {
+                self.eat_ident("const");
+                let ty = self.ctype()?;
+                let (pname, _) = self.ident()?;
+                params.push((pname, ty));
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(Tok::RParen, "')'")?;
+        self.expect(Tok::LBrace, "'{'")?;
+        let mut body = Vec::new();
+        while !self.at(&Tok::RBrace) {
+            body.push(self.stmt(prog)?);
+        }
+        self.expect(Tok::RBrace, "'}'")?;
+        let span = start.merge(self.prev_span());
+        // Names bound by `template <class …>` parse as nullary class
+        // types; rewrite them into proper template parameters.
+        let ret = paramize(ret, &tparams);
+        let params =
+            params.into_iter().map(|(n, t)| (n, paramize(t, &tparams))).collect();
+        let body = body
+            .into_iter()
+            .map(|mut s| {
+                if let CStmtKind::VarDecl { ty, .. } = &mut s.kind {
+                    *ty = paramize(ty.clone(), &tparams);
+                }
+                s
+            })
+            .collect();
+        Ok(CFn { name, tparams, ret, params, body, span })
+    }
+
+    fn ctype(&mut self) -> Result<CType, CppParseError> {
+        self.eat_ident("const");
+        let (name, _) = self.ident()?;
+        let mut base = match name.as_str() {
+            "void" => CType::Void,
+            "bool" => CType::Bool,
+            "int" => CType::Int,
+            "long" => CType::Long,
+            "double" => CType::Double,
+            other => {
+                let mut args = Vec::new();
+                if self.eat(&Tok::Lt) {
+                    loop {
+                        args.push(self.ctype()?);
+                        if !self.eat(&Tok::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(Tok::Gt, "'>'")?;
+                }
+                CType::Class(other.to_owned(), args)
+            }
+        };
+        if self.eat(&Tok::Amp) {
+            base = CType::Ref(Box::new(base));
+        }
+        Ok(base)
+    }
+
+    /// Whether the upcoming tokens look like the start of a declaration.
+    fn looks_like_decl(&self) -> bool {
+        match self.peek() {
+            Tok::Ident(name) => {
+                if matches!(name.as_str(), "void" | "bool" | "int" | "long" | "double" | "const")
+                {
+                    return true;
+                }
+                // `Class<...> x` or `Class x` — identifier followed by an
+                // identifier or a template-argument bracket.
+                match self.toks.get(self.pos + 1).map(|t| &t.tok) {
+                    Some(Tok::Ident(_)) => true,
+                    Some(Tok::Lt) => {
+                        // Scan past balanced <...> and check for ident.
+                        let mut depth = 0usize;
+                        let mut i = self.pos + 1;
+                        while let Some(t) = self.toks.get(i) {
+                            match t.tok {
+                                Tok::Lt => depth += 1,
+                                Tok::Gt => {
+                                    depth -= 1;
+                                    if depth == 0 {
+                                        return matches!(
+                                            self.toks.get(i + 1).map(|t| &t.tok),
+                                            Some(Tok::Ident(_))
+                                        );
+                                    }
+                                }
+                                Tok::Semi | Tok::LBrace | Tok::Eof => return false,
+                                _ => {}
+                            }
+                            i += 1;
+                        }
+                        false
+                    }
+                    _ => false,
+                }
+            }
+            _ => false,
+        }
+    }
+
+    fn stmt(&mut self, prog: &mut CProgram) -> Result<CStmt, CppParseError> {
+        let start = self.span();
+        let id = prog.fresh_id();
+        if self.eat_ident("return") {
+            let value = if self.at(&Tok::Semi) { None } else { Some(self.expr(prog)?) };
+            self.expect(Tok::Semi, "';'")?;
+            return Ok(CStmt {
+                id,
+                span: start.merge(self.prev_span()),
+                kind: CStmtKind::Return(value),
+            });
+        }
+        if self.looks_like_decl() {
+            let ty = self.ctype()?;
+            let (name, _) = self.ident()?;
+            let init = if self.eat(&Tok::Eq) { Some(self.expr(prog)?) } else { None };
+            self.expect(Tok::Semi, "';'")?;
+            return Ok(CStmt {
+                id,
+                span: start.merge(self.prev_span()),
+                kind: CStmtKind::VarDecl { ty, name, init },
+            });
+        }
+        let e = self.expr(prog)?;
+        self.expect(Tok::Semi, "';'")?;
+        Ok(CStmt { id, span: start.merge(self.prev_span()), kind: CStmtKind::Expr(e) })
+    }
+
+    fn expr(&mut self, prog: &mut CProgram) -> Result<CExpr, CppParseError> {
+        let mut e = self.primary(prog)?;
+        loop {
+            if self.at(&Tok::LParen) {
+                let args = self.call_args(prog)?;
+                let span = e.span.merge(self.prev_span());
+                e = CExpr {
+                    id: prog.fresh_id(),
+                    span,
+                    kind: CExprKind::Call { callee: Box::new(e), args },
+                };
+            } else if self.at(&Tok::Dot) || self.at(&Tok::Arrow) {
+                let arrow = self.at(&Tok::Arrow);
+                self.bump();
+                let (name, nspan) = self.ident()?;
+                if self.at(&Tok::LParen) && !arrow {
+                    let args = self.call_args(prog)?;
+                    let span = e.span.merge(self.prev_span());
+                    e = CExpr {
+                        id: prog.fresh_id(),
+                        span,
+                        kind: CExprKind::Method { obj: Box::new(e), name, args },
+                    };
+                } else {
+                    let span = e.span.merge(nspan);
+                    e = CExpr {
+                        id: prog.fresh_id(),
+                        span,
+                        kind: CExprKind::Member { obj: Box::new(e), name, arrow },
+                    };
+                }
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn call_args(&mut self, prog: &mut CProgram) -> Result<Vec<CExpr>, CppParseError> {
+        self.expect(Tok::LParen, "'('")?;
+        let mut args = Vec::new();
+        if !self.at(&Tok::RParen) {
+            loop {
+                args.push(self.expr(prog)?);
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(Tok::RParen, "')'")?;
+        Ok(args)
+    }
+
+    fn primary(&mut self, prog: &mut CProgram) -> Result<CExpr, CppParseError> {
+        let start = self.span();
+        let id = prog.fresh_id();
+        match self.peek().clone() {
+            Tok::Int(n) => {
+                self.bump();
+                Ok(CExpr { id, span: start, kind: CExprKind::Int(n) })
+            }
+            Tok::LParen => {
+                self.bump();
+                let inner = self.expr(prog)?;
+                self.expect(Tok::RParen, "')'")?;
+                Ok(CExpr { id, span: start.merge(self.prev_span()), ..inner })
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                // `magicFun(e)` is the search wildcard.
+                if name == "magicFun" && self.at(&Tok::LParen) {
+                    let args = self.call_args(prog)?;
+                    let span = start.merge(self.prev_span());
+                    let kind = match args.as_slice() {
+                        [CExpr { kind: CExprKind::Int(0), .. }] => CExprKind::Magic,
+                        [arg] => CExprKind::MagicAdapt(Box::new(arg.clone())),
+                        _ => {
+                            return Err(self.error("magicFun takes one argument"));
+                        }
+                    };
+                    return Ok(CExpr { id, span, kind });
+                }
+                // Template-id constructor call: `multiplies<long>(...)`.
+                if self.at(&Tok::Lt) {
+                    let save = self.pos;
+                    self.bump();
+                    let mut targs = Vec::new();
+                    let ok = loop {
+                        match self.ctype() {
+                            Ok(t) => targs.push(t),
+                            Err(_) => break false,
+                        }
+                        if self.eat(&Tok::Comma) {
+                            continue;
+                        }
+                        break self.eat(&Tok::Gt);
+                    };
+                    if ok && self.at(&Tok::LParen) {
+                        let args = self.call_args(prog)?;
+                        let span = start.merge(self.prev_span());
+                        return Ok(CExpr {
+                            id,
+                            span,
+                            kind: CExprKind::Ctor { class: name, targs, args },
+                        });
+                    }
+                    self.pos = save;
+                }
+                Ok(CExpr { id, span: start, kind: CExprKind::Var(name) })
+            }
+            other => Err(self.error(format!("expected expression, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Figure 10's program in our subset.
+    pub const FIGURE10: &str = "\
+#include <algorithm>
+#include <vector>
+using namespace std;
+
+void myFun(vector<long>& inv, vector<long>& outv) {
+  transform(inv.begin(), inv.end(), outv.begin(),
+            compose1(bind1st(multiplies<long>(), 5), labs));
+}
+";
+
+    #[test]
+    fn parses_figure10() {
+        let prog = parse_cpp(FIGURE10).unwrap();
+        assert_eq!(prog.fns.len(), 1);
+        let f = &prog.fns[0];
+        assert_eq!(f.name, "myFun");
+        assert_eq!(f.params.len(), 2);
+        assert!(f.tparams.is_empty());
+        assert_eq!(f.body.len(), 1);
+    }
+
+    #[test]
+    fn parses_template_function() {
+        let src = "template <class A, class B> B convert(A x) { return magicFun(x); }";
+        let prog = parse_cpp(src).unwrap();
+        assert_eq!(prog.fns[0].tparams, vec!["A".to_owned(), "B".to_owned()]);
+    }
+
+    #[test]
+    fn parses_var_decls_and_calls() {
+        let src = "void f(vector<long>& v) { long x = 3; v.push_back(x); int y = v.size(); }";
+        let prog = parse_cpp(src).unwrap();
+        assert_eq!(prog.fns[0].body.len(), 3);
+        assert!(matches!(prog.fns[0].body[0].kind, CStmtKind::VarDecl { .. }));
+    }
+
+    #[test]
+    fn parses_ctor_with_template_args() {
+        let src = "void f() { multiplies<long>(); }";
+        let prog = parse_cpp(src).unwrap();
+        match &prog.fns[0].body[0].kind {
+            CStmtKind::Expr(e) => {
+                assert!(matches!(&e.kind, CExprKind::Ctor { class, .. } if class == "multiplies"))
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn magicfun_parses_to_wildcards() {
+        let src = "void f() { long x = magicFun(0); long y = magicFun(x); }";
+        let prog = parse_cpp(src).unwrap();
+        match &prog.fns[0].body[0].kind {
+            CStmtKind::VarDecl { init: Some(e), .. } => {
+                assert!(matches!(e.kind, CExprKind::Magic))
+            }
+            other => panic!("{other:?}"),
+        }
+        match &prog.fns[0].body[1].kind {
+            CStmtKind::VarDecl { init: Some(e), .. } => {
+                assert!(matches!(e.kind, CExprKind::MagicAdapt(_)))
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn arrow_vs_dot() {
+        let src = "void f(vector<long>& v) { v->size; v.size; }";
+        let prog = parse_cpp(src).unwrap();
+        match &prog.fns[0].body[0].kind {
+            CStmtKind::Expr(e) => {
+                assert!(matches!(&e.kind, CExprKind::Member { arrow: true, .. }))
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn qualified_names_lose_prefix() {
+        let src = "void f(vector<long>& v) { std::transform(v.begin(), v.end(), v.begin(), negate<long>()); }";
+        let prog = parse_cpp(src).unwrap();
+        match &prog.fns[0].body[0].kind {
+            CStmtKind::Expr(e) => match &e.kind {
+                CExprKind::Call { callee, .. } => {
+                    assert!(matches!(&callee.kind, CExprKind::Var(n) if n == "transform"))
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,434 @@
+//! The built-in "STL" slice the Figure 10 example needs, plus the
+//! search's `magicFun` helpers (§4.2).
+//!
+//! Class semantics that would require dependent typedefs in real C++
+//! (`binder1st<Op>::operator()` going through `Op::second_argument_type`)
+//! are modeled with adapter-specific call rules ([`CallRule`]), which
+//! keeps the behaviourally relevant properties — what is callable with
+//! what, and which template arguments must be class types — without a
+//! full C++ type system (DESIGN.md §5).
+
+use crate::ast::{CExpr, CExprKind, CFn, CStmt, CStmtKind};
+use crate::types::CType;
+use seminal_ml::span::Span;
+use std::collections::HashMap;
+
+/// How calling an object of a class resolves.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CallRule {
+    /// Fixed signatures in terms of the class's template parameters.
+    Direct(Vec<(Vec<CType>, CType)>),
+    /// `binder1st<Op>`: callable with `x` iff `Op` is a class with a
+    /// binary `operator()(a, b) -> r` and `x` converts to `b`; result `r`.
+    Binder1st,
+    /// `unary_compose<Op1, Op2>`: callable with `x` iff `Op2` is a class
+    /// unary functor and `Op1` a class unary functor accepting its result.
+    UnaryCompose,
+    /// `pointer_to_unary_function<A, R>`: callable with `A`, returns `R`.
+    PtrFunction,
+    /// Not callable.
+    None,
+}
+
+/// A built-in class template.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassDef {
+    pub name: String,
+    pub tparams: Vec<String>,
+    /// Field types (in terms of `tparams`); every field type must be an
+    /// object type when the class is instantiated — the Figure 11
+    /// "invalidly declared function type" check.
+    pub fields: Vec<(String, CType)>,
+    /// Methods as `(name, params, ret)` in terms of `tparams`.
+    pub methods: Vec<(String, Vec<CType>, CType)>,
+    pub call: CallRule,
+}
+
+/// All built-ins visible to user code.
+#[derive(Debug, Clone)]
+pub struct Prelude {
+    pub classes: HashMap<String, ClassDef>,
+    /// Ordinary (non-template) functions: name → (params, ret).
+    pub functions: HashMap<String, (Vec<CType>, CType)>,
+    /// Template functions with real bodies, checked per instantiation.
+    pub templates: HashMap<String, CFn>,
+}
+
+fn p(name: &str) -> CType {
+    CType::Param(name.to_owned())
+}
+
+fn class(name: &str, args: Vec<CType>) -> CType {
+    CType::Class(name.to_owned(), args)
+}
+
+fn var(name: &str) -> CExpr {
+    CExpr::synth(CExprKind::Var(name.to_owned()), Span::DUMMY)
+}
+
+fn stmt(kind: CStmtKind) -> CStmt {
+    CStmt { id: crate::ast::CId::SYNTH, span: Span::DUMMY, kind }
+}
+
+/// Builds the prelude. Cheap enough to construct per check.
+pub fn prelude() -> Prelude {
+    let mut classes = HashMap::new();
+    let mut functions = HashMap::new();
+    let mut templates = HashMap::new();
+
+    // --- containers and iterators --------------------------------------
+    classes.insert(
+        "vector".to_owned(),
+        ClassDef {
+            name: "vector".into(),
+            tparams: vec!["T".into()],
+            fields: vec![],
+            methods: vec![
+                ("begin".into(), vec![], class("iterator", vec![p("T")])),
+                ("end".into(), vec![], class("iterator", vec![p("T")])),
+                ("size".into(), vec![], CType::Int),
+                ("push_back".into(), vec![p("T")], CType::Void),
+            ],
+            call: CallRule::None,
+        },
+    );
+    classes.insert(
+        "iterator".to_owned(),
+        ClassDef {
+            name: "iterator".into(),
+            tparams: vec!["T".into()],
+            fields: vec![],
+            methods: vec![("deref".into(), vec![], p("T"))],
+            call: CallRule::None,
+        },
+    );
+
+    // --- functors --------------------------------------------------------
+    classes.insert(
+        "multiplies".to_owned(),
+        ClassDef {
+            name: "multiplies".into(),
+            tparams: vec!["T".into()],
+            fields: vec![],
+            methods: vec![],
+            call: CallRule::Direct(vec![(vec![p("T"), p("T")], p("T"))]),
+        },
+    );
+    classes.insert(
+        "plus".to_owned(),
+        ClassDef {
+            name: "plus".into(),
+            tparams: vec!["T".into()],
+            fields: vec![],
+            methods: vec![],
+            call: CallRule::Direct(vec![(vec![p("T"), p("T")], p("T"))]),
+        },
+    );
+    classes.insert(
+        "negate".to_owned(),
+        ClassDef {
+            name: "negate".into(),
+            tparams: vec!["T".into()],
+            fields: vec![],
+            methods: vec![],
+            call: CallRule::Direct(vec![(vec![p("T")], p("T"))]),
+        },
+    );
+    classes.insert(
+        "greater".to_owned(),
+        ClassDef {
+            name: "greater".into(),
+            tparams: vec!["T".into()],
+            fields: vec![],
+            methods: vec![],
+            call: CallRule::Direct(vec![(vec![p("T"), p("T")], CType::Bool)]),
+        },
+    );
+    classes.insert(
+        "less".to_owned(),
+        ClassDef {
+            name: "less".into(),
+            tparams: vec!["T".into()],
+            fields: vec![],
+            methods: vec![],
+            call: CallRule::Direct(vec![(vec![p("T"), p("T")], CType::Bool)]),
+        },
+    );
+    classes.insert(
+        "binder1st".to_owned(),
+        ClassDef {
+            name: "binder1st".into(),
+            tparams: vec!["Op".into()],
+            fields: vec![("op".into(), p("Op"))],
+            methods: vec![],
+            call: CallRule::Binder1st,
+        },
+    );
+    classes.insert(
+        "unary_compose".to_owned(),
+        ClassDef {
+            name: "unary_compose".into(),
+            tparams: vec!["Op1".into(), "Op2".into()],
+            // The Figure 11 fields: both operations are stored by value.
+            fields: vec![("_M_fn1".into(), p("Op1")), ("_M_fn2".into(), p("Op2"))],
+            methods: vec![],
+            call: CallRule::UnaryCompose,
+        },
+    );
+    classes.insert(
+        "pointer_to_unary_function".to_owned(),
+        ClassDef {
+            name: "pointer_to_unary_function".into(),
+            tparams: vec!["A".into(), "R".into()],
+            fields: vec![],
+            methods: vec![],
+            call: CallRule::PtrFunction,
+        },
+    );
+
+    // --- plain functions --------------------------------------------------
+    functions.insert(
+        "labs".to_owned(),
+        (vec![CType::Long], CType::Long),
+    );
+    functions.insert("abs".to_owned(), (vec![CType::Int], CType::Int));
+    functions.insert("print_long".to_owned(), (vec![CType::Long], CType::Void));
+
+    // --- template functions (real bodies, instantiation-checked) ---------
+    // template<class Op1, class Op2>
+    // unary_compose<Op1, Op2> compose1(const Op1& fn1, const Op2& fn2)
+    //   { return unary_compose<Op1, Op2>(fn1, fn2); }
+    templates.insert(
+        "compose1".to_owned(),
+        CFn {
+            name: "compose1".into(),
+            tparams: vec!["Op1".into(), "Op2".into()],
+            ret: class("unary_compose", vec![p("Op1"), p("Op2")]),
+            params: vec![
+                ("fn1".into(), CType::Ref(Box::new(p("Op1")))),
+                ("fn2".into(), CType::Ref(Box::new(p("Op2")))),
+            ],
+            body: vec![stmt(CStmtKind::Return(Some(CExpr::synth(
+                CExprKind::Ctor {
+                    class: "unary_compose".into(),
+                    targs: vec![p("Op1"), p("Op2")],
+                    args: vec![var("fn1"), var("fn2")],
+                },
+                Span::DUMMY,
+            ))))],
+            span: Span::DUMMY,
+        },
+    );
+
+    // template<class Op, class A> binder1st<Op> bind1st(const Op& op, A x)
+    //   { return binder1st<Op>(op); }
+    templates.insert(
+        "bind1st".to_owned(),
+        CFn {
+            name: "bind1st".into(),
+            tparams: vec!["Op".into(), "A".into()],
+            ret: class("binder1st", vec![p("Op")]),
+            params: vec![
+                ("op".into(), CType::Ref(Box::new(p("Op")))),
+                ("x".into(), p("A")),
+            ],
+            body: vec![stmt(CStmtKind::Return(Some(CExpr::synth(
+                CExprKind::Ctor {
+                    class: "binder1st".into(),
+                    targs: vec![p("Op")],
+                    args: vec![var("op")],
+                },
+                Span::DUMMY,
+            ))))],
+            span: Span::DUMMY,
+        },
+    );
+
+    // template<class A, class R> pointer_to_unary_function<A, R>
+    //   ptr_fun(R (*f)(A)) { … }
+    templates.insert(
+        "ptr_fun".to_owned(),
+        CFn {
+            name: "ptr_fun".into(),
+            tparams: vec!["A".into(), "R".into()],
+            ret: class("pointer_to_unary_function", vec![p("A"), p("R")]),
+            params: vec![(
+                "f".into(),
+                CType::function(vec![p("A")], p("R")),
+            )],
+            body: vec![stmt(CStmtKind::Return(Some(CExpr::synth(
+                CExprKind::Ctor {
+                    class: "pointer_to_unary_function".into(),
+                    targs: vec![p("A"), p("R")],
+                    args: vec![],
+                },
+                Span::DUMMY,
+            ))))],
+            span: Span::DUMMY,
+        },
+    );
+
+    // template<class In, class Out, class UnOp>
+    // Out transform(In first, In last, Out result, UnOp op)
+    //   { op(first.deref()); return result; }
+    templates.insert(
+        "transform".to_owned(),
+        CFn {
+            name: "transform".into(),
+            tparams: vec!["In".into(), "Out".into(), "UnOp".into()],
+            ret: p("Out"),
+            params: vec![
+                ("first".into(), p("In")),
+                ("last".into(), p("In")),
+                ("result".into(), p("Out")),
+                ("op".into(), p("UnOp")),
+            ],
+            body: vec![
+                stmt(CStmtKind::Expr(CExpr::synth(
+                    CExprKind::Call {
+                        callee: Box::new(var("op")),
+                        args: vec![CExpr::synth(
+                            CExprKind::Method {
+                                obj: Box::new(var("first")),
+                                name: "deref".into(),
+                                args: vec![],
+                            },
+                            Span::DUMMY,
+                        )],
+                    },
+                    Span::DUMMY,
+                ))),
+                stmt(CStmtKind::Return(Some(var("result")))),
+            ],
+            span: Span::DUMMY,
+        },
+    );
+
+    // template<class In, class F> F for_each(In first, In last, F f)
+    //   { f(first.deref()); return f; }
+    templates.insert(
+        "for_each".to_owned(),
+        CFn {
+            name: "for_each".into(),
+            tparams: vec!["In".into(), "F".into()],
+            ret: p("F"),
+            params: vec![
+                ("first".into(), p("In")),
+                ("last".into(), p("In")),
+                ("f".into(), p("F")),
+            ],
+            body: vec![
+                stmt(CStmtKind::Expr(CExpr::synth(
+                    CExprKind::Call {
+                        callee: Box::new(var("f")),
+                        args: vec![CExpr::synth(
+                            CExprKind::Method {
+                                obj: Box::new(var("first")),
+                                name: "deref".into(),
+                                args: vec![],
+                            },
+                            Span::DUMMY,
+                        )],
+                    },
+                    Span::DUMMY,
+                ))),
+                stmt(CStmtKind::Return(Some(var("f")))),
+            ],
+            span: Span::DUMMY,
+        },
+    );
+
+    // template<class In, class P> int count_if(In first, In last, P pred)
+    //   { bool keep = pred(first.deref()); return 0; }
+    templates.insert(
+        "count_if".to_owned(),
+        CFn {
+            name: "count_if".into(),
+            tparams: vec!["In".into(), "P".into()],
+            ret: CType::Int,
+            params: vec![
+                ("first".into(), p("In")),
+                ("last".into(), p("In")),
+                ("pred".into(), p("P")),
+            ],
+            body: vec![
+                stmt(CStmtKind::VarDecl {
+                    ty: CType::Bool,
+                    name: "keep".into(),
+                    init: Some(CExpr::synth(
+                        CExprKind::Call {
+                            callee: Box::new(var("pred")),
+                            args: vec![CExpr::synth(
+                                CExprKind::Method {
+                                    obj: Box::new(var("first")),
+                                    name: "deref".into(),
+                                    args: vec![],
+                                },
+                                Span::DUMMY,
+                            )],
+                        },
+                        Span::DUMMY,
+                    )),
+                }),
+                stmt(CStmtKind::Return(Some(CExpr::synth(CExprKind::Int(0), Span::DUMMY)))),
+            ],
+            span: Span::DUMMY,
+        },
+    );
+
+    // template<class In, class T> T accumulate(In first, In last, T init)
+    //   { return init; }  (the deref-add is left to the element check)
+    templates.insert(
+        "accumulate".to_owned(),
+        CFn {
+            name: "accumulate".into(),
+            tparams: vec!["In".into(), "T".into()],
+            ret: p("T"),
+            params: vec![
+                ("first".into(), p("In")),
+                ("last".into(), p("In")),
+                ("init".into(), p("T")),
+            ],
+            body: vec![stmt(CStmtKind::Return(Some(var("init"))))],
+            span: Span::DUMMY,
+        },
+    );
+
+    // template<class A> void voidMagic(A x) {} — the hoisting helper.
+    templates.insert(
+        "voidMagic".to_owned(),
+        CFn {
+            name: "voidMagic".into(),
+            tparams: vec!["A".into()],
+            ret: CType::Void,
+            params: vec![("x".into(), p("A"))],
+            body: vec![],
+            span: Span::DUMMY,
+        },
+    );
+
+    Prelude { classes, functions, templates }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prelude_has_figure10_names() {
+        let pl = prelude();
+        for c in ["vector", "multiplies", "binder1st", "unary_compose", "pointer_to_unary_function"] {
+            assert!(pl.classes.contains_key(c), "missing class {c}");
+        }
+        for t in ["compose1", "bind1st", "ptr_fun", "transform", "voidMagic"] {
+            assert!(pl.templates.contains_key(t), "missing template {t}");
+        }
+        assert!(pl.functions.contains_key("labs"));
+    }
+
+    #[test]
+    fn unary_compose_stores_both_ops_as_fields() {
+        let pl = prelude();
+        assert_eq!(pl.classes["unary_compose"].fields.len(), 2);
+    }
+}

@@ -1,0 +1,389 @@
+//! The C++ searcher (§4.2).
+//!
+//! Differences from the Caml searcher, as the paper describes them:
+//!
+//! * search is confined to the function containing the first error (C++
+//!   is explicitly typed elsewhere);
+//! * removal/adaptation use `magicFun`, which fails wherever the return
+//!   type cannot be resolved from context — so statement deletion and
+//!   *hoisting* (`e0(e1, e2);` → `voidMagic(e1); voidMagic(e2);`) pick up
+//!   the slack;
+//! * success means "eliminates some errors while introducing no new
+//!   ones", an implicit form of triage over cascading error lists;
+//! * constructive changes include STL-specific ones, chiefly wrapping and
+//!   unwrapping `ptr_fun` (Figure 10's fix).
+
+use crate::ast::*;
+use crate::check::{check, CppError};
+use crate::edit::{remove_stmt, replace_expr, replace_stmt};
+use seminal_ml::span::Span;
+use std::collections::HashSet;
+
+/// The class of a C++ suggestion, ranked in this order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CppChangeKind {
+    /// A specific rewrite (e.g. "wrap the argument in ptr_fun").
+    Constructive(String),
+    /// `e` → `magicFun(e)`.
+    Adaptation,
+    /// `e` → `magicFun(0)`.
+    Removal,
+    /// Delete or hoist a whole statement.
+    Statement(String),
+}
+
+impl CppChangeKind {
+    fn class(&self) -> u8 {
+        match self {
+            CppChangeKind::Constructive(_) => 0,
+            CppChangeKind::Adaptation => 1,
+            CppChangeKind::Removal => 2,
+            CppChangeKind::Statement(_) => 3,
+        }
+    }
+}
+
+/// One candidate message.
+#[derive(Debug, Clone)]
+pub struct CppSuggestion {
+    pub kind: CppChangeKind,
+    pub span: Span,
+    pub original: String,
+    pub replacement: String,
+    /// Errors in the original program.
+    pub errors_before: usize,
+    /// Errors remaining after the change (0 = complete fix).
+    pub errors_after: usize,
+    /// Node count of the replaced fragment (ranking).
+    size: usize,
+}
+
+impl CppSuggestion {
+    /// Renders the suggestion as an Eclipse-style quick fix (§4.3).
+    pub fn render(&self) -> String {
+        let status = if self.errors_after == 0 {
+            "fixes all errors".to_owned()
+        } else {
+            format!("leaves {} of {} errors", self.errors_after, self.errors_before)
+        };
+        format!(
+            "Try replacing `{}` with `{}` ({status})",
+            self.original, self.replacement
+        )
+    }
+}
+
+/// Search output plus the baseline gcc-style diagnostics.
+#[derive(Debug, Clone)]
+pub struct CppReport {
+    /// Ranked suggestions, best first (empty if the program is fine or
+    /// nothing helped).
+    pub suggestions: Vec<CppSuggestion>,
+    /// The conventional compiler's full cascade.
+    pub baseline: Vec<CppError>,
+    /// Type-checker invocations.
+    pub oracle_calls: u64,
+}
+
+impl CppReport {
+    /// The top-ranked suggestion.
+    pub fn best(&self) -> Option<&CppSuggestion> {
+        self.suggestions.first()
+    }
+}
+
+/// Runs the C++ search.
+pub fn search_cpp(prog: &CProgram) -> CppReport {
+    let baseline = check(prog);
+    let mut calls = 1u64;
+    if baseline.is_empty() {
+        return CppReport { suggestions: Vec::new(), baseline, oracle_calls: calls };
+    }
+    let before: HashSet<String> = baseline.iter().map(CppError::key).collect();
+    let n_before = baseline.len();
+
+    // Focus on the function containing the first error (§4.2).
+    let first_site = baseline[0].site;
+    let focus = prog
+        .fns
+        .iter()
+        .position(|f| f.span.contains(first_site) || f.tparams.is_empty())
+        .unwrap_or(0);
+    let focus_fn = prog.fns[focus].clone();
+
+    let mut suggestions: Vec<CppSuggestion> = Vec::new();
+    let try_variant =
+        |variant: &CProgram,
+         kind: CppChangeKind,
+         span: Span,
+         original: String,
+         replacement: String,
+         size: usize,
+         calls: &mut u64,
+         out: &mut Vec<CppSuggestion>| {
+            *calls += 1;
+            let errors = check(variant);
+            let after: HashSet<String> = errors.iter().map(CppError::key).collect();
+            let introduces_new = after.iter().any(|k| !before.contains(k));
+            if errors.len() < n_before && !introduces_new {
+                out.push(CppSuggestion {
+                    kind,
+                    span,
+                    original,
+                    replacement,
+                    errors_before: n_before,
+                    errors_after: errors.len(),
+                    size,
+                });
+            }
+        };
+
+    // --- statement-level changes ---------------------------------------
+    for stmt in &focus_fn.body {
+        let removed = remove_stmt(prog, stmt.id);
+        try_variant(
+            &removed,
+            CppChangeKind::Statement("delete the statement".into()),
+            stmt.span,
+            stmt.to_string(),
+            String::new(),
+            1,
+            &mut calls,
+            &mut suggestions,
+        );
+        // Hoisting: `e0(e1, …);` → `voidMagic(e1); …` to localize which
+        // argument carries the errors.
+        if let CStmtKind::Expr(e) = &stmt.kind {
+            if let CExprKind::Call { args, .. } = &e.kind {
+                let hoisted: Vec<CStmt> = args
+                    .iter()
+                    .map(|a| CStmt {
+                        id: CId::SYNTH,
+                        span: Span::DUMMY,
+                        kind: CStmtKind::Expr(CExpr::synth(
+                            CExprKind::Call {
+                                callee: Box::new(CExpr::synth(
+                                    CExprKind::Var("voidMagic".into()),
+                                    Span::DUMMY,
+                                )),
+                                args: vec![a.clone()],
+                            },
+                            Span::DUMMY,
+                        )),
+                    })
+                    .collect();
+                let variant = replace_stmt(prog, stmt.id, hoisted);
+                try_variant(
+                    &variant,
+                    CppChangeKind::Statement("hoist the call's arguments".into()),
+                    stmt.span,
+                    stmt.to_string(),
+                    "voidMagic(…); …".into(),
+                    1,
+                    &mut calls,
+                    &mut suggestions,
+                );
+            }
+        }
+    }
+
+    // --- expression-level changes ---------------------------------------
+    let mut nodes: Vec<CExpr> = Vec::new();
+    focus_fn.for_each_expr(&mut |e| nodes.push(e.clone()));
+    for node in &nodes {
+        let span = node.span;
+        let original = node.to_string();
+        let size = node.size();
+
+        // Removal: magicFun(0).
+        let removal = replace_expr(prog, node.id, CExpr::synth(CExprKind::Magic, Span::DUMMY));
+        try_variant(
+            &removal,
+            CppChangeKind::Removal,
+            span,
+            original.clone(),
+            "magicFun(0)".into(),
+            size,
+            &mut calls,
+            &mut suggestions,
+        );
+
+        // Adaptation: magicFun(e).
+        if !matches!(node.kind, CExprKind::Magic | CExprKind::MagicAdapt(_)) {
+            let adapted = replace_expr(
+                prog,
+                node.id,
+                CExpr::synth(CExprKind::MagicAdapt(Box::new(node.clone())), Span::DUMMY),
+            );
+            try_variant(
+                &adapted,
+                CppChangeKind::Adaptation,
+                span,
+                original.clone(),
+                format!("magicFun({original})"),
+                size,
+                &mut calls,
+                &mut suggestions,
+            );
+        }
+
+        // Constructive: wrap in ptr_fun.
+        if !matches!(&node.kind, CExprKind::Call { callee, .. }
+            if matches!(&callee.kind, CExprKind::Var(n) if n == "ptr_fun"))
+        {
+            let wrapped = replace_expr(
+                prog,
+                node.id,
+                CExpr::synth(
+                    CExprKind::Call {
+                        callee: Box::new(CExpr::synth(
+                            CExprKind::Var("ptr_fun".into()),
+                            Span::DUMMY,
+                        )),
+                        args: vec![node.clone()],
+                    },
+                    Span::DUMMY,
+                ),
+            );
+            try_variant(
+                &wrapped,
+                CppChangeKind::Constructive("wrap the expression in ptr_fun".into()),
+                span,
+                original.clone(),
+                format!("ptr_fun({original})"),
+                size,
+                &mut calls,
+                &mut suggestions,
+            );
+        }
+
+        // Constructive: unwrap ptr_fun.
+        if let CExprKind::Call { callee, args } = &node.kind {
+            if matches!(&callee.kind, CExprKind::Var(n) if n == "ptr_fun") && args.len() == 1 {
+                let variant = replace_expr(prog, node.id, args[0].clone());
+                try_variant(
+                    &variant,
+                    CppChangeKind::Constructive("remove the ptr_fun wrapper".into()),
+                    span,
+                    original.clone(),
+                    args[0].to_string(),
+                    size,
+                    &mut calls,
+                    &mut suggestions,
+                );
+            }
+        }
+
+        // Constructive: `->` ↔ `.`.
+        if let CExprKind::Member { obj, name, arrow } = &node.kind {
+            let flipped = CExpr::synth(
+                CExprKind::Member { obj: obj.clone(), name: name.clone(), arrow: !arrow },
+                Span::DUMMY,
+            );
+            let desc = if *arrow { "use `.` instead of `->`" } else { "use `->` instead of `.`" };
+            let replacement = flipped.to_string();
+            let variant = replace_expr(prog, node.id, flipped);
+            try_variant(
+                &variant,
+                CppChangeKind::Constructive(desc.into()),
+                span,
+                original.clone(),
+                replacement,
+                size,
+                &mut calls,
+                &mut suggestions,
+            );
+        }
+
+        // Constructive: `p->m(args)` → `p.m(args)` (Figure 3's C++ row:
+        // switching `e->f` and `e.f`).
+        if let CExprKind::Call { callee, args } = &node.kind {
+            if let CExprKind::Member { obj, name, arrow: true } = &callee.kind {
+                let as_method = CExpr::synth(
+                    CExprKind::Method {
+                        obj: obj.clone(),
+                        name: name.clone(),
+                        args: args.clone(),
+                    },
+                    Span::DUMMY,
+                );
+                let replacement = as_method.to_string();
+                let variant = replace_expr(prog, node.id, as_method);
+                try_variant(
+                    &variant,
+                    CppChangeKind::Constructive("use `.` instead of `->`".into()),
+                    span,
+                    original.clone(),
+                    replacement,
+                    size,
+                    &mut calls,
+                    &mut suggestions,
+                );
+            }
+        }
+
+        // Constructive: reorder / drop call arguments.
+        if let CExprKind::Call { callee, args } = &node.kind {
+            if args.len() >= 2 && args.len() <= 4 {
+                let mut reversed = args.clone();
+                reversed.reverse();
+                let flipped = CExpr::synth(
+                    CExprKind::Call { callee: callee.clone(), args: reversed },
+                    Span::DUMMY,
+                );
+                let replacement = flipped.to_string();
+                let variant = replace_expr(prog, node.id, flipped);
+                try_variant(
+                    &variant,
+                    CppChangeKind::Constructive("reverse the call's arguments".into()),
+                    span,
+                    original.clone(),
+                    replacement,
+                    size,
+                    &mut calls,
+                    &mut suggestions,
+                );
+            }
+            if args.len() >= 2 {
+                for i in 0..args.len() {
+                    let mut fewer = args.clone();
+                    fewer.remove(i);
+                    let shrunk = CExpr::synth(
+                        CExprKind::Call { callee: callee.clone(), args: fewer },
+                        Span::DUMMY,
+                    );
+                    let replacement = shrunk.to_string();
+                    let variant = replace_expr(prog, node.id, shrunk);
+                    try_variant(
+                        &variant,
+                        CppChangeKind::Constructive(format!(
+                            "remove argument {} from the call",
+                            i + 1
+                        )),
+                        span,
+                        original.clone(),
+                        replacement,
+                        size,
+                        &mut calls,
+                        &mut suggestions,
+                    );
+                }
+            }
+        }
+    }
+
+    // Rank: complete fixes first, then class, then smaller fragments.
+    suggestions.sort_by(|a, b| {
+        (a.errors_after > 0)
+            .cmp(&(b.errors_after > 0))
+            .then(a.kind.class().cmp(&b.kind.class()))
+            .then(a.errors_after.cmp(&b.errors_after))
+            .then(a.size.cmp(&b.size))
+            .then(a.span.start.cmp(&b.span.start))
+    });
+    // Deduplicate identical rewrites found at different stages.
+    let mut seen = HashSet::new();
+    suggestions.retain(|s| seen.insert((s.span, s.replacement.clone())));
+
+    CppReport { suggestions, baseline, oracle_calls: calls }
+}

@@ -1,0 +1,226 @@
+//! Types for the mini-C++ with template functions (§4).
+//!
+//! The distinctions that matter for Figure 10/11 are modeled precisely:
+//! *function types* (what deduction produces from a bare function name
+//! like `labs`) versus *class types* (functors with `operator()`), since
+//! the whole bug class is passing one where the other is required.
+
+use std::fmt;
+
+/// A C++ type in our subset.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum CType {
+    Void,
+    Bool,
+    Int,
+    Long,
+    Double,
+    /// An (optionally templated) class type: `vector<long>`,
+    /// `multiplies<long>`, `unary_compose<A, B>`.
+    Class(String, Vec<CType>),
+    /// A *function type* `R(A1, A2)` — what a function name denotes.
+    /// Not an object type: fields of this type are invalid, and it is
+    /// not a class ("is not a class, struct, or union type").
+    Function(Vec<CType>, Box<CType>),
+    /// Reference `T&` (transparent for most checks; kept for printing).
+    Ref(Box<CType>),
+    /// A template parameter, only inside uninstantiated template bodies.
+    Param(String),
+}
+
+impl CType {
+    /// Class shorthand.
+    pub fn class(name: &str, args: Vec<CType>) -> CType {
+        CType::Class(name.to_owned(), args)
+    }
+
+    /// Function-type shorthand.
+    pub fn function(params: Vec<CType>, ret: CType) -> CType {
+        CType::Function(params, Box::new(ret))
+    }
+
+    /// Strips references: `T&` → `T`.
+    pub fn strip_ref(&self) -> &CType {
+        match self {
+            CType::Ref(inner) => inner.strip_ref(),
+            other => other,
+        }
+    }
+
+    /// Whether this is an *object* type (valid for fields/variables).
+    /// Function types are not; this is the invalidity gcc reports as
+    /// "field … invalidly declared function type".
+    pub fn is_object(&self) -> bool {
+        !matches!(self.strip_ref(), CType::Function(_, _) | CType::Void)
+    }
+
+    /// Whether this is a class type ("class, struct, or union").
+    pub fn is_class(&self) -> bool {
+        matches!(self.strip_ref(), CType::Class(_, _))
+    }
+
+    /// Substitutes template parameters.
+    pub fn subst(&self, map: &std::collections::HashMap<String, CType>) -> CType {
+        match self {
+            CType::Param(name) => map.get(name).cloned().unwrap_or_else(|| self.clone()),
+            CType::Class(name, args) => {
+                CType::Class(name.clone(), args.iter().map(|a| a.subst(map)).collect())
+            }
+            CType::Function(params, ret) => CType::Function(
+                params.iter().map(|p| p.subst(map)).collect(),
+                Box::new(ret.subst(map)),
+            ),
+            CType::Ref(inner) => CType::Ref(Box::new(inner.subst(map))),
+            other => other.clone(),
+        }
+    }
+
+    /// Whether any unsubstituted template parameter remains.
+    pub fn has_params(&self) -> bool {
+        match self {
+            CType::Param(_) => true,
+            CType::Class(_, args) => args.iter().any(CType::has_params),
+            CType::Function(params, ret) => {
+                params.iter().any(CType::has_params) || ret.has_params()
+            }
+            CType::Ref(inner) => inner.has_params(),
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for CType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CType::Void => write!(f, "void"),
+            CType::Bool => write!(f, "bool"),
+            CType::Int => write!(f, "int"),
+            CType::Long => write!(f, "long int"),
+            CType::Double => write!(f, "double"),
+            CType::Class(name, args) => {
+                if args.is_empty() {
+                    write!(f, "{name}")
+                } else {
+                    write!(f, "{name}<")?;
+                    for (i, a) in args.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{a}")?;
+                    }
+                    // gcc's famous `> >` spacing.
+                    write!(f, " >")
+                }
+            }
+            CType::Function(params, ret) => {
+                write!(f, "{ret} ()(")?;
+                for (i, p) in params.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+            CType::Ref(inner) => write!(f, "{inner}&"),
+            CType::Param(name) => write!(f, "{name}"),
+        }
+    }
+}
+
+/// Structural deduction: match `param_ty` (containing `Param`s) against a
+/// concrete `arg_ty`, extending `map`. Returns false on conflict.
+pub fn deduce(
+    param_ty: &CType,
+    arg_ty: &CType,
+    map: &mut std::collections::HashMap<String, CType>,
+) -> bool {
+    // Top-level references are dropped on both sides (binding a `T&`
+    // parameter or passing a reference value).
+    let p = param_ty.strip_ref();
+    let a = arg_ty.strip_ref();
+    match (p, a) {
+        (CType::Param(name), _) => match map.get(name) {
+            Some(existing) => existing == a,
+            None => {
+                map.insert(name.clone(), a.clone());
+                true
+            }
+        },
+        (CType::Class(n1, a1), CType::Class(n2, a2)) => {
+            n1 == n2
+                && a1.len() == a2.len()
+                && a1.iter().zip(a2).all(|(x, y)| deduce(x, y, map))
+        }
+        (CType::Function(p1, r1), CType::Function(p2, r2)) => {
+            p1.len() == p2.len()
+                && p1.iter().zip(p2).all(|(x, y)| deduce(x, y, map))
+                && deduce(r1, r2, map)
+        }
+        _ => p == a,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn display_matches_gcc_style() {
+        let t = CType::class("vector", vec![CType::Long]);
+        assert_eq!(t.to_string(), "vector<long int >");
+        let f = CType::function(vec![CType::Long], CType::Long);
+        assert_eq!(f.to_string(), "long int ()(long int)");
+    }
+
+    #[test]
+    fn function_types_are_not_objects_or_classes() {
+        let f = CType::function(vec![CType::Long], CType::Long);
+        assert!(!f.is_object());
+        assert!(!f.is_class());
+        let c = CType::class("multiplies", vec![CType::Long]);
+        assert!(c.is_object());
+        assert!(c.is_class());
+    }
+
+    #[test]
+    fn deduction_binds_params() {
+        let mut map = HashMap::new();
+        let p = CType::class("vector", vec![CType::Param("T".into())]);
+        let a = CType::class("vector", vec![CType::Long]);
+        assert!(deduce(&p, &a, &mut map));
+        assert_eq!(map["T"], CType::Long);
+    }
+
+    #[test]
+    fn deduction_conflict_fails() {
+        let mut map = HashMap::new();
+        map.insert("T".to_owned(), CType::Int);
+        assert!(!deduce(&CType::Param("T".into()), &CType::Long, &mut map));
+    }
+
+    #[test]
+    fn deduction_through_refs() {
+        let mut map = HashMap::new();
+        let p = CType::Ref(Box::new(CType::Param("Op".into())));
+        let a = CType::function(vec![CType::Long], CType::Long);
+        assert!(deduce(&p, &a, &mut map));
+        // This is the Figure 10 pitfall: Op deduced as a *function type*.
+        assert!(!map["Op"].is_class());
+    }
+
+    #[test]
+    fn subst_replaces_params() {
+        let mut map = HashMap::new();
+        map.insert("A".to_owned(), CType::Long);
+        let t = CType::class("unary_compose", vec![CType::Param("A".into()), CType::Int]);
+        assert_eq!(t.subst(&map), CType::class("unary_compose", vec![CType::Long, CType::Int]));
+    }
+
+    #[test]
+    fn has_params_detects_leftovers() {
+        assert!(CType::Param("B".into()).has_params());
+        assert!(!CType::Long.has_params());
+    }
+}

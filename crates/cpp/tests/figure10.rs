@@ -1,0 +1,177 @@
+//! Figures 10 and 11 end-to-end: the STL `compose1(..., labs)` error, the
+//! gcc-style cascade, and the `ptr_fun(labs)` fix.
+
+use seminal_cpp::{check, parse_cpp, search_cpp, CppChangeKind};
+
+/// Figure 10's program in our subset.
+const FIGURE10: &str = "\
+#include <algorithm>
+#include <vector>
+#include <functional>
+using namespace std;
+
+void myFun(vector<long>& inv, vector<long>& outv) {
+  transform(inv.begin(), inv.end(), outv.begin(),
+            compose1(bind1st(multiplies<long>(), 5), labs));
+}
+";
+
+/// The corrected program.
+const FIGURE10_FIXED: &str = "\
+void myFun(vector<long>& inv, vector<long>& outv) {
+  transform(inv.begin(), inv.end(), outv.begin(),
+            compose1(bind1st(multiplies<long>(), 5), ptr_fun(labs)));
+}
+";
+
+#[test]
+fn fixed_version_type_checks() {
+    let prog = parse_cpp(FIGURE10_FIXED).unwrap();
+    let errors = check(&prog);
+    assert!(errors.is_empty(), "{:?}", errors.iter().map(|e| &e.message).collect::<Vec<_>>());
+}
+
+#[test]
+fn broken_version_produces_figure11_style_cascade() {
+    let prog = parse_cpp(FIGURE10).unwrap();
+    let errors = check(&prog);
+    assert!(!errors.is_empty());
+    let all: Vec<&str> = errors.iter().map(|e| e.message.as_str()).collect();
+    // The two signature gcc complaints of Figure 11.
+    assert!(
+        all.iter().any(|m| m.contains("is not a class, struct, or union type")),
+        "{all:?}"
+    );
+    assert!(
+        all.iter().any(|m| m.contains("invalidly declared function type")),
+        "{all:?}"
+    );
+    // And the deduced type is the function type gcc prints.
+    assert!(
+        all.iter().any(|m| m.contains("long int ()(long int)")),
+        "{all:?}"
+    );
+    // Errors inside the templates carry an instantiation chain pointing
+    // back at user code.
+    let chained = errors.iter().find(|e| !e.chain.is_empty()).expect("chained error");
+    assert!(chained.chain.iter().any(|c| c.contains("In instantiation of")));
+    let rendered = chained.render(FIGURE10);
+    assert!(rendered.contains("instantiated from here"), "{rendered}");
+    // The user-code site is inside myFun's call.
+    let blamed = chained.site.text(FIGURE10);
+    assert!(
+        blamed.contains("compose1") || blamed.contains("transform"),
+        "blamed `{blamed}`"
+    );
+}
+
+#[test]
+fn search_suggests_ptr_fun_labs() {
+    let prog = parse_cpp(FIGURE10).unwrap();
+    let report = search_cpp(&prog);
+    let best = report.best().expect("a suggestion");
+    assert_eq!(best.original, "labs");
+    assert_eq!(best.replacement, "ptr_fun(labs)");
+    assert!(matches!(best.kind, CppChangeKind::Constructive(_)));
+    assert_eq!(best.errors_after, 0, "the fix should remove every error");
+    assert!(best.render().contains("ptr_fun(labs)"));
+}
+
+#[test]
+fn search_reports_error_counts() {
+    let prog = parse_cpp(FIGURE10).unwrap();
+    let report = search_cpp(&prog);
+    assert!(!report.baseline.is_empty());
+    assert!(report.oracle_calls > 1);
+    let best = report.best().unwrap();
+    assert_eq!(best.errors_before, report.baseline.len());
+}
+
+#[test]
+fn reverse_error_unneeded_ptr_fun() {
+    // The paper notes functors are not universal: some places need plain
+    // function pointers. Wrapping a functor in ptr_fun is an error our
+    // unwrap change fixes.
+    let src = "\
+void myFun(vector<long>& inv, vector<long>& outv) {
+  transform(inv.begin(), inv.end(), outv.begin(), ptr_fun(negate<long>()));
+}
+";
+    let prog = parse_cpp(src).unwrap();
+    assert!(!check(&prog).is_empty());
+    let report = search_cpp(&prog);
+    let unwrap = report
+        .suggestions
+        .iter()
+        .find(|s| s.replacement == "negate<long int>()");
+    assert!(
+        unwrap.is_some(),
+        "expected the unwrap fix, got {:?}",
+        report.suggestions.iter().map(|s| (&s.original, &s.replacement)).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn magicfun_fails_without_context_but_works_with_it() {
+    // §4.2: magicFun's return type must be deducible from context.
+    let no_ctx = parse_cpp("void f() { magicFun(0); }").unwrap();
+    assert!(!check(&no_ctx).is_empty());
+    let with_ctx = parse_cpp("void f() { long x = magicFun(0); print_long(x); }").unwrap();
+    assert!(check(&with_ctx).is_empty());
+}
+
+#[test]
+fn hoisting_is_available_for_statement_errors() {
+    // A statement whose call has one erroneous argument: hoisting the
+    // arguments into voidMagic calls strictly reduces the cascade.
+    let src = "\
+void f(vector<long>& v) {
+  transform(v.begin(), v.end(), v.begin(), compose1(negate<long>(), labs));
+}
+";
+    let prog = parse_cpp(src).unwrap();
+    let report = search_cpp(&prog);
+    assert!(report
+        .suggestions
+        .iter()
+        .any(|s| matches!(&s.kind, CppChangeKind::Statement(d) if d.contains("hoist"))
+            || matches!(&s.kind, CppChangeKind::Constructive(_))));
+}
+
+#[test]
+fn statement_deletion_always_on_the_table() {
+    let src = "void f(vector<long>& v) { compose1(negate<long>(), labs); v.size(); }";
+    let prog = parse_cpp(src).unwrap();
+    let report = search_cpp(&prog);
+    assert!(report
+        .suggestions
+        .iter()
+        .any(|s| matches!(&s.kind, CppChangeKind::Statement(d) if d.contains("delete"))));
+}
+
+#[test]
+fn arrow_dot_fix() {
+    let src = "void f(vector<long>& v) { long n = v->size(); print_long(n); }";
+    // `v->size()` parses as member-arrow then call on the member — our
+    // subset treats `->name(args)` as an arrow member followed by a call,
+    // which the checker rejects; the dot fix must surface.
+    let prog = parse_cpp(src).unwrap();
+    let report = search_cpp(&prog);
+    assert!(
+        report
+            .suggestions
+            .iter()
+            .any(|s| matches!(&s.kind, CppChangeKind::Constructive(d) if d.contains("`.`"))),
+        "{:?}",
+        report.suggestions.iter().map(|s| (&s.original, &s.replacement)).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn well_typed_program_yields_no_suggestions() {
+    let prog = parse_cpp("void f(vector<long>& v) { v.push_back(3); }").unwrap();
+    let report = search_cpp(&prog);
+    assert!(report.baseline.is_empty());
+    assert!(report.suggestions.is_empty());
+    assert_eq!(report.oracle_calls, 1);
+}

@@ -1,0 +1,195 @@
+//! The five-category classification of §3.2.
+//!
+//! For each file the paper compares three messages — the type-checker's,
+//! Seminal's, and Seminal's with triage disabled — and buckets the file:
+//!
+//! 1. tie with the checker, triage unnecessary;
+//! 2. tie with the checker, triage necessary;
+//! 3. better than the checker, triage unnecessary;
+//! 4. better than the checker, triage necessary;
+//! 5. checker better.
+
+use crate::judge::Judgment;
+
+/// One of the paper's five buckets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Category {
+    TieNoTriage = 1,
+    TieWithTriage = 2,
+    BetterNoTriage = 3,
+    BetterWithTriage = 4,
+    CheckerBetter = 5,
+}
+
+impl Category {
+    /// Index 0..5 for array aggregation.
+    pub fn index(self) -> usize {
+        self as usize - 1
+    }
+
+    /// All categories in figure order.
+    pub const ALL: [Category; 5] = [
+        Category::TieNoTriage,
+        Category::TieWithTriage,
+        Category::BetterNoTriage,
+        Category::BetterWithTriage,
+        Category::CheckerBetter,
+    ];
+
+    /// The stacked-bar label used in Figure 5.
+    pub fn label(self) -> &'static str {
+        match self {
+            Category::TieNoTriage => "tie (no triage needed)",
+            Category::TieWithTriage => "tie (triage needed)",
+            Category::BetterNoTriage => "ours better (no triage needed)",
+            Category::BetterWithTriage => "ours better (triage needed)",
+            Category::CheckerBetter => "type-checker better",
+        }
+    }
+}
+
+/// Classifies one file from the three judgments.
+pub fn classify(full: Judgment, no_triage: Judgment, baseline: Judgment) -> Category {
+    let q_full = full.score();
+    let q_nt = no_triage.score();
+    let q_base = baseline.score();
+    if q_full > q_base {
+        if q_nt > q_base {
+            Category::BetterNoTriage
+        } else {
+            Category::BetterWithTriage
+        }
+    } else if q_full == q_base {
+        if q_nt == q_base {
+            Category::TieNoTriage
+        } else {
+            Category::TieWithTriage
+        }
+    } else {
+        Category::CheckerBetter
+    }
+}
+
+/// Counts per category.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CategoryCounts(pub [usize; 5]);
+
+impl CategoryCounts {
+    /// Adds one classified file.
+    pub fn add(&mut self, c: Category) {
+        self.0[c.index()] += 1;
+    }
+
+    /// Total files.
+    pub fn total(&self) -> usize {
+        self.0.iter().sum()
+    }
+
+    /// Count in a category.
+    pub fn get(&self, c: Category) -> usize {
+        self.0[c.index()]
+    }
+
+    /// Percentage (0–100) of a category.
+    pub fn pct(&self, c: Category) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            100.0 * self.get(c) as f64 / self.total() as f64
+        }
+    }
+
+    /// Sums two tallies (for TOTAL rows).
+    pub fn merge(&mut self, other: &CategoryCounts) {
+        for i in 0..5 {
+            self.0[i] += other.0[i];
+        }
+    }
+}
+
+/// The headline statistics of §3.2, derived from a tally.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Headline {
+    /// Categories 3+4: Seminal better (paper: 19%).
+    pub ours_better_pct: f64,
+    /// Category 5: checker better (paper: 17%).
+    pub checker_better_pct: f64,
+    /// Categories 1–4: no worse (paper: 83%).
+    pub no_worse_pct: f64,
+    /// Category 4 / category 3: how much triage boosts wins (paper: +44%).
+    pub triage_win_boost: f64,
+    /// Category 2 / category 1: how much triage boosts ties (paper: +19%).
+    pub triage_tie_boost: f64,
+    /// Categories 2+4: triage changed the outcome (paper: 16%).
+    pub triage_helps_pct: f64,
+}
+
+/// Computes the §3.2 headline numbers.
+pub fn headline(counts: &CategoryCounts) -> Headline {
+    use Category::*;
+    let c = |cat| counts.get(cat) as f64;
+    let pct = |cat| counts.pct(cat);
+    Headline {
+        ours_better_pct: pct(BetterNoTriage) + pct(BetterWithTriage),
+        checker_better_pct: pct(CheckerBetter),
+        no_worse_pct: 100.0 - pct(CheckerBetter),
+        triage_win_boost: if c(BetterNoTriage) > 0.0 {
+            100.0 * c(BetterWithTriage) / c(BetterNoTriage)
+        } else {
+            0.0
+        },
+        triage_tie_boost: if c(TieNoTriage) > 0.0 {
+            100.0 * c(TieWithTriage) / c(TieNoTriage)
+        } else {
+            0.0
+        },
+        triage_helps_pct: pct(TieWithTriage) + pct(BetterWithTriage),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: Judgment = Judgment { location_good: true, accurate: true };
+    const LOC: Judgment = Judgment { location_good: true, accurate: false };
+    const BAD: Judgment = Judgment { location_good: false, accurate: false };
+
+    #[test]
+    fn classification_matrix() {
+        assert_eq!(classify(GOOD, GOOD, GOOD), Category::TieNoTriage);
+        assert_eq!(classify(GOOD, BAD, GOOD), Category::TieWithTriage);
+        assert_eq!(classify(GOOD, GOOD, LOC), Category::BetterNoTriage);
+        assert_eq!(classify(GOOD, LOC, LOC), Category::BetterWithTriage);
+        assert_eq!(classify(LOC, LOC, GOOD), Category::CheckerBetter);
+        assert_eq!(classify(BAD, BAD, BAD), Category::TieNoTriage);
+    }
+
+    #[test]
+    fn headline_math() {
+        let mut counts = CategoryCounts::default();
+        // 50 / 9 / 16 / 7 / 18 resembles the paper's distribution.
+        for (cat, n) in Category::ALL.iter().zip([50usize, 9, 16, 7, 18]) {
+            for _ in 0..n {
+                counts.add(*cat);
+            }
+        }
+        let h = headline(&counts);
+        assert!((h.ours_better_pct - 23.0).abs() < 0.01);
+        assert!((h.checker_better_pct - 18.0).abs() < 0.01);
+        assert!((h.no_worse_pct - 82.0).abs() < 0.01);
+        assert!((h.triage_win_boost - 43.75).abs() < 0.01);
+        assert!((h.triage_tie_boost - 18.0).abs() < 0.01);
+        assert!((h.triage_helps_pct - 16.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn counts_merge() {
+        let mut a = CategoryCounts::default();
+        a.add(Category::TieNoTriage);
+        let mut b = CategoryCounts::default();
+        b.add(Category::CheckerBetter);
+        a.merge(&b);
+        assert_eq!(a.total(), 2);
+    }
+}

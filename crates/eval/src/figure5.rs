@@ -1,0 +1,148 @@
+//! Figure 5: five-category results, stacked by programmer (a) and by
+//! assignment (b), plus the TOTAL bar and §3.2 headline statistics.
+
+use crate::category::{headline, Category, CategoryCounts, Headline};
+use crate::runner::FileResult;
+use std::collections::BTreeMap;
+
+/// The aggregated data behind both halves of Figure 5.
+#[derive(Debug, Clone)]
+pub struct Figure5 {
+    /// (programmer, tally) rows — Figure 5(a).
+    pub by_programmer: Vec<(u8, CategoryCounts)>,
+    /// (assignment, tally) rows — Figure 5(b).
+    pub by_assignment: Vec<(u8, CategoryCounts)>,
+    /// The TOTAL bar.
+    pub total: CategoryCounts,
+}
+
+/// Aggregates per-file results into the figure's rows.
+pub fn figure5(results: &[FileResult]) -> Figure5 {
+    let mut by_p: BTreeMap<u8, CategoryCounts> = BTreeMap::new();
+    let mut by_a: BTreeMap<u8, CategoryCounts> = BTreeMap::new();
+    let mut total = CategoryCounts::default();
+    for r in results {
+        by_p.entry(r.programmer).or_default().add(r.category);
+        by_a.entry(r.assignment).or_default().add(r.category);
+        total.add(r.category);
+    }
+    Figure5 {
+        by_programmer: by_p.into_iter().collect(),
+        by_assignment: by_a.into_iter().collect(),
+        total,
+    }
+}
+
+/// The §3.2 headline derived from the TOTAL bar.
+pub fn figure5_headline(fig: &Figure5) -> Headline {
+    headline(&fig.total)
+}
+
+fn render_row(label: &str, counts: &CategoryCounts) -> String {
+    let mut cells = String::new();
+    for c in Category::ALL {
+        cells.push_str(&format!("{:>6}", counts.get(c)));
+    }
+    format!("{label:<12}{cells}{:>8}", counts.total())
+}
+
+/// Renders the figure as an ASCII table (one row per key + TOTAL), with
+/// the category legend and headline statistics below.
+pub fn render_figure5(fig: &Figure5) -> String {
+    let mut out = String::new();
+    let header = format!(
+        "{:<12}{:>6}{:>6}{:>6}{:>6}{:>6}{:>8}",
+        "", "cat1", "cat2", "cat3", "cat4", "cat5", "total"
+    );
+
+    out.push_str("Figure 5(a): results by programmer\n");
+    out.push_str(&header);
+    out.push('\n');
+    for (p, counts) in &fig.by_programmer {
+        out.push_str(&render_row(&format!("prog {p}"), counts));
+        out.push('\n');
+    }
+    out.push_str(&render_row("TOTAL", &fig.total));
+    out.push('\n');
+
+    out.push_str("\nFigure 5(b): results by assignment\n");
+    out.push_str(&header);
+    out.push('\n');
+    for (a, counts) in &fig.by_assignment {
+        out.push_str(&render_row(&format!("hw {a}"), counts));
+        out.push('\n');
+    }
+    out.push_str(&render_row("TOTAL", &fig.total));
+    out.push('\n');
+
+    out.push_str("\nLegend:\n");
+    for c in Category::ALL {
+        out.push_str(&format!("  cat{} = {}\n", c as usize, c.label()));
+    }
+
+    let h = figure5_headline(fig);
+    out.push_str(&format!(
+        "\n§3.2 headline (paper in parentheses):\n\
+           ours better        : {:5.1}%  (19%)\n\
+           checker better     : {:5.1}%  (17%)\n\
+           ours no worse      : {:5.1}%  (83%)\n\
+           triage win boost   : {:5.1}%  (44%)\n\
+           triage tie boost   : {:5.1}%  (19%)\n\
+           triage changed file: {:5.1}%  (16%)\n",
+        h.ours_better_pct,
+        h.checker_better_pct,
+        h.no_worse_pct,
+        h.triage_win_boost,
+        h.triage_tie_boost,
+        h.triage_helps_pct,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::judge::Judgment;
+
+    fn result(p: u8, a: u8, cat: Category) -> FileResult {
+        let j = Judgment { location_good: true, accurate: true };
+        FileResult {
+            id: format!("p{p}-a{a}"),
+            programmer: p,
+            assignment: a,
+            multi_error: false,
+            category: cat,
+            full: j,
+            no_triage: j,
+            baseline: j,
+            full_time: std::time::Duration::ZERO,
+            no_triage_time: std::time::Duration::ZERO,
+            full_calls: 1,
+        }
+    }
+
+    #[test]
+    fn aggregation_by_both_keys() {
+        let results = vec![
+            result(1, 1, Category::TieNoTriage),
+            result(1, 2, Category::BetterNoTriage),
+            result(2, 1, Category::CheckerBetter),
+        ];
+        let fig = figure5(&results);
+        assert_eq!(fig.by_programmer.len(), 2);
+        assert_eq!(fig.by_assignment.len(), 2);
+        assert_eq!(fig.total.total(), 3);
+        assert_eq!(fig.total.get(Category::CheckerBetter), 1);
+    }
+
+    #[test]
+    fn rendering_contains_rows_and_headline() {
+        let results = vec![result(1, 1, Category::BetterWithTriage)];
+        let text = render_figure5(&figure5(&results));
+        assert!(text.contains("Figure 5(a)"));
+        assert!(text.contains("prog 1"));
+        assert!(text.contains("hw 1"));
+        assert!(text.contains("TOTAL"));
+        assert!(text.contains("ours better"));
+    }
+}

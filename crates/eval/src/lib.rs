@@ -1,0 +1,29 @@
+//! # seminal-eval — the paper's evaluation, mechanized
+//!
+//! Reproduces §3 over the synthesized corpus of `seminal-corpus`:
+//!
+//! * [`judge`] — location/accuracy judgments against ground truth (the
+//!   mechanical stand-in for the paper's manual analysis);
+//! * [`category`] — the five-bucket classification and §3.2 headline;
+//! * [`runner`] — runs checker vs Seminal vs Seminal-without-triage;
+//! * [`mod@figure5`] — results by programmer / assignment (Figure 5a/5b);
+//! * [`mod@figure7`] — the three-configuration runtime CDF (Figure 7).
+//!
+//! Figure 6 (same-problem group sizes) is computed directly from
+//! `seminal_corpus::session` by the `figures` binary in `seminal-bench`.
+
+pub mod ablation;
+pub mod by_kind;
+pub mod category;
+pub mod figure5;
+pub mod figure7;
+pub mod judge;
+pub mod runner;
+
+pub use ablation::{ablations, location_only, render_ablations, render_location_only};
+pub use by_kind::{by_kind, render_by_kind, KindTally};
+pub use category::{classify, headline, Category, CategoryCounts, Headline};
+pub use figure5::{figure5, render_figure5, Figure5};
+pub use figure7::{cdf, figure7, render_figure7, Figure7};
+pub use judge::{judge_baseline, judge_seminal, Judgment};
+pub use runner::{evaluate_corpus, FileResult};

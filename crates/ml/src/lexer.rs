@@ -1,0 +1,557 @@
+//! Hand-written lexer for the Caml subset.
+//!
+//! Produces a vector of spanned [`Token`]s. Comments `(* ... *)` nest, as
+//! in OCaml; the corpus collector of the paper obfuscated comment contents,
+//! so nothing downstream ever looks inside them.
+
+use crate::span::Span;
+use crate::token::{keyword, Token};
+use std::fmt;
+
+/// A token together with the source bytes it came from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    pub token: Token,
+    pub span: Span,
+}
+
+/// An error encountered while lexing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    pub message: String,
+    pub span: Span,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes `source` in full.
+///
+/// # Errors
+///
+/// Returns the first [`LexError`] (unterminated comment or string, illegal
+/// character, malformed number).
+pub fn lex(source: &str) -> Result<Vec<Spanned>, LexError> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'s> {
+    src: &'s [u8],
+    pos: usize,
+    out: Vec<Spanned>,
+}
+
+impl<'s> Lexer<'s> {
+    fn new(source: &'s str) -> Lexer<'s> {
+        Lexer { src: source.as_bytes(), pos: 0, out: Vec::new() }
+    }
+
+    fn peek(&self) -> u8 {
+        self.src.get(self.pos).copied().unwrap_or(0)
+    }
+
+    fn peek2(&self) -> u8 {
+        self.src.get(self.pos + 1).copied().unwrap_or(0)
+    }
+
+    fn peek3(&self) -> u8 {
+        self.src.get(self.pos + 2).copied().unwrap_or(0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let b = self.peek();
+        self.pos += 1;
+        b
+    }
+
+    fn error(&self, start: usize, message: impl Into<String>) -> LexError {
+        LexError { message: message.into(), span: Span::new(start as u32, self.pos as u32) }
+    }
+
+    fn emit(&mut self, start: usize, token: Token) {
+        self.out.push(Spanned { token, span: Span::new(start as u32, self.pos as u32) });
+    }
+
+    fn run(mut self) -> Result<Vec<Spanned>, LexError> {
+        loop {
+            self.skip_trivia()?;
+            let start = self.pos;
+            let b = self.peek();
+            if b == 0 && self.pos >= self.src.len() {
+                self.emit(start, Token::Eof);
+                return Ok(self.out);
+            }
+            match b {
+                b'0'..=b'9' => self.number(start)?,
+                b'"' => self.string(start)?,
+                b'\'' => self.tyvar(start)?,
+                b'a'..=b'z' => self.lower_ident(start),
+                b'A'..=b'Z' => self.upper_ident(start),
+                b'_' => {
+                    self.bump();
+                    if self.peek().is_ascii_alphanumeric() || self.peek() == b'_' {
+                        // `_foo` is an ordinary (ignorable) identifier.
+                        while self.peek().is_ascii_alphanumeric()
+                            || self.peek() == b'_'
+                            || self.peek() == b'\''
+                        {
+                            self.bump();
+                        }
+                        let text =
+                            std::str::from_utf8(&self.src[start..self.pos]).unwrap().to_owned();
+                        self.emit(start, Token::Lident(text));
+                    } else {
+                        self.emit(start, Token::Underscore);
+                    }
+                }
+                _ => self.symbol(start)?,
+            }
+        }
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), LexError> {
+        loop {
+            match self.peek() {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'(' if self.peek2() == b'*' => {
+                    let start = self.pos;
+                    self.pos += 2;
+                    let mut depth = 1usize;
+                    while depth > 0 {
+                        if self.pos >= self.src.len() {
+                            return Err(self.error(start, "unterminated comment"));
+                        }
+                        if self.peek() == b'(' && self.peek2() == b'*' {
+                            depth += 1;
+                            self.pos += 2;
+                        } else if self.peek() == b'*' && self.peek2() == b')' {
+                            depth -= 1;
+                            self.pos += 2;
+                        } else {
+                            self.pos += 1;
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn number(&mut self, start: usize) -> Result<(), LexError> {
+        while self.peek().is_ascii_digit() || self.peek() == b'_' {
+            self.bump();
+        }
+        let mut is_float = false;
+        // A float needs `.` not followed by another `.` (no ranges in this
+        // language) and is allowed a fractional part and exponent.
+        if self.peek() == b'.' && !self.peek2().is_ascii_punctuation() {
+            is_float = true;
+            self.bump();
+            while self.peek().is_ascii_digit() || self.peek() == b'_' {
+                self.bump();
+            }
+        }
+        if matches!(self.peek(), b'e' | b'E')
+            && (self.peek2().is_ascii_digit()
+                || (matches!(self.peek2(), b'+' | b'-') && self.peek3().is_ascii_digit()))
+        {
+            is_float = true;
+            self.bump();
+            if matches!(self.peek(), b'+' | b'-') {
+                self.bump();
+            }
+            while self.peek().is_ascii_digit() {
+                self.bump();
+            }
+        }
+        let text: String = std::str::from_utf8(&self.src[start..self.pos])
+            .unwrap()
+            .chars()
+            .filter(|&c| c != '_')
+            .collect();
+        if is_float {
+            let value: f64 =
+                text.parse().map_err(|_| self.error(start, format!("bad float `{text}`")))?;
+            self.emit(start, Token::Float(value));
+        } else {
+            let value: i64 =
+                text.parse().map_err(|_| self.error(start, format!("bad integer `{text}`")))?;
+            self.emit(start, Token::Int(value));
+        }
+        Ok(())
+    }
+
+    fn string(&mut self, start: usize) -> Result<(), LexError> {
+        self.bump(); // opening quote
+        let mut value = String::new();
+        loop {
+            if self.pos >= self.src.len() {
+                return Err(self.error(start, "unterminated string literal"));
+            }
+            match self.bump() {
+                b'"' => break,
+                b'\\' => {
+                    let esc = self.bump();
+                    value.push(match esc {
+                        b'n' => '\n',
+                        b't' => '\t',
+                        b'r' => '\r',
+                        b'\\' => '\\',
+                        b'"' => '"',
+                        other => {
+                            return Err(self.error(
+                                start,
+                                format!("unknown escape `\\{}`", other as char),
+                            ))
+                        }
+                    });
+                }
+                other => value.push(other as char),
+            }
+        }
+        self.emit(start, Token::Str(value));
+        Ok(())
+    }
+
+    fn tyvar(&mut self, start: usize) -> Result<(), LexError> {
+        self.bump(); // the quote
+        if !self.peek().is_ascii_lowercase() {
+            return Err(self.error(start, "expected type variable after `'`"));
+        }
+        let name_start = self.pos;
+        while self.peek().is_ascii_alphanumeric() || self.peek() == b'_' {
+            self.bump();
+        }
+        let name = std::str::from_utf8(&self.src[name_start..self.pos]).unwrap().to_owned();
+        self.emit(start, Token::TyVar(name));
+        Ok(())
+    }
+
+    fn lower_ident(&mut self, start: usize) {
+        while self.peek().is_ascii_alphanumeric() || self.peek() == b'_' || self.peek() == b'\'' {
+            self.bump();
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap().to_owned();
+        match keyword(&text) {
+            Some(tok) => self.emit(start, tok),
+            None => self.emit(start, Token::Lident(text)),
+        }
+    }
+
+    /// Upper-case identifier; a following `.lident` run folds into a
+    /// qualified lower identifier (`List.map`), matching how the parser
+    /// wants to see module paths.
+    fn upper_ident(&mut self, start: usize) {
+        while self.peek().is_ascii_alphanumeric() || self.peek() == b'_' || self.peek() == b'\'' {
+            self.bump();
+        }
+        // Qualified path: `Mod.name` — only when a lowercase ident follows
+        // the dot; `Mod.Ctor` keeps constructors unqualified for simplicity.
+        if self.peek() == b'.' && self.peek2().is_ascii_lowercase() {
+            self.bump(); // dot
+            while self.peek().is_ascii_alphanumeric() || self.peek() == b'_' || self.peek() == b'\''
+            {
+                self.bump();
+            }
+            let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap().to_owned();
+            self.emit(start, Token::Lident(text));
+            return;
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap().to_owned();
+        self.emit(start, Token::Uident(text));
+    }
+
+    fn symbol(&mut self, start: usize) -> Result<(), LexError> {
+        let b = self.bump();
+        let tok = match b {
+            b'(' => Token::LParen,
+            b')' => Token::RParen,
+            b'[' => {
+                if self.peek() == b'[' {
+                    // `[[...]]` hole literal.
+                    let save = self.pos;
+                    self.bump();
+                    if self.peek() == b'.' && self.peek2() == b'.' && self.peek3() == b'.' {
+                        self.pos += 3;
+                        if self.peek() == b']' && self.peek2() == b']' {
+                            self.pos += 2;
+                            Token::Hole
+                        } else {
+                            return Err(self.error(start, "malformed hole, expected `[[...]]`"));
+                        }
+                    } else {
+                        self.pos = save;
+                        Token::LBracket
+                    }
+                } else {
+                    Token::LBracket
+                }
+            }
+            b']' => Token::RBracket,
+            b'{' => Token::LBrace,
+            b'}' => Token::RBrace,
+            b';' => {
+                if self.peek() == b';' {
+                    self.bump();
+                    Token::SemiSemi
+                } else {
+                    Token::Semi
+                }
+            }
+            b':' => match self.peek() {
+                b':' => {
+                    self.bump();
+                    Token::ColonColon
+                }
+                b'=' => {
+                    self.bump();
+                    Token::ColonEq
+                }
+                _ => Token::Colon,
+            },
+            b',' => Token::Comma,
+            b'-' => match self.peek() {
+                b'>' => {
+                    self.bump();
+                    Token::Arrow
+                }
+                b'.' => {
+                    self.bump();
+                    Token::MinusDot
+                }
+                _ => Token::Minus,
+            },
+            b'<' => match self.peek() {
+                b'-' => {
+                    self.bump();
+                    Token::LeftArrow
+                }
+                b'=' => {
+                    self.bump();
+                    Token::Le
+                }
+                b'>' => {
+                    self.bump();
+                    Token::LtGt
+                }
+                _ => Token::Lt,
+            },
+            b'>' => {
+                if self.peek() == b'=' {
+                    self.bump();
+                    Token::Ge
+                } else {
+                    Token::Gt
+                }
+            }
+            b'|' => {
+                if self.peek() == b'|' {
+                    self.bump();
+                    Token::BarBar
+                } else {
+                    Token::Bar
+                }
+            }
+            b'=' => {
+                if self.peek() == b'=' {
+                    self.bump();
+                    Token::EqEq
+                } else {
+                    Token::Eq
+                }
+            }
+            b'!' => {
+                if self.peek() == b'=' {
+                    self.bump();
+                    Token::BangEq
+                } else {
+                    Token::Bang
+                }
+            }
+            b'+' => {
+                if self.peek() == b'.' {
+                    self.bump();
+                    Token::PlusDot
+                } else {
+                    Token::Plus
+                }
+            }
+            b'*' => {
+                if self.peek() == b'.' {
+                    self.bump();
+                    Token::StarDot
+                } else {
+                    Token::Star
+                }
+            }
+            b'/' => {
+                if self.peek() == b'.' {
+                    self.bump();
+                    Token::SlashDot
+                } else {
+                    Token::Slash
+                }
+            }
+            b'^' => Token::Caret,
+            b'@' => Token::At,
+            b'&' => {
+                if self.peek() == b'&' {
+                    self.bump();
+                    Token::AmpAmp
+                } else {
+                    return Err(self.error(start, "single `&` is not an operator here"));
+                }
+            }
+            b'.' => Token::Dot,
+            other => {
+                return Err(self.error(start, format!("unexpected character `{}`", other as char)))
+            }
+        };
+        self.emit(start, tok);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            toks("let rec foo = fun x -> x"),
+            vec![
+                Token::Let,
+                Token::Rec,
+                Token::Lident("foo".into()),
+                Token::Eq,
+                Token::Fun,
+                Token::Lident("x".into()),
+                Token::Arrow,
+                Token::Lident("x".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn qualified_names_fold() {
+        assert_eq!(
+            toks("List.map f xs"),
+            vec![
+                Token::Lident("List.map".into()),
+                Token::Lident("f".into()),
+                Token::Lident("xs".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn constructor_stays_upper() {
+        assert_eq!(toks("For"), vec![Token::Uident("For".into()), Token::Eof]);
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            toks("42 3.14 1e3 1_000"),
+            vec![Token::Int(42), Token::Float(3.14), Token::Float(1000.0), Token::Int(1000), Token::Eof]
+        );
+    }
+
+    #[test]
+    fn float_then_int_ops() {
+        assert_eq!(
+            toks("1 +. 2.0"),
+            vec![Token::Int(1), Token::PlusDot, Token::Float(2.0), Token::Eof]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(toks(r#""hi\n\"there\"""#), vec![Token::Str("hi\n\"there\"".into()), Token::Eof]);
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(lex("\"oops").is_err());
+    }
+
+    #[test]
+    fn nested_comments() {
+        assert_eq!(toks("1 (* a (* b *) c *) 2"), vec![Token::Int(1), Token::Int(2), Token::Eof]);
+    }
+
+    #[test]
+    fn unterminated_comment_errors() {
+        assert!(lex("(* oops").is_err());
+    }
+
+    #[test]
+    fn compound_operators() {
+        assert_eq!(
+            toks(":= :: <- -> <> == != <= >= && || ;;"),
+            vec![
+                Token::ColonEq,
+                Token::ColonColon,
+                Token::LeftArrow,
+                Token::Arrow,
+                Token::LtGt,
+                Token::EqEq,
+                Token::BangEq,
+                Token::Le,
+                Token::Ge,
+                Token::AmpAmp,
+                Token::BarBar,
+                Token::SemiSemi,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn hole_literal() {
+        assert_eq!(toks("[[...]]"), vec![Token::Hole, Token::Eof]);
+        // `[[` not followed by dots is two list brackets.
+        assert_eq!(
+            toks("[[1]]"),
+            vec![
+                Token::LBracket,
+                Token::LBracket,
+                Token::Int(1),
+                Token::RBracket,
+                Token::RBracket,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn tyvars() {
+        assert_eq!(toks("'a"), vec![Token::TyVar("a".into()), Token::Eof]);
+    }
+
+    #[test]
+    fn spans_are_tight() {
+        let ts = lex("let x").unwrap();
+        assert_eq!(ts[0].span, Span::new(0, 3));
+        assert_eq!(ts[1].span, Span::new(4, 5));
+    }
+
+    #[test]
+    fn prime_in_identifier() {
+        assert_eq!(toks("x' e1"), vec![Token::Lident("x'".into()), Token::Lident("e1".into()), Token::Eof]);
+    }
+}

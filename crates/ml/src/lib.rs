@@ -1,0 +1,40 @@
+//! # seminal-ml — the Caml-subset front end
+//!
+//! The object language for the SEMINAL reproduction (Lerner, Flower,
+//! Grossman, Chambers — *Searching for Type-Error Messages*, PLDI 2007).
+//! This crate owns everything *syntactic*: lexing, parsing, the untyped
+//! AST the search procedure manipulates, precedence-aware pretty printing
+//! (error messages quote concrete syntax), and node-addressed AST editing.
+//!
+//! Type checking lives in `seminal-typeck`; the search procedure in
+//! `seminal-core` uses the checker strictly as an oracle over [`Program`]
+//! values produced by [`edit`].
+//!
+//! ```
+//! use seminal_ml::parser::parse_program;
+//! use seminal_ml::pretty::program_to_string;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let prog = parse_program("let lst = List.map (fun x -> x + 1) [1; 2; 3]")?;
+//! assert_eq!(prog.decls.len(), 1);
+//! let printed = program_to_string(&prog);
+//! assert!(printed.contains("fun x -> x + 1"));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod ast;
+pub mod edit;
+pub mod lexer;
+pub mod parser;
+pub mod pretty;
+pub mod span;
+pub mod token;
+
+pub use ast::{
+    Arm, BinOp, Binding, Decl, DeclKind, Expr, ExprKind, FieldDef, Lit, NodeId, Pat, PatKind,
+    Program, TypeDef, TypeDefBody, TypeExpr, UnOp,
+};
+pub use parser::{parse_expr, parse_program, ParseError};
+pub use pretty::{expr_to_string, pat_to_string, program_to_string};
+pub use span::{LineMap, Span};

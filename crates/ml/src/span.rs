@@ -1,0 +1,173 @@
+//! Byte-offset source spans and line/column rendering.
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into a source buffer.
+///
+/// Spans are attached to every AST node at parse time and survive AST
+/// edits unchanged: a synthesized replacement node inherits the span of the
+/// node it replaced, so error messages can always point back into the
+/// original source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: u32,
+    /// Byte offset one past the last character.
+    pub end: u32,
+}
+
+impl Span {
+    /// A span covering nothing, used for synthesized nodes with no better home.
+    pub const DUMMY: Span = Span { start: 0, end: 0 };
+
+    /// Creates a span from raw byte offsets.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `start > end`.
+    pub fn new(start: u32, end: u32) -> Span {
+        debug_assert!(start <= end, "span start {start} exceeds end {end}");
+        Span { start, end }
+    }
+
+    /// The smallest span containing both `self` and `other`.
+    pub fn merge(self, other: Span) -> Span {
+        if self == Span::DUMMY {
+            return other;
+        }
+        if other == Span::DUMMY {
+            return self;
+        }
+        Span::new(self.start.min(other.start), self.end.max(other.end))
+    }
+
+    /// Whether the two spans share at least one byte.
+    pub fn overlaps(self, other: Span) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+
+    /// Whether `self` entirely contains `other`.
+    pub fn contains(self, other: Span) -> bool {
+        self.start <= other.start && other.end <= self.end
+    }
+
+    /// Number of bytes covered.
+    pub fn len(self) -> u32 {
+        self.end - self.start
+    }
+
+    /// Whether the span covers zero bytes.
+    pub fn is_empty(self) -> bool {
+        self.start == self.end
+    }
+
+    /// The source text under this span.
+    pub fn text(self, source: &str) -> &str {
+        &source[self.start as usize..self.end.min(source.len() as u32) as usize]
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// Maps byte offsets to 1-based line / column pairs, the format the
+/// underlying Caml type-checker prints ("line L, characters C1-C2").
+#[derive(Debug, Clone)]
+pub struct LineMap {
+    /// Byte offset of the start of each line, in increasing order.
+    line_starts: Vec<u32>,
+}
+
+impl LineMap {
+    /// Builds the line table for `source`.
+    pub fn new(source: &str) -> LineMap {
+        let mut line_starts = vec![0];
+        for (i, b) in source.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i as u32 + 1);
+            }
+        }
+        LineMap { line_starts }
+    }
+
+    /// The 1-based `(line, column)` of a byte offset.
+    pub fn position(&self, offset: u32) -> (u32, u32) {
+        let line = match self.line_starts.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        (line as u32 + 1, offset - self.line_starts[line] + 1)
+    }
+
+    /// Renders a span the way ocamlc does:
+    /// `line 3, characters 10-14`.
+    pub fn describe(&self, span: Span) -> String {
+        let (line, col) = self.position(span.start);
+        let (eline, ecol) = self.position(span.end);
+        if line == eline {
+            format!("line {line}, characters {}-{}", col, ecol)
+        } else {
+            format!("lines {line}-{eline}, characters {}-{}", col, ecol)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_is_commutative_and_covers() {
+        let a = Span::new(3, 7);
+        let b = Span::new(5, 12);
+        assert_eq!(a.merge(b), b.merge(a));
+        assert_eq!(a.merge(b), Span::new(3, 12));
+    }
+
+    #[test]
+    fn merge_with_dummy_is_identity() {
+        let a = Span::new(3, 7);
+        assert_eq!(a.merge(Span::DUMMY), a);
+        assert_eq!(Span::DUMMY.merge(a), a);
+    }
+
+    #[test]
+    fn overlap_is_strict() {
+        assert!(Span::new(0, 5).overlaps(Span::new(4, 6)));
+        assert!(!Span::new(0, 5).overlaps(Span::new(5, 6)));
+        assert!(!Span::new(5, 6).overlaps(Span::new(0, 5)));
+    }
+
+    #[test]
+    fn containment() {
+        assert!(Span::new(0, 10).contains(Span::new(3, 7)));
+        assert!(Span::new(0, 10).contains(Span::new(0, 10)));
+        assert!(!Span::new(1, 10).contains(Span::new(0, 4)));
+    }
+
+    #[test]
+    fn line_map_positions() {
+        let src = "let x = 1\nlet y =\n  2\n";
+        let lm = LineMap::new(src);
+        assert_eq!(lm.position(0), (1, 1));
+        assert_eq!(lm.position(4), (1, 5));
+        assert_eq!(lm.position(10), (2, 1));
+        assert_eq!(lm.position(20), (3, 3));
+    }
+
+    #[test]
+    fn line_map_describe_single_line() {
+        let src = "let x = 1 + true\n";
+        let lm = LineMap::new(src);
+        assert_eq!(lm.describe(Span::new(12, 16)), "line 1, characters 13-17");
+    }
+
+    #[test]
+    fn span_text() {
+        let src = "let x = 1";
+        assert_eq!(Span::new(4, 5).text(src), "x");
+    }
+}

@@ -1,0 +1,211 @@
+//! Tokens produced by the [`lexer`](crate::lexer).
+
+use std::fmt;
+
+/// A lexical token of the Caml subset.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Lower-case identifier or qualified path such as `List.map`.
+    Lident(String),
+    /// Upper-case identifier (constructor or module prefix without a path).
+    Uident(String),
+    /// Type variable such as `'a`.
+    TyVar(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal (must contain `.` in source).
+    Float(f64),
+    /// String literal, with escapes already decoded.
+    Str(String),
+
+    // Keywords.
+    Let,
+    Rec,
+    And,
+    In,
+    Fun,
+    Function,
+    If,
+    Then,
+    Else,
+    Match,
+    With,
+    Type,
+    Of,
+    Exception,
+    Raise,
+    Try,
+    Begin,
+    End,
+    True,
+    False,
+    Mutable,
+    Mod,
+    When,
+
+    // Punctuation and operators.
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    /// `[[...]]` — the printed form of the wildcard hole, accepted on input
+    /// so pretty-printed suggestions re-parse.
+    Hole,
+    Semi,
+    SemiSemi,
+    Colon,
+    Comma,
+    Arrow,
+    LeftArrow,
+    Bar,
+    ColonColon,
+    Eq,
+    EqEq,
+    BangEq,
+    LtGt,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    PlusDot,
+    MinusDot,
+    StarDot,
+    SlashDot,
+    Caret,
+    At,
+    ColonEq,
+    Bang,
+    AmpAmp,
+    BarBar,
+    Underscore,
+    Dot,
+
+    /// End of input.
+    Eof,
+}
+
+impl Token {
+    /// Human-readable name used in parse-error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            Token::Lident(s) | Token::Uident(s) => format!("identifier `{s}`"),
+            Token::TyVar(s) => format!("type variable `'{s}`"),
+            Token::Int(n) => format!("integer `{n}`"),
+            Token::Float(x) => format!("float `{x}`"),
+            Token::Str(s) => format!("string {s:?}"),
+            Token::Eof => "end of input".to_owned(),
+            other => format!("`{}`", other.lexeme()),
+        }
+    }
+
+    /// The concrete spelling of a fixed token (empty for variable tokens).
+    pub fn lexeme(&self) -> &'static str {
+        match self {
+            Token::Let => "let",
+            Token::Rec => "rec",
+            Token::And => "and",
+            Token::In => "in",
+            Token::Fun => "fun",
+            Token::Function => "function",
+            Token::If => "if",
+            Token::Then => "then",
+            Token::Else => "else",
+            Token::Match => "match",
+            Token::With => "with",
+            Token::Type => "type",
+            Token::Of => "of",
+            Token::Exception => "exception",
+            Token::Raise => "raise",
+            Token::Try => "try",
+            Token::Begin => "begin",
+            Token::End => "end",
+            Token::True => "true",
+            Token::False => "false",
+            Token::Mutable => "mutable",
+            Token::Mod => "mod",
+            Token::When => "when",
+            Token::LParen => "(",
+            Token::RParen => ")",
+            Token::LBracket => "[",
+            Token::RBracket => "]",
+            Token::LBrace => "{",
+            Token::RBrace => "}",
+            Token::Hole => "[[...]]",
+            Token::Semi => ";",
+            Token::SemiSemi => ";;",
+            Token::Colon => ":",
+            Token::Comma => ",",
+            Token::Arrow => "->",
+            Token::LeftArrow => "<-",
+            Token::Bar => "|",
+            Token::ColonColon => "::",
+            Token::Eq => "=",
+            Token::EqEq => "==",
+            Token::BangEq => "!=",
+            Token::LtGt => "<>",
+            Token::Lt => "<",
+            Token::Gt => ">",
+            Token::Le => "<=",
+            Token::Ge => ">=",
+            Token::Plus => "+",
+            Token::Minus => "-",
+            Token::Star => "*",
+            Token::Slash => "/",
+            Token::PlusDot => "+.",
+            Token::MinusDot => "-.",
+            Token::StarDot => "*.",
+            Token::SlashDot => "/.",
+            Token::Caret => "^",
+            Token::At => "@",
+            Token::ColonEq => ":=",
+            Token::Bang => "!",
+            Token::AmpAmp => "&&",
+            Token::BarBar => "||",
+            Token::Underscore => "_",
+            Token::Dot => ".",
+            _ => "",
+        }
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.describe())
+    }
+}
+
+/// Looks up the keyword for an identifier spelling, if any.
+pub fn keyword(ident: &str) -> Option<Token> {
+    Some(match ident {
+        "let" => Token::Let,
+        "rec" => Token::Rec,
+        "and" => Token::And,
+        "in" => Token::In,
+        "fun" => Token::Fun,
+        "function" => Token::Function,
+        "if" => Token::If,
+        "then" => Token::Then,
+        "else" => Token::Else,
+        "match" => Token::Match,
+        "with" => Token::With,
+        "type" => Token::Type,
+        "of" => Token::Of,
+        "exception" => Token::Exception,
+        "raise" => Token::Raise,
+        "try" => Token::Try,
+        "begin" => Token::Begin,
+        "end" => Token::End,
+        "true" => Token::True,
+        "false" => Token::False,
+        "mutable" => Token::Mutable,
+        "mod" => Token::Mod,
+        "when" => Token::When,
+        _ => return None,
+    })
+}

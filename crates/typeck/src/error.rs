@@ -1,0 +1,148 @@
+//! Type errors in the style the underlying Caml checker prints them.
+//!
+//! These are the *baseline* messages of the paper's evaluation (§3): the
+//! first error encountered in inference order, phrased like ocamlc. The
+//! search system treats the whole error as opaque apart from its span.
+
+use seminal_ml::span::{LineMap, Span};
+use std::fmt;
+
+/// What went wrong.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeErrorKind {
+    /// The classic unification failure.
+    Mismatch { found: String, expected: String },
+    /// Occurs-check failure.
+    Infinite { found: String, expected: String },
+    /// Reference to an unknown value.
+    UnboundVar(String),
+    /// Reference to an unknown constructor.
+    UnboundCtor(String),
+    /// Reference to an unknown record field.
+    UnboundField(String),
+    /// Reference to an unknown type constructor (or wrong arity).
+    UnboundType(String),
+    /// Constructor applied to the wrong number of arguments.
+    CtorArity { name: String, takes_arg: bool },
+    /// Assignment to a non-`mutable` field.
+    NotMutable(String),
+    /// Record literal missing a declared field.
+    MissingField { record: String, field: String },
+    /// Record literal mentions a field from a different record type.
+    ForeignField { record: String, field: String },
+    /// The same variable is bound twice in one pattern.
+    DuplicatePatternVar(String),
+}
+
+/// A type error at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypeError {
+    pub kind: TypeErrorKind,
+    pub span: Span,
+}
+
+impl TypeError {
+    /// The message body, without location information.
+    pub fn message(&self) -> String {
+        match &self.kind {
+            TypeErrorKind::Mismatch { found, expected } => format!(
+                "This expression has type {found} but is here used with type {expected}"
+            ),
+            TypeErrorKind::Infinite { found, expected } => {
+                format!("This expression has type {expected} which would make {found} an infinite type")
+            }
+            TypeErrorKind::UnboundVar(name) => format!("Unbound value {name}"),
+            TypeErrorKind::UnboundCtor(name) => format!("Unbound constructor {name}"),
+            TypeErrorKind::UnboundField(name) => format!("Unbound record field label {name}"),
+            TypeErrorKind::UnboundType(name) => format!("Unbound type constructor {name}"),
+            TypeErrorKind::CtorArity { name, takes_arg } => {
+                if *takes_arg {
+                    format!("The constructor {name} expects 1 argument, but is applied here to 0 arguments")
+                } else {
+                    format!("The constructor {name} expects 0 arguments, but is applied here to 1 argument")
+                }
+            }
+            TypeErrorKind::NotMutable(name) => {
+                format!("The record field label {name} is not mutable")
+            }
+            TypeErrorKind::MissingField { record, field } => {
+                format!("Some record field labels are undefined: {field} (of type {record})")
+            }
+            TypeErrorKind::ForeignField { record, field } => {
+                format!("The record field label {field} belongs to a type other than {record}")
+            }
+            TypeErrorKind::DuplicatePatternVar(name) => {
+                format!("The variable {name} is bound several times in this matching")
+            }
+        }
+    }
+
+    /// Full message with ocamlc-style location line, given the source.
+    pub fn render(&self, source: &str) -> String {
+        let lm = LineMap::new(source);
+        format!("File \"<input>\", {}:\n{}", lm.describe(self.span), self.message())
+    }
+
+    /// Whether this error is a scoping (unbound-name) error rather than a
+    /// unification failure. Triage uses the distinction when diagnosing
+    /// removals that work where adaptations do not (§3.3).
+    pub fn is_unbound(&self) -> bool {
+        matches!(
+            self.kind,
+            TypeErrorKind::UnboundVar(_)
+                | TypeErrorKind::UnboundCtor(_)
+                | TypeErrorKind::UnboundField(_)
+                | TypeErrorKind::UnboundType(_)
+        )
+    }
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (at {})", self.message(), self.span)
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mismatch_message_matches_paper_style() {
+        let e = TypeError {
+            kind: TypeErrorKind::Mismatch {
+                found: "int".into(),
+                expected: "'a -> 'b".into(),
+            },
+            span: Span::new(0, 3),
+        };
+        assert_eq!(
+            e.message(),
+            "This expression has type int but is here used with type 'a -> 'b"
+        );
+    }
+
+    #[test]
+    fn render_includes_location() {
+        let e = TypeError {
+            kind: TypeErrorKind::UnboundVar("print".into()),
+            span: Span::new(4, 9),
+        };
+        let r = e.render("let print = ()");
+        assert!(r.contains("line 1, characters 5-10"));
+        assert!(r.contains("Unbound value print"));
+    }
+
+    #[test]
+    fn unbound_classification() {
+        let e = TypeError { kind: TypeErrorKind::UnboundVar("x".into()), span: Span::DUMMY };
+        assert!(e.is_unbound());
+        let e = TypeError {
+            kind: TypeErrorKind::Mismatch { found: "int".into(), expected: "bool".into() },
+            span: Span::DUMMY,
+        };
+        assert!(!e.is_unbound());
+    }
+}

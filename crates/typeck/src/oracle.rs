@@ -1,0 +1,112 @@
+//! The oracle interface between the type-checker and the search system.
+//!
+//! This is the architectural boundary of the paper (Figure 1): the
+//! changer "simply uses the existing type-checker as an oracle to see if
+//! a change type-checks". `seminal-core` depends only on this trait —
+//! never on inference internals — which is what keeps the approach free
+//! of type-checker modifications.
+
+use crate::error::TypeError;
+use crate::infer::check_program;
+use seminal_ml::ast::Program;
+use std::cell::Cell;
+
+/// A black-box type checker.
+pub trait Oracle {
+    /// Type-checks the whole program, returning the first error if any.
+    ///
+    /// # Errors
+    ///
+    /// The first [`TypeError`] in inference order.
+    fn check(&self, prog: &Program) -> Result<(), TypeError>;
+}
+
+/// The real checker from [`crate::infer`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TypeCheckOracle;
+
+impl TypeCheckOracle {
+    /// Creates the standard oracle.
+    pub fn new() -> TypeCheckOracle {
+        TypeCheckOracle
+    }
+}
+
+impl Oracle for TypeCheckOracle {
+    fn check(&self, prog: &Program) -> Result<(), TypeError> {
+        check_program(prog)
+    }
+}
+
+/// Wraps an oracle and counts calls — the cost metric of the paper's
+/// efficiency discussion (search cost ≈ number of type-checker runs).
+#[derive(Debug, Default)]
+pub struct CountingOracle<O> {
+    inner: O,
+    calls: Cell<u64>,
+}
+
+impl<O: Oracle> CountingOracle<O> {
+    /// Wraps `inner` with a zeroed counter.
+    pub fn new(inner: O) -> CountingOracle<O> {
+        CountingOracle { inner, calls: Cell::new(0) }
+    }
+
+    /// Number of `check` calls made so far.
+    pub fn calls(&self) -> u64 {
+        self.calls.get()
+    }
+
+    /// Resets the counter to zero.
+    pub fn reset(&self) {
+        self.calls.set(0);
+    }
+
+    /// Unwraps the inner oracle.
+    pub fn into_inner(self) -> O {
+        self.inner
+    }
+}
+
+impl<O: Oracle> Oracle for CountingOracle<O> {
+    fn check(&self, prog: &Program) -> Result<(), TypeError> {
+        self.calls.set(self.calls.get() + 1);
+        self.inner.check(prog)
+    }
+}
+
+impl<O: Oracle + ?Sized> Oracle for &O {
+    fn check(&self, prog: &Program) -> Result<(), TypeError> {
+        (**self).check(prog)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seminal_ml::parser::parse_program;
+
+    #[test]
+    fn oracle_accepts_well_typed() {
+        let prog = parse_program("let x = 1 + 2").unwrap();
+        assert!(TypeCheckOracle::new().check(&prog).is_ok());
+    }
+
+    #[test]
+    fn oracle_rejects_ill_typed() {
+        let prog = parse_program("let x = 1 + true").unwrap();
+        assert!(TypeCheckOracle::new().check(&prog).is_err());
+    }
+
+    #[test]
+    fn counting_oracle_counts() {
+        let prog = parse_program("let x = 1").unwrap();
+        let oracle = CountingOracle::new(TypeCheckOracle::new());
+        for _ in 0..3 {
+            oracle.check(&prog).unwrap();
+        }
+        assert_eq!(oracle.calls(), 3);
+        oracle.reset();
+        assert_eq!(oracle.calls(), 0);
+    }
+}

@@ -1,0 +1,267 @@
+//! Semantic types for Hindley–Milner inference.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An inference type variable, an index into the unifier's store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TvId(pub u32);
+
+impl fmt::Display for TvId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "'t{}", self.0)
+    }
+}
+
+/// A (possibly partially solved) type.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Ty {
+    /// Unification variable.
+    Var(TvId),
+    /// Applied constructor: `int`, `'a list`, `('a, 'b) result`, `exn`, …
+    Con(String, Vec<Ty>),
+    /// `t1 -> t2`.
+    Arrow(Box<Ty>, Box<Ty>),
+    /// `t1 * t2 * ...`.
+    Tuple(Vec<Ty>),
+}
+
+impl Ty {
+    /// Nullary constructor shorthand.
+    pub fn con(name: &str) -> Ty {
+        Ty::Con(name.to_owned(), Vec::new())
+    }
+
+    pub fn int() -> Ty {
+        Ty::con("int")
+    }
+
+    pub fn float() -> Ty {
+        Ty::con("float")
+    }
+
+    pub fn string() -> Ty {
+        Ty::con("string")
+    }
+
+    pub fn bool() -> Ty {
+        Ty::con("bool")
+    }
+
+    pub fn unit() -> Ty {
+        Ty::con("unit")
+    }
+
+    pub fn exn() -> Ty {
+        Ty::con("exn")
+    }
+
+    /// `t list`.
+    pub fn list(elem: Ty) -> Ty {
+        Ty::Con("list".to_owned(), vec![elem])
+    }
+
+    /// `t ref`.
+    pub fn reference(inner: Ty) -> Ty {
+        Ty::Con("ref".to_owned(), vec![inner])
+    }
+
+    /// `a -> b`.
+    pub fn arrow(a: Ty, b: Ty) -> Ty {
+        Ty::Arrow(Box::new(a), Box::new(b))
+    }
+
+    /// `a1 -> a2 -> ... -> r`, right associated.
+    pub fn arrows(params: Vec<Ty>, ret: Ty) -> Ty {
+        params.into_iter().rev().fold(ret, |acc, p| Ty::arrow(p, acc))
+    }
+
+    /// Collects every variable occurring in the type (unresolved view).
+    pub fn vars(&self, out: &mut Vec<TvId>) {
+        match self {
+            Ty::Var(v) => {
+                if !out.contains(v) {
+                    out.push(*v);
+                }
+            }
+            Ty::Con(_, args) | Ty::Tuple(args) => {
+                for a in args {
+                    a.vars(out);
+                }
+            }
+            Ty::Arrow(a, b) => {
+                a.vars(out);
+                b.vars(out);
+            }
+        }
+    }
+}
+
+/// A polymorphic type scheme `∀ vars. ty`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scheme {
+    /// Quantified variables (indices are private to the scheme).
+    pub vars: Vec<TvId>,
+    pub ty: Ty,
+}
+
+impl Scheme {
+    /// A monomorphic scheme.
+    pub fn mono(ty: Ty) -> Scheme {
+        Scheme { vars: Vec::new(), ty }
+    }
+}
+
+/// Pretty-prints a *fully resolved* type OCaml-style, naming variables
+/// `'a`, `'b`, … in order of first appearance.
+pub fn pretty(ty: &Ty) -> String {
+    let mut names = HashMap::new();
+    let mut out = String::new();
+    go(ty, 0, &mut names, &mut out);
+    out
+}
+
+fn var_name(idx: usize) -> String {
+    // a, b, ..., z, a1, b1, ...
+    let letter = (b'a' + (idx % 26) as u8) as char;
+    let suffix = idx / 26;
+    if suffix == 0 {
+        format!("'{letter}")
+    } else {
+        format!("'{letter}{suffix}")
+    }
+}
+
+/// `ctx`: 0 = top, 1 = tuple component, 2 = constructor argument / arrow lhs.
+fn go(ty: &Ty, ctx: u8, names: &mut HashMap<TvId, String>, out: &mut String) {
+    match ty {
+        Ty::Var(v) => {
+            let n = names.len();
+            let name = names.entry(*v).or_insert_with(|| var_name(n));
+            out.push_str(name);
+        }
+        Ty::Con(name, args) => match args.len() {
+            0 => out.push_str(name),
+            1 => {
+                go(&args[0], 2, names, out);
+                out.push(' ');
+                out.push_str(name);
+            }
+            _ => {
+                out.push('(');
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    go(a, 0, names, out);
+                }
+                out.push_str(") ");
+                out.push_str(name);
+            }
+        },
+        Ty::Arrow(a, b) => {
+            let parens = ctx >= 1;
+            if parens {
+                out.push('(');
+            }
+            // ctx 1 on the left: nested arrows get parens, tuples do not
+            // (`'a * 'b -> 'a`, as ocamlc prints it).
+            go(a, 1, names, out);
+            out.push_str(" -> ");
+            go(b, 0, names, out);
+            if parens {
+                out.push(')');
+            }
+        }
+        Ty::Tuple(parts) => {
+            // Tuples bind tighter than arrows: `'a * 'b -> 'a` needs no
+            // parens on the left; only constructor-argument position does.
+            let parens = ctx >= 2;
+            if parens {
+                out.push('(');
+            }
+            for (i, p) in parts.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(" * ");
+                }
+                go(p, 2, names, out);
+            }
+            if parens {
+                out.push(')');
+            }
+        }
+    }
+}
+
+/// Pretty-prints a pair of types with a *shared* variable naming, so the
+/// "has type … but is here used with type …" message uses consistent names.
+pub fn pretty_pair(a: &Ty, b: &Ty) -> (String, String) {
+    let mut names = HashMap::new();
+    let mut sa = String::new();
+    go(a, 0, &mut names, &mut sa);
+    let mut sb = String::new();
+    go(b, 0, &mut names, &mut sb);
+    (sa, sb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretty_simple() {
+        assert_eq!(pretty(&Ty::int()), "int");
+        assert_eq!(pretty(&Ty::list(Ty::int())), "int list");
+        assert_eq!(pretty(&Ty::arrow(Ty::int(), Ty::bool())), "int -> bool");
+    }
+
+    #[test]
+    fn pretty_nested_arrows() {
+        let t = Ty::arrows(vec![Ty::arrow(Ty::Var(TvId(0)), Ty::Var(TvId(1)))], Ty::Var(TvId(1)));
+        assert_eq!(pretty(&t), "('a -> 'b) -> 'b");
+    }
+
+    #[test]
+    fn pretty_map_type() {
+        // ('a -> 'b) -> 'a list -> 'b list
+        let a = Ty::Var(TvId(10));
+        let b = Ty::Var(TvId(20));
+        let t = Ty::arrows(
+            vec![Ty::arrow(a.clone(), b.clone()), Ty::list(a.clone())],
+            Ty::list(b.clone()),
+        );
+        assert_eq!(pretty(&t), "('a -> 'b) -> 'a list -> 'b list");
+    }
+
+    #[test]
+    fn pretty_tuple_in_list() {
+        let t = Ty::list(Ty::Tuple(vec![Ty::int(), Ty::bool()]));
+        assert_eq!(pretty(&t), "(int * bool) list");
+    }
+
+    #[test]
+    fn pretty_multi_arg_con() {
+        let t = Ty::Con("result".into(), vec![Ty::int(), Ty::string()]);
+        assert_eq!(pretty(&t), "(int, string) result");
+    }
+
+    #[test]
+    fn pretty_pair_shares_names() {
+        let (a, b) = pretty_pair(&Ty::Var(TvId(3)), &Ty::list(Ty::Var(TvId(3))));
+        assert_eq!(a, "'a");
+        assert_eq!(b, "'a list");
+    }
+
+    #[test]
+    fn arrows_builder() {
+        let t = Ty::arrows(vec![Ty::int(), Ty::bool()], Ty::string());
+        assert_eq!(pretty(&t), "int -> bool -> string");
+    }
+
+    #[test]
+    fn var_names_wrap() {
+        assert_eq!(var_name(0), "'a");
+        assert_eq!(var_name(25), "'z");
+        assert_eq!(var_name(26), "'a1");
+    }
+}

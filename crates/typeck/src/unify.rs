@@ -1,0 +1,259 @@
+//! The unification engine: a mutable store of type variables with
+//! occurs-checked unification.
+
+use crate::types::{Ty, TvId};
+
+/// Outcome of a failed unification, before blame is attached.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UnifyError {
+    /// The two types cannot be made equal; both are returned fully
+    /// resolved for message formatting.
+    Mismatch(Ty, Ty),
+    /// Occurs-check failure: the variable appears inside the type.
+    Infinite(Ty, Ty),
+}
+
+/// The variable store. `None` = unbound; `Some(ty)` = bound (possibly to
+/// another variable, forming chains that `resolve` compresses).
+#[derive(Debug, Default, Clone)]
+pub struct Unifier {
+    bindings: Vec<Option<Ty>>,
+}
+
+impl Unifier {
+    /// An empty store.
+    pub fn new() -> Unifier {
+        Unifier::default()
+    }
+
+    /// Allocates a fresh unbound variable.
+    pub fn fresh(&mut self) -> Ty {
+        let id = TvId(self.bindings.len() as u32);
+        self.bindings.push(None);
+        Ty::Var(id)
+    }
+
+    /// Number of variables allocated so far.
+    pub fn len(&self) -> usize {
+        self.bindings.len()
+    }
+
+    /// Whether no variables have been allocated.
+    pub fn is_empty(&self) -> bool {
+        self.bindings.is_empty()
+    }
+
+    /// Follows variable bindings one level at the root (with path
+    /// compression), leaving sub-structure untouched.
+    pub fn shallow_resolve(&mut self, ty: &Ty) -> Ty {
+        match ty {
+            Ty::Var(v) => {
+                // Scheme-local variables (ids beyond the store) are always
+                // unbound; see `stdlib`.
+                let Some(bound) = self.bindings.get(v.0 as usize).cloned().flatten() else {
+                    return ty.clone();
+                };
+                let root = self.shallow_resolve(&bound);
+                self.bindings[v.0 as usize] = Some(root.clone());
+                root
+            }
+            other => other.clone(),
+        }
+    }
+
+    /// Fully substitutes solved variables throughout the type.
+    pub fn resolve(&mut self, ty: &Ty) -> Ty {
+        let root = self.shallow_resolve(ty);
+        match root {
+            Ty::Var(_) => root,
+            Ty::Con(name, args) => {
+                Ty::Con(name, args.iter().map(|a| self.resolve(a)).collect())
+            }
+            Ty::Arrow(a, b) => Ty::arrow(self.resolve(&a), self.resolve(&b)),
+            Ty::Tuple(parts) => Ty::Tuple(parts.iter().map(|p| self.resolve(p)).collect()),
+        }
+    }
+
+    /// Whether `v` occurs in (the resolution of) `ty`.
+    fn occurs(&mut self, v: TvId, ty: &Ty) -> bool {
+        let root = self.shallow_resolve(ty);
+        match &root {
+            Ty::Var(w) => *w == v,
+            Ty::Con(_, args) | Ty::Tuple(args) => args.iter().any(|a| {
+                let a = a.clone();
+                self.occurs(v, &a)
+            }),
+            Ty::Arrow(a, b) => {
+                let (a, b) = (a.as_ref().clone(), b.as_ref().clone());
+                self.occurs(v, &a) || self.occurs(v, &b)
+            }
+        }
+    }
+
+    /// Makes the two types equal or reports why they cannot be.
+    ///
+    /// # Errors
+    ///
+    /// [`UnifyError::Mismatch`] for constructor clashes (including arity),
+    /// [`UnifyError::Infinite`] when the occurs check fires. On error the
+    /// store may retain partial bindings from sub-unifications; the
+    /// checker aborts at the first error, so this is never observed.
+    pub fn unify(&mut self, a: &Ty, b: &Ty) -> Result<(), UnifyError> {
+        let ra = self.shallow_resolve(a);
+        let rb = self.shallow_resolve(b);
+        match (&ra, &rb) {
+            (Ty::Var(x), Ty::Var(y)) if x == y => Ok(()),
+            (Ty::Var(x), _) => {
+                if self.occurs(*x, &rb) {
+                    let full = self.resolve(&rb);
+                    return Err(UnifyError::Infinite(ra, full));
+                }
+                self.bindings[x.0 as usize] = Some(rb);
+                Ok(())
+            }
+            (_, Ty::Var(y)) => {
+                if self.occurs(*y, &ra) {
+                    let full = self.resolve(&ra);
+                    return Err(UnifyError::Infinite(rb, full));
+                }
+                self.bindings[y.0 as usize] = Some(ra);
+                Ok(())
+            }
+            (Ty::Con(n1, a1), Ty::Con(n2, a2)) if n1 == n2 && a1.len() == a2.len() => {
+                for (x, y) in a1.iter().zip(a2) {
+                    self.unify(x, y).map_err(|e| self.outer_blame(e, &ra, &rb))?;
+                }
+                Ok(())
+            }
+            (Ty::Arrow(x1, y1), Ty::Arrow(x2, y2)) => {
+                self.unify(x1, x2).map_err(|e| self.outer_blame(e, &ra, &rb))?;
+                self.unify(y1, y2).map_err(|e| self.outer_blame(e, &ra, &rb))
+            }
+            (Ty::Tuple(p1), Ty::Tuple(p2)) if p1.len() == p2.len() => {
+                for (x, y) in p1.iter().zip(p2) {
+                    self.unify(x, y).map_err(|e| self.outer_blame(e, &ra, &rb))?;
+                }
+                Ok(())
+            }
+            _ => {
+                let fa = self.resolve(&ra);
+                let fb = self.resolve(&rb);
+                Err(UnifyError::Mismatch(fa, fb))
+            }
+        }
+    }
+
+    /// Reports mismatches at the outermost offending pair, the way ocamlc
+    /// does ("int list vs bool list", not "int vs bool"), while keeping
+    /// infinite-type reports at the inner site.
+    fn outer_blame(&mut self, inner: UnifyError, a: &Ty, b: &Ty) -> UnifyError {
+        match inner {
+            UnifyError::Mismatch(_, _) => {
+                UnifyError::Mismatch(self.resolve(a), self.resolve(b))
+            }
+            inf @ UnifyError::Infinite(_, _) => inf,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::pretty;
+
+    #[test]
+    fn unify_var_with_con() {
+        let mut u = Unifier::new();
+        let v = u.fresh();
+        u.unify(&v, &Ty::int()).unwrap();
+        assert_eq!(u.resolve(&v), Ty::int());
+    }
+
+    #[test]
+    fn unify_is_symmetric_on_success() {
+        let mut u1 = Unifier::new();
+        let a1 = u1.fresh();
+        u1.unify(&a1, &Ty::int()).unwrap();
+        let mut u2 = Unifier::new();
+        let a2 = u2.fresh();
+        u2.unify(&Ty::int(), &a2).unwrap();
+        assert_eq!(u1.resolve(&a1), u2.resolve(&a2));
+    }
+
+    #[test]
+    fn transitive_chains_resolve() {
+        let mut u = Unifier::new();
+        let a = u.fresh();
+        let b = u.fresh();
+        let c = u.fresh();
+        u.unify(&a, &b).unwrap();
+        u.unify(&b, &c).unwrap();
+        u.unify(&c, &Ty::bool()).unwrap();
+        assert_eq!(u.resolve(&a), Ty::bool());
+    }
+
+    #[test]
+    fn mismatch_reports_outer_types() {
+        let mut u = Unifier::new();
+        let err = u.unify(&Ty::list(Ty::int()), &Ty::list(Ty::bool())).unwrap_err();
+        match err {
+            UnifyError::Mismatch(a, b) => {
+                assert_eq!(pretty(&a), "int list");
+                assert_eq!(pretty(&b), "bool list");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn arrow_mismatch() {
+        let mut u = Unifier::new();
+        let err = u.unify(&Ty::arrow(Ty::int(), Ty::int()), &Ty::int()).unwrap_err();
+        assert!(matches!(err, UnifyError::Mismatch(_, _)));
+    }
+
+    #[test]
+    fn occurs_check_fires() {
+        let mut u = Unifier::new();
+        let v = u.fresh();
+        let err = u.unify(&v, &Ty::list(v.clone())).unwrap_err();
+        assert!(matches!(err, UnifyError::Infinite(_, _)));
+    }
+
+    #[test]
+    fn occurs_check_through_chain() {
+        let mut u = Unifier::new();
+        let a = u.fresh();
+        let b = u.fresh();
+        u.unify(&a, &b).unwrap();
+        let err = u.unify(&b, &Ty::arrow(a.clone(), Ty::int())).unwrap_err();
+        assert!(matches!(err, UnifyError::Infinite(_, _)));
+    }
+
+    #[test]
+    fn tuple_arity_mismatch() {
+        let mut u = Unifier::new();
+        let t2 = Ty::Tuple(vec![Ty::int(), Ty::int()]);
+        let t3 = Ty::Tuple(vec![Ty::int(), Ty::int(), Ty::int()]);
+        assert!(matches!(u.unify(&t2, &t3), Err(UnifyError::Mismatch(_, _))));
+    }
+
+    #[test]
+    fn unify_idempotent() {
+        let mut u = Unifier::new();
+        let v = u.fresh();
+        u.unify(&v, &Ty::int()).unwrap();
+        u.unify(&v, &Ty::int()).unwrap();
+        assert_eq!(u.resolve(&v), Ty::int());
+    }
+
+    #[test]
+    fn deep_resolution() {
+        let mut u = Unifier::new();
+        let a = u.fresh();
+        let b = u.fresh();
+        u.unify(&b, &Ty::int()).unwrap();
+        u.unify(&a, &Ty::list(b.clone())).unwrap();
+        assert_eq!(pretty(&u.resolve(&a)), "int list");
+    }
+}

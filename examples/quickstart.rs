@@ -1,0 +1,44 @@
+//! Quickstart: run the search system on an ill-typed program and print
+//! both messages side by side.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use seminal::core::{message, Searcher};
+use seminal::ml::parser::parse_program;
+use seminal::typeck::TypeCheckOracle;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A student utility with the arguments passed in the wrong order
+    // (the paper's Figure 8).
+    let source = r#"
+let add str lst = if List.mem str lst then lst else str :: lst
+let shopping = ["eggs"; "flour"]
+let item = "milk"
+let updated = add shopping item
+"#;
+
+    let program = parse_program(source)?;
+    let searcher = Searcher::new(TypeCheckOracle::new());
+    let report = searcher.search(&program);
+
+    // The conventional message: correct but mystifying without knowing
+    // how unification flows through polymorphic types.
+    if let Some(baseline) = &report.baseline {
+        println!("The type-checker says:\n{}\n", baseline.render(source));
+    }
+
+    // The search's answer: a concrete change that makes the program
+    // type-check.
+    println!("Seminal says:\n{}", message::render_report(&report, source, 1));
+
+    println!(
+        "search cost: {} type-checker calls in {:?}",
+        report.stats.oracle_calls, report.stats.elapsed
+    );
+
+    let best = report.best().expect("a suggestion");
+    assert_eq!(best.replacement_str, "add item shopping");
+    Ok(())
+}

@@ -1,0 +1,10 @@
+// Figure 10: compose1 needs functors; labs is a plain function.
+#include <algorithm>
+#include <vector>
+#include <functional>
+using namespace std;
+
+void myFun(vector<long>& inv, vector<long>& outv) {
+  transform(inv.begin(), inv.end(), outv.begin(),
+            compose1(bind1st(multiplies<long>(), 5), labs));
+}

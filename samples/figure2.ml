@@ -1,0 +1,4 @@
+(* Figure 2 of the paper: map2 called with a tupled lambda. *)
+let map2 f aList bList = List.map (fun (a, b) -> f a b) (List.combine aList bList)
+let lst = map2 (fun (x, y) -> x + y) [1;2;3] [4;5;6]
+let ans = List.filter (fun x -> x == 0) lst

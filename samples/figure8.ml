@@ -1,0 +1,5 @@
+(* Figure 8: add called with its arguments swapped. *)
+let add str lst = if List.mem str lst then lst else str :: lst
+let vList1 = ["a"]
+let s = "b"
+let r = add vList1 s

@@ -1,0 +1,7 @@
+(* The §2.4 scenario: two independent errors in one definition. *)
+let go () =
+  let x = 3 + true in
+  let a = 1 + 2 in
+  let b = a * 3 in
+  let c = 4 + "hi" in
+  b + c

@@ -1,0 +1,40 @@
+//! # seminal — searching for type-error messages
+//!
+//! A full reproduction of Lerner, Flower, Grossman & Chambers,
+//! *Searching for Type-Error Messages* (PLDI 2007), as a Rust workspace.
+//! This façade crate re-exports the pieces:
+//!
+//! * [`ml`] — the Caml-subset front end (lexer, parser, AST, printer,
+//!   node-addressed editing);
+//! * [`typeck`] — Hindley–Milner inference used *only* as a black-box
+//!   oracle, plus the baseline ocamlc-style messages;
+//! * [`core`] — the search system: top-down removal, constructive
+//!   changes, adaptation to context, triage, ranking, messages;
+//! * [`corpus`] — the synthesized student corpus with ground truth;
+//! * [`eval`] — the §3 evaluation (five categories, Figures 5/7);
+//! * [`cpp`] — the §4 C++ template-function prototype.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use seminal::core::{message, Searcher};
+//! use seminal::ml::parser::parse_program;
+//! use seminal::typeck::TypeCheckOracle;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let src = "let lst = List.map (fun (x, y) -> x + y) (List.combine [1] [2])
+//! let n = List.length lst + \"oops\"";
+//! let prog = parse_program(src)?;
+//! let report = Searcher::new(TypeCheckOracle::new()).search(&prog);
+//! let best = report.best().expect("a suggestion");
+//! println!("{}", message::render(best));
+//! # Ok(())
+//! # }
+//! ```
+
+pub use seminal_core as core;
+pub use seminal_corpus as corpus;
+pub use seminal_cpp as cpp;
+pub use seminal_eval as eval;
+pub use seminal_ml as ml;
+pub use seminal_typeck as typeck;

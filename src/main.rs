@@ -1,0 +1,170 @@
+//! The `seminal` command-line tool.
+//!
+//! ```text
+//! seminal check <file.ml>    search an ill-typed Caml-subset file
+//! seminal cpp <file.cpp>     run the C++ template-function prototype
+//! seminal demo               run the paper's worked examples
+//! ```
+//!
+//! `check` prints the conventional type-checker message followed by the
+//! search system's ranked suggestions — the side-by-side view the paper's
+//! evaluation compares.
+
+use seminal::core::{message, Outcome, SearchConfig, Searcher};
+use seminal::ml::parser::parse_program;
+use seminal::typeck::TypeCheckOracle;
+use std::process::ExitCode;
+
+/// Options parsed from the command line.
+struct Opts {
+    /// How many ranked suggestions to print.
+    top: usize,
+    /// Disable triage (§2.4) — the evaluation's ablation, exposed for use.
+    no_triage: bool,
+    /// Print the probe-by-probe search trace.
+    trace: bool,
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut positional: Vec<&str> = Vec::new();
+    let mut opts = Opts { top: 3, no_triage: false, trace: false };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--top" => {
+                opts.top = args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or(3);
+                i += 2;
+            }
+            "--no-triage" => {
+                opts.no_triage = true;
+                i += 1;
+            }
+            "--trace" => {
+                opts.trace = true;
+                i += 1;
+            }
+            other => {
+                positional.push(other);
+                i += 1;
+            }
+        }
+    }
+    match positional.first().copied() {
+        Some("check") => match positional.get(1) {
+            Some(path) => check_file(path, &opts),
+            None => usage(),
+        },
+        Some("cpp") => match positional.get(1) {
+            Some(path) => check_cpp(path),
+            None => usage(),
+        },
+        Some("demo") => demo(),
+        _ => usage(),
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  seminal check [--top N] [--no-triage] [--trace] <file.ml>\n  \
+         seminal cpp <file.cpp>    C++ template-function prototype\n  \
+         seminal demo              run the paper's worked examples"
+    );
+    ExitCode::from(2)
+}
+
+fn check_file(path: &str, opts: &Opts) -> ExitCode {
+    let source = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let prog = match parse_program(&source) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut config = if opts.no_triage {
+        SearchConfig::without_triage()
+    } else {
+        SearchConfig::default()
+    };
+    config.collect_trace = opts.trace;
+    let report = Searcher::with_config(TypeCheckOracle::new(), config).search(&prog);
+    match &report.outcome {
+        Outcome::WellTyped => {
+            println!("{path}: no type errors");
+            ExitCode::SUCCESS
+        }
+        _ => {
+            if let Some(err) = &report.baseline {
+                println!("Type-checker:\n{}\n", err.render(&source));
+            }
+            println!("Our approach:\n{}", message::render_report(&report, &source, opts.top));
+            println!(
+                "({} oracle calls, {:?}{})",
+                report.stats.oracle_calls,
+                report.stats.elapsed,
+                if report.stats.triage_used { ", triage used" } else { "" }
+            );
+            if opts.trace {
+                println!("\nsearch trace ({} probes):", report.trace.len());
+                for t in &report.trace {
+                    println!(
+                        "  [{}] {}  `{}`",
+                        if t.success { "ok " } else { "err" },
+                        t.action,
+                        t.target
+                    );
+                }
+            }
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn check_cpp(path: &str) -> ExitCode {
+    let source = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let prog = match seminal::cpp::parse_cpp(&source) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = seminal::cpp::search_cpp(&prog);
+    if report.baseline.is_empty() {
+        println!("{path}: no type errors");
+        return ExitCode::SUCCESS;
+    }
+    println!("Compiler diagnostics ({}):", report.baseline.len());
+    for e in &report.baseline {
+        print!("{}", e.render(&source));
+    }
+    println!("\nOur approach:");
+    for s in report.suggestions.iter().take(3) {
+        println!("  {}", s.render());
+    }
+    ExitCode::FAILURE
+}
+
+fn demo() -> ExitCode {
+    let figure2 = "let map2 f aList bList = List.map (fun (a, b) -> f a b) (List.combine aList bList)\nlet lst = map2 (fun (x, y) -> x + y) [1;2;3] [4;5;6]\nlet ans = List.filter (fun x -> x == 0) lst\n";
+    let prog = parse_program(figure2).expect("figure 2 parses");
+    let report = Searcher::new(TypeCheckOracle::new()).search(&prog);
+    if let Some(err) = &report.baseline {
+        println!("Type-checker:\n{}\n", err.render(figure2));
+    }
+    println!("Our approach:\n{}", message::render_report(&report, figure2, 1));
+    ExitCode::SUCCESS
+}

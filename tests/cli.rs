@@ -1,0 +1,161 @@
+//! End-to-end tests of the `seminal` command-line tool.
+
+use std::process::Command;
+
+fn seminal() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_seminal"))
+}
+
+#[test]
+fn demo_prints_figure2_side_by_side() {
+    let out = seminal().arg("demo").output().expect("run seminal demo");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("This expression has type int but is here used with type 'a -> 'b"));
+    assert!(stdout.contains("fun x y -> x + y"));
+}
+
+#[test]
+fn no_args_prints_usage() {
+    let out = seminal().output().expect("run seminal");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("usage:"));
+}
+
+#[test]
+fn check_reports_on_ill_typed_file() {
+    let dir = std::env::temp_dir().join("seminal-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("swapped.ml");
+    std::fs::write(&path, "let r = List.mem [\"a\"] \"a\"\n").unwrap();
+    let out = seminal().arg("check").arg(&path).output().expect("run check");
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Type-checker:"));
+    assert!(stdout.contains("Our approach:"));
+    assert!(stdout.contains("Try replacing"));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn check_accepts_well_typed_file() {
+    let dir = std::env::temp_dir().join("seminal-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("fine.ml");
+    std::fs::write(&path, "let x = 1 + 2\n").unwrap();
+    let out = seminal().arg("check").arg(&path).output().expect("run check");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("no type errors"));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn cpp_subcommand_suggests_ptr_fun() {
+    let dir = std::env::temp_dir().join("seminal-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("fig10.cpp");
+    std::fs::write(
+        &path,
+        "void myFun(vector<long>& inv, vector<long>& outv) {\n  transform(inv.begin(), inv.end(), outv.begin(), compose1(bind1st(multiplies<long>(), 5), labs));\n}\n",
+    )
+    .unwrap();
+    let out = seminal().arg("cpp").arg(&path).output().expect("run cpp");
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("ptr_fun(labs)"));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn check_rejects_unparseable_file() {
+    let dir = std::env::temp_dir().join("seminal-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("broken.ml");
+    std::fs::write(&path, "let = = =\n").unwrap();
+    let out = seminal().arg("check").arg(&path).output().expect("run check");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("parse error"));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn check_missing_file_fails_cleanly() {
+    let out = seminal()
+        .arg("check")
+        .arg("/definitely/not/a/file.ml")
+        .output()
+        .expect("run check");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}
+
+#[test]
+fn top_flag_limits_suggestions() {
+    let dir = std::env::temp_dir().join("seminal-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("swapped2.ml");
+    std::fs::write(&path, "let r = List.mem [\"a\"] \"a\"\n").unwrap();
+    let out = seminal().args(["check", "--top", "1"]).arg(&path).output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("[1]"));
+    assert!(!stdout.contains("[2]"));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn no_triage_flag_changes_multi_error_output() {
+    let dir = std::env::temp_dir().join("seminal-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("multi.ml");
+    std::fs::write(
+        &path,
+        "let go () =\n  let x = 3 + true in\n  let c = 4 + \"hi\" in\n  x + c\n",
+    )
+    .unwrap();
+    let with_triage = seminal().arg("check").arg(&path).output().unwrap();
+    let without = seminal().args(["check", "--no-triage"]).arg(&path).output().unwrap();
+    let with_text = String::from_utf8_lossy(&with_triage.stdout).to_string();
+    let without_text = String::from_utf8_lossy(&without.stdout).to_string();
+    assert!(with_text.contains("several type errors"));
+    assert!(!without_text.contains("several type errors"));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn trace_flag_prints_probes() {
+    let dir = std::env::temp_dir().join("seminal-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("traced.ml");
+    std::fs::write(&path, "let r = List.mem [\"a\"] \"a\"\n").unwrap();
+    let out = seminal().args(["check", "--trace"]).arg(&path).output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("search trace ("));
+    assert!(stdout.contains("[ok ]"));
+    assert!(stdout.contains("removal"));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn shipped_samples_all_work() {
+    let root = env!("CARGO_MANIFEST_DIR");
+    for (file, needle) in [
+        ("samples/figure2.ml", "fun x y -> x + y"),
+        ("samples/figure8.ml", "add s vList1"),
+        ("samples/multi_error.ml", "several type errors"),
+    ] {
+        let out = seminal()
+            .arg("check")
+            .arg(format!("{root}/{file}"))
+            .output()
+            .expect("run check");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains(needle), "{file}: expected `{needle}` in:\n{stdout}");
+    }
+    let out = seminal()
+        .arg("cpp")
+        .arg(format!("{root}/samples/figure10.cpp"))
+        .output()
+        .expect("run cpp");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("ptr_fun(labs)"));
+}

@@ -1,0 +1,142 @@
+//! Golden tests: full rendered messages for the paper's examples. These
+//! pin the user-facing output — wording, layout, types — so presentation
+//! regressions are caught, not just search-result regressions.
+
+use seminal::core::{message, Searcher};
+use seminal::ml::parser::parse_program;
+use seminal::typeck::{check_program, TypeCheckOracle};
+
+fn seminal_message(src: &str) -> String {
+    let prog = parse_program(src).unwrap();
+    let report = Searcher::new(TypeCheckOracle::new()).search(&prog);
+    message::render(report.best().expect("a suggestion"))
+}
+
+fn baseline_message(src: &str) -> String {
+    let prog = parse_program(src).unwrap();
+    check_program(&prog).unwrap_err().render(src)
+}
+
+#[test]
+fn figure2_golden() {
+    let src = "let map2 f aList bList = List.map (fun (a, b) -> f a b) (List.combine aList bList)\n\
+let lst = map2 (fun (x, y) -> x + y) [1;2;3] [4;5;6]\n\
+let ans = List.filter (fun x -> x == 0) lst\n";
+
+    assert_eq!(
+        baseline_message(src),
+        "File \"<input>\", line 2, characters 31-36:\n\
+         This expression has type int but is here used with type 'a -> 'b"
+    );
+
+    assert_eq!(
+        seminal_message(src),
+        "Try replacing\n    \
+             fun (x, y) -> x + y\n\
+         with\n    \
+             fun x y -> x + y\n\
+         of type int -> int -> int\n\
+         within context\n    \
+             let lst = map2 (fun x y -> x + y) [1; 2; 3] [4; 5; 6]\n\
+         (take curried arguments instead of a tuple)\n"
+    );
+}
+
+#[test]
+fn figure8_golden() {
+    let src = "let add str lst = if List.mem str lst then lst else str :: lst\n\
+let vList1 = [\"a\"]\n\
+let s = \"b\"\n\
+let r = add vList1 s\n";
+
+    assert_eq!(
+        baseline_message(src),
+        "File \"<input>\", line 4, characters 20-21:\n\
+         This expression has type string but is here used with type string list list"
+    );
+
+    assert_eq!(
+        seminal_message(src),
+        "Try replacing\n    \
+             add vList1 s\n\
+         with\n    \
+             add s vList1\n\
+         of type string list\n\
+         within context\n    \
+             let r = add s vList1\n\
+         (reorder the call's arguments)\n"
+    );
+}
+
+#[test]
+fn triage_message_golden_prefix() {
+    let src = "let f x y =\n\
+  match (x, y) with\n\
+    0, [] -> []\n\
+  | n, [] -> n\n\
+  | _, 5 -> 5 + \"hi\"\n";
+    let prog = parse_program(src).unwrap();
+    let report = Searcher::new(TypeCheckOracle::new()).search(&prog);
+    let pat_fix = report
+        .suggestions()
+        .iter()
+        .find(|s| s.original_str == "5" && s.replacement_str == "_")
+        .expect("the pattern fix");
+    let text = message::render(pat_fix);
+    assert!(text.starts_with(
+        "Your code has several type errors. If you ignore the surrounding code, try replacing\n    5\nwith\n    _\n"
+    ));
+    assert!(text.contains("within context"));
+    assert!(text.contains("[[...]]"), "triage context must show the wildcarded bodies");
+}
+
+#[test]
+fn unbound_message_golden() {
+    let src = "let f x = print x; x + 1";
+    let prog = parse_program(src).unwrap();
+    let report = Searcher::new(TypeCheckOracle::new()).search(&prog);
+    let hinted = report
+        .suggestions()
+        .iter()
+        .find(|s| s.unbound_hint.is_some())
+        .expect("unbound hint suggestion");
+    let text = message::render(hinted);
+    assert!(text.contains(
+        "(`print` appears to be unbound or misspelled: removing it helps but adapting its result type does not.)"
+    ));
+}
+
+#[test]
+fn cpp_figure11_golden_fragments() {
+    let src = "\
+void myFun(vector<long>& inv, vector<long>& outv) {
+  transform(inv.begin(), inv.end(), outv.begin(),
+            compose1(bind1st(multiplies<long>(), 5), labs));
+}
+";
+    let prog = seminal::cpp::parse_cpp(src).unwrap();
+    let report = seminal::cpp::search_cpp(&prog);
+    let rendered: String =
+        report.baseline.iter().map(|e| e.render(src)).collect::<Vec<_>>().join("");
+    // The Figure 11 signature lines, with gcc's spelling of the deduced
+    // function type.
+    assert!(rendered
+        .contains("'long int ()(long int)' is not a class, struct, or union type"));
+    assert!(rendered.contains("invalidly declared function type"));
+    assert!(rendered.contains("instantiated from here"));
+    assert!(rendered.contains("no match for call to"));
+    assert_eq!(
+        report.best().unwrap().render(),
+        "Try replacing `labs` with `ptr_fun(labs)` (fixes all errors)"
+    );
+}
+
+#[test]
+fn report_rendering_numbers_suggestions() {
+    let src = "let r = List.mem [\"a\"] \"a\"";
+    let prog = parse_program(src).unwrap();
+    let report = Searcher::new(TypeCheckOracle::new()).search(&prog);
+    let text = message::render_report(&report, src, 2);
+    assert!(text.starts_with("[1] At line 1"));
+    assert!(text.contains("[2] At line 1"));
+}
