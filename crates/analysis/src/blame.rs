@@ -1,0 +1,292 @@
+//! Core shrinking, correction-subset enumeration, and span scoring.
+
+use seminal_ml::ast::Program;
+use seminal_ml::span::Span;
+use seminal_typeck::record::ConstraintTrace;
+use seminal_typeck::{trace_program, TypeError};
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// Cap on enumerated correction subsets: the scores only need the small
+/// ones (|subset| ≤ 2), and every extra candidate costs a replay.
+const MAX_CORRECTION_SETS: usize = 8;
+
+/// Blame attached to one source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanBlame {
+    pub span: Span,
+    /// Normalized blame in `(0, 1]`; the top span scores exactly 1.0.
+    pub score: f64,
+    /// Whether a constraint at this span is in the minimal unsat core.
+    pub in_core: bool,
+    /// Whether deleting this span's constraints alone restores
+    /// satisfiability — the strongest "the fix is here" signal.
+    pub fixes_alone: bool,
+}
+
+/// The outcome of blame analysis on an ill-typed program.
+#[derive(Debug, Clone)]
+pub struct BlameAnalysis {
+    /// The baseline first error (exactly what `check_program` reports).
+    pub error: TypeError,
+    /// Size of the deletion-shrunk unsatisfiable core; 0 when the error
+    /// is a naming/arity error no constraint subset can explain.
+    pub core_size: usize,
+    /// Number of correction subsets enumerated (bounded).
+    pub correction_sets: usize,
+    /// Wall-clock cost of recording, shrinking, and enumerating.
+    pub elapsed: Duration,
+    /// Blamed spans, highest score first (ties broken by source order).
+    pub spans: Vec<SpanBlame>,
+}
+
+impl BlameAnalysis {
+    /// The highest blame score of any blamed span overlapping `span` —
+    /// an ancestor node inherits the blame of its blamed descendants,
+    /// which is what lets the search order sibling subtrees.
+    pub fn score_at(&self, span: Span) -> f64 {
+        self.spans.iter().filter(|b| b.span.overlaps(span)).map(|b| b.score).fold(0.0, f64::max)
+    }
+
+    /// Whether no blamed span overlaps `span` — the pruning predicate:
+    /// deleting every constraint induced elsewhere cannot involve this
+    /// site in the conflict the analysis saw.
+    pub fn is_zero_blame(&self, span: Span) -> bool {
+        self.score_at(span) == 0.0
+    }
+
+    /// Blame quantized to thousandths, for integer tie-breaking in
+    /// suggestion ranking.
+    pub fn milli_score_at(&self, span: Span) -> u32 {
+        (self.score_at(span) * 1000.0).round() as u32
+    }
+}
+
+/// Runs the blame pass: records constraints, shrinks a minimal
+/// unsatisfiable core, enumerates bounded correction subsets, and
+/// aggregates per-span scores. Returns `None` when `prog` is well-typed.
+pub fn analyze(prog: &Program) -> Option<BlameAnalysis> {
+    let start = Instant::now();
+    let trace = trace_program(prog);
+    let error = match &trace.result {
+        Ok(()) => return None,
+        Err(e) => e.clone(),
+    };
+
+    if !trace.has_unsat_constraints() {
+        // Naming/arity errors have no conflicting constraint subset; the
+        // checker's own span is the whole localization.
+        return Some(BlameAnalysis {
+            error: error.clone(),
+            core_size: 0,
+            correction_sets: 0,
+            elapsed: start.elapsed(),
+            spans: vec![SpanBlame {
+                span: error.span,
+                score: 1.0,
+                in_core: false,
+                fixes_alone: true,
+            }],
+        });
+    }
+
+    let core = shrink_core(&trace);
+    let corrections = enumerate_corrections(&trace, &core);
+    let spans = score_spans(&trace, &core, &corrections);
+
+    Some(BlameAnalysis {
+        error,
+        core_size: core.len(),
+        correction_sets: corrections.len(),
+        elapsed: start.elapsed(),
+        spans,
+    })
+}
+
+/// Deletion-shrinks the full (unsatisfiable) constraint list to a
+/// minimal unsatisfiable core: drop each constraint in turn and keep it
+/// dropped whenever the rest stays unsatisfiable. One replay per
+/// constraint; minimality (no proper unsat subset) follows from
+/// monotonicity of unification.
+fn shrink_core(trace: &ConstraintTrace) -> Vec<usize> {
+    let n = trace.constraints.len();
+    let mut keep = vec![true; n];
+    // Scan from the end: late constraints (nearest the failure) are the
+    // likeliest core members, and removing bulk early keeps replays of
+    // later candidates short.
+    for i in (0..n).rev() {
+        keep[i] = false;
+        if trace.subset_sat(&keep) {
+            keep[i] = true;
+        }
+    }
+    (0..n).filter(|&i| keep[i]).collect()
+}
+
+/// Enumerates a bounded set of minimal correction subsets drawn from the
+/// core: first every singleton whose deletion restores satisfiability,
+/// then pairs over the remaining core members. Subsets are minimal by
+/// construction (a pair is only reported when neither member suffices
+/// alone); restricting candidates to the shrunk core is the bounding
+/// approximation — documented in DESIGN.md.
+fn enumerate_corrections(trace: &ConstraintTrace, core: &[usize]) -> Vec<Vec<usize>> {
+    let n = trace.constraints.len();
+    let mut found: Vec<Vec<usize>> = Vec::new();
+    let mut singleton = vec![false; n];
+    let mut keep = vec![true; n];
+
+    for &i in core {
+        keep[i] = false;
+        if trace.subset_sat(&keep) {
+            singleton[i] = true;
+            found.push(vec![i]);
+        }
+        keep[i] = true;
+        if found.len() >= MAX_CORRECTION_SETS {
+            return found;
+        }
+    }
+    for (a, &i) in core.iter().enumerate() {
+        if singleton[i] {
+            continue;
+        }
+        for &j in &core[a + 1..] {
+            if singleton[j] {
+                continue;
+            }
+            keep[i] = false;
+            keep[j] = false;
+            let sat = trace.subset_sat(&keep);
+            keep[i] = true;
+            keep[j] = true;
+            if sat {
+                found.push(vec![i, j]);
+                if found.len() >= MAX_CORRECTION_SETS {
+                    return found;
+                }
+            }
+        }
+    }
+    found
+}
+
+/// Folds core membership and correction-subset membership into one
+/// normalized score per span. Aggregation is over a `BTreeMap` keyed by
+/// span, so the result is deterministic.
+fn score_spans(
+    trace: &ConstraintTrace,
+    core: &[usize],
+    corrections: &[Vec<usize>],
+) -> Vec<SpanBlame> {
+    let mut raw: BTreeMap<Span, (f64, bool, bool)> = BTreeMap::new();
+    let mut bump = |idx: usize, amount: f64, in_core: bool, alone: bool| {
+        let span = trace.constraints[idx].span;
+        if span.is_empty() {
+            return; // synthesized node with no source position
+        }
+        let entry = raw.entry(span).or_insert((0.0, false, false));
+        entry.0 += amount;
+        entry.1 |= in_core;
+        entry.2 |= alone;
+    };
+
+    let core_share = 1.0 / core.len().max(1) as f64;
+    for &i in core {
+        bump(i, core_share, true, false);
+    }
+    for subset in corrections {
+        let share = 1.0 / subset.len() as f64;
+        for &i in subset {
+            bump(i, share, false, subset.len() == 1);
+        }
+    }
+
+    let max = raw.values().map(|v| v.0).fold(0.0, f64::max);
+    if max == 0.0 {
+        return Vec::new();
+    }
+    let mut spans: Vec<SpanBlame> = raw
+        .into_iter()
+        .map(|(span, (score, in_core, fixes_alone))| SpanBlame {
+            span,
+            score: score / max,
+            in_core,
+            fixes_alone,
+        })
+        .collect();
+    spans.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.span.cmp(&b.span)));
+    spans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seminal_ml::parser::parse_program;
+
+    fn analyzed(src: &str) -> BlameAnalysis {
+        analyze(&parse_program(src).unwrap()).expect("program should be ill-typed")
+    }
+
+    #[test]
+    fn well_typed_programs_yield_no_blame() {
+        let prog = parse_program("let x = 1 + 2").unwrap();
+        assert!(analyze(&prog).is_none());
+    }
+
+    #[test]
+    fn simple_mismatch_blames_the_conflict() {
+        let src = "let x = 3 + true";
+        let a = analyzed(src);
+        assert!(a.core_size >= 1);
+        assert!(!a.spans.is_empty());
+        assert_eq!(a.spans[0].score, 1.0);
+        // The top span must touch the actual conflict.
+        assert!(a.spans[0].span.overlaps(a.error.span));
+    }
+
+    #[test]
+    fn unbound_variable_blames_its_own_span() {
+        let a = analyzed("let x = missing_name + 1");
+        assert_eq!(a.core_size, 0);
+        assert_eq!(a.spans.len(), 1);
+        assert_eq!(a.spans[0].span, a.error.span);
+        assert!(a.spans[0].fixes_alone);
+    }
+
+    #[test]
+    fn scores_are_normalized_and_sorted() {
+        let a = analyzed("let f g = (g 1) + (g true)");
+        assert_eq!(a.spans[0].score, 1.0);
+        for w in a.spans.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+        for b in &a.spans {
+            assert!(b.score > 0.0 && b.score <= 1.0);
+        }
+    }
+
+    #[test]
+    fn score_at_sees_ancestors() {
+        let src = "let x = 3 + true";
+        let a = analyzed(src);
+        let whole = Span::new(0, src.len() as u32);
+        assert_eq!(a.score_at(whole), 1.0);
+        assert!(a.is_zero_blame(Span::new(0, 3))); // `let` keyword
+    }
+
+    #[test]
+    fn analysis_is_deterministic() {
+        let prog = parse_program("let f g = (g 1) + (g true)").unwrap();
+        let a = analyze(&prog).unwrap();
+        let b = analyze(&prog).unwrap();
+        assert_eq!(a.spans, b.spans);
+        assert_eq!(a.core_size, b.core_size);
+    }
+
+    #[test]
+    fn milli_score_quantizes() {
+        let a = analyzed("let x = 3 + true");
+        assert_eq!(a.milli_score_at(a.spans[0].span), 1000);
+        assert_eq!(a.milli_score_at(Span::new(0, 3)), 0);
+    }
+}

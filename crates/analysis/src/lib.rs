@@ -1,0 +1,31 @@
+//! # seminal-analysis — constraint-blame localization
+//!
+//! SEMINAL treats the type checker as a black box and probes the AST
+//! uniformly. But the failure itself carries localization signal: the
+//! recorded constraint system of a failing inference run
+//! ([`seminal_typeck::record`]) admits *minimal unsatisfiable cores*
+//! (which constraints conflict) and *minimal correction subsets* (which
+//! deletions restore satisfiability) — the two views Pavlinovic et al.'s
+//! SMT-based localization and Goanna's Haskell error resolution rank
+//! error sources by. Because our oracle is in-process, both are computed
+//! by cheap replay ([`seminal_typeck::ConstraintTrace::subset_sat`]):
+//! no re-parse, no oracle round-trip.
+//!
+//! The result is a per-span **blame score** in `(0, 1]`:
+//!
+//! * constraints in the deletion-shrunk core share `1/|core|` each;
+//! * constraints whose deletion (alone, or in a bounded set of small
+//!   correction subsets) restores satisfiability earn `1/|subset|`;
+//! * scores aggregate by inducing span and normalize so the top span
+//!   scores 1.0.
+//!
+//! Two consumers: `seminal-core` uses scores to order and prune its
+//! search (visit high-blame subtrees first, defer enumeration at
+//! zero-blame sites), and the `seminal analyze` CLI prints the report
+//! directly as a standalone type-error linter.
+
+pub mod blame;
+pub mod report;
+
+pub use blame::{analyze, BlameAnalysis, SpanBlame};
+pub use report::render_report;

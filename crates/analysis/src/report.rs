@@ -1,0 +1,89 @@
+//! Rendering of blame analyses as a human-readable localization report —
+//! the output of `seminal analyze`.
+
+use crate::blame::BlameAnalysis;
+use seminal_ml::span::LineMap;
+
+/// Renders the top-`k` blamed spans with the baseline error on top, in
+/// the same file/line idiom as the checker's own messages.
+pub fn render_report(analysis: &BlameAnalysis, source: &str, k: usize) -> String {
+    let lm = LineMap::new(source);
+    let mut out = String::new();
+    out.push_str(&analysis.error.render(source));
+    out.push('\n');
+    out.push('\n');
+
+    if analysis.core_size == 0 {
+        out.push_str(
+            "Blame analysis: no constraint conflict (naming error); the location above is exact.\n",
+        );
+    } else {
+        out.push_str(&format!(
+            "Blame analysis: minimal unsatisfiable core of {} constraint(s), {} candidate fix(es), {:?}.\n",
+            analysis.core_size,
+            analysis.correction_sets,
+            analysis.elapsed,
+        ));
+    }
+
+    for (rank, b) in analysis.spans.iter().take(k).enumerate() {
+        let mut tags = Vec::new();
+        if b.fixes_alone {
+            tags.push("fixes alone");
+        }
+        if b.in_core {
+            tags.push("in core");
+        }
+        let tags = if tags.is_empty() { String::new() } else { format!("  [{}]", tags.join(", ")) };
+        let text = b.span.text(source).trim();
+        // Long spans (whole declarations) are elided to their first line.
+        let text = match text.find('\n') {
+            Some(pos) => format!("{} ...", &text[..pos].trim_end()),
+            None => text.to_owned(),
+        };
+        out.push_str(&format!(
+            "  {}. {}  `{}`  blame {:.2}{}\n",
+            rank + 1,
+            lm.describe(b.span),
+            text,
+            b.score,
+            tags,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blame::analyze;
+    use seminal_ml::parser::parse_program;
+
+    #[test]
+    fn report_lists_ranked_spans() {
+        let src = "let x = 3 + true";
+        let a = analyze(&parse_program(src).unwrap()).unwrap();
+        let r = render_report(&a, src, 5);
+        assert!(r.contains("Blame analysis"));
+        assert!(r.contains("1. line 1"));
+        assert!(r.contains("blame 1.00"));
+    }
+
+    #[test]
+    fn report_caps_at_k() {
+        let src = "let f g = (g 1) + (g true)";
+        let a = analyze(&parse_program(src).unwrap()).unwrap();
+        let r = render_report(&a, src, 1);
+        assert!(r.contains("1. "));
+        assert!(!r.contains("\n  2. "));
+    }
+
+    #[test]
+    fn naming_errors_say_so() {
+        let src = "let x = missing_name + 1";
+        let a = analyze(&parse_program(src).unwrap()).unwrap();
+        let r = render_report(&a, src, 5);
+        assert!(r.contains("naming error"));
+        assert!(r.contains("missing_name"));
+    }
+}

@@ -1,26 +1,17 @@
-//! Criterion bench: the C++ prototype on Figure 10 — the full check
+//! Wall-clock bench: the C++ prototype on Figure 10 — the full check
 //! (gcc-style cascade) and the search that finds `ptr_fun(labs)`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use seminal_bench::timing::Group;
 use seminal_bench::FIGURE10_CPP;
 use seminal_cpp::{check, parse_cpp, search_cpp};
-use std::hint::black_box;
 
-fn bench_cpp(c: &mut Criterion) {
+fn main() {
     let prog = parse_cpp(FIGURE10_CPP).unwrap();
     // Quality gate: the search must find the paper's fix.
     let report = search_cpp(&prog);
     assert_eq!(report.best().unwrap().replacement, "ptr_fun(labs)");
 
-    let mut group = c.benchmark_group("cpp_figure10");
-    group.bench_function("check_cascade", |b| {
-        b.iter(|| black_box(check(black_box(&prog))))
-    });
-    group.bench_function("search_ptr_fun_fix", |b| {
-        b.iter(|| black_box(search_cpp(black_box(&prog))))
-    });
-    group.finish();
+    let mut group = Group::new("cpp_figure10");
+    group.bench("check_cascade", || check(&prog));
+    group.bench("search_ptr_fun_fix", || search_cpp(&prog));
 }
-
-criterion_group!(benches, bench_cpp);
-criterion_main!(benches);

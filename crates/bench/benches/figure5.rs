@@ -1,12 +1,11 @@
-//! Criterion bench: the Figure 5 evaluation pipeline (generate corpus →
+//! Wall-clock bench: the Figure 5 evaluation pipeline (generate corpus →
 //! run checker + Seminal ± triage → judge → classify). Asserts the §3.2
 //! shape targets once before timing: Seminal no worse on a clear
 //! majority, triage changing outcomes on a nontrivial share.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use seminal_bench::bench_corpus;
+use seminal_bench::timing::Group;
 use seminal_eval::{evaluate_corpus, figure5, Category};
-use std::hint::black_box;
 
 fn assert_shape() {
     let corpus = bench_corpus();
@@ -22,19 +21,12 @@ fn assert_shape() {
     );
 }
 
-fn bench_evaluation(c: &mut Criterion) {
+fn main() {
     assert_shape();
     let corpus = bench_corpus();
-    let mut group = c.benchmark_group("figure5_pipeline");
-    group.sample_size(10);
-    group.bench_function("evaluate_and_classify", |b| {
-        b.iter(|| {
-            let results = evaluate_corpus(black_box(&corpus));
-            black_box(figure5(&results))
-        })
+    let mut group = Group::new("figure5_pipeline");
+    group.bench("evaluate_and_classify", || {
+        let results = evaluate_corpus(&corpus);
+        figure5(&results)
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_evaluation);
-criterion_main!(benches);

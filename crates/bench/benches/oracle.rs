@@ -1,38 +1,25 @@
-//! Criterion bench: raw oracle cost — one full type-check of each
+//! Wall-clock bench: raw oracle cost — one full type-check of each
 //! corpus template. The paper's efficiency argument (§1, advantage 1)
 //! rests on the checker being fast for well-typed code; search cost is
 //! roughly `oracle_cost × oracle_calls`, so this is the unit price.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use seminal_bench::timing::Group;
 use seminal_corpus::templates::TEMPLATES;
 use seminal_ml::ast::Program;
 use seminal_ml::parser::parse_program;
 use seminal_typeck::check_program;
-use std::hint::black_box;
 
-fn bench_oracle(c: &mut Criterion) {
-    let progs: Vec<(&str, Program)> = TEMPLATES
-        .iter()
-        .map(|t| (t.name, parse_program(t.source).unwrap()))
-        .collect();
-    let mut group = c.benchmark_group("oracle");
-    group.bench_function("check_all_templates", |b| {
-        b.iter(|| {
-            for (_, p) in &progs {
-                black_box(check_program(black_box(p)).is_ok());
-            }
-        })
+fn main() {
+    let progs: Vec<(&str, Program)> =
+        TEMPLATES.iter().map(|t| (t.name, parse_program(t.source).unwrap())).collect();
+    let mut group = Group::new("oracle");
+    group.bench("check_all_templates", || {
+        progs.iter().filter(|(_, p)| check_program(p).is_ok()).count()
     });
     // Parsing cost, for the compiler-pipeline picture.
-    group.bench_function("parse_all_templates", |b| {
-        b.iter(|| {
-            for t in TEMPLATES {
-                black_box(parse_program(black_box(t.source)).unwrap());
-            }
-        })
+    group.bench("parse_all_templates", || {
+        for t in TEMPLATES {
+            parse_program(t.source).unwrap();
+        }
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_oracle);
-criterion_main!(benches);

@@ -1,17 +1,17 @@
-//! Criterion bench: search cost on the paper's worked examples
+//! Wall-clock bench: search cost on the paper's worked examples
 //! (Figures 2, 8, 9 and the §2.4 multi-error program).
 //!
 //! The paper argues search cost "should be measured against the speed of
 //! the human writing the program"; these benches pin down what it costs
-//! on our substrate, and each group asserts the expected top suggestion
-//! once before timing, so a regression in *quality* also fails the bench.
+//! on our substrate, and the quality gate asserts the expected top
+//! suggestion once before timing, so a regression in *quality* also
+//! fails the bench.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use seminal_bench::timing::Group;
 use seminal_bench::{FIGURE2, FIGURE8, FIGURE9, MULTI_ERROR};
 use seminal_core::Searcher;
 use seminal_ml::parser::parse_program;
 use seminal_typeck::TypeCheckOracle;
-use std::hint::black_box;
 
 fn assert_quality() {
     let searcher = Searcher::new(TypeCheckOracle::new());
@@ -25,10 +25,10 @@ fn assert_quality() {
     assert!(multi.stats.triage_used);
 }
 
-fn bench_examples(c: &mut Criterion) {
+fn main() {
     assert_quality();
     let searcher = Searcher::new(TypeCheckOracle::new());
-    let mut group = c.benchmark_group("paper_examples");
+    let mut group = Group::new("paper_examples");
     for (name, src) in [
         ("figure2_map2", FIGURE2),
         ("figure8_swap", FIGURE8),
@@ -36,12 +36,6 @@ fn bench_examples(c: &mut Criterion) {
         ("sec24_multi_error", MULTI_ERROR),
     ] {
         let prog = parse_program(src).unwrap();
-        group.bench_function(name, |b| {
-            b.iter(|| black_box(searcher.search(black_box(&prog))))
-        });
+        group.bench(name, || searcher.search(&prog));
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_examples);
-criterion_main!(benches);

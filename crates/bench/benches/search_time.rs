@@ -1,46 +1,34 @@
-//! Criterion bench: Figure 7's three configurations over a corpus sample
-//! — full tool (slow reparenthesizing change enabled), slow change
-//! disabled, and triage disabled. The paper's finding to reproduce: the
-//! no-triage configuration has no heavy tail; the slow change dominates
-//! the full tool's tail.
+//! Wall-clock bench: Figure 7's configurations over a corpus sample —
+//! full tool (slow reparenthesizing change enabled), slow change
+//! disabled, triage disabled, plus the memoized-oracle and blame-guidance
+//! variants. The paper's finding to reproduce: the no-triage
+//! configuration has no heavy tail; the slow change dominates the full
+//! tool's tail.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use seminal_bench::bench_corpus;
+use seminal_bench::timing::Group;
 use seminal_core::{SearchConfig, Searcher};
 use seminal_ml::ast::Program;
 use seminal_ml::parser::parse_program;
 use seminal_typeck::TypeCheckOracle;
-use std::hint::black_box;
 
-fn bench_configs(c: &mut Criterion) {
+fn main() {
     let corpus = bench_corpus();
-    let progs: Vec<Program> =
-        corpus.iter().filter_map(|f| parse_program(&f.source).ok()).collect();
+    let progs: Vec<Program> = corpus.iter().filter_map(|f| parse_program(&f.source).ok()).collect();
     assert!(!progs.is_empty());
 
-    let mut group = c.benchmark_group("figure7_configs");
-    group.sample_size(10);
+    let mut group = Group::new("figure7_configs");
     for (name, cfg) in [
         ("full_with_slow_change", SearchConfig::with_slow_match_reassoc()),
         ("slow_change_disabled", SearchConfig::default()),
-        (
-            "memoized_oracle",
-            SearchConfig { memoize_oracle: true, ..SearchConfig::default() },
-        ),
+        ("memoized_oracle", SearchConfig { memoize_oracle: true, ..SearchConfig::default() }),
         ("triage_disabled", SearchConfig::without_triage()),
+        ("blame_guidance_disabled", SearchConfig::without_blame_guidance()),
         ("removal_only_ablation", SearchConfig::removal_only()),
     ] {
         let searcher = Searcher::with_config(TypeCheckOracle::new(), cfg);
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                for p in &progs {
-                    black_box(searcher.search(black_box(p)));
-                }
-            })
+        group.bench(name, || {
+            progs.iter().map(|p| searcher.search(p).stats.oracle_calls).sum::<u64>()
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_configs);
-criterion_main!(benches);

@@ -10,8 +10,8 @@
 use seminal_bench::{harness_corpus, FIGURE10_CPP, FIGURE2, FIGURE8, FIGURE9, MULTI_ERROR};
 use seminal_core::{message, Searcher};
 use seminal_corpus::session::{group_sizes, histogram, summarize};
-use seminal_eval::{evaluate_corpus, figure5, render_figure5};
 use seminal_eval::figure7::{figure7, render_figure7};
+use seminal_eval::{evaluate_corpus, figure5, render_figure5};
 use seminal_ml::parser::parse_program;
 use seminal_typeck::TypeCheckOracle;
 
@@ -91,21 +91,18 @@ fn export_corpus(scale: usize, dir: &str) {
     fs::create_dir_all(&corpus_dir).expect("create corpus dir");
 
     for t in seminal_corpus::TEMPLATES {
-        fs::write(templates_dir.join(format!("{}.ml", t.name)), t.source)
-            .expect("write template");
+        fs::write(templates_dir.join(format!("{}.ml", t.name)), t.source).expect("write template");
     }
 
     let corpus = harness_corpus(scale);
-    let mut manifest = String::from(
-        "id\tprogrammer\tassignment\ttemplate\tfaults\tspans\texpected_fixes\n",
-    );
+    let mut manifest =
+        String::from("id\tprogrammer\tassignment\ttemplate\tfaults\tspans\texpected_fixes\n");
     for f in &corpus {
         fs::write(corpus_dir.join(format!("{}.ml", f.id)), &f.source).expect("write file");
         let kinds: Vec<&str> = f.truths.iter().map(|t| t.kind.label()).collect();
         let spans: Vec<String> =
             f.truths.iter().map(|t| format!("{}..{}", t.span.start, t.span.end)).collect();
-        let fixes: Vec<String> =
-            f.truths.iter().map(|t| t.original.replace('\t', " ")).collect();
+        let fixes: Vec<String> = f.truths.iter().map(|t| t.original.replace('\t', " ")).collect();
         manifest.push_str(&format!(
             "{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
             f.id,

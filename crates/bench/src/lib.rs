@@ -1,8 +1,10 @@
 //! # seminal-bench — harness that regenerates every table and figure
 //!
 //! The `figures` binary prints the paper's evaluation artifacts from the
-//! synthesized corpus; the Criterion benches under `benches/` measure the
-//! searcher's cost on the paper's worked examples and corpus.
+//! synthesized corpus; the wall-clock benches under `benches/` (built
+//! with the non-default `bench-harness` feature, on the in-tree
+//! [`timing`] harness) measure the searcher's cost on the paper's worked
+//! examples and corpus.
 //!
 //! | Paper artifact | Here |
 //! |---|---|
@@ -14,6 +16,8 @@
 //! | Oracle cost (§2's efficiency argument) | `benches/oracle.rs` |
 
 use seminal_corpus::generate::{generate, CorpusConfig, CorpusFile};
+
+pub mod timing;
 
 /// Figure 2's program: `map2` with a tupled-instead-of-curried lambda.
 pub const FIGURE2: &str = "\
@@ -69,11 +73,8 @@ void myFun(vector<long>& inv, vector<long>& outv) {
 /// The corpus used by the figure harness. `scale` multiplies the number
 /// of problems per (programmer, assignment) cell; scale 1 ≈ 200 files.
 pub fn harness_corpus(scale: usize) -> Vec<CorpusFile> {
-    let cfg = CorpusConfig {
-        seed: 2007,
-        problems_per_cell: 4 * scale.max(1),
-        ..CorpusConfig::default()
-    };
+    let cfg =
+        CorpusConfig { seed: 2007, problems_per_cell: 4 * scale.max(1), ..CorpusConfig::default() };
     generate(&cfg)
 }
 

@@ -1,0 +1,65 @@
+//! A minimal wall-clock benchmark harness (no external dependency): each
+//! benchmark warms up, then iterates until a time budget is spent, and
+//! prints mean/min per iteration. Statistics are deliberately simple —
+//! these benches exist to spot order-of-magnitude regressions in the
+//! search, not microarchitectural effects.
+
+use std::time::{Duration, Instant};
+
+/// Per-iteration warmup count before measurement starts.
+const WARMUP_ITERS: u32 = 3;
+/// Measurement stops after this much wall-clock time…
+const TIME_BUDGET: Duration = Duration::from_millis(300);
+/// …or this many iterations, whichever comes first.
+const MAX_ITERS: u32 = 200;
+
+/// A named group of benchmarks, printed as `group/name` lines.
+pub struct Group {
+    name: String,
+}
+
+impl Group {
+    /// Starts a benchmark group.
+    pub fn new(name: impl Into<String>) -> Group {
+        let name = name.into();
+        println!("== {name} ==");
+        Group { name }
+    }
+
+    /// Runs one benchmark: warmup, then timed iterations under budget.
+    /// The closure's result is passed through [`std::hint::black_box`]
+    /// so the measured work cannot be optimized away.
+    pub fn bench<R>(&mut self, bench_name: &str, mut f: impl FnMut() -> R) {
+        for _ in 0..WARMUP_ITERS {
+            std::hint::black_box(f());
+        }
+        let mut samples = Vec::new();
+        let start = Instant::now();
+        while start.elapsed() < TIME_BUDGET && (samples.len() as u32) < MAX_ITERS {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            samples.push(t.elapsed());
+        }
+        let n = samples.len().max(1) as u32;
+        let total: Duration = samples.iter().sum();
+        let min = samples.iter().min().copied().unwrap_or_default();
+        println!("{}/{bench_name}: mean {:?}  min {:?}  ({n} iters)", self.name, total / n, min,);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut g = Group::new("timing-selftest");
+        let mut count = 0u64;
+        g.bench("noop", || {
+            count += 1;
+            count
+        });
+        // warmup + at least one measured iteration
+        assert!(count > u64::from(WARMUP_ITERS));
+    }
+}

@@ -87,6 +87,11 @@ pub struct Suggestion {
     /// §3.3 refinement: when removing a variable works but adapting it
     /// does not, the variable itself is unbound/misspelled.
     pub unbound_hint: Option<String>,
+    /// Constraint-blame score of the changed span, quantized to
+    /// thousandths (`seminal-analysis`); 0 when guidance is off. Used as
+    /// a late ranking tie-breaker only, so it can never override the
+    /// paper's class and locality order.
+    pub blame: u32,
 }
 
 impl Suggestion {

@@ -40,6 +40,14 @@ pub struct SearchConfig {
     /// Record a [`TraceEvent`](crate::search::TraceEvent) per oracle
     /// probe, for debugging and for teaching how the search proceeds.
     pub collect_trace: bool,
+    /// Use the constraint-blame analysis (unsat-core localization, see
+    /// `seminal-analysis`) to focus the search: the first bad declaration
+    /// is read off the baseline error instead of probed prefix-by-prefix,
+    /// high-blame subtrees are visited first, and constructive/adaptation
+    /// enumeration at zero-blame sites is deferred to a fallback pass.
+    /// The fallback makes the guidance sound — no suggestion reachable
+    /// with this off is lost while budget remains, only found later.
+    pub blame_guidance: bool,
 }
 
 impl Default for SearchConfig {
@@ -56,6 +64,7 @@ impl Default for SearchConfig {
             max_permutation_args: 4,
             memoize_oracle: false,
             collect_trace: false,
+            blame_guidance: true,
         }
     }
 }
@@ -88,6 +97,12 @@ impl SearchConfig {
         SearchConfig { constructive: false, ..SearchConfig::default() }
     }
 
+    /// Blame guidance disabled — probe order and cost exactly match the
+    /// paper's search, for the guidance ablation and its invariance tests.
+    pub fn without_blame_guidance() -> SearchConfig {
+        SearchConfig { blame_guidance: false, ..SearchConfig::default() }
+    }
+
     /// Pure removal search (§2.1), for ablation benches.
     pub fn removal_only() -> SearchConfig {
         SearchConfig {
@@ -112,5 +127,7 @@ mod tests {
         assert!(SearchConfig::with_slow_match_reassoc().slow_match_reassoc);
         let removal = SearchConfig::removal_only();
         assert!(!removal.constructive && !removal.adaptation && !removal.triage);
+        assert!(full.blame_guidance, "guidance is on by default");
+        assert!(!SearchConfig::without_blame_guidance().blame_guidance);
     }
 }

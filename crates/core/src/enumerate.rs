@@ -107,10 +107,7 @@ pub fn changes_for(e: &Expr, top_of_chain: bool, cfg: &SearchConfig) -> Vec<Prob
         }
         ExprKind::Construct(name, None) => {
             out.push(one(
-                Expr::synth(
-                    ExprKind::Construct(name.clone(), Some(Box::new(hole()))),
-                    Span::DUMMY,
-                ),
+                Expr::synth(ExprKind::Construct(name.clone(), Some(Box::new(hole()))), Span::DUMMY),
                 "apply the constructor to an argument",
             ));
         }
@@ -174,10 +171,7 @@ pub fn changes_for(e: &Expr, top_of_chain: bool, cfg: &SearchConfig) -> Vec<Prob
         {
             out.push(one(
                 Expr::synth(
-                    ExprKind::App(
-                        Box::new(Expr::var(conv, Span::DUMMY)),
-                        Box::new(e.clone()),
-                    ),
+                    ExprKind::App(Box::new(Expr::var(conv, Span::DUMMY)), Box::new(e.clone())),
                     Span::DUMMY,
                 ),
                 format!("convert the value with `{conv}`"),
@@ -220,11 +214,7 @@ fn app_changes(e: &Expr, cfg: &SearchConfig, out: &mut Vec<Probe>) {
         permute(&args, &mut Vec::new(), &mut vec![false; n], &mut perms);
         let then: Vec<Candidate> = perms
             .into_iter()
-            .filter(|p| {
-                !p.iter()
-                    .zip(&args)
-                    .all(|(x, y)| expr_to_string(x) == expr_to_string(y))
-            })
+            .filter(|p| !p.iter().zip(&args).all(|(x, y)| expr_to_string(x) == expr_to_string(y)))
             .map(|p| Candidate {
                 replacement: build_app(head.clone(), p),
                 description: "reorder the call's arguments".to_owned(),
@@ -236,19 +226,13 @@ fn app_changes(e: &Expr, cfg: &SearchConfig, out: &mut Vec<Probe>) {
     // Reassociate into a nested call (row 4): `f a1 a2` → `f (a1 a2)`.
     if n >= 2 {
         let nested = build_app(args[0].clone(), args[1..].to_vec());
-        out.push(one(
-            build_app(head.clone(), vec![nested]),
-            "make the arguments a nested call",
-        ));
+        out.push(one(build_app(head.clone(), vec![nested]), "make the arguments a nested call"));
     }
 
     // Tuple the arguments (row 5): `f a1 a2` → `f (a1, a2)`.
     if n >= 2 {
         out.push(one(
-            build_app(
-                head.clone(),
-                vec![Expr::synth(ExprKind::Tuple(args.clone()), Span::DUMMY)],
-            ),
+            build_app(head.clone(), vec![Expr::synth(ExprKind::Tuple(args.clone()), Span::DUMMY)]),
             "pass the arguments as one tuple",
         ));
     }
@@ -285,10 +269,7 @@ fn fun_changes(params: &[Pat], body: &Expr, out: &mut Vec<Probe>) {
     if params.len() == 1 {
         if let PatKind::Tuple(parts) = &params[0].kind {
             out.push(one(
-                Expr::synth(
-                    ExprKind::Fun(parts.clone(), Box::new(body.clone())),
-                    Span::DUMMY,
-                ),
+                Expr::synth(ExprKind::Fun(parts.clone(), Box::new(body.clone())), Span::DUMMY),
                 "take curried arguments instead of a tuple",
             ));
         }
@@ -439,11 +420,8 @@ fn deep_flip_arith(e: &Expr, to_float: bool) -> Expr {
         ExprKind::BinOp(op, l, r)
             if matches!(op, Add | Sub | Mul | Div | AddF | SubF | MulF | DivF) =>
         {
-            let flipped = if to_float == matches!(op, Add | Sub | Mul | Div) {
-                flip_arith(*op)
-            } else {
-                *op
-            };
+            let flipped =
+                if to_float == matches!(op, Add | Sub | Mul | Div) { flip_arith(*op) } else { *op };
             Expr::synth(
                 ExprKind::BinOp(
                     flipped,
@@ -567,9 +545,7 @@ mod tests {
             .into_iter()
             .flat_map(|p| match p {
                 Probe::One(c) => vec![c.description],
-                Probe::Gated { then, .. } => {
-                    then.into_iter().map(|c| c.description).collect()
-                }
+                Probe::Gated { then, .. } => then.into_iter().map(|c| c.description).collect(),
             })
             .collect()
     }
@@ -664,7 +640,8 @@ mod tests {
         let _ = src;
         let rs = rendered(src2);
         assert!(
-            rs.iter().any(|s| s.contains("| 3 -> z") && s.contains("(match b with 1 -> x | 2 -> y)")),
+            rs.iter()
+                .any(|s| s.contains("| 3 -> z") && s.contains("(match b with 1 -> x | 2 -> y)")),
             "{rs:?}"
         );
     }
@@ -674,8 +651,7 @@ mod tests {
         let src = "match a with 0 -> (match b with 1 -> x | 2 -> y | 3 -> z) | 1 -> (match c with 4 -> u | 5 -> v | 6 -> w) | _ -> q";
         let (e, _) = parse_expr(src).unwrap();
         let fast = changes_for(&e, true, &SearchConfig::default()).len();
-        let slow =
-            changes_for(&e, true, &SearchConfig::with_slow_match_reassoc()).len();
+        let slow = changes_for(&e, true, &SearchConfig::with_slow_match_reassoc()).len();
         assert!(slow > fast, "slow {slow} should exceed fast {fast}");
         assert!(slow >= 8, "combination count should multiply, got {slow}");
     }

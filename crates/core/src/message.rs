@@ -23,9 +23,7 @@ use seminal_ml::span::LineMap;
 pub fn render(s: &Suggestion) -> String {
     let mut out = String::new();
     if s.triaged {
-        out.push_str(
-            "Your code has several type errors. If you ignore the surrounding code, ",
-        );
+        out.push_str("Your code has several type errors. If you ignore the surrounding code, ");
         out.push_str("try replacing\n");
     } else {
         out.push_str("Try replacing\n");
@@ -123,6 +121,7 @@ mod tests {
             superseded: false,
             variant: Program::new(),
             unbound_hint: None,
+            blame: 0,
         }
     }
 

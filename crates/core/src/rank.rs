@@ -28,6 +28,9 @@ pub fn compare(a: &Suggestion, b: &Suggestion) -> Ordering {
         // Triage prefers fewer wildcarded siblings.
         .then(a.removed_siblings.cmp(&b.removed_siblings))
         .then_with(|| within_class(a, b))
+        // Constraint-blame tie-breaker: among otherwise equal
+        // suggestions, prefer the span the unsat core implicates.
+        .then(b.blame.cmp(&a.blame))
         // Final determinism: earlier source position.
         .then(a.span.start.cmp(&b.span.start))
 }
@@ -75,7 +78,27 @@ mod tests {
             superseded: false,
             variant: Program::new(),
             unbound_hint: None,
+            blame: 0,
         }
+    }
+
+    #[test]
+    fn blame_breaks_ties_but_never_class_order() {
+        let mut low = mk(ChangeKind::Removal, false, 3, 1, 0);
+        low.blame = 100;
+        let mut high = mk(ChangeKind::Removal, false, 3, 1, 0);
+        high.blame = 900;
+        let mut v = vec![low, high];
+        rank(&mut v);
+        assert_eq!(v[0].blame, 900);
+
+        // Blame cannot promote a removal over a constructive change.
+        let mut removal = mk(ChangeKind::Removal, false, 3, 1, 0);
+        removal.blame = 1000;
+        let constructive = mk(ChangeKind::Constructive("x".into()), false, 3, 1, 0);
+        let mut v = vec![removal, constructive];
+        rank(&mut v);
+        assert!(matches!(v[0].kind, ChangeKind::Constructive(_)));
     }
 
     #[test]
@@ -103,18 +126,14 @@ mod tests {
 
     #[test]
     fn removal_prefers_deeper_then_rightmost() {
-        let mut v = vec![
-            mk(ChangeKind::Removal, false, 2, 1, 0),
-            mk(ChangeKind::Removal, false, 3, 1, 0),
-        ];
+        let mut v =
+            vec![mk(ChangeKind::Removal, false, 2, 1, 0), mk(ChangeKind::Removal, false, 3, 1, 0)];
         rank(&mut v);
         assert_eq!(v[0].depth, 3);
 
         // The Figure 2 tie: same depth, prefer the right-hand expression.
-        let mut v = vec![
-            mk(ChangeKind::Removal, false, 3, 1, 0),
-            mk(ChangeKind::Removal, false, 3, 7, 1),
-        ];
+        let mut v =
+            vec![mk(ChangeKind::Removal, false, 3, 1, 0), mk(ChangeKind::Removal, false, 3, 7, 1)];
         rank(&mut v);
         assert_eq!(v[0].right_pos, 1);
     }

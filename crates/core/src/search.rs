@@ -22,6 +22,7 @@ use crate::change::{ChangeKind, Focus, Suggestion};
 use crate::config::SearchConfig;
 use crate::enumerate::changes_for;
 use crate::rank::rank;
+use seminal_analysis::BlameAnalysis;
 use seminal_ml::ast::*;
 use seminal_ml::edit::{self, app_chain, Edit};
 use seminal_ml::pretty::{decl_to_string, expr_to_string, pat_to_string};
@@ -60,6 +61,18 @@ pub struct SearchStats {
     /// Oracle calls answered from the memo cache
     /// ([`SearchConfig::memoize_oracle`](crate::SearchConfig)).
     pub memo_hits: u64,
+    /// Size of the minimal unsatisfiable constraint core computed by the
+    /// blame pass (0 when guidance is off, the program is well-typed, or
+    /// the error is a naming error with no constraint conflict).
+    pub core_size: usize,
+    /// Zero-blame sites whose constructive/adaptation enumeration was
+    /// deferred to the fallback pass
+    /// ([`SearchConfig::blame_guidance`](crate::SearchConfig)).
+    pub sites_pruned: u64,
+    /// Wall-clock cost of the constraint-blame analysis (recording,
+    /// core shrinking, correction-subset enumeration). Not an oracle
+    /// cost: the blame pass replays unification in-process.
+    pub blame_time: Duration,
 }
 
 /// What the search concluded.
@@ -170,6 +183,9 @@ impl<O: Oracle> Searcher<O> {
             memo_hits: 0,
             trace: Vec::new(),
             probe_label: (String::new(), String::new()),
+            blame: None,
+            deferred: Vec::new(),
+            sites_pruned: 0,
         };
         let baseline = match run.check_full(prog) {
             Ok(()) => {
@@ -187,18 +203,65 @@ impl<O: Oracle> Searcher<O> {
             Err(e) => e,
         };
 
-        // §2.1: prefix search for the first ill-typed definition.
-        let mut first_bad = prog.decls.len();
-        for k in 1..=prog.decls.len() {
-            run.label("prefix", format!("first {k} declaration(s)"));
-            if !run.check(&prog.prefix(k)) {
-                first_bad = k;
-                break;
+        // Constraint-blame pass (only on ill-typed input, so the
+        // well-typed bypass above stays a single oracle call).
+        let blame_clock = Instant::now();
+        if self.config.blame_guidance {
+            run.blame = seminal_analysis::analyze(prog);
+        }
+        let blame_time =
+            if self.config.blame_guidance { blame_clock.elapsed() } else { Duration::ZERO };
+        let core_size = run.blame.as_ref().map_or(0, |b| b.core_size);
+
+        // §2.1: find the first ill-typed definition. The checker aborts at
+        // the first error and processes declarations in order, so when the
+        // baseline span maps into a top-level declaration, every earlier
+        // prefix is known to type-check and the probe loop is redundant.
+        let mut first_bad = 0;
+        if run.blame.is_some() {
+            if let Some(d) = prog
+                .decls
+                .iter()
+                .position(|decl| !baseline.span.is_empty() && decl.span.contains(baseline.span))
+            {
+                first_bad = d + 1;
+                if self.config.collect_trace {
+                    run.trace.push(TraceEvent {
+                        action: "prefix".to_owned(),
+                        target: format!(
+                            "first {first_bad} declaration(s), blame-localized (no probe)"
+                        ),
+                        success: false,
+                    });
+                }
+            }
+        }
+        if first_bad == 0 {
+            first_bad = prog.decls.len();
+            for k in 1..=prog.decls.len() {
+                run.label("prefix", format!("first {k} declaration(s)"));
+                if !run.check(&prog.prefix(k)) {
+                    first_bad = k;
+                    break;
+                }
             }
         }
         let scope_prog = prog.prefix(first_bad);
         let scope = Scope::new(scope_prog);
         run.search_decl(&scope, first_bad - 1);
+
+        // Fallback pass over deferred zero-blame sites: guidance reorders
+        // the enumeration but must not lose suggestions, so every skipped
+        // site is enumerated now, while budget remains.
+        let deferred = std::mem::take(&mut run.deferred);
+        for id in deferred {
+            if run.done() {
+                break;
+            }
+            if let Some(node) = scope.prog.find_expr(id).cloned() {
+                run.enumerate_changes(&scope, &node, false, 0);
+            }
+        }
 
         let mut suggestions = std::mem::take(&mut run.suggestions);
         // Deduplicate across search paths.
@@ -219,6 +282,9 @@ impl<O: Oracle> Searcher<O> {
                 budget_exhausted: run.budget_hit,
                 first_bad_decl: first_bad,
                 memo_hits: run.memo_hits,
+                core_size,
+                sites_pruned: run.sites_pruned,
+                blame_time,
             },
             baseline: Some(baseline),
             trace: std::mem::take(&mut run.trace),
@@ -261,11 +327,7 @@ impl Scope {
     }
 
     fn meta(&self, id: NodeId) -> Meta {
-        self.meta.get(&id).copied().unwrap_or(Meta {
-            depth: 0,
-            right_pos: 0,
-            top_of_chain: true,
-        })
+        self.meta.get(&id).copied().unwrap_or(Meta { depth: 0, right_pos: 0, top_of_chain: true })
     }
 }
 
@@ -281,7 +343,7 @@ fn build_meta(
         }
         _ => true,
     };
-    let right_pos = parent.map(|(_, idx)| idx as i32).unwrap_or(0);
+    let right_pos = parent.map_or(0, |(_, idx)| idx as i32);
     out.insert(e.id, Meta { depth, right_pos, top_of_chain });
     let mut idx = 0;
     e.for_each_child(&mut |c| {
@@ -303,6 +365,13 @@ struct Run<'a, O> {
     trace: Vec<TraceEvent>,
     /// Context labels for the next probe's trace entry.
     probe_label: (String, String),
+    /// Blame analysis of the original program, when guidance is on and
+    /// the error has a constraint trace.
+    blame: Option<BlameAnalysis>,
+    /// Zero-blame sites whose enumeration was deferred for the fallback
+    /// pass (node ids in the first-bad-prefix scope).
+    deferred: Vec<NodeId>,
+    sites_pruned: u64,
 }
 
 impl<O: Oracle> Run<'_, O> {
@@ -354,6 +423,12 @@ impl<O: Oracle> Run<'_, O> {
         self.budget_hit || self.suggestions.len() >= self.cfg.max_suggestions
     }
 
+    /// Quantized blame score for a suggestion at `span` (0 with guidance
+    /// off, so ranking is unchanged in that mode).
+    fn blame_at(&self, span: Span) -> u32 {
+        self.blame.as_ref().map_or(0, |b| b.milli_score_at(span))
+    }
+
     // ------------------------------------------------------------------
     // Declaration level
     // ------------------------------------------------------------------
@@ -363,9 +438,7 @@ impl<O: Oracle> Run<'_, O> {
         match &decl.kind {
             DeclKind::Let { rec, bindings } => {
                 // Declaration-level `let` → `let rec` (Figure 3's last row).
-                if !*rec
-                    && bindings.iter().all(|b| matches!(b.pat.kind, PatKind::Var(_)))
-                {
+                if !*rec && bindings.iter().all(|b| matches!(b.pat.kind, PatKind::Var(_))) {
                     let mut variant = scope.prog.clone();
                     if let DeclKind::Let { rec, .. } = &mut variant.decls[idx].kind {
                         *rec = true;
@@ -391,6 +464,7 @@ impl<O: Oracle> Run<'_, O> {
                             superseded: false,
                             variant,
                             unbound_hint: None,
+                            blame: self.blame_at(decl.span),
                         });
                     }
                 }
@@ -445,100 +519,38 @@ impl<O: Oracle> Run<'_, O> {
         }
 
         // Recurse into children first; their success makes this node's
-        // own removal uninteresting to report.
-        let mut child_ids = Vec::new();
-        node.for_each_child(&mut |c| child_ids.push(c.id));
+        // own removal uninteresting to report. With guidance on, visit
+        // high-blame subtrees first (the sort is stable, so zero-blame
+        // siblings keep source order): the set explored is identical, but
+        // suggestions at implicated sites surface before any budget runs
+        // out.
+        let mut children = Vec::new();
+        node.for_each_child(&mut |c| children.push((c.id, c.span)));
+        if let Some(blame) = &self.blame {
+            children.sort_by_key(|&(_, span)| std::cmp::Reverse(blame.milli_score_at(span)));
+        }
         let mut any_child = false;
-        for c in child_ids {
+        for (c, _) in children {
             if self.search_expr(scope, c, triage_depth, triaged, removed_siblings) {
                 any_child = true;
             }
         }
 
-        let meta = scope.meta(node_id);
-        let mut any_specific = false;
-
-        // Constructive changes (§2.2).
-        if self.cfg.constructive {
-            for probe in changes_for(&node, meta.top_of_chain, self.cfg) {
-                if self.done() {
-                    break;
-                }
-                match probe {
-                    crate::change::Probe::One(c) => {
-                        if self.try_candidate(
-                            scope,
-                            &node,
-                            &c.replacement,
-                            ChangeKind::Constructive(c.description),
-                            triaged,
-                            removed_siblings,
-                        ) {
-                            any_specific = true;
-                        }
-                    }
-                    crate::change::Probe::Gated { gate, then } => {
-                        let gate_variant = edit::replace_expr(&scope.prog, node_id, gate);
-                        self.label("gate", expr_to_string(&node));
-                        if self.check(&gate_variant) {
-                            for c in then {
-                                if self.done() {
-                                    break;
-                                }
-                                if self.try_candidate(
-                                    scope,
-                                    &node,
-                                    &c.replacement,
-                                    ChangeKind::Constructive(c.description),
-                                    triaged,
-                                    removed_siblings,
-                                ) {
-                                    any_specific = true;
-                                }
-                            }
-                        }
-                    }
-                }
-            }
-        }
-
-        // User-registered constructive changes (§6's open framework).
-        if self.cfg.constructive {
-            let extra_candidates: Vec<crate::change::Candidate> =
-                self.extra_changes.iter().flat_map(|ch| ch(&node)).collect();
-            for c in extra_candidates {
-                if self.done() {
-                    break;
-                }
-                if self.try_candidate(
-                    scope,
-                    &node,
-                    &c.replacement,
-                    ChangeKind::Constructive(c.description),
-                    triaged,
-                    removed_siblings,
-                ) {
-                    any_specific = true;
-                }
-            }
-        }
-
-        // Adaptation to context (§2.3).
-        let mut adapt_ok = false;
-        if self.cfg.adaptation && !matches!(node.kind, ExprKind::Adapt(_)) {
-            let adapted =
-                Expr::synth(ExprKind::Adapt(Box::new(node.clone())), Span::DUMMY);
-            if self.try_candidate(
-                scope,
-                &node,
-                &adapted,
-                ChangeKind::Adaptation,
-                triaged,
-                removed_siblings,
-            ) {
-                adapt_ok = true;
-                any_specific = true;
-            }
+        // Constructive changes (§2.2) and adaptation (§2.3) — or, at a
+        // zero-blame site, defer both to the fallback pass: no constraint
+        // from this span took part in the unsat core, so a specific
+        // change here is unlikely to be the message. Deferral is limited
+        // to sites that cannot affect triage entry (size below the triage
+        // threshold) or the §3.3 unbound-variable refinement (non-`Var`
+        // nodes), so guidance changes probe order, never the suggestion
+        // set.
+        let (mut any_specific, mut adapt_ok) = (false, false);
+        if self.defers(&node, triaged, triage_depth) {
+            self.deferred.push(node_id);
+            self.sites_pruned += 1;
+        } else {
+            (any_specific, adapt_ok) =
+                self.enumerate_changes(scope, &node, triaged, removed_siblings);
         }
 
         // Triage (§2.4): only when wholesale removal of a sizeable node is
@@ -584,6 +596,116 @@ impl<O: Oracle> Run<'_, O> {
             }
         }
         true
+    }
+
+    /// Whether enumeration at `node` is deferred to the fallback pass.
+    /// Only untriaged, top-level-search sites defer: triage contexts are
+    /// already localized, and their spans mix original and synthesized
+    /// positions the blame map does not cover.
+    fn defers(&self, node: &Expr, triaged: bool, triage_depth: usize) -> bool {
+        let Some(blame) = &self.blame else { return false };
+        !triaged
+            && triage_depth == 0
+            && !node.span.is_empty()
+            && node.size() < self.cfg.triage_size_threshold
+            && !matches!(node.kind, ExprKind::Var(_))
+            && blame.is_zero_blame(node.span)
+    }
+
+    /// Constructive-change and adaptation enumeration at one node whose
+    /// removal is known to succeed. Returns `(any_specific, adapt_ok)`.
+    fn enumerate_changes(
+        &mut self,
+        scope: &Scope,
+        node: &Expr,
+        triaged: bool,
+        removed_siblings: usize,
+    ) -> (bool, bool) {
+        let meta = scope.meta(node.id);
+        let mut any_specific = false;
+
+        // Constructive changes (§2.2).
+        if self.cfg.constructive {
+            for probe in changes_for(node, meta.top_of_chain, self.cfg) {
+                if self.done() {
+                    break;
+                }
+                match probe {
+                    crate::change::Probe::One(c) => {
+                        if self.try_candidate(
+                            scope,
+                            node,
+                            &c.replacement,
+                            ChangeKind::Constructive(c.description),
+                            triaged,
+                            removed_siblings,
+                        ) {
+                            any_specific = true;
+                        }
+                    }
+                    crate::change::Probe::Gated { gate, then } => {
+                        let gate_variant = edit::replace_expr(&scope.prog, node.id, gate);
+                        self.label("gate", expr_to_string(node));
+                        if self.check(&gate_variant) {
+                            for c in then {
+                                if self.done() {
+                                    break;
+                                }
+                                if self.try_candidate(
+                                    scope,
+                                    node,
+                                    &c.replacement,
+                                    ChangeKind::Constructive(c.description),
+                                    triaged,
+                                    removed_siblings,
+                                ) {
+                                    any_specific = true;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // User-registered constructive changes (§6's open framework).
+        if self.cfg.constructive {
+            let extra_candidates: Vec<crate::change::Candidate> =
+                self.extra_changes.iter().flat_map(|ch| ch(node)).collect();
+            for c in extra_candidates {
+                if self.done() {
+                    break;
+                }
+                if self.try_candidate(
+                    scope,
+                    node,
+                    &c.replacement,
+                    ChangeKind::Constructive(c.description),
+                    triaged,
+                    removed_siblings,
+                ) {
+                    any_specific = true;
+                }
+            }
+        }
+
+        // Adaptation to context (§2.3).
+        let mut adapt_ok = false;
+        if self.cfg.adaptation && !matches!(node.kind, ExprKind::Adapt(_)) {
+            let adapted = Expr::synth(ExprKind::Adapt(Box::new(node.clone())), Span::DUMMY);
+            if self.try_candidate(
+                scope,
+                node,
+                &adapted,
+                ChangeKind::Adaptation,
+                triaged,
+                removed_siblings,
+            ) {
+                adapt_ok = true;
+                any_specific = true;
+            }
+        }
+        (any_specific, adapt_ok)
     }
 
     /// Tries one replacement; on success records a suggestion.
@@ -642,10 +764,9 @@ impl<O: Oracle> Run<'_, O> {
         // Principal type of the replacement, for the "of type …" line.
         // This re-check is message formatting, not search, so it is not
         // counted against the oracle budget.
-        let new_type =
-            check_program_types(&variant, &[inserted_root]).ok().and_then(|mut m| {
-                m.remove(&inserted_root)
-            });
+        let new_type = check_program_types(&variant, &[inserted_root])
+            .ok()
+            .and_then(|mut m| m.remove(&inserted_root));
         let context_str = variant
             .decl_of(inserted_root)
             .map(|i| decl_to_string(&variant.decls[i]))
@@ -672,6 +793,7 @@ impl<O: Oracle> Run<'_, O> {
             superseded: false,
             variant,
             unbound_hint,
+            blame: self.blame_at(node.span),
         });
     }
 
@@ -682,9 +804,7 @@ impl<O: Oracle> Run<'_, O> {
     fn triage(&mut self, scope: &Scope, node: &Expr, depth: usize) {
         self.triage_used = true;
         match &node.kind {
-            ExprKind::Match(scrut, arms) => {
-                self.triage_match(scope, node, scrut, arms, depth)
-            }
+            ExprKind::Match(scrut, arms) => self.triage_match(scope, node, scrut, arms, depth),
             _ => {
                 let members = triage_members(node);
                 if members.len() >= 2 {
@@ -703,8 +823,7 @@ impl<O: Oracle> Run<'_, O> {
             if self.done() {
                 return;
             }
-            let others: Vec<NodeId> =
-                members.iter().copied().filter(|&m| m != focus).collect();
+            let others: Vec<NodeId> = members.iter().copied().filter(|&m| m != focus).collect();
             // j = 0 (focus removed alone) is already known to fail — the
             // regular search tried it before entering triage.
             for j in 1..=others.len() {
@@ -745,7 +864,11 @@ impl<O: Oracle> Run<'_, O> {
         let phase1 = Expr::synth(
             ExprKind::Match(
                 Box::new(scrut.clone()),
-                vec![Arm { pat: Pat::wild(Span::DUMMY), guard: None, body: Expr::hole(Span::DUMMY) }],
+                vec![Arm {
+                    pat: Pat::wild(Span::DUMMY),
+                    guard: None,
+                    body: Expr::hole(Span::DUMMY),
+                }],
             ),
             Span::DUMMY,
         );
@@ -823,10 +946,8 @@ impl<O: Oracle> Run<'_, O> {
     /// replacement by `_` makes the context type-check; reports it as a
     /// (triaged) removal — "try replacing `5` with `_`".
     fn search_pattern(&mut self, scope: &Scope, pat: &Pat, removed_siblings: usize) -> bool {
-        let variant = edit::apply(
-            &scope.prog,
-            &Edit::new().replace_pat(pat.id, Pat::wild(Span::DUMMY)),
-        );
+        let variant =
+            edit::apply(&scope.prog, &Edit::new().replace_pat(pat.id, Pat::wild(Span::DUMMY)));
         if !self.check(&variant) {
             return false;
         }
@@ -847,14 +968,9 @@ impl<O: Oracle> Run<'_, O> {
                 .iter()
                 .map(decl_to_string)
                 .find(|s| s.contains("match"))
-                .unwrap_or_else(|| {
-                    variant.decls.last().map(decl_to_string).unwrap_or_default()
-                });
+                .unwrap_or_else(|| variant.decls.last().map(decl_to_string).unwrap_or_default());
             self.suggestions.push(Suggestion {
-                focus: Focus::Pat {
-                    target: pat.id,
-                    replacement: Pat::wild(Span::DUMMY),
-                },
+                focus: Focus::Pat { target: pat.id, replacement: Pat::wild(Span::DUMMY) },
                 kind: ChangeKind::Removal,
                 triaged: true,
                 removed_siblings,
@@ -870,6 +986,7 @@ impl<O: Oracle> Run<'_, O> {
                 superseded: false,
                 variant,
                 unbound_hint: None,
+                blame: self.blame_at(pat.span),
             });
         }
         true

@@ -15,7 +15,8 @@ fn search_cfg(src: &str, cfg: SearchConfig) -> seminal_core::SearchReport {
     Searcher::with_config(TypeCheckOracle::new(), cfg).search(&prog)
 }
 
-const FIGURE2: &str = "let map2 f aList bList = List.map (fun (a, b) -> f a b) (List.combine aList bList)\n\
+const FIGURE2: &str =
+    "let map2 f aList bList = List.map (fun (a, b) -> f a b) (List.combine aList bList)\n\
 let lst = map2 (fun (x, y) -> x + y) [1;2;3] [4;5;6]\n\
 let ans = List.filter (fun x -> x == 0) lst\n";
 
@@ -28,11 +29,7 @@ fn figure2_top_suggestion_is_the_curry_fix() {
     assert_eq!(best.new_type.as_deref(), Some("int -> int -> int"));
     assert!(matches!(best.kind, ChangeKind::Constructive(_)));
     assert!(!best.triaged);
-    assert!(
-        best.context_str.contains("map2 (fun x y -> x + y)"),
-        "context: {}",
-        best.context_str
-    );
+    assert!(best.context_str.contains("map2 (fun x y -> x + y)"), "context: {}", best.context_str);
 }
 
 #[test]
@@ -95,8 +92,7 @@ let rec loop movelist x acc =\n\
     let report = search(src);
     // The paper's winning message: add an argument to `List.nth searchLst`.
     let hit = report.suggestions().iter().find(|s| {
-        s.original_str == "List.nth searchLst"
-            && s.replacement_str == "List.nth searchLst [[...]]"
+        s.original_str == "List.nth searchLst" && s.replacement_str == "List.nth searchLst [[...]]"
     });
     assert!(
         hit.is_some(),
@@ -133,8 +129,7 @@ fn multiple_errors_need_triage() {
     // With triage: the precise locations surface.
     let full = search(src);
     assert!(full.stats.triage_used);
-    let locs: Vec<&str> =
-        full.suggestions().iter().map(|s| s.original_str.as_str()).collect();
+    let locs: Vec<&str> = full.suggestions().iter().map(|s| s.original_str.as_str()).collect();
     assert!(
         locs.contains(&"true") || locs.contains(&"3 + true"),
         "triage should localize the first error: {locs:?}"
@@ -202,11 +197,8 @@ fn adaptation_wins_for_if_condition() {
     let src = "let f (g : string -> string) (s : string) =\n\
                if g s then 1 else 2\n";
     let report = search(src);
-    let adaptations: Vec<&seminal_core::Suggestion> = report
-        .suggestions()
-        .iter()
-        .filter(|s| matches!(s.kind, ChangeKind::Adaptation))
-        .collect();
+    let adaptations: Vec<&seminal_core::Suggestion> =
+        report.suggestions().iter().filter(|s| matches!(s.kind, ChangeKind::Adaptation)).collect();
     assert!(!adaptations.is_empty(), "adaptation should be found");
     assert_eq!(
         adaptations[0].original_str, "g s",
@@ -219,18 +211,11 @@ fn unbound_variable_hint() {
     // §3.3's `print` vs `print_string` scenario (simplified: one use).
     let src = "let f x = print x; x + 1";
     let report = search(src);
-    let hinted = report
-        .suggestions()
-        .iter()
-        .find(|s| s.unbound_hint.as_deref() == Some("print"));
+    let hinted = report.suggestions().iter().find(|s| s.unbound_hint.as_deref() == Some("print"));
     assert!(
         hinted.is_some(),
         "expected the unbound-variable refinement, got {:?}",
-        report
-            .suggestions()
-            .iter()
-            .map(|s| (&s.original_str, &s.unbound_hint))
-            .collect::<Vec<_>>()
+        report.suggestions().iter().map(|s| (&s.original_str, &s.unbound_hint)).collect::<Vec<_>>()
     );
 }
 
@@ -251,10 +236,7 @@ fn list_comma_confusion_fixed() {
 fn missing_rec_fixed_at_declaration() {
     let src = "let fact n = if n = 0 then 1 else n * fact (n - 1)";
     let report = search(src);
-    let fix = report
-        .suggestions()
-        .iter()
-        .find(|s| s.replacement_str == "let rec");
+    let fix = report.suggestions().iter().find(|s| s.replacement_str == "let rec");
     assert!(fix.is_some(), "expected the let rec fix");
 }
 
@@ -269,10 +251,7 @@ fn well_typed_program_bypasses_search() {
 fn float_operator_fix() {
     let src = "let area r = 3.14159 * r * r";
     let report = search(src);
-    assert!(report
-        .suggestions()
-        .iter()
-        .any(|s| s.replacement_str.contains("*.")));
+    assert!(report.suggestions().iter().any(|s| s.replacement_str.contains("*.")));
 }
 
 #[test]
@@ -304,7 +283,7 @@ fn oracle_calls_are_counted_and_bounded() {
     let prog = parse_program(FIGURE2).unwrap();
     let oracle = CountingOracle::new(TypeCheckOracle::new());
     let report = Searcher::new(&oracle).search(&prog);
-    assert_eq!(report.stats.oracle_calls >= oracle.calls(), true);
+    assert!(report.stats.oracle_calls >= oracle.calls());
     assert!(oracle.calls() > 5, "search must actually consult the oracle");
     assert!(oracle.calls() < 5_000, "search should not explode: {}", oracle.calls());
 }
@@ -319,14 +298,8 @@ fn tiny_budget_degrades_gracefully() {
 #[test]
 fn removal_only_config_still_finds_locations() {
     let report = search_cfg(FIGURE2, SearchConfig::removal_only());
-    assert!(report
-        .suggestions()
-        .iter()
-        .all(|s| matches!(s.kind, ChangeKind::Removal)));
-    assert!(report
-        .suggestions()
-        .iter()
-        .any(|s| s.original_str == "fun (x, y) -> x + y"));
+    assert!(report.suggestions().iter().all(|s| matches!(s.kind, ChangeKind::Removal)));
+    assert!(report.suggestions().iter().any(|s| s.original_str == "fun (x, y) -> x + y"));
 }
 
 #[test]
@@ -358,10 +331,7 @@ fn custom_changes_extend_the_enumerator() {
 
     // Without the custom change there is no constructive fix at the call.
     let plain = Searcher::new(TypeCheckOracle::new()).search(&prog);
-    assert!(plain
-        .suggestions()
-        .iter()
-        .all(|s| !s.replacement_str.contains("String.concat")));
+    assert!(plain.suggestions().iter().all(|s| !s.replacement_str.contains("String.concat")));
 
     let mut searcher = Searcher::new(TypeCheckOracle::new());
     searcher.add_change(Box::new(|e: &Expr| {
@@ -389,18 +359,11 @@ fn custom_changes_extend_the_enumerator() {
         }]
     }));
     let report = searcher.search(&prog);
-    let hit = report
-        .suggestions()
-        .iter()
-        .find(|s| s.replacement_str.contains("String.concat"));
+    let hit = report.suggestions().iter().find(|s| s.replacement_str.contains("String.concat"));
     assert!(
         hit.is_some(),
         "custom change should fire: {:?}",
-        report
-            .suggestions()
-            .iter()
-            .map(|s| &s.replacement_str)
-            .collect::<Vec<_>>()
+        report.suggestions().iter().map(|s| &s.replacement_str).collect::<Vec<_>>()
     );
     // And its variant type-checks like any built-in change's.
     assert!(check_program(&hit.unwrap().variant).is_ok());
@@ -462,10 +425,7 @@ fn trace_records_every_probe() {
         .trace
         .iter()
         .any(|t| t.action == "removal" && t.target == "fun (x, y) -> x + y" && t.success));
-    assert!(report
-        .trace
-        .iter()
-        .any(|t| t.action.contains("curried") && t.success));
+    assert!(report.trace.iter().any(|t| t.action.contains("curried") && t.success));
     assert!(report.trace.iter().any(|t| t.action == "prefix"));
     assert!(report.trace.iter().any(|t| !t.success), "failed probes are recorded too");
 }

@@ -9,9 +9,8 @@
 //! for).
 
 use crate::mutate::{mutate, GroundTruth, MutationKind, ALL_KINDS};
+use crate::rng::SplitMix64;
 use crate::templates::{for_assignment, Template};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 
 /// One ill-typed corpus file with its ground truth.
 #[derive(Debug, Clone)]
@@ -65,7 +64,13 @@ impl Default for CorpusConfig {
 
 /// A small, quick corpus for unit tests.
 pub fn small_config(seed: u64) -> CorpusConfig {
-    CorpusConfig { seed, programmers: 3, assignments: 5, problems_per_cell: 2, ..CorpusConfig::default() }
+    CorpusConfig {
+        seed,
+        programmers: 3,
+        assignments: 5,
+        problems_per_cell: 2,
+        ..CorpusConfig::default()
+    }
 }
 
 /// Each programmer gravitates to a personal subset of mistakes — the
@@ -95,21 +100,17 @@ pub fn generate(cfg: &CorpusConfig) -> Vec<CorpusFile> {
                 .seed
                 .wrapping_mul(0x9E37_79B9_7F4A_7C15)
                 .wrapping_add((programmer as u64) << 32 | (assignment as u64));
-            let mut rng = StdRng::seed_from_u64(cell_seed);
+            let mut rng = SplitMix64::seed_from_u64(cell_seed);
             let mut made = 0;
             let mut attempts = 0;
             while made < cfg.problems_per_cell && attempts < cfg.problems_per_cell * 20 {
                 attempts += 1;
                 let template: &Template = templates[rng.random_range(0..templates.len())];
-                let errors =
-                    if rng.random_range(0.0..1.0) < cfg.multi_error_rate { 2 } else { 1 };
+                let errors = if rng.random_range(0.0..1.0) < cfg.multi_error_rate { 2 } else { 1 };
                 if let Some(mutant) = mutate(template.source, &bias, errors, &mut rng) {
                     made += 1;
                     out.push(CorpusFile {
-                        id: format!(
-                            "p{programmer:02}-a{assignment}-{}-{made}",
-                            template.name
-                        ),
+                        id: format!("p{programmer:02}-a{assignment}-{}-{made}", template.name),
                         programmer,
                         assignment,
                         template: template.name,
@@ -140,8 +141,8 @@ mod tests {
     #[test]
     fn all_files_are_ill_typed() {
         for f in generate(&small_config(7)) {
-            let prog = parse_program(&f.source)
-                .unwrap_or_else(|e| panic!("{} does not parse: {e}", f.id));
+            let prog =
+                parse_program(&f.source).unwrap_or_else(|e| panic!("{} does not parse: {e}", f.id));
             assert!(check_program(&prog).is_err(), "{} type-checks", f.id);
         }
     }
@@ -162,10 +163,7 @@ mod tests {
 
     #[test]
     fn multi_error_rate_is_roughly_honored() {
-        let cfg = CorpusConfig {
-            multi_error_rate: 0.5,
-            ..small_config(3)
-        };
+        let cfg = CorpusConfig { multi_error_rate: 0.5, ..small_config(3) };
         let files = generate(&cfg);
         let multi = files.iter().filter(|f| f.is_multi_error()).count();
         assert!(multi > 0, "no multi-error files at 50% rate");

@@ -24,6 +24,7 @@
 pub mod generate;
 pub mod mutate;
 pub mod path;
+pub mod rng;
 pub mod session;
 pub mod templates;
 

@@ -9,8 +9,7 @@
 //! *mechanically* where the paper judged by hand (DESIGN.md §5).
 
 use crate::path::{expr_at_path, path_of_expr, NodePath};
-use rand::rngs::StdRng;
-use rand::RngExt;
+use crate::rng::SplitMix64;
 use seminal_ml::ast::*;
 use seminal_ml::edit;
 use seminal_ml::parser::parse_program;
@@ -139,7 +138,7 @@ pub fn mutate(
     template_src: &str,
     allowed: &[MutationKind],
     errors: usize,
-    rng: &mut StdRng,
+    rng: &mut SplitMix64,
 ) -> Option<Mutant> {
     let pristine = parse_program(template_src).ok()?;
     // Declaration-level faults cannot coexist with a second fault.
@@ -170,9 +169,7 @@ pub fn mutate(
                     continue;
                 }
                 let Some(path) = &truth.path else { continue };
-                if pending.iter().any(|p| {
-                    p.path.as_ref().is_none_or(|q| q.overlaps(path))
-                }) {
+                if pending.iter().any(|p| p.path.as_ref().is_none_or(|q| q.overlaps(path))) {
                     continue;
                 }
             }
@@ -200,10 +197,8 @@ pub fn mutate(
         .into_iter()
         .map(|p| {
             let span = match &p.path {
-                Some(path) => {
-                    expr_at_path(&reparsed, path).map(|e| e.span).unwrap_or(Span::DUMMY)
-                }
-                None => reparsed.decls.get(p.decl).map(|d| d.span).unwrap_or(Span::DUMMY),
+                Some(path) => expr_at_path(&reparsed, path).map_or(Span::DUMMY, |e| e.span),
+                None => reparsed.decls.get(p.decl).map_or(Span::DUMMY, |d| d.span),
             };
             GroundTruth {
                 kind: p.kind,
@@ -222,7 +217,7 @@ pub fn mutate(
 fn apply_one(
     prog: &Program,
     kind: MutationKind,
-    rng: &mut StdRng,
+    rng: &mut SplitMix64,
 ) -> Option<(Program, PendingTruth)> {
     match kind {
         MutationKind::DropRec => {
@@ -257,15 +252,12 @@ fn apply_one(
             let original = expr_to_string(node);
             let mutated = expr_to_string(&replacement);
             let variant = edit::replace_expr(prog, target, replacement);
-            Some((
-                variant,
-                PendingTruth { kind, path, decl, original, mutated },
-            ))
+            Some((variant, PendingTruth { kind, path, decl, original, mutated }))
         }
     }
 }
 
-fn pick<'a, T>(items: &'a [T], rng: &mut StdRng) -> Option<&'a T> {
+fn pick<'a, T>(items: &'a [T], rng: &mut SplitMix64) -> Option<&'a T> {
     if items.is_empty() {
         None
     } else {
@@ -319,10 +311,7 @@ fn collect_sites(e: &Expr, kind: MutationKind, out: &mut Vec<(NodeId, Expr)>) {
                     if let PatKind::Tuple(parts) = &params[0].kind {
                         out.push((
                             e.id,
-                            Expr::synth(
-                                ExprKind::Fun(parts.clone(), body.clone()),
-                                Span::DUMMY,
-                            ),
+                            Expr::synth(ExprKind::Fun(parts.clone(), body.clone()), Span::DUMMY),
                         ));
                     }
                 }
@@ -374,10 +363,7 @@ fn collect_sites(e: &Expr, kind: MutationKind, out: &mut Vec<(NodeId, Expr)>) {
             if let ExprKind::BinOp(BinOp::Concat, l, r) = &e.kind {
                 out.push((
                     e.id,
-                    Expr::synth(
-                        ExprKind::BinOp(BinOp::Add, l.clone(), r.clone()),
-                        Span::DUMMY,
-                    ),
+                    Expr::synth(ExprKind::BinOp(BinOp::Add, l.clone(), r.clone()), Span::DUMMY),
                 ));
             }
         }
@@ -409,8 +395,7 @@ fn collect_sites(e: &Expr, kind: MutationKind, out: &mut Vec<(NodeId, Expr)>) {
         }
         ConsAppend => {
             if let ExprKind::BinOp(op @ (BinOp::Cons | BinOp::Append), l, r) = &e.kind {
-                let flipped =
-                    if *op == BinOp::Cons { BinOp::Append } else { BinOp::Cons };
+                let flipped = if *op == BinOp::Cons { BinOp::Append } else { BinOp::Cons };
                 out.push((
                     e.id,
                     Expr::synth(ExprKind::BinOp(flipped, l.clone(), r.clone()), Span::DUMMY),
@@ -419,16 +404,10 @@ fn collect_sites(e: &Expr, kind: MutationKind, out: &mut Vec<(NodeId, Expr)>) {
         }
         WrongLiteral => match &e.kind {
             ExprKind::Lit(Lit::Int(n)) => {
-                out.push((
-                    e.id,
-                    Expr::synth(ExprKind::Lit(Lit::Str(n.to_string())), Span::DUMMY),
-                ));
+                out.push((e.id, Expr::synth(ExprKind::Lit(Lit::Str(n.to_string())), Span::DUMMY)));
             }
             ExprKind::Lit(Lit::Str(s)) if !s.is_empty() => {
-                out.push((
-                    e.id,
-                    Expr::synth(ExprKind::Lit(Lit::Int(s.len() as i64)), Span::DUMMY),
-                ));
+                out.push((e.id, Expr::synth(ExprKind::Lit(Lit::Int(s.len() as i64)), Span::DUMMY)));
             }
             _ => {}
         },
@@ -436,10 +415,7 @@ fn collect_sites(e: &Expr, kind: MutationKind, out: &mut Vec<(NodeId, Expr)>) {
             if let ExprKind::BinOp(BinOp::Assign, l, r) = &e.kind {
                 out.push((
                     e.id,
-                    Expr::synth(
-                        ExprKind::BinOp(BinOp::Eq, l.clone(), r.clone()),
-                        Span::DUMMY,
-                    ),
+                    Expr::synth(ExprKind::BinOp(BinOp::Eq, l.clone(), r.clone()), Span::DUMMY),
                 ));
             }
         }
@@ -487,10 +463,9 @@ fn top_of_chain_args(e: &Expr) -> Vec<&Expr> {
 mod tests {
     use super::*;
     use crate::templates::TEMPLATES;
-    use rand::SeedableRng;
 
-    fn rng(seed: u64) -> StdRng {
-        StdRng::seed_from_u64(seed)
+    fn rng(seed: u64) -> SplitMix64 {
+        SplitMix64::seed_from_u64(seed)
     }
 
     #[test]
@@ -575,7 +550,6 @@ mod tests {
 mod applicability_tests {
     use super::*;
     use crate::templates::TEMPLATES;
-    use rand::SeedableRng;
 
     /// Every mutation kind must be applicable to (and actually break) at
     /// least one template — no dead injectors.
@@ -585,7 +559,7 @@ mod applicability_tests {
             let mut hit = false;
             'templates: for t in TEMPLATES {
                 for seed in 0..4 {
-                    let mut rng = StdRng::seed_from_u64(seed);
+                    let mut rng = SplitMix64::seed_from_u64(seed);
                     if mutate(t.source, &[*kind], 1, &mut rng).is_some() {
                         hit = true;
                         break 'templates;

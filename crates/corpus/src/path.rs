@@ -105,7 +105,8 @@ mod tests {
 
     #[test]
     fn path_survives_print_reparse() {
-        let src = "let rec go n acc = if n = 0 then acc else go (n - 1) (n :: acc)\nlet out = go 3 []";
+        let src =
+            "let rec go n acc = if n = 0 then acc else go (n - 1) (n :: acc)\nlet out = go 3 []";
         let prog = parse_program(src).unwrap();
         let mut target = None;
         prog.decls[0].for_each_expr(&mut |e| {

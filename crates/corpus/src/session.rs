@@ -8,11 +8,10 @@
 //! (Figure 6 is log-scale). We model group sizes as geometric with a
 //! rare heavy-tail multiplier.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use crate::rng::SplitMix64;
 
 /// Samples the number of same-problem recompiles for one problem.
-pub fn sample_group_size(rng: &mut StdRng) -> usize {
+pub fn sample_group_size(rng: &mut SplitMix64) -> usize {
     // Geometric(p = 0.5): ~half the groups are singletons.
     let mut size = 1;
     while rng.random_range(0.0..1.0) < 0.5 && size < 64 {
@@ -20,14 +19,14 @@ pub fn sample_group_size(rng: &mut StdRng) -> usize {
     }
     // Rare obsessive-recompile sessions create the log-scale tail.
     if rng.random_range(0.0..1.0) < 0.015 {
-        size *= rng.random_range(10..40);
+        size *= rng.random_range(10..40usize);
     }
     size
 }
 
 /// Samples group sizes for `problems` distinct problems.
 pub fn group_sizes(problems: usize, seed: u64) -> Vec<usize> {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xF166);
+    let mut rng = SplitMix64::seed_from_u64(seed ^ 0xF166);
     (0..problems).map(|_| sample_group_size(&mut rng)).collect()
 }
 
@@ -90,10 +89,7 @@ mod tests {
         let sizes = group_sizes(1075, 2007);
         let s = summarize(sizes.as_slice());
         let ratio = s.collected as f64 / s.analyzed as f64;
-        assert!(
-            (1.5..3.5).contains(&ratio),
-            "collected/analyzed ratio {ratio:.2} out of shape"
-        );
+        assert!((1.5..3.5).contains(&ratio), "collected/analyzed ratio {ratio:.2} out of shape");
     }
 
     #[test]

@@ -288,11 +288,7 @@ mod tests {
     #[test]
     fn display_ctor_and_method() {
         let ctor = CExpr::synth(
-            CExprKind::Ctor {
-                class: "multiplies".into(),
-                targs: vec![CType::Long],
-                args: vec![],
-            },
+            CExprKind::Ctor { class: "multiplies".into(), targs: vec![CType::Long], args: vec![] },
             Span::DUMMY,
         );
         assert_eq!(ctor.to_string(), "multiplies<long int>()");

@@ -41,7 +41,10 @@ impl CppError {
             out.push('\n');
         }
         if !self.chain.is_empty() {
-            out.push_str(&format!("input.cpp: {}: instantiated from here\n", lm.describe(self.site)));
+            out.push_str(&format!(
+                "input.cpp: {}: instantiated from here\n",
+                lm.describe(self.site)
+            ));
         }
         out.push_str(&format!("input.cpp: {}: error: {}\n", lm.describe(self.site), self.message));
         out
@@ -88,11 +91,7 @@ type Env = HashMap<String, CType>;
 impl Checker {
     fn err(&mut self, span: Span, message: impl Into<String>) {
         let site = self.site_stack.first().copied().unwrap_or(span);
-        self.errors.push(CppError {
-            message: message.into(),
-            site,
-            chain: self.chain.clone(),
-        });
+        self.errors.push(CppError { message: message.into(), site, chain: self.chain.clone() });
     }
 
     fn check_fn(&mut self, f: &CFn) {
@@ -267,10 +266,7 @@ impl Checker {
                 if *arrow {
                     self.err(
                         e.span,
-                        format!(
-                            "base operand of '->' has non-pointer type '{}'",
-                            t.strip_ref()
-                        ),
+                        format!("base operand of '->' has non-pointer type '{}'", t.strip_ref()),
                     );
                     return None;
                 }
@@ -300,18 +296,9 @@ impl Checker {
                 // argument types for deduction.
                 if let CExprKind::Var(name) = &callee.kind {
                     if !env.contains_key(name) {
-                        if let Some(tf) = self
-                            .prelude
-                            .templates
-                            .get(name)
-                            .cloned()
-                            .or_else(|| {
-                                self.user_fns
-                                    .get(name)
-                                    .filter(|f| !f.tparams.is_empty())
-                                    .cloned()
-                            })
-                        {
+                        if let Some(tf) = self.prelude.templates.get(name).cloned().or_else(|| {
+                            self.user_fns.get(name).filter(|f| !f.tparams.is_empty()).cloned()
+                        }) {
                             return self.instantiate_call(env, &tf, args, e.span);
                         }
                     }
@@ -354,13 +341,7 @@ impl Checker {
 
     /// Calls a value of type `t` (functor object, function, or function
     /// pointer) — the adapter call rules live here.
-    fn call_value(
-        &mut self,
-        env: &Env,
-        t: &CType,
-        args: &[CExpr],
-        span: Span,
-    ) -> Option<CType> {
+    fn call_value(&mut self, env: &Env, t: &CType, args: &[CExpr], span: Span) -> Option<CType> {
         let t = t.strip_ref().clone();
         match &t {
             CType::Function(params, ret) => {
@@ -386,10 +367,7 @@ impl Checker {
 
     fn no_match_call(&mut self, span: Span, ty: &CType, arg_tys: &[CType]) {
         let rendered: Vec<String> = arg_tys.iter().map(|t| format!("{t}&")).collect();
-        self.err(
-            span,
-            format!("no match for call to '({ty}) ({})'", rendered.join(", ")),
-        );
+        self.err(span, format!("no match for call to '({ty}) ({})'", rendered.join(", ")));
     }
 
     fn call_class(
@@ -483,12 +461,7 @@ impl Checker {
         Some((sig.0[1].clone(), sig.1))
     }
 
-    fn functor_sig(
-        &mut self,
-        t: &CType,
-        arity: usize,
-        span: Span,
-    ) -> Option<(Vec<CType>, CType)> {
+    fn functor_sig(&mut self, t: &CType, arity: usize, span: Span) -> Option<(Vec<CType>, CType)> {
         let CType::Class(name, targs) = t.strip_ref() else {
             self.err(span, format!("'{t}' is not a class, struct, or union type"));
             return None;
@@ -497,12 +470,11 @@ impl Checker {
         let map: HashMap<String, CType> =
             def.tparams.iter().cloned().zip(targs.iter().cloned()).collect();
         match &def.call {
-            CallRule::Direct(sigs) => sigs
-                .iter()
-                .find(|(params, _)| params.len() == arity)
-                .map(|(params, ret)| {
+            CallRule::Direct(sigs) => {
+                sigs.iter().find(|(params, _)| params.len() == arity).map(|(params, ret)| {
                     (params.iter().map(|p| p.subst(&map)).collect(), ret.subst(&map))
-                }),
+                })
+            }
             CallRule::Binder1st if arity == 1 => {
                 let op = map.get("Op")?.clone();
                 let (b, r) = self.binary_functor(&op, span)?;
@@ -540,10 +512,7 @@ impl Checker {
             if !fty.is_object() {
                 self.chain.push(format!("In instantiation of '{ty}':"));
                 self.err(span, format!("'{fty}' is not a class, struct, or union type"));
-                self.err(
-                    span,
-                    format!("field '{name}::{fname}' invalidly declared function type"),
-                );
+                self.err(span, format!("field '{name}::{fname}' invalidly declared function type"));
                 self.chain.pop();
             }
         }
@@ -557,10 +526,8 @@ impl Checker {
         args: &[CExpr],
         span: Span,
     ) -> Option<CType> {
-        let arg_tys: Vec<CType> = args
-            .iter()
-            .map(|a| self.check_expr(env, a, None))
-            .collect::<Option<Vec<_>>>()?;
+        let arg_tys: Vec<CType> =
+            args.iter().map(|a| self.check_expr(env, a, None)).collect::<Option<Vec<_>>>()?;
         if arg_tys.len() != tf.params.len() {
             self.err(
                 span,
@@ -614,19 +581,12 @@ impl Checker {
         if entered_user_code {
             self.site_stack.push(span);
         }
-        let bindings = tf
-            .tparams
-            .iter()
-            .map(|p| format!("{p} = {}", map[p]))
-            .collect::<Vec<_>>()
-            .join(", ");
+        let bindings =
+            tf.tparams.iter().map(|p| format!("{p} = {}", map[p])).collect::<Vec<_>>().join(", ");
         self.chain.push(format!("In instantiation of '{} [with {bindings}]':", tf.name));
 
-        let mut inner_env: Env = tf
-            .params
-            .iter()
-            .map(|(n, t)| (n.clone(), t.subst(&map)))
-            .collect();
+        let mut inner_env: Env =
+            tf.params.iter().map(|(n, t)| (n.clone(), t.subst(&map))).collect();
         let body: Vec<CStmt> = tf.body.iter().map(|s| subst_stmt(s, &map)).collect();
         for stmt in &body {
             self.check_stmt(&mut inner_env, stmt, &ret);
@@ -648,8 +608,7 @@ pub fn compatible(got: &CType, want: &CType) -> bool {
     if g == w {
         return true;
     }
-    let numeric =
-        |t: &CType| matches!(t, CType::Int | CType::Long | CType::Double | CType::Bool);
+    let numeric = |t: &CType| matches!(t, CType::Int | CType::Long | CType::Double | CType::Bool);
     numeric(g) && numeric(w)
 }
 
@@ -688,9 +647,7 @@ fn subst_expr(e: &CExpr, map: &HashMap<String, CType>) -> CExpr {
             name: name.clone(),
             arrow: *arrow,
         },
-        CExprKind::MagicAdapt(inner) => {
-            CExprKind::MagicAdapt(Box::new(subst_expr(inner, map)))
-        }
+        CExprKind::MagicAdapt(inner) => CExprKind::MagicAdapt(Box::new(subst_expr(inner, map))),
     };
     CExpr { id: e.id, span: e.span, kind }
 }
@@ -735,8 +692,7 @@ mod tests {
 
     #[test]
     fn return_type_mismatch() {
-        let prog =
-            parse_cpp("long f(vector<long>& v) { return v; }").unwrap();
+        let prog = parse_cpp("long f(vector<long>& v) { return v; }").unwrap();
         let errors = check(&prog);
         assert!(errors[0].message.contains("cannot convert"));
     }
@@ -771,10 +727,8 @@ mod tests {
     #[test]
     fn var_decl_with_invalid_type() {
         // A variable of function type is invalid, as for fields.
-        let prog = parse_cpp(
-            "template <class A> void g(A x) { A y = x; } void f() { g(labs); }",
-        )
-        .unwrap();
+        let prog =
+            parse_cpp("template <class A> void g(A x) { A y = x; } void f() { g(labs); }").unwrap();
         let errors = check(&prog);
         assert!(
             errors.iter().any(|e| e.message.contains("invalid type")),

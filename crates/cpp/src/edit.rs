@@ -166,7 +166,8 @@ mod tests {
                 target = Some(e.id);
             }
         });
-        let edited = replace_expr(&prog, target.unwrap(), CExpr::synth(CExprKind::Magic, Span::DUMMY));
+        let edited =
+            replace_expr(&prog, target.unwrap(), CExpr::synth(CExprKind::Magic, Span::DUMMY));
         assert_ne!(prog, edited);
         let mut found_magic = false;
         edited.fns[0].for_each_expr(&mut |e| {

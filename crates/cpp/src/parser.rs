@@ -90,10 +90,7 @@ fn lex(src: &str) -> Result<Vec<SpTok>, CppParseError> {
                 let text = std::str::from_utf8(&bytes[start..i]).unwrap();
                 // Qualified names like std::transform keep only the tail.
                 let text = text.rsplit("::").next().unwrap_or(text).to_owned();
-                out.push(SpTok {
-                    tok: Tok::Ident(text),
-                    span: Span::new(start as u32, i as u32),
-                });
+                out.push(SpTok { tok: Tok::Ident(text), span: Span::new(start as u32, i as u32) });
             }
             b'0'..=b'9' => {
                 while i < bytes.len() && bytes[i].is_ascii_digit() {
@@ -296,8 +293,7 @@ impl P {
         // Names bound by `template <class …>` parse as nullary class
         // types; rewrite them into proper template parameters.
         let ret = paramize(ret, &tparams);
-        let params =
-            params.into_iter().map(|(n, t)| (n, paramize(t, &tparams))).collect();
+        let params = params.into_iter().map(|(n, t)| (n, paramize(t, &tparams))).collect();
         let body = body
             .into_iter()
             .map(|mut s| {
@@ -343,8 +339,7 @@ impl P {
     fn looks_like_decl(&self) -> bool {
         match self.peek() {
             Tok::Ident(name) => {
-                if matches!(name.as_str(), "void" | "bool" | "int" | "long" | "double" | "const")
-                {
+                if matches!(name.as_str(), "void" | "bool" | "int" | "long" | "double" | "const") {
                     return true;
                 }
                 // `Class<...> x` or `Class x` — identifier followed by an
@@ -571,7 +566,7 @@ void myFun(vector<long>& inv, vector<long>& outv) {
         let prog = parse_cpp(src).unwrap();
         match &prog.fns[0].body[0].kind {
             CStmtKind::Expr(e) => {
-                assert!(matches!(&e.kind, CExprKind::Ctor { class, .. } if class == "multiplies"))
+                assert!(matches!(&e.kind, CExprKind::Ctor { class, .. } if class == "multiplies"));
             }
             other => panic!("{other:?}"),
         }
@@ -583,13 +578,13 @@ void myFun(vector<long>& inv, vector<long>& outv) {
         let prog = parse_cpp(src).unwrap();
         match &prog.fns[0].body[0].kind {
             CStmtKind::VarDecl { init: Some(e), .. } => {
-                assert!(matches!(e.kind, CExprKind::Magic))
+                assert!(matches!(e.kind, CExprKind::Magic));
             }
             other => panic!("{other:?}"),
         }
         match &prog.fns[0].body[1].kind {
             CStmtKind::VarDecl { init: Some(e), .. } => {
-                assert!(matches!(e.kind, CExprKind::MagicAdapt(_)))
+                assert!(matches!(e.kind, CExprKind::MagicAdapt(_)));
             }
             other => panic!("{other:?}"),
         }
@@ -601,7 +596,7 @@ void myFun(vector<long>& inv, vector<long>& outv) {
         let prog = parse_cpp(src).unwrap();
         match &prog.fns[0].body[0].kind {
             CStmtKind::Expr(e) => {
-                assert!(matches!(&e.kind, CExprKind::Member { arrow: true, .. }))
+                assert!(matches!(&e.kind, CExprKind::Member { arrow: true, .. }));
             }
             other => panic!("{other:?}"),
         }
@@ -614,7 +609,7 @@ void myFun(vector<long>& inv, vector<long>& outv) {
         match &prog.fns[0].body[0].kind {
             CStmtKind::Expr(e) => match &e.kind {
                 CExprKind::Call { callee, .. } => {
-                    assert!(matches!(&callee.kind, CExprKind::Var(n) if n == "transform"))
+                    assert!(matches!(&callee.kind, CExprKind::Var(n) if n == "transform"));
                 }
                 other => panic!("{other:?}"),
             },

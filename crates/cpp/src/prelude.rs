@@ -187,10 +187,7 @@ pub fn prelude() -> Prelude {
     );
 
     // --- plain functions --------------------------------------------------
-    functions.insert(
-        "labs".to_owned(),
-        (vec![CType::Long], CType::Long),
-    );
+    functions.insert("labs".to_owned(), (vec![CType::Long], CType::Long));
     functions.insert("abs".to_owned(), (vec![CType::Int], CType::Int));
     functions.insert("print_long".to_owned(), (vec![CType::Long], CType::Void));
 
@@ -228,10 +225,7 @@ pub fn prelude() -> Prelude {
             name: "bind1st".into(),
             tparams: vec!["Op".into(), "A".into()],
             ret: class("binder1st", vec![p("Op")]),
-            params: vec![
-                ("op".into(), CType::Ref(Box::new(p("Op")))),
-                ("x".into(), p("A")),
-            ],
+            params: vec![("op".into(), CType::Ref(Box::new(p("Op")))), ("x".into(), p("A"))],
             body: vec![stmt(CStmtKind::Return(Some(CExpr::synth(
                 CExprKind::Ctor {
                     class: "binder1st".into(),
@@ -252,10 +246,7 @@ pub fn prelude() -> Prelude {
             name: "ptr_fun".into(),
             tparams: vec!["A".into(), "R".into()],
             ret: class("pointer_to_unary_function", vec![p("A"), p("R")]),
-            params: vec![(
-                "f".into(),
-                CType::function(vec![p("A")], p("R")),
-            )],
+            params: vec![("f".into(), CType::function(vec![p("A")], p("R")))],
             body: vec![stmt(CStmtKind::Return(Some(CExpr::synth(
                 CExprKind::Ctor {
                     class: "pointer_to_unary_function".into(),
@@ -312,11 +303,7 @@ pub fn prelude() -> Prelude {
             name: "for_each".into(),
             tparams: vec!["In".into(), "F".into()],
             ret: p("F"),
-            params: vec![
-                ("first".into(), p("In")),
-                ("last".into(), p("In")),
-                ("f".into(), p("F")),
-            ],
+            params: vec![("first".into(), p("In")), ("last".into(), p("In")), ("f".into(), p("F"))],
             body: vec![
                 stmt(CStmtKind::Expr(CExpr::synth(
                     CExprKind::Call {
@@ -417,7 +404,8 @@ mod tests {
     #[test]
     fn prelude_has_figure10_names() {
         let pl = prelude();
-        for c in ["vector", "multiplies", "binder1st", "unary_compose", "pointer_to_unary_function"] {
+        for c in ["vector", "multiplies", "binder1st", "unary_compose", "pointer_to_unary_function"]
+        {
             assert!(pl.classes.contains_key(c), "missing class {c}");
         }
         for t in ["compose1", "bind1st", "ptr_fun", "transform", "voidMagic"] {

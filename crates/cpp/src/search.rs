@@ -66,10 +66,7 @@ impl CppSuggestion {
         } else {
             format!("leaves {} of {} errors", self.errors_after, self.errors_before)
         };
-        format!(
-            "Try replacing `{}` with `{}` ({status})",
-            self.original, self.replacement
-        )
+        format!("Try replacing `{}` with `{}` ({status})", self.original, self.replacement)
     }
 }
 
@@ -112,31 +109,30 @@ pub fn search_cpp(prog: &CProgram) -> CppReport {
     let focus_fn = prog.fns[focus].clone();
 
     let mut suggestions: Vec<CppSuggestion> = Vec::new();
-    let try_variant =
-        |variant: &CProgram,
-         kind: CppChangeKind,
-         span: Span,
-         original: String,
-         replacement: String,
-         size: usize,
-         calls: &mut u64,
-         out: &mut Vec<CppSuggestion>| {
-            *calls += 1;
-            let errors = check(variant);
-            let after: HashSet<String> = errors.iter().map(CppError::key).collect();
-            let introduces_new = after.iter().any(|k| !before.contains(k));
-            if errors.len() < n_before && !introduces_new {
-                out.push(CppSuggestion {
-                    kind,
-                    span,
-                    original,
-                    replacement,
-                    errors_before: n_before,
-                    errors_after: errors.len(),
-                    size,
-                });
-            }
-        };
+    let try_variant = |variant: &CProgram,
+                       kind: CppChangeKind,
+                       span: Span,
+                       original: String,
+                       replacement: String,
+                       size: usize,
+                       calls: &mut u64,
+                       out: &mut Vec<CppSuggestion>| {
+        *calls += 1;
+        let errors = check(variant);
+        let after: HashSet<String> = errors.iter().map(CppError::key).collect();
+        let introduces_new = after.iter().any(|k| !before.contains(k));
+        if errors.len() < n_before && !introduces_new {
+            out.push(CppSuggestion {
+                kind,
+                span,
+                original,
+                replacement,
+                errors_before: n_before,
+                errors_after: errors.len(),
+                size,
+            });
+        }
+    };
 
     // --- statement-level changes ---------------------------------------
     for stmt in &focus_fn.body {
@@ -300,11 +296,7 @@ pub fn search_cpp(prog: &CProgram) -> CppReport {
         if let CExprKind::Call { callee, args } = &node.kind {
             if let CExprKind::Member { obj, name, arrow: true } = &callee.kind {
                 let as_method = CExpr::synth(
-                    CExprKind::Method {
-                        obj: obj.clone(),
-                        name: name.clone(),
-                        args: args.clone(),
-                    },
+                    CExprKind::Method { obj: obj.clone(), name: name.clone(), args: args.clone() },
                     Span::DUMMY,
                 );
                 let replacement = as_method.to_string();

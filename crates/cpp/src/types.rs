@@ -148,9 +148,7 @@ pub fn deduce(
             }
         },
         (CType::Class(n1, a1), CType::Class(n2, a2)) => {
-            n1 == n2
-                && a1.len() == a2.len()
-                && a1.iter().zip(a2).all(|(x, y)| deduce(x, y, map))
+            n1 == n2 && a1.len() == a2.len() && a1.iter().zip(a2).all(|(x, y)| deduce(x, y, map))
         }
         (CType::Function(p1, r1), CType::Function(p2, r2)) => {
             p1.len() == p2.len()

@@ -38,19 +38,10 @@ fn broken_version_produces_figure11_style_cascade() {
     assert!(!errors.is_empty());
     let all: Vec<&str> = errors.iter().map(|e| e.message.as_str()).collect();
     // The two signature gcc complaints of Figure 11.
-    assert!(
-        all.iter().any(|m| m.contains("is not a class, struct, or union type")),
-        "{all:?}"
-    );
-    assert!(
-        all.iter().any(|m| m.contains("invalidly declared function type")),
-        "{all:?}"
-    );
+    assert!(all.iter().any(|m| m.contains("is not a class, struct, or union type")), "{all:?}");
+    assert!(all.iter().any(|m| m.contains("invalidly declared function type")), "{all:?}");
     // And the deduced type is the function type gcc prints.
-    assert!(
-        all.iter().any(|m| m.contains("long int ()(long int)")),
-        "{all:?}"
-    );
+    assert!(all.iter().any(|m| m.contains("long int ()(long int)")), "{all:?}");
     // Errors inside the templates carry an instantiation chain pointing
     // back at user code.
     let chained = errors.iter().find(|e| !e.chain.is_empty()).expect("chained error");
@@ -59,10 +50,7 @@ fn broken_version_produces_figure11_style_cascade() {
     assert!(rendered.contains("instantiated from here"), "{rendered}");
     // The user-code site is inside myFun's call.
     let blamed = chained.site.text(FIGURE10);
-    assert!(
-        blamed.contains("compose1") || blamed.contains("transform"),
-        "blamed `{blamed}`"
-    );
+    assert!(blamed.contains("compose1") || blamed.contains("transform"), "blamed `{blamed}`");
 }
 
 #[test]
@@ -100,10 +88,7 @@ void myFun(vector<long>& inv, vector<long>& outv) {
     let prog = parse_cpp(src).unwrap();
     assert!(!check(&prog).is_empty());
     let report = search_cpp(&prog);
-    let unwrap = report
-        .suggestions
-        .iter()
-        .find(|s| s.replacement == "negate<long int>()");
+    let unwrap = report.suggestions.iter().find(|s| s.replacement == "negate<long int>()");
     assert!(
         unwrap.is_some(),
         "expected the unwrap fix, got {:?}",

@@ -33,10 +33,7 @@ void f(vector<long>& v) {
     // change the search should not need here, but removal/adaptation of
     // the functor argument must localize the problem.
     let report = search_cpp(&prog);
-    assert!(report
-        .suggestions
-        .iter()
-        .any(|s| s.original.contains("multiplies")));
+    assert!(report.suggestions.iter().any(|s| s.original.contains("multiplies")));
 }
 
 #[test]
@@ -172,15 +169,10 @@ void myFun(vector<long>& inv, vector<long>& outv) {
 ";
     let prog = parse_cpp(src).unwrap();
     let report = search_cpp(&prog);
-    let first_stmt_pos = report
-        .suggestions
-        .iter()
-        .position(|s| matches!(s.kind, CppChangeKind::Statement(_)));
-    let ptr_fun_pos = report
-        .suggestions
-        .iter()
-        .position(|s| s.replacement == "ptr_fun(labs)")
-        .unwrap();
+    let first_stmt_pos =
+        report.suggestions.iter().position(|s| matches!(s.kind, CppChangeKind::Statement(_)));
+    let ptr_fun_pos =
+        report.suggestions.iter().position(|s| s.replacement == "ptr_fun(labs)").unwrap();
     if let Some(stmt_pos) = first_stmt_pos {
         assert!(ptr_fun_pos < stmt_pos, "constructive fix must outrank statement surgery");
     }
@@ -209,6 +201,8 @@ void myFun(vector<vector<long>>& inv, vector<vector<long>>& outv) {
     };
     let flat_len = render_len(flat);
     let nested_len = render_len(nested);
-    assert!(flat_len > 0 && nested_len > flat_len,
-        "nested {nested_len} should exceed flat {flat_len}");
+    assert!(
+        flat_len > 0 && nested_len > flat_len,
+        "nested {nested_len} should exceed flat {flat_len}"
+    );
 }

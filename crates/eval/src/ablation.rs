@@ -159,8 +159,7 @@ mod tests {
 
     #[test]
     fn ablation_rows_cover_all_configs() {
-        let corpus: Vec<CorpusFile> =
-            generate(&small_config(3)).into_iter().take(8).collect();
+        let corpus: Vec<CorpusFile> = generate(&small_config(3)).into_iter().take(8).collect();
         let rows = ablations(&corpus);
         assert_eq!(rows.len(), 5);
         // The full tool must be at least as good as removal-only.
@@ -171,8 +170,7 @@ mod tests {
 
     #[test]
     fn location_only_dominates_accuracy() {
-        let corpus: Vec<CorpusFile> =
-            generate(&small_config(4)).into_iter().take(8).collect();
+        let corpus: Vec<CorpusFile> = generate(&small_config(4)).into_iter().take(8).collect();
         let l = location_only(&corpus);
         assert!(l.files > 0);
         assert!(l.checker_location_good >= l.checker_accurate);
@@ -181,8 +179,7 @@ mod tests {
 
     #[test]
     fn render_contains_rows() {
-        let corpus: Vec<CorpusFile> =
-            generate(&small_config(5)).into_iter().take(4).collect();
+        let corpus: Vec<CorpusFile> = generate(&small_config(5)).into_iter().take(4).collect();
         let text = render_ablations(&ablations(&corpus));
         assert!(text.contains("full tool"));
         assert!(text.contains("removal only"));

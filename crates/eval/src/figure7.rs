@@ -33,8 +33,7 @@ pub fn figure7(files: &[CorpusFile]) -> Figure7 {
     let with_slow =
         Searcher::with_config(TypeCheckOracle::new(), SearchConfig::with_slow_match_reassoc());
     let fast = Searcher::new(TypeCheckOracle::new());
-    let no_triage =
-        Searcher::with_config(TypeCheckOracle::new(), SearchConfig::without_triage());
+    let no_triage = Searcher::with_config(TypeCheckOracle::new(), SearchConfig::without_triage());
     for file in files {
         let Ok(prog) = parse_program(&file.source) else { continue };
         fig.full_with_slow.push(with_slow.search(&prog).stats.elapsed);
@@ -78,9 +77,7 @@ pub fn render_figure7(fig: &Figure7) -> String {
             if series.is_empty() {
                 return 0.0;
             }
-            let idx = ((series.len() as f64 * frac).ceil() as usize)
-                .clamp(1, series.len())
-                - 1;
+            let idx = ((series.len() as f64 * frac).ceil() as usize).clamp(1, series.len()) - 1;
             series[idx].0
         };
         out.push_str(&format!(
@@ -89,7 +86,7 @@ pub fn render_figure7(fig: &Figure7) -> String {
             at(0.75),
             at(0.90),
             at(0.95),
-            series.last().map(|p| p.0).unwrap_or(0.0),
+            series.last().map_or(0.0, |p| p.0),
         ));
     }
     out.push_str(
@@ -105,8 +102,7 @@ mod tests {
 
     #[test]
     fn cdf_is_monotone() {
-        let times: Vec<Duration> =
-            [3u64, 1, 2].into_iter().map(Duration::from_millis).collect();
+        let times: Vec<Duration> = [3u64, 1, 2].into_iter().map(Duration::from_millis).collect();
         let series = cdf(&times);
         assert_eq!(series.len(), 3);
         for w in series.windows(2) {
@@ -118,8 +114,7 @@ mod tests {
 
     #[test]
     fn fraction_within_bounds() {
-        let times: Vec<Duration> =
-            [1u64, 5, 10].into_iter().map(Duration::from_millis).collect();
+        let times: Vec<Duration> = [1u64, 5, 10].into_iter().map(Duration::from_millis).collect();
         assert!((fraction_within(&times, Duration::from_millis(5)) - 2.0 / 3.0).abs() < 1e-9);
         assert_eq!(fraction_within(&[], Duration::from_millis(5)), 0.0);
     }

@@ -118,9 +118,7 @@ fn fix_matches(s: &Suggestion, t: &GroundTruth) -> bool {
         MutationKind::ConsAppend => desc.contains("::") || desc.contains('@'),
         MutationKind::WrongLiteral => false, // only the exact inverse counts
         MutationKind::EqAssign => desc.contains(":="),
-        MutationKind::MissingUnitArg => {
-            desc.contains("`()`") || desc.contains("add an argument")
-        }
+        MutationKind::MissingUnitArg => desc.contains("`()`") || desc.contains("add an argument"),
         MutationKind::RefForField => desc.contains("<-"),
     }
 }
@@ -170,8 +168,7 @@ pub fn judge_baseline(file: &CorpusFile, err: &TypeError) -> Judgment {
     let location_good = match check_program(&edit::remove_expr(&prog, blamed)) {
         Ok(()) => true,
         Err(residual) => file.truths.iter().any(|t2| {
-            let residual_here =
-                residual.span.overlaps(t2.span) || t2.span.contains(residual.span);
+            let residual_here = residual.span.overlaps(t2.span) || t2.span.contains(residual.span);
             let same_fault = err.span.overlaps(t2.span) || t2.span.contains(err.span);
             residual_here && !same_fault
         }),
@@ -217,16 +214,15 @@ fn blames_fault_node(prog: &Program, blamed: NodeId, t: &GroundTruth) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
     use seminal_core::Searcher;
     use seminal_corpus::mutate::mutate;
+    use seminal_corpus::rng::SplitMix64;
     use seminal_corpus::templates::TEMPLATES;
     use seminal_typeck::TypeCheckOracle;
 
     fn file_from(template_name: &str, kind: MutationKind, seed: u64) -> CorpusFile {
         let t = TEMPLATES.iter().find(|t| t.name == template_name).unwrap();
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SplitMix64::seed_from_u64(seed);
         let m = mutate(t.source, &[kind], 1, &mut rng).expect("mutant");
         CorpusFile {
             id: "test".into(),

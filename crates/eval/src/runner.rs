@@ -32,8 +32,7 @@ pub struct FileResult {
 /// skipped (the corpus generator prevents them by construction).
 pub fn evaluate_corpus(files: &[CorpusFile]) -> Vec<FileResult> {
     let full_searcher = Searcher::new(TypeCheckOracle::new());
-    let nt_searcher =
-        Searcher::with_config(TypeCheckOracle::new(), SearchConfig::without_triage());
+    let nt_searcher = Searcher::with_config(TypeCheckOracle::new(), SearchConfig::without_triage());
     files
         .iter()
         .filter_map(|file| {
@@ -82,10 +81,7 @@ mod tests {
         // than the checker on a clear majority of files (paper: 83%).
         let files = generate(&small_config(11));
         let results = evaluate_corpus(&files);
-        let no_worse = results
-            .iter()
-            .filter(|r| r.category != Category::CheckerBetter)
-            .count();
+        let no_worse = results.iter().filter(|r| r.category != Category::CheckerBetter).count();
         assert!(
             no_worse * 10 >= results.len() * 6,
             "Seminal no-worse on only {no_worse}/{} files",

@@ -384,12 +384,8 @@ impl Expr {
             // NOTE: `Hole` is deliberately *not* a value — it stands for
             // `raise Foo`, which the value restriction keeps monomorphic.
             ExprKind::Var(_) | ExprKind::Lit(_) | ExprKind::Fun(_, _) => true,
-            ExprKind::Tuple(es) | ExprKind::List(es) => {
-                es.iter().all(Expr::is_syntactic_value)
-            }
-            ExprKind::Construct(_, arg) => {
-                arg.as_ref().is_none_or(|a| a.is_syntactic_value())
-            }
+            ExprKind::Tuple(es) | ExprKind::List(es) => es.iter().all(Expr::is_syntactic_value),
+            ExprKind::Construct(_, arg) => arg.as_ref().is_none_or(|a| a.is_syntactic_value()),
             ExprKind::Annot(e, _) => e.is_syntactic_value(),
             ExprKind::Record(fields) => fields.iter().all(|(_, e)| e.is_syntactic_value()),
             _ => false,
@@ -577,9 +573,7 @@ impl Decl {
     /// Finds the expression with the given id anywhere in this declaration.
     pub fn find_expr(&self, id: NodeId) -> Option<&Expr> {
         match &self.kind {
-            DeclKind::Let { bindings, .. } => {
-                bindings.iter().find_map(|b| b.body.find(id))
-            }
+            DeclKind::Let { bindings, .. } => bindings.iter().find_map(|b| b.body.find(id)),
             DeclKind::Expr(e) => e.find(id),
             DeclKind::Type(_) | DeclKind::Exception(_, _) => None,
         }

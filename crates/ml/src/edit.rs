@@ -216,13 +216,10 @@ impl Applier<'_> {
         }
         let kind = match &e.kind {
             ExprKind::Var(_) | ExprKind::Lit(_) | ExprKind::Hole => e.kind.clone(),
-            ExprKind::App(f, a) => {
-                ExprKind::App(Box::new(self.expr(f)), Box::new(self.expr(a)))
+            ExprKind::App(f, a) => ExprKind::App(Box::new(self.expr(f)), Box::new(self.expr(a))),
+            ExprKind::Fun(ps, b) => {
+                ExprKind::Fun(ps.iter().map(|p| self.pat(p)).collect(), Box::new(self.expr(b)))
             }
-            ExprKind::Fun(ps, b) => ExprKind::Fun(
-                ps.iter().map(|p| self.pat(p)).collect(),
-                Box::new(self.expr(b)),
-            ),
             ExprKind::Let { rec, bindings, body } => ExprKind::Let {
                 rec: *rec,
                 bindings: bindings
@@ -258,24 +255,17 @@ impl Applier<'_> {
             }
             ExprKind::UnOp(op, inner) => ExprKind::UnOp(*op, Box::new(self.expr(inner))),
             ExprKind::Seq(a, b) => ExprKind::Seq(Box::new(self.expr(a)), Box::new(self.expr(b))),
-            ExprKind::Annot(inner, ty) => {
-                ExprKind::Annot(Box::new(self.expr(inner)), ty.clone())
+            ExprKind::Annot(inner, ty) => ExprKind::Annot(Box::new(self.expr(inner)), ty.clone()),
+            ExprKind::Construct(name, arg) => {
+                ExprKind::Construct(name.clone(), arg.as_ref().map(|a| Box::new(self.expr(a))))
             }
-            ExprKind::Construct(name, arg) => ExprKind::Construct(
-                name.clone(),
-                arg.as_ref().map(|a| Box::new(self.expr(a))),
-            ),
-            ExprKind::Record(fields) => ExprKind::Record(
-                fields.iter().map(|(n, v)| (n.clone(), self.expr(v))).collect(),
-            ),
-            ExprKind::Field(obj, name) => {
-                ExprKind::Field(Box::new(self.expr(obj)), name.clone())
+            ExprKind::Record(fields) => {
+                ExprKind::Record(fields.iter().map(|(n, v)| (n.clone(), self.expr(v))).collect())
             }
-            ExprKind::SetField(obj, name, v) => ExprKind::SetField(
-                Box::new(self.expr(obj)),
-                name.clone(),
-                Box::new(self.expr(v)),
-            ),
+            ExprKind::Field(obj, name) => ExprKind::Field(Box::new(self.expr(obj)), name.clone()),
+            ExprKind::SetField(obj, name, v) => {
+                ExprKind::SetField(Box::new(self.expr(obj)), name.clone(), Box::new(self.expr(v)))
+            }
             ExprKind::Raise(inner) => ExprKind::Raise(Box::new(self.expr(inner))),
             ExprKind::Try(body, arms) => ExprKind::Try(
                 Box::new(self.expr(body)),
@@ -301,16 +291,11 @@ impl Applier<'_> {
             PatKind::Wild | PatKind::Var(_) | PatKind::Lit(_) => p.kind.clone(),
             PatKind::Tuple(ps) => PatKind::Tuple(ps.iter().map(|q| self.pat(q)).collect()),
             PatKind::List(ps) => PatKind::List(ps.iter().map(|q| self.pat(q)).collect()),
-            PatKind::Cons(h, t) => {
-                PatKind::Cons(Box::new(self.pat(h)), Box::new(self.pat(t)))
+            PatKind::Cons(h, t) => PatKind::Cons(Box::new(self.pat(h)), Box::new(self.pat(t))),
+            PatKind::Construct(name, arg) => {
+                PatKind::Construct(name.clone(), arg.as_ref().map(|a| Box::new(self.pat(a))))
             }
-            PatKind::Construct(name, arg) => PatKind::Construct(
-                name.clone(),
-                arg.as_ref().map(|a| Box::new(self.pat(a))),
-            ),
-            PatKind::Annot(inner, ty) => {
-                PatKind::Annot(Box::new(self.pat(inner)), ty.clone())
-            }
+            PatKind::Annot(inner, ty) => PatKind::Annot(Box::new(self.pat(inner)), ty.clone()),
         };
         Pat { id: p.id, span: p.span, kind }
     }
@@ -482,12 +467,9 @@ mod tests {
         let mut synth = replacement.clone();
         fn make_synth(e: &mut Expr) {
             e.id = NodeId::SYNTH;
-            match &mut e.kind {
-                ExprKind::App(f, a) => {
-                    make_synth(f);
-                    make_synth(a);
-                }
-                _ => {}
+            if let ExprKind::App(f, a) = &mut e.kind {
+                make_synth(f);
+                make_synth(a);
             }
         }
         make_synth(&mut synth);

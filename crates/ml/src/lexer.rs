@@ -206,10 +206,9 @@ impl<'s> Lexer<'s> {
                         b'\\' => '\\',
                         b'"' => '"',
                         other => {
-                            return Err(self.error(
-                                start,
-                                format!("unknown escape `\\{}`", other as char),
-                            ))
+                            return Err(
+                                self.error(start, format!("unknown escape `\\{}`", other as char))
+                            )
                         }
                     });
                 }
@@ -466,8 +465,14 @@ mod tests {
     #[test]
     fn numbers() {
         assert_eq!(
-            toks("42 3.14 1e3 1_000"),
-            vec![Token::Int(42), Token::Float(3.14), Token::Float(1000.0), Token::Int(1000), Token::Eof]
+            toks("42 2.75 1e3 1_000"),
+            vec![
+                Token::Int(42),
+                Token::Float(2.75),
+                Token::Float(1000.0),
+                Token::Int(1000),
+                Token::Eof
+            ]
         );
     }
 
@@ -481,7 +486,10 @@ mod tests {
 
     #[test]
     fn strings_with_escapes() {
-        assert_eq!(toks(r#""hi\n\"there\"""#), vec![Token::Str("hi\n\"there\"".into()), Token::Eof]);
+        assert_eq!(
+            toks(r#""hi\n\"there\"""#),
+            vec![Token::Str("hi\n\"there\"".into()), Token::Eof]
+        );
     }
 
     #[test]
@@ -552,6 +560,9 @@ mod tests {
 
     #[test]
     fn prime_in_identifier() {
-        assert_eq!(toks("x' e1"), vec![Token::Lident("x'".into()), Token::Lident("e1".into()), Token::Eof]);
+        assert_eq!(
+            toks("x' e1"),
+            vec![Token::Lident("x'".into()), Token::Lident("e1".into()), Token::Eof]
+        );
     }
 }

@@ -270,9 +270,7 @@ impl Parser {
                             params.push(v);
                         }
                         other => {
-                            return Err(
-                                self.error(format!("expected type variable, found {other}"))
-                            )
+                            return Err(self.error(format!("expected type variable, found {other}")))
                         }
                     }
                     if !self.eat(&Token::Comma) {
@@ -312,9 +310,7 @@ impl Parser {
                         self.bump();
                         s
                     }
-                    other => {
-                        return Err(self.error(format!("expected constructor, found {other}")))
-                    }
+                    other => return Err(self.error(format!("expected constructor, found {other}"))),
                 };
                 let arg = if self.eat(&Token::Of) { Some(self.type_expr()?) } else { None };
                 ctors.push((cname, arg));
@@ -894,11 +890,7 @@ impl Parser {
                 self.bump();
                 let e = self.expr_unary(prog)?;
                 let span = start.merge(e.span);
-                Ok(Expr {
-                    id: prog.fresh_id(),
-                    span,
-                    kind: ExprKind::UnOp(UnOp::Neg, Box::new(e)),
-                })
+                Ok(Expr { id: prog.fresh_id(), span, kind: ExprKind::UnOp(UnOp::Neg, Box::new(e)) })
             }
             Token::MinusDot => {
                 self.bump();
@@ -1183,7 +1175,7 @@ mod tests {
                 assert!(matches!(arg1.kind, ExprKind::Lit(Lit::Int(1))));
                 match &inner.kind {
                     ExprKind::App(_, c) => {
-                        assert!(matches!(&c.kind, ExprKind::Construct(n, None) if n == "C"))
+                        assert!(matches!(&c.kind, ExprKind::Construct(n, None) if n == "C"));
                     }
                     other => panic!("{other:?}"),
                 }
@@ -1284,8 +1276,7 @@ mod tests {
 
     #[test]
     fn node_ids_unique() {
-        let prog =
-            parse_program("let f x = x + 1\nlet y = f 2\n").unwrap();
+        let prog = parse_program("let f x = x + 1\nlet y = f 2\n").unwrap();
         let mut seen = std::collections::HashSet::new();
         for d in &prog.decls {
             d.for_each_expr(&mut |e| {

@@ -136,12 +136,7 @@ fn write_paren(out: &mut String, want: Prec, have: Prec, body: impl FnOnce(&mut 
 
 /// Operator spellings that must print as sections `(+)`.
 fn is_operator_name(name: &str) -> bool {
-    !name.is_empty()
-        && !name
-            .chars()
-            .next()
-            .map(|c| c.is_ascii_alphabetic() || c == '_')
-            .unwrap_or(false)
+    !name.is_empty() && !name.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
 }
 
 fn write_expr(out: &mut String, e: &Expr, ctx: Prec) {

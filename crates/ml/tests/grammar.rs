@@ -38,7 +38,7 @@ fn left_associative_chains() {
     // ((a - b) - c): left child is itself a Sub.
     match &e.kind {
         ExprKind::BinOp(BinOp::Sub, l, _) => {
-            assert!(matches!(l.kind, ExprKind::BinOp(BinOp::Sub, _, _)))
+            assert!(matches!(l.kind, ExprKind::BinOp(BinOp::Sub, _, _)));
         }
         other => panic!("{other:?}"),
     }
@@ -91,7 +91,7 @@ fn comparison_is_non_chaining_but_left() {
     let (e, _) = parse_expr("a < b < c").unwrap();
     match &e.kind {
         ExprKind::BinOp(BinOp::Lt, l, _) => {
-            assert!(matches!(l.kind, ExprKind::BinOp(BinOp::Lt, _, _)))
+            assert!(matches!(l.kind, ExprKind::BinOp(BinOp::Lt, _, _)));
         }
         other => panic!("{other:?}"),
     }
@@ -154,10 +154,7 @@ fn deeply_nested_mixed_expression_roundtrips() {
 
 #[test]
 fn if_inside_operands() {
-    assert_eq!(
-        shape("(if b then 1 else 2) + 3"),
-        "(if b then 1 else 2) + 3"
-    );
+    assert_eq!(shape("(if b then 1 else 2) + 3"), "(if b then 1 else 2) + 3");
 }
 
 #[test]
@@ -165,7 +162,7 @@ fn assignment_right_associates() {
     let (e, _) = parse_expr("a := b := c").unwrap();
     match &e.kind {
         ExprKind::BinOp(BinOp::Assign, _, r) => {
-            assert!(matches!(r.kind, ExprKind::BinOp(BinOp::Assign, _, _)))
+            assert!(matches!(r.kind, ExprKind::BinOp(BinOp::Assign, _, _)));
         }
         other => panic!("{other:?}"),
     }
@@ -194,7 +191,7 @@ fn adapt_parses_as_application_of_stdlib_adapt() {
     let (e, _) = parse_expr("adapt (f x)").unwrap();
     match &e.kind {
         ExprKind::App(f, _) => {
-            assert!(matches!(&f.kind, ExprKind::Var(n) if n == "adapt"))
+            assert!(matches!(&f.kind, ExprKind::Var(n) if n == "adapt"));
         }
         other => panic!("{other:?}"),
     }

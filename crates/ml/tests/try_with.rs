@@ -1,6 +1,6 @@
 //! `try … with` across the pipeline: parse, print, edit.
 
-use seminal_ml::ast::{ExprKind, DeclKind};
+use seminal_ml::ast::{DeclKind, ExprKind};
 use seminal_ml::parser::{parse_expr, parse_program};
 use seminal_ml::pretty::expr_to_string;
 
@@ -50,7 +50,7 @@ fn try_in_program_decl() {
     assert_eq!(prog.decls.len(), 2);
     match &prog.decls[0].kind {
         DeclKind::Let { bindings, .. } => {
-            assert!(matches!(bindings[0].body.kind, ExprKind::Try(_, _)))
+            assert!(matches!(bindings[0].body.kind, ExprKind::Try(_, _)));
         }
         other => panic!("{other:?}"),
     }
@@ -164,8 +164,7 @@ fn operator_sections_round_trip() {
     for src in ["List.fold_left (+) 0 xs", "List.sort (-) xs", "f (^) (@) (<=)"] {
         let (e, _) = parse_expr(src).unwrap();
         let printed = expr_to_string(&e);
-        let (e2, _) = parse_expr(&printed)
-            .unwrap_or_else(|err| panic!("`{printed}`: {err}"));
+        let (e2, _) = parse_expr(&printed).unwrap_or_else(|err| panic!("`{printed}`: {err}"));
         assert_eq!(printed, expr_to_string(&e2), "for `{src}`");
     }
 }
@@ -175,7 +174,7 @@ fn unit_still_parses_as_unit() {
     let (e, _) = parse_expr("f ()").unwrap();
     match &e.kind {
         ExprKind::App(_, a) => {
-            assert!(matches!(a.kind, ExprKind::Lit(seminal_ml::ast::Lit::Unit)))
+            assert!(matches!(a.kind, ExprKind::Lit(seminal_ml::ast::Lit::Unit)));
         }
         other => panic!("{other:?}"),
     }

@@ -1,6 +1,6 @@
 //! Typing-environment data: constructors, record fields, and named types.
 
-use crate::types::{Scheme, Ty, TvId};
+use crate::types::{Scheme, TvId, Ty};
 use std::collections::HashMap;
 
 /// What is known about a data constructor.

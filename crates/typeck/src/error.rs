@@ -45,11 +45,13 @@ impl TypeError {
     /// The message body, without location information.
     pub fn message(&self) -> String {
         match &self.kind {
-            TypeErrorKind::Mismatch { found, expected } => format!(
-                "This expression has type {found} but is here used with type {expected}"
-            ),
+            TypeErrorKind::Mismatch { found, expected } => {
+                format!("This expression has type {found} but is here used with type {expected}")
+            }
             TypeErrorKind::Infinite { found, expected } => {
-                format!("This expression has type {expected} which would make {found} an infinite type")
+                format!(
+                    "This expression has type {expected} which would make {found} an infinite type"
+                )
             }
             TypeErrorKind::UnboundVar(name) => format!("Unbound value {name}"),
             TypeErrorKind::UnboundCtor(name) => format!("Unbound constructor {name}"),
@@ -83,6 +85,13 @@ impl TypeError {
         format!("File \"<input>\", {}:\n{}", lm.describe(self.span), self.message())
     }
 
+    /// Whether this error is a unification failure proper (mismatch or
+    /// occurs check) — the only kind a recorded constraint subset can
+    /// explain, so the only kind blame analysis core-shrinks.
+    pub fn is_type_mismatch(&self) -> bool {
+        matches!(self.kind, TypeErrorKind::Mismatch { .. } | TypeErrorKind::Infinite { .. })
+    }
+
     /// Whether this error is a scoping (unbound-name) error rather than a
     /// unification failure. Triage uses the distinction when diagnosing
     /// removals that work where adaptations do not (§3.3).
@@ -112,24 +121,16 @@ mod tests {
     #[test]
     fn mismatch_message_matches_paper_style() {
         let e = TypeError {
-            kind: TypeErrorKind::Mismatch {
-                found: "int".into(),
-                expected: "'a -> 'b".into(),
-            },
+            kind: TypeErrorKind::Mismatch { found: "int".into(), expected: "'a -> 'b".into() },
             span: Span::new(0, 3),
         };
-        assert_eq!(
-            e.message(),
-            "This expression has type int but is here used with type 'a -> 'b"
-        );
+        assert_eq!(e.message(), "This expression has type int but is here used with type 'a -> 'b");
     }
 
     #[test]
     fn render_includes_location() {
-        let e = TypeError {
-            kind: TypeErrorKind::UnboundVar("print".into()),
-            span: Span::new(4, 9),
-        };
+        let e =
+            TypeError { kind: TypeErrorKind::UnboundVar("print".into()), span: Span::new(4, 9) };
         let r = e.render("let print = ()");
         assert!(r.contains("line 1, characters 5-10"));
         assert!(r.contains("Unbound value print"));

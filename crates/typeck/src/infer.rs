@@ -9,12 +9,15 @@
 //! This module is deliberately ignorant of the search system: it neither
 //! tracks anything for it nor exposes internals to it. The only interface
 //! is "does this program type-check, and if not, what is the first error"
-//! — the oracle contract of the paper's architecture (Figure 1).
+//! — the oracle contract of the paper's architecture (Figure 1). The one
+//! extension beyond that contract is the optional constraint recorder
+//! ([`trace_program`]): it observes the same run without altering it.
 
 use crate::env::{CtorInfo, Env, FieldInfo, TypeInfo};
 use crate::error::{TypeError, TypeErrorKind};
+use crate::record::{Constraint, ConstraintTrace};
 use crate::stdlib::stdlib_env;
-use crate::types::{pretty_pair, Scheme, Ty, TvId};
+use crate::types::{pretty_pair, Scheme, TvId, Ty};
 use crate::unify::{Unifier, UnifyError};
 use seminal_ml::ast::*;
 use seminal_ml::span::Span;
@@ -30,6 +33,20 @@ pub fn check_program(prog: &Program) -> Result<(), TypeError> {
     let mut infer = Infer::new(&[]);
     infer.run(prog)?;
     Ok(())
+}
+
+/// Checks a whole program with the constraint recorder enabled, returning
+/// the span-labeled constraint system alongside the usual outcome. Same
+/// inference, same first error — the recorder only observes.
+pub fn trace_program(prog: &Program) -> ConstraintTrace {
+    let mut infer = Infer::new(&[]);
+    infer.recorder = Some(Vec::new());
+    let result = infer.run(prog);
+    ConstraintTrace {
+        constraints: infer.recorder.take().unwrap_or_default(),
+        num_vars: infer.uni.len(),
+        result,
+    }
 }
 
 /// Checks a program, additionally reporting the resolved principal types
@@ -62,6 +79,9 @@ struct Infer {
     /// Map from annotation type-variable names to inference vars, scoped
     /// per top-level declaration.
     annot_vars: HashMap<String, Ty>,
+    /// When set, every `unify_at` demand is logged before being solved
+    /// (see [`trace_program`]); `None` costs nothing on the oracle path.
+    recorder: Option<Vec<Constraint>>,
 }
 
 type Res<T> = Result<T, TypeError>;
@@ -74,6 +94,7 @@ impl Infer {
             capture: wanted.iter().copied().collect(),
             captured: HashMap::new(),
             annot_vars: HashMap::new(),
+            recorder: None,
         }
     }
 
@@ -135,14 +156,9 @@ impl Infer {
                     _ => unreachable!(),
                 })
                 .collect();
-            let param_map: HashMap<String, Ty> = def
-                .params
-                .iter()
-                .cloned()
-                .zip(vars.iter().map(|v| Ty::Var(*v)))
-                .collect();
-            let result =
-                Ty::Con(def.name.clone(), vars.iter().map(|v| Ty::Var(*v)).collect());
+            let param_map: HashMap<String, Ty> =
+                def.params.iter().cloned().zip(vars.iter().map(|v| Ty::Var(*v))).collect();
+            let result = Ty::Con(def.name.clone(), vars.iter().map(|v| Ty::Var(*v)).collect());
             match &def.body {
                 TypeDefBody::Variant(ctors) => {
                     for (cname, carg) in ctors {
@@ -265,8 +281,7 @@ impl Infer {
     fn bind_pattern(&mut self, b: &Binding, ty: &Ty, _span: Span) -> Res<()> {
         if let PatKind::Var(name) = &b.pat.kind {
             let value_like = !b.params.is_empty() || b.body.is_syntactic_value();
-            let scheme =
-                if value_like { self.generalize(ty) } else { Scheme::mono(ty.clone()) };
+            let scheme = if value_like { self.generalize(ty) } else { Scheme::mono(ty.clone()) };
             self.env.push(name.clone(), scheme);
             Ok(())
         } else {
@@ -288,16 +303,13 @@ impl Infer {
         }
         // Free variables of the non-stdlib environment stay monomorphic.
         let mut env_vars = Vec::new();
-        let monos: Vec<Ty> = self.env.values[self.env.stdlib_len..]
-            .iter()
-            .map(|(_, s)| s.ty.clone())
-            .collect();
+        let monos: Vec<Ty> =
+            self.env.values[self.env.stdlib_len..].iter().map(|(_, s)| s.ty.clone()).collect();
         for t in monos {
             let r = self.uni.resolve(&t);
             r.vars(&mut env_vars);
         }
-        let quantified: Vec<TvId> =
-            vars.into_iter().filter(|v| !env_vars.contains(v)).collect();
+        let quantified: Vec<TvId> = vars.into_iter().filter(|v| !env_vars.contains(v)).collect();
         Scheme { vars: quantified, ty: resolved }
     }
 
@@ -305,8 +317,7 @@ impl Infer {
         if scheme.vars.is_empty() {
             return scheme.ty.clone();
         }
-        let map: HashMap<TvId, Ty> =
-            scheme.vars.iter().map(|v| (*v, self.uni.fresh())).collect();
+        let map: HashMap<TvId, Ty> = scheme.vars.iter().map(|v| (*v, self.uni.fresh())).collect();
         self.subst(&scheme.ty, &map)
     }
 
@@ -327,9 +338,7 @@ impl Infer {
                 Ty::Con(name.clone(), args.iter().map(|a| self.subst(a, map)).collect())
             }
             Ty::Arrow(x, y) => Ty::arrow(self.subst(x, map), self.subst(y, map)),
-            Ty::Tuple(parts) => {
-                Ty::Tuple(parts.iter().map(|p| self.subst(p, map)).collect())
-            }
+            Ty::Tuple(parts) => Ty::Tuple(parts.iter().map(|p| self.subst(p, map)).collect()),
         }
     }
 
@@ -362,10 +371,7 @@ impl Infer {
             }
             TypeExpr::Con(name, args) => {
                 let Some(info) = self.env.types.get(name).cloned() else {
-                    return Err(TypeError {
-                        kind: TypeErrorKind::UnboundType(name.clone()),
-                        span,
-                    });
+                    return Err(TypeError { kind: TypeErrorKind::UnboundType(name.clone()), span });
                 };
                 if info.arity() != args.len() {
                     return Err(TypeError {
@@ -383,8 +389,7 @@ impl Infer {
                     .collect::<Res<_>>()?;
                 match info {
                     TypeInfo::Alias { params: ps, body } => {
-                        let inner: HashMap<String, Ty> =
-                            ps.into_iter().zip(conv_args).collect();
+                        let inner: HashMap<String, Ty> = ps.into_iter().zip(conv_args).collect();
                         self.conv_type_with(&body, &inner, span)
                     }
                     _ => Ok(Ty::Con(name.clone(), conv_args)),
@@ -395,10 +400,7 @@ impl Infer {
                 self.conv_type_with(y, params, span)?,
             )),
             TypeExpr::Tuple(parts) => Ok(Ty::Tuple(
-                parts
-                    .iter()
-                    .map(|p| self.conv_type_with(p, params, span))
-                    .collect::<Res<_>>()?,
+                parts.iter().map(|p| self.conv_type_with(p, params, span)).collect::<Res<_>>()?,
             )),
         }
     }
@@ -408,6 +410,9 @@ impl Infer {
     // ------------------------------------------------------------------
 
     fn unify_at(&mut self, span: Span, found: &Ty, expected: &Ty) -> Res<()> {
+        if let Some(rec) = &mut self.recorder {
+            rec.push(Constraint { span, found: found.clone(), expected: expected.clone() });
+        }
         match self.uni.unify(found, expected) {
             Ok(()) => Ok(()),
             Err(UnifyError::Mismatch(_, _)) => {
@@ -706,8 +711,7 @@ impl Infer {
                 }
             }
             ExprKind::Tuple(parts) => {
-                let tys: Vec<Ty> =
-                    parts.iter().map(|p| self.infer(p)).collect::<Res<_>>()?;
+                let tys: Vec<Ty> = parts.iter().map(|p| self.infer(p)).collect::<Res<_>>()?;
                 Ok(Ty::Tuple(tys))
             }
             ExprKind::List(parts) => {
@@ -770,19 +774,13 @@ impl Infer {
                     (None, None) => {}
                     (Some(_), None) => {
                         return Err(TypeError {
-                            kind: TypeErrorKind::CtorArity {
-                                name: name.clone(),
-                                takes_arg: true,
-                            },
+                            kind: TypeErrorKind::CtorArity { name: name.clone(), takes_arg: true },
                             span: e.span,
                         })
                     }
                     (None, Some(_)) => {
                         return Err(TypeError {
-                            kind: TypeErrorKind::CtorArity {
-                                name: name.clone(),
-                                takes_arg: false,
-                            },
+                            kind: TypeErrorKind::CtorArity { name: name.clone(), takes_arg: false },
                             span: e.span,
                         })
                     }
@@ -887,8 +885,7 @@ impl Infer {
         let Some(fi) = self.env.fields.get(fname).cloned() else {
             return Err(TypeError { kind: TypeErrorKind::UnboundField(fname.to_owned()), span });
         };
-        let map: HashMap<TvId, Ty> =
-            fi.vars.iter().map(|v| (*v, self.uni.fresh())).collect();
+        let map: HashMap<TvId, Ty> = fi.vars.iter().map(|v| (*v, self.uni.fresh())).collect();
         let record = self.subst(&fi.record, &map);
         let fty = self.subst(&fi.ty, &map);
         Ok((record, fty, fi.mutable))

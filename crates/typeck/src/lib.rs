@@ -32,11 +32,13 @@ pub mod env;
 pub mod error;
 pub mod infer;
 pub mod oracle;
+pub mod record;
 pub mod stdlib;
 pub mod types;
 pub mod unify;
 
 pub use error::{TypeError, TypeErrorKind};
-pub use infer::{check_program, check_program_types};
+pub use infer::{check_program, check_program_types, trace_program};
 pub use oracle::{CountingOracle, Oracle, TypeCheckOracle};
-pub use types::{pretty, Scheme, Ty, TvId};
+pub use record::{Constraint, ConstraintTrace};
+pub use types::{pretty, Scheme, TvId, Ty};

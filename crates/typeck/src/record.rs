@@ -1,0 +1,77 @@
+//! Constraint recording and replay — the raw material of blame analysis.
+//!
+//! Inference normally treats unification as fire-and-forget: each
+//! [`crate::infer`] site demands `found = expected` and aborts on the
+//! first failure. With the recorder enabled, every such demand is logged
+//! together with the AST span the checker would blame, producing a
+//! [`ConstraintTrace`]: an ordered, span-labeled constraint system whose
+//! satisfiability can be re-decided for arbitrary *subsets* by replaying
+//! them on a fresh variable store ([`ConstraintTrace::subset_sat`]) —
+//! no re-parse, no second inference run.
+//!
+//! `seminal-analysis` builds on this to shrink minimal unsatisfiable
+//! cores and enumerate correction subsets (Pavlinovic et al.'s
+//! SMT-localization idea, transplanted to our in-process checker).
+
+use crate::error::TypeError;
+use crate::types::Ty;
+use crate::unify::Unifier;
+use seminal_ml::span::Span;
+
+/// One recorded unification demand `found = expected`.
+///
+/// The types are captured exactly as inference passed them to the
+/// unifier: variables reference the recording run's store, so a replay
+/// must allocate [`ConstraintTrace::num_vars`] variables up front.
+#[derive(Debug, Clone)]
+pub struct Constraint {
+    /// The span the checker blames if this demand is the one that fails.
+    pub span: Span,
+    /// The type found at the site.
+    pub found: Ty,
+    /// The type the context expected.
+    pub expected: Ty,
+}
+
+/// The recorded constraint system of one inference run.
+#[derive(Debug, Clone)]
+pub struct ConstraintTrace {
+    /// Every unification demand in inference order. Inference aborts at
+    /// the first error, so on an ill-typed program the final entry is
+    /// the demand that failed (when the failure was a unification
+    /// failure at all — naming errors record no failing constraint).
+    pub constraints: Vec<Constraint>,
+    /// Variable-store size at the end of the recording run.
+    pub num_vars: usize,
+    /// The run's outcome — `Err` carries the baseline first error.
+    pub result: Result<(), TypeError>,
+}
+
+impl ConstraintTrace {
+    /// Whether the recording run failed with a unification failure (as
+    /// opposed to succeeding or failing on a naming/arity error, which
+    /// no constraint subset can explain).
+    pub fn has_unsat_constraints(&self) -> bool {
+        match &self.result {
+            Err(e) => e.is_type_mismatch() && !self.constraints.is_empty(),
+            Ok(()) => false,
+        }
+    }
+
+    /// Decides satisfiability of the subset of constraints selected by
+    /// `keep`, by replaying them in order on a fresh store.
+    ///
+    /// Unification is monotone — adding a constraint only shrinks the
+    /// solution set — so subsets of a satisfiable set are satisfiable,
+    /// which is what makes deletion-based core shrinking sound.
+    pub fn subset_sat(&self, keep: &[bool]) -> bool {
+        debug_assert_eq!(keep.len(), self.constraints.len());
+        let mut uni = Unifier::with_vars(self.num_vars);
+        for (c, &k) in self.constraints.iter().zip(keep) {
+            if k && uni.unify(&c.found, &c.expected).is_err() {
+                return false;
+            }
+        }
+        true
+    }
+}

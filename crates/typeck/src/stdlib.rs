@@ -3,7 +3,7 @@
 //! the synthesized corpus.
 
 use crate::env::{CtorInfo, Env, TypeInfo};
-use crate::types::{Scheme, Ty, TvId};
+use crate::types::{Scheme, TvId, Ty};
 use std::sync::OnceLock;
 
 /// Scheme-local type variables. These ids are far above anything a
@@ -62,11 +62,7 @@ pub fn build_stdlib() -> Env {
     );
     env.ctors.insert(
         "Some".to_owned(),
-        CtorInfo {
-            vars: vec![A],
-            arg: Some(a()),
-            result: Ty::Con("option".into(), vec![a()]),
-        },
+        CtorInfo { vars: vec![A], arg: Some(a()), result: Ty::Con("option".into(), vec![a()]) },
     );
     for (name, arg) in [
         ("Not_found", None),
@@ -77,10 +73,7 @@ pub fn build_stdlib() -> Env {
         ("Invalid_argument", Some(Ty::string())),
         ("Division_by_zero", None),
     ] {
-        env.ctors.insert(
-            name.to_owned(),
-            CtorInfo { vars: Vec::new(), arg, result: Ty::exn() },
-        );
+        env.ctors.insert(name.to_owned(), CtorInfo { vars: Vec::new(), arg, result: Ty::exn() });
     }
 
     // --- List ------------------------------------------------------------
@@ -95,10 +88,7 @@ pub fn build_stdlib() -> Env {
         ),
         (
             "List.combine",
-            poly2(arrows(
-                vec![Ty::list(a()), Ty::list(b())],
-                Ty::list(Ty::Tuple(vec![a(), b()])),
-            )),
+            poly2(arrows(vec![Ty::list(a()), Ty::list(b())], Ty::list(Ty::Tuple(vec![a(), b()])))),
         ),
         (
             "List.filter",
@@ -120,10 +110,7 @@ pub fn build_stdlib() -> Env {
             poly2(arrows(vec![Ty::arrows(vec![a(), b()], b()), Ty::list(a()), b()], b())),
         ),
         ("List.iter", poly1(arrows(vec![Ty::arrow(a(), Ty::unit()), Ty::list(a())], Ty::unit()))),
-        (
-            "List.assoc",
-            poly2(arrows(vec![a(), Ty::list(Ty::Tuple(vec![a(), b()]))], b())),
-        ),
+        ("List.assoc", poly2(arrows(vec![a(), Ty::list(Ty::Tuple(vec![a(), b()]))], b()))),
         ("List.exists", poly1(arrows(vec![Ty::arrow(a(), Ty::bool()), Ty::list(a())], Ty::bool()))),
         (
             "List.for_all",
@@ -140,7 +127,10 @@ pub fn build_stdlib() -> Env {
         ("List.flatten", poly1(Ty::arrow(Ty::list(Ty::list(a())), Ty::list(a())))),
         (
             "List.sort",
-            poly1(arrows(vec![Ty::arrows(vec![a(), a()], Ty::int()), Ty::list(a())], Ty::list(a()))),
+            poly1(arrows(
+                vec![Ty::arrows(vec![a(), a()], Ty::int()), Ty::list(a())],
+                Ty::list(a()),
+            )),
         ),
         // --- printing ------------------------------------------------
         ("print_string", mono(Ty::arrow(Ty::string(), Ty::unit()))),

@@ -1,7 +1,7 @@
 //! The unification engine: a mutable store of type variables with
 //! occurs-checked unification.
 
-use crate::types::{Ty, TvId};
+use crate::types::{TvId, Ty};
 
 /// Outcome of a failed unification, before blame is attached.
 #[derive(Debug, Clone, PartialEq)]
@@ -24,6 +24,13 @@ impl Unifier {
     /// An empty store.
     pub fn new() -> Unifier {
         Unifier::default()
+    }
+
+    /// A store with `n` unbound variables pre-allocated — the replay
+    /// counterpart of a recorded run whose constraints mention variable
+    /// ids up to `n` (see [`crate::record::ConstraintTrace`]).
+    pub fn with_vars(n: usize) -> Unifier {
+        Unifier { bindings: vec![None; n] }
     }
 
     /// Allocates a fresh unbound variable.
@@ -66,9 +73,7 @@ impl Unifier {
         let root = self.shallow_resolve(ty);
         match root {
             Ty::Var(_) => root,
-            Ty::Con(name, args) => {
-                Ty::Con(name, args.iter().map(|a| self.resolve(a)).collect())
-            }
+            Ty::Con(name, args) => Ty::Con(name, args.iter().map(|a| self.resolve(a)).collect()),
             Ty::Arrow(a, b) => Ty::arrow(self.resolve(&a), self.resolve(&b)),
             Ty::Tuple(parts) => Ty::Tuple(parts.iter().map(|p| self.resolve(p)).collect()),
         }
@@ -148,9 +153,7 @@ impl Unifier {
     /// infinite-type reports at the inner site.
     fn outer_blame(&mut self, inner: UnifyError, a: &Ty, b: &Ty) -> UnifyError {
         match inner {
-            UnifyError::Mismatch(_, _) => {
-                UnifyError::Mismatch(self.resolve(a), self.resolve(b))
-            }
+            UnifyError::Mismatch(_, _) => UnifyError::Mismatch(self.resolve(a), self.resolve(b)),
             inf @ UnifyError::Infinite(_, _) => inf,
         }
     }

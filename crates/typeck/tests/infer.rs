@@ -1,8 +1,8 @@
 //! End-to-end inference tests, including reproductions of the baseline
 //! (ocamlc-style) behaviour on the paper's examples.
 
-use seminal_ml::parser::parse_program;
 use seminal_ml::ast::{DeclKind, ExprKind, Lit};
+use seminal_ml::parser::parse_program;
 use seminal_typeck::{check_program, check_program_types, TypeErrorKind};
 
 fn ok(src: &str) {
@@ -95,7 +95,9 @@ fn user_records() {
 
 #[test]
 fn record_not_mutable() {
-    let err = bad("type point = { x : int; mutable y : int }\nlet p = { x = 1; y = 2 }\nlet _ = p.x <- 3");
+    let err = bad(
+        "type point = { x : int; mutable y : int }\nlet p = { x = 1; y = 2 }\nlet _ = p.x <- 3",
+    );
     assert!(matches!(err.kind, TypeErrorKind::NotMutable(_)));
 }
 
@@ -181,7 +183,8 @@ fn shadowing() {
 fn figure2_baseline_blames_x_plus_y() {
     // The key example: the checker must blame `x + y` with
     // "has type int but is here used with type 'a -> 'b".
-    let src = "let map2 f aList bList = List.map (fun (a, b) -> f a b) (List.combine aList bList)\n\
+    let src =
+        "let map2 f aList bList = List.map (fun (a, b) -> f a b) (List.combine aList bList)\n\
                let lst = map2 (fun (x, y) -> x + y) [1;2;3] [4;5;6]\n\
                let ans = List.filter (fun x -> x == 0) lst";
     let err = bad(src);
@@ -413,9 +416,7 @@ fn guard_sees_pattern_bindings() {
 
 #[test]
 fn two_record_types_share_no_fields() {
-    let err = bad(
-        "type a = { x : int }\ntype b = { y : string }\nlet r = { x = 1; y = \"s\" }",
-    );
+    let err = bad("type a = { x : int }\ntype b = { y : string }\nlet r = { x = 1; y = \"s\" }");
     assert!(matches!(err.kind, TypeErrorKind::ForeignField { .. }));
 }
 
@@ -558,7 +559,10 @@ fn principal_type_of(src: &str) -> String {
 fn stdlib_signatures_round_trip_through_inference() {
     assert_eq!(principal_type_of("let f = List.map"), "('a -> 'b) -> 'a list -> 'b list");
     assert_eq!(principal_type_of("let f = List.combine"), "'a list -> 'b list -> ('a * 'b) list");
-    assert_eq!(principal_type_of("let f = List.fold_left"), "('a -> 'b -> 'a) -> 'a -> 'b list -> 'a");
+    assert_eq!(
+        principal_type_of("let f = List.fold_left"),
+        "('a -> 'b -> 'a) -> 'a -> 'b list -> 'a"
+    );
     assert_eq!(principal_type_of("let f = fst"), "'a * 'b -> 'a");
     assert_eq!(principal_type_of("let f = adapt"), "'a -> 'b");
 }
@@ -567,10 +571,7 @@ fn stdlib_signatures_round_trip_through_inference() {
 fn partial_applications_have_expected_types() {
     assert_eq!(principal_type_of("let f = List.map succ"), "int list -> int list");
     assert_eq!(principal_type_of("let f = (+) 1"), "int -> int");
-    assert_eq!(
-        principal_type_of("let f = List.fold_left (^) \"\""),
-        "string list -> string"
-    );
+    assert_eq!(principal_type_of("let f = List.fold_left (^) \"\""), "string list -> string");
 }
 
 #[test]
@@ -583,8 +584,5 @@ fn user_polymorphism_pretty_names_in_order() {
 
 #[test]
 fn option_and_list_composites() {
-    assert_eq!(
-        principal_type_of("let f = fun x -> Some [x]"),
-        "'a -> 'a list option"
-    );
+    assert_eq!(principal_type_of("let f = fun x -> Some [x]"), "'a -> 'a list option");
 }

@@ -63,9 +63,6 @@ let shout =
     println!("{}", message::render(hit));
     assert!(matches!(hit.kind, seminal::core::ChangeKind::Constructive(_)));
     // And the stock searcher never proposed it.
-    assert!(stock
-        .suggestions()
-        .iter()
-        .all(|s| !s.replacement_str.starts_with("List.hd")));
+    assert!(stock.suggestions().iter().all(|s| !s.replacement_str.starts_with("List.hd")));
     Ok(())
 }

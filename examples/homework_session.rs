@@ -30,12 +30,7 @@ fn main() {
     for file in corpus.iter().take(2) {
         println!("--- {} ({} fault(s)) ---", file.id, file.truths.len());
         for t in &file.truths {
-            println!(
-                "  fault [{}]: `{}` should be `{}`",
-                t.kind.label(),
-                t.mutated,
-                t.original
-            );
+            println!("  fault [{}]: `{}` should be `{}`", t.kind.label(), t.mutated, t.original);
         }
         println!("{}", file.source);
     }

@@ -26,8 +26,7 @@ let f x y =
     }
 
     println!("=== without triage ===");
-    let no_triage =
-        Searcher::with_config(TypeCheckOracle::new(), SearchConfig::without_triage());
+    let no_triage = Searcher::with_config(TypeCheckOracle::new(), SearchConfig::without_triage());
     let report = no_triage.search(&program);
     match report.best() {
         Some(s) => println!("{}", message::render(s)),

@@ -8,6 +8,8 @@
 //!   node-addressed editing);
 //! * [`typeck`] — Hindley–Milner inference used *only* as a black-box
 //!   oracle, plus the baseline ocamlc-style messages;
+//! * [`analysis`] — constraint-blame localization over the recorded
+//!   constraint system (unsat cores, correction subsets, span scores);
 //! * [`core`] — the search system: top-down removal, constructive
 //!   changes, adaptation to context, triage, ranking, messages;
 //! * [`corpus`] — the synthesized student corpus with ground truth;
@@ -32,6 +34,7 @@
 //! # }
 //! ```
 
+pub use seminal_analysis as analysis;
 pub use seminal_core as core;
 pub use seminal_corpus as corpus;
 pub use seminal_cpp as cpp;

@@ -2,13 +2,16 @@
 //!
 //! ```text
 //! seminal check <file.ml>    search an ill-typed Caml-subset file
+//! seminal analyze <file.ml>  blamed-span localization report (no search)
 //! seminal cpp <file.cpp>     run the C++ template-function prototype
 //! seminal demo               run the paper's worked examples
 //! ```
 //!
 //! `check` prints the conventional type-checker message followed by the
 //! search system's ranked suggestions — the side-by-side view the paper's
-//! evaluation compares.
+//! evaluation compares. `analyze` runs only the static constraint-blame
+//! pass: a top-k list of blamed spans from unsat-core localization,
+//! usable as a fast lint without any oracle search.
 
 use seminal::core::{message, Outcome, SearchConfig, Searcher};
 use seminal::ml::parser::parse_program;
@@ -55,6 +58,10 @@ fn main() -> ExitCode {
             Some(path) => check_file(path, &opts),
             None => usage(),
         },
+        Some("analyze") => match positional.get(1) {
+            Some(path) => analyze_file(path, &opts),
+            None => usage(),
+        },
         Some("cpp") => match positional.get(1) {
             Some(path) => check_cpp(path),
             None => usage(),
@@ -67,6 +74,7 @@ fn main() -> ExitCode {
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  seminal check [--top N] [--no-triage] [--trace] <file.ml>\n  \
+         seminal analyze [--top N] <file.ml>    blamed-span localization report\n  \
          seminal cpp <file.cpp>    C++ template-function prototype\n  \
          seminal demo              run the paper's worked examples"
     );
@@ -88,11 +96,8 @@ fn check_file(path: &str, opts: &Opts) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let mut config = if opts.no_triage {
-        SearchConfig::without_triage()
-    } else {
-        SearchConfig::default()
-    };
+    let mut config =
+        if opts.no_triage { SearchConfig::without_triage() } else { SearchConfig::default() };
     config.collect_trace = opts.trace;
     let report = Searcher::with_config(TypeCheckOracle::new(), config).search(&prog);
     match &report.outcome {
@@ -122,6 +127,33 @@ fn check_file(path: &str, opts: &Opts) -> ExitCode {
                     );
                 }
             }
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn analyze_file(path: &str, opts: &Opts) -> ExitCode {
+    let source = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let prog = match parse_program(&source) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match seminal::analysis::analyze(&prog) {
+        None => {
+            println!("{path}: no type errors");
+            ExitCode::SUCCESS
+        }
+        Some(analysis) => {
+            print!("{}", seminal::analysis::render_report(&analysis, &source, opts.top));
             ExitCode::FAILURE
         }
     }

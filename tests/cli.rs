@@ -81,11 +81,7 @@ fn check_rejects_unparseable_file() {
 
 #[test]
 fn check_missing_file_fails_cleanly() {
-    let out = seminal()
-        .arg("check")
-        .arg("/definitely/not/a/file.ml")
-        .output()
-        .expect("run check");
+    let out = seminal().arg("check").arg("/definitely/not/a/file.ml").output().expect("run check");
     assert_eq!(out.status.code(), Some(1));
     assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
 }
@@ -108,11 +104,8 @@ fn no_triage_flag_changes_multi_error_output() {
     let dir = std::env::temp_dir().join("seminal-cli-test");
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("multi.ml");
-    std::fs::write(
-        &path,
-        "let go () =\n  let x = 3 + true in\n  let c = 4 + \"hi\" in\n  x + c\n",
-    )
-    .unwrap();
+    std::fs::write(&path, "let go () =\n  let x = 3 + true in\n  let c = 4 + \"hi\" in\n  x + c\n")
+        .unwrap();
     let with_triage = seminal().arg("check").arg(&path).output().unwrap();
     let without = seminal().args(["check", "--no-triage"]).arg(&path).output().unwrap();
     let with_text = String::from_utf8_lossy(&with_triage.stdout).to_string();
@@ -137,6 +130,47 @@ fn trace_flag_prints_probes() {
 }
 
 #[test]
+fn analyze_prints_blamed_span_report() {
+    let root = env!("CARGO_MANIFEST_DIR");
+    let out = seminal()
+        .arg("analyze")
+        .arg(format!("{root}/samples/figure2.ml"))
+        .output()
+        .expect("run analyze");
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Blame analysis"), "{stdout}");
+    assert!(stdout.contains("minimal unsatisfiable core"), "{stdout}");
+    assert!(stdout.contains("x + y"), "{stdout}");
+    assert!(stdout.contains("blame 1.00"), "{stdout}");
+}
+
+#[test]
+fn analyze_accepts_well_typed_file() {
+    let dir = std::env::temp_dir().join("seminal-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("fine-analyze.ml");
+    std::fs::write(&path, "let x = 1 + 2\n").unwrap();
+    let out = seminal().arg("analyze").arg(&path).output().expect("run analyze");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("no type errors"));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn analyze_top_flag_limits_spans() {
+    let dir = std::env::temp_dir().join("seminal-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("analyze-top.ml");
+    std::fs::write(&path, "let f g = (g 1) + (g true)\n").unwrap();
+    let out = seminal().args(["analyze", "--top", "1"]).arg(&path).output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("  1. "), "{stdout}");
+    assert!(!stdout.contains("  2. "), "{stdout}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
 fn shipped_samples_all_work() {
     let root = env!("CARGO_MANIFEST_DIR");
     for (file, needle) in [
@@ -144,18 +178,11 @@ fn shipped_samples_all_work() {
         ("samples/figure8.ml", "add s vList1"),
         ("samples/multi_error.ml", "several type errors"),
     ] {
-        let out = seminal()
-            .arg("check")
-            .arg(format!("{root}/{file}"))
-            .output()
-            .expect("run check");
+        let out = seminal().arg("check").arg(format!("{root}/{file}")).output().expect("run check");
         let stdout = String::from_utf8_lossy(&out.stdout);
         assert!(stdout.contains(needle), "{file}: expected `{needle}` in:\n{stdout}");
     }
-    let out = seminal()
-        .arg("cpp")
-        .arg(format!("{root}/samples/figure10.cpp"))
-        .output()
-        .expect("run cpp");
+    let out =
+        seminal().arg("cpp").arg(format!("{root}/samples/figure10.cpp")).output().expect("run cpp");
     assert!(String::from_utf8_lossy(&out.stdout).contains("ptr_fun(labs)"));
 }

@@ -35,13 +35,10 @@ fn evaluation_shape_matches_paper_directionally() {
     let corpus = small_corpus(2);
     let results = evaluate_corpus(&corpus);
     let total = results.len();
-    let checker_better =
-        results.iter().filter(|r| r.category == Category::CheckerBetter).count();
+    let checker_better = results.iter().filter(|r| r.category == Category::CheckerBetter).count();
     let ours_better = results
         .iter()
-        .filter(|r| {
-            matches!(r.category, Category::BetterNoTriage | Category::BetterWithTriage)
-        })
+        .filter(|r| matches!(r.category, Category::BetterNoTriage | Category::BetterWithTriage))
         .count();
     // Paper: no worse 83%, ours better 19%. Directional targets only.
     assert!(
@@ -60,9 +57,7 @@ fn triage_changes_outcomes_on_multi_error_files() {
     let results = evaluate_corpus(&multi);
     // On at least one multi-error file, the triage-enabled judgment must
     // beat the triage-disabled one.
-    let improved = results
-        .iter()
-        .any(|r| r.full.score() > r.no_triage.score());
+    let improved = results.iter().any(|r| r.full.score() > r.no_triage.score());
     assert!(improved, "triage never helped on multi-error files");
 }
 
@@ -183,10 +178,7 @@ fn best_suggestion_often_matches_ground_truth_fragment() {
         }
     }
     assert!(total > 0);
-    assert!(
-        exact * 4 >= total,
-        "exact-inverse fixes too rare: {exact}/{total}"
-    );
+    assert!(exact * 4 >= total, "exact-inverse fixes too rare: {exact}/{total}");
 }
 
 #[test]

@@ -19,7 +19,8 @@ fn baseline_message(src: &str) -> String {
 
 #[test]
 fn figure2_golden() {
-    let src = "let map2 f aList bList = List.map (fun (a, b) -> f a b) (List.combine aList bList)\n\
+    let src =
+        "let map2 f aList bList = List.map (fun (a, b) -> f a b) (List.combine aList bList)\n\
 let lst = map2 (fun (x, y) -> x + y) [1;2;3] [4;5;6]\n\
 let ans = List.filter (fun x -> x == 0) lst\n";
 
@@ -120,8 +121,7 @@ void myFun(vector<long>& inv, vector<long>& outv) {
         report.baseline.iter().map(|e| e.render(src)).collect::<Vec<_>>().join("");
     // The Figure 11 signature lines, with gcc's spelling of the deduced
     // function type.
-    assert!(rendered
-        .contains("'long int ()(long int)' is not a class, struct, or union type"));
+    assert!(rendered.contains("'long int ()(long int)' is not a class, struct, or union type"));
     assert!(rendered.contains("invalidly declared function type"));
     assert!(rendered.contains("instantiated from here"));
     assert!(rendered.contains("no match for call to"));

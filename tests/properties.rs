@@ -1,4 +1,7 @@
-//! Property-based tests on the system's core invariants.
+//! Property-based tests on the system's core invariants, driven by the
+//! in-tree [`SplitMix64`] generator (no external property-testing
+//! dependency; gated behind the non-default `slow-tests` feature because
+//! the search-soundness cases each run a full oracle loop).
 //!
 //! * printing is a parser fixpoint for arbitrary expression trees;
 //! * the unifier is symmetric and idempotent on arbitrary type pairs;
@@ -6,11 +9,11 @@
 //! * corpus mutants are deterministic and ill-typed;
 //! * every untriaged suggestion's variant type-checks (search soundness).
 
-use proptest::prelude::*;
 use seminal::core::Searcher;
 use seminal::corpus::mutate::{mutate, ALL_KINDS};
+use seminal::corpus::rng::SplitMix64;
 use seminal::corpus::templates::TEMPLATES;
-use seminal::ml::ast::{Expr, ExprKind, Lit, NodeId, Pat, PatKind, Program};
+use seminal::ml::ast::{BinOp, Expr, ExprKind, Lit, NodeId, Pat, PatKind};
 use seminal::ml::edit;
 use seminal::ml::parser::{parse_expr, parse_program};
 use seminal::ml::pretty::{expr_to_string, program_to_string};
@@ -19,197 +22,223 @@ use seminal::typeck::unify::Unifier;
 use seminal::typeck::{check_program, pretty, Ty, TypeCheckOracle};
 
 // ---------------------------------------------------------------------
-// Expression-tree strategies
+// SplitMix64-driven generators
 // ---------------------------------------------------------------------
 
-fn leaf() -> impl Strategy<Value = Expr> {
-    prop_oneof![
-        (0i64..100).prop_map(|n| Expr::synth(ExprKind::Lit(Lit::Int(n)), Span::DUMMY)),
-        prop_oneof![Just("x"), Just("y"), Just("f"), Just("g")]
-            .prop_map(|v| Expr::var(v, Span::DUMMY)),
-        Just(Expr::synth(ExprKind::Lit(Lit::Bool(true)), Span::DUMMY)),
-        Just(Expr::synth(ExprKind::Lit(Lit::Str("s".into())), Span::DUMMY)),
-        Just(Expr::hole(Span::DUMMY)),
-    ]
+fn gen_leaf(rng: &mut SplitMix64) -> Expr {
+    match rng.random_range(0..8usize) {
+        0 | 1 | 2 => {
+            let n = rng.random_range(0..100u64) as i64;
+            Expr::synth(ExprKind::Lit(Lit::Int(n)), Span::DUMMY)
+        }
+        3 => Expr::var(["x", "y", "f", "g"][rng.random_range(0..4usize)], Span::DUMMY),
+        4 => Expr::synth(ExprKind::Lit(Lit::Bool(true)), Span::DUMMY),
+        5 => Expr::synth(ExprKind::Lit(Lit::Str("s".into())), Span::DUMMY),
+        _ => Expr::hole(Span::DUMMY),
+    }
 }
 
-fn expr_strategy() -> impl Strategy<Value = Expr> {
-    leaf().prop_recursive(4, 32, 4, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::synth(
-                ExprKind::App(Box::new(a), Box::new(b)),
-                Span::DUMMY
-            )),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::synth(
-                ExprKind::BinOp(seminal::ml::ast::BinOp::Add, Box::new(a), Box::new(b)),
-                Span::DUMMY
-            )),
-            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, t, e)| Expr::synth(
-                ExprKind::If(Box::new(c), Box::new(t), Some(Box::new(e))),
-                Span::DUMMY
-            )),
-            prop::collection::vec(inner.clone(), 2..4)
-                .prop_map(|es| Expr::synth(ExprKind::Tuple(es), Span::DUMMY)),
-            prop::collection::vec(inner.clone(), 0..4)
-                .prop_map(|es| Expr::synth(ExprKind::List(es), Span::DUMMY)),
-            inner.clone().prop_map(|b| Expr::synth(
-                ExprKind::Fun(
-                    vec![Pat::synth(PatKind::Var("p".into()), Span::DUMMY)],
-                    Box::new(b)
-                ),
-                Span::DUMMY
-            )),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::synth(
-                ExprKind::Seq(Box::new(a), Box::new(b)),
-                Span::DUMMY
-            )),
-        ]
-    })
+fn gen_expr(rng: &mut SplitMix64, depth: usize) -> Expr {
+    if depth == 0 {
+        return gen_leaf(rng);
+    }
+    let d = depth - 1;
+    match rng.random_range(0..8usize) {
+        0 => Expr::synth(
+            ExprKind::App(Box::new(gen_expr(rng, d)), Box::new(gen_expr(rng, d))),
+            Span::DUMMY,
+        ),
+        1 => Expr::synth(
+            ExprKind::BinOp(BinOp::Add, Box::new(gen_expr(rng, d)), Box::new(gen_expr(rng, d))),
+            Span::DUMMY,
+        ),
+        2 => Expr::synth(
+            ExprKind::If(
+                Box::new(gen_expr(rng, d)),
+                Box::new(gen_expr(rng, d)),
+                Some(Box::new(gen_expr(rng, d))),
+            ),
+            Span::DUMMY,
+        ),
+        3 => {
+            let n = rng.random_range(2..4usize);
+            Expr::synth(ExprKind::Tuple((0..n).map(|_| gen_expr(rng, d)).collect()), Span::DUMMY)
+        }
+        4 => {
+            let n = rng.random_range(0..4usize);
+            Expr::synth(ExprKind::List((0..n).map(|_| gen_expr(rng, d)).collect()), Span::DUMMY)
+        }
+        5 => Expr::synth(
+            ExprKind::Fun(
+                vec![Pat::synth(PatKind::Var("p".into()), Span::DUMMY)],
+                Box::new(gen_expr(rng, d)),
+            ),
+            Span::DUMMY,
+        ),
+        6 => Expr::synth(
+            ExprKind::Seq(Box::new(gen_expr(rng, d)), Box::new(gen_expr(rng, d))),
+            Span::DUMMY,
+        ),
+        _ => gen_leaf(rng),
+    }
 }
 
-fn ty_strategy() -> impl Strategy<Value = Ty> {
-    let leaf = prop_oneof![
-        Just(Ty::int()),
-        Just(Ty::bool()),
-        Just(Ty::string()),
-        Just(Ty::float()),
-        (0u32..4).prop_map(|v| Ty::Var(seminal::typeck::TvId(v))),
-    ];
-    leaf.prop_recursive(3, 16, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Ty::arrow(a, b)),
-            inner.clone().prop_map(Ty::list),
-            prop::collection::vec(inner.clone(), 2..3).prop_map(Ty::Tuple),
-        ]
-    })
+fn gen_ty(rng: &mut SplitMix64, depth: usize) -> Ty {
+    if depth == 0 || rng.random_range(0..3usize) == 0 {
+        return match rng.random_range(0..5usize) {
+            0 => Ty::int(),
+            1 => Ty::bool(),
+            2 => Ty::string(),
+            3 => Ty::float(),
+            _ => Ty::Var(seminal::typeck::TvId(rng.random_range(0..4u64) as u32)),
+        };
+    }
+    let d = depth - 1;
+    match rng.random_range(0..3usize) {
+        0 => Ty::arrow(gen_ty(rng, d), gen_ty(rng, d)),
+        1 => Ty::list(gen_ty(rng, d)),
+        _ => Ty::Tuple(vec![gen_ty(rng, d), gen_ty(rng, d)]),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+// ---------------------------------------------------------------------
+// Properties
+// ---------------------------------------------------------------------
 
-    /// Printing any expression tree yields source that parses back to a
-    /// tree that prints identically (printer fixpoint).
-    #[test]
-    fn printer_is_parser_fixpoint(e in expr_strategy()) {
+/// Printing any expression tree yields source that parses back to a tree
+/// that prints identically (printer fixpoint).
+#[test]
+fn printer_is_parser_fixpoint() {
+    let mut rng = SplitMix64::seed_from_u64(0x51EE_D001);
+    for _ in 0..64 {
+        let e = gen_expr(&mut rng, 4);
         let printed = expr_to_string(&e);
         let (reparsed, _) = parse_expr(&printed)
             .unwrap_or_else(|err| panic!("printed `{printed}` does not parse: {err}"));
-        prop_assert_eq!(printed, expr_to_string(&reparsed));
+        assert_eq!(printed, expr_to_string(&reparsed));
     }
+}
 
-    /// Unification succeeds symmetrically and resolves both sides equal.
-    #[test]
-    fn unify_is_symmetric(a in ty_strategy(), b in ty_strategy()) {
+/// Unification succeeds symmetrically and resolves both sides equal.
+#[test]
+fn unify_is_symmetric() {
+    let mut rng = SplitMix64::seed_from_u64(0x51EE_D002);
+    for _ in 0..64 {
+        let a = gen_ty(&mut rng, 3);
+        let b = gen_ty(&mut rng, 3);
         let mut u1 = Unifier::new();
-        for _ in 0..4 { u1.fresh(); }
+        for _ in 0..4 {
+            u1.fresh();
+        }
         let mut u2 = Unifier::new();
-        for _ in 0..4 { u2.fresh(); }
+        for _ in 0..4 {
+            u2.fresh();
+        }
         let r1 = u1.unify(&a, &b).is_ok();
         let r2 = u2.unify(&b, &a).is_ok();
-        prop_assert_eq!(r1, r2);
+        assert_eq!(r1, r2, "symmetry failed for {a:?} / {b:?}");
         if r1 {
-            let ra = pretty(&u1.resolve(&a));
-            let rb = pretty(&u1.resolve(&b));
-            prop_assert_eq!(ra, rb);
+            assert_eq!(pretty(&u1.resolve(&a)), pretty(&u1.resolve(&b)));
         }
     }
+}
 
-    /// Unification is idempotent: a second identical unify cannot fail.
-    #[test]
-    fn unify_is_idempotent(a in ty_strategy(), b in ty_strategy()) {
+/// Unification is idempotent: a second identical unify cannot fail.
+#[test]
+fn unify_is_idempotent() {
+    let mut rng = SplitMix64::seed_from_u64(0x51EE_D003);
+    for _ in 0..64 {
+        let a = gen_ty(&mut rng, 3);
+        let b = gen_ty(&mut rng, 3);
         let mut u = Unifier::new();
-        for _ in 0..4 { u.fresh(); }
+        for _ in 0..4 {
+            u.fresh();
+        }
         if u.unify(&a, &b).is_ok() {
-            prop_assert!(u.unify(&a, &b).is_ok());
+            assert!(u.unify(&a, &b).is_ok(), "idempotence failed for {a:?} / {b:?}");
         }
     }
+}
 
-    /// Replacing any subexpression of a *well-typed* template with the
-    /// wildcard hole keeps the program well-typed — the foundation of the
-    /// top-down search's soundness.
-    #[test]
-    fn hole_never_breaks_well_typed_code(
-        template_idx in 0usize..TEMPLATES.len(),
-        node_choice in 0usize..200,
-    ) {
-        let t = &TEMPLATES[template_idx];
+/// Replacing any subexpression of a *well-typed* template with the
+/// wildcard hole keeps the program well-typed — the foundation of the
+/// top-down search's soundness.
+#[test]
+fn hole_never_breaks_well_typed_code() {
+    let mut rng = SplitMix64::seed_from_u64(0x51EE_D004);
+    for _ in 0..64 {
+        let t = &TEMPLATES[rng.random_range(0..TEMPLATES.len())];
         let prog = parse_program(t.source).unwrap();
         let mut ids: Vec<NodeId> = Vec::new();
         for d in &prog.decls {
             d.for_each_expr(&mut |e| ids.push(e.id));
         }
-        let target = ids[node_choice % ids.len()];
+        let target = ids[rng.random_range(0..ids.len())];
         let variant = edit::remove_expr(&prog, target);
-        // The hole is maximally permissive; a well-typed program with a
-        // subtree replaced by it must stay well-typed.
         if let Err(err) = check_program(&variant) {
             let node = prog.find_expr(target).unwrap();
-            panic!(
-                "hole at `{}` broke {}: {}",
-                expr_to_string(node),
-                t.name,
-                err
-            );
-        }
-    }
-
-    /// Mutants are deterministic per seed and always ill-typed.
-    #[test]
-    fn mutants_deterministic_and_ill_typed(seed in 0u64..500, idx in 0usize..TEMPLATES.len()) {
-        use rand::SeedableRng;
-        let t = &TEMPLATES[idx];
-        let m1 = mutate(t.source, ALL_KINDS, 1, &mut rand::rngs::StdRng::seed_from_u64(seed));
-        let m2 = mutate(t.source, ALL_KINDS, 1, &mut rand::rngs::StdRng::seed_from_u64(seed));
-        prop_assert_eq!(m1.as_ref().map(|m| m.source.clone()), m2.as_ref().map(|m| m.source.clone()));
-        if let Some(m) = m1 {
-            let prog = parse_program(&m.source).unwrap();
-            prop_assert!(check_program(&prog).is_err());
+            panic!("hole at `{}` broke {}: {}", expr_to_string(node), t.name, err);
         }
     }
 }
 
-proptest! {
-    // The search runs a full oracle loop per case; keep the case count low.
-    #![proptest_config(ProptestConfig::with_cases(12))]
+/// Mutants are deterministic per seed and always ill-typed.
+#[test]
+fn mutants_deterministic_and_ill_typed() {
+    for seed in 0..64u64 {
+        let t = &TEMPLATES[(seed as usize) % TEMPLATES.len()];
+        let m1 = mutate(t.source, ALL_KINDS, 1, &mut SplitMix64::seed_from_u64(seed));
+        let m2 = mutate(t.source, ALL_KINDS, 1, &mut SplitMix64::seed_from_u64(seed));
+        assert_eq!(m1.as_ref().map(|m| m.source.clone()), m2.as_ref().map(|m| m.source.clone()));
+        if let Some(m) = m1 {
+            let prog = parse_program(&m.source).unwrap();
+            assert!(check_program(&prog).is_err(), "mutant should be ill-typed: {}", m.source);
+        }
+    }
+}
 
-    /// Search soundness: every untriaged suggestion, applied, type-checks.
-    #[test]
-    fn suggestions_type_check(seed in 0u64..200, idx in 0usize..TEMPLATES.len()) {
-        use rand::SeedableRng;
-        let t = &TEMPLATES[idx];
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+/// Search soundness: every untriaged suggestion, applied, type-checks.
+/// A full oracle loop per case — the reason this suite is feature-gated.
+#[test]
+fn suggestions_type_check() {
+    for seed in 0..12u64 {
+        let t = &TEMPLATES[(seed as usize) % TEMPLATES.len()];
+        let mut rng = SplitMix64::seed_from_u64(seed * 7 + 1);
         if let Some(m) = mutate(t.source, ALL_KINDS, 1, &mut rng) {
             let prog = parse_program(&m.source).unwrap();
             let report = Searcher::new(TypeCheckOracle::new()).search(&prog);
             for s in report.suggestions() {
                 if !s.triaged {
-                    prop_assert!(
+                    assert!(
                         check_program(&s.variant).is_ok(),
                         "unsound suggestion `{}` -> `{}` on {}",
-                        s.original_str, s.replacement_str, t.name
+                        s.original_str,
+                        s.replacement_str,
+                        t.name
                     );
                 }
             }
         }
     }
+}
 
-    /// Prefix monotonicity: once a prefix fails, longer prefixes fail too.
-    #[test]
-    fn prefix_failures_are_monotone(seed in 0u64..200, idx in 0usize..TEMPLATES.len()) {
-        use rand::SeedableRng;
-        let t = &TEMPLATES[idx];
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+/// Prefix monotonicity: once a prefix fails, longer prefixes fail too.
+#[test]
+fn prefix_failures_are_monotone() {
+    for seed in 0..24u64 {
+        let t = &TEMPLATES[(seed as usize) % TEMPLATES.len()];
+        let mut rng = SplitMix64::seed_from_u64(seed * 11 + 3);
         if let Some(m) = mutate(t.source, ALL_KINDS, 1, &mut rng) {
             let prog = parse_program(&m.source).unwrap();
             let mut failed = false;
             for k in 1..=prog.decls.len() {
                 let ok = check_program(&prog.prefix(k)).is_ok();
                 if failed {
-                    prop_assert!(!ok, "prefix {k} recovered after failure");
+                    assert!(!ok, "prefix {k} recovered after failure: {}", m.source);
                 }
                 failed = failed || !ok;
             }
-            prop_assert!(failed, "full program must fail");
+            assert!(failed, "full program must fail: {}", m.source);
         }
     }
 }
@@ -240,38 +269,42 @@ fn prefix_is_a_prefix() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// The parser never panics: arbitrary input produces Ok or a
-    /// spanned error.
-    #[test]
-    fn parser_never_panics(input in ".{0,200}") {
-        let _ = parse_program(&input);
-    }
-
-    /// Arbitrary ASCII-ish operator soup, denser in the token alphabet.
-    #[test]
-    fn parser_never_panics_on_token_soup(
-        input in proptest::collection::vec(
-            prop_oneof![
-                Just("let "), Just("in "), Just("fun "), Just("match "),
-                Just("with "), Just("-> "), Just("| "), Just("( "), Just(") "),
-                Just("[ "), Just("] "), Just(":: "), Just("+ "), Just("1 "),
-                Just("x "), Just("\"s\" "), Just("if "), Just("then "),
-                Just("else "), Just("; "), Just(", "), Just("try "),
-                Just("when "), Just("[[...]] "), Just(":= "), Just("rec "),
-            ],
-            0..40,
-        )
-    ) {
-        let src: String = input.concat();
+/// The parser never panics: arbitrary bytes produce Ok or a spanned error.
+#[test]
+fn parser_never_panics() {
+    let mut rng = SplitMix64::seed_from_u64(0x51EE_D005);
+    for _ in 0..256 {
+        let len = rng.random_range(0..200usize);
+        let src: String =
+            (0..len).map(|_| (rng.random_range(0x20..0x7Fu64) as u8) as char).collect();
         let _ = parse_program(&src);
     }
+}
 
-    /// The C++ parser never panics either.
-    #[test]
-    fn cpp_parser_never_panics(input in ".{0,200}") {
-        let _ = seminal::cpp::parse_cpp(&input);
+/// Arbitrary token soup, denser in the language's own alphabet.
+#[test]
+fn parser_never_panics_on_token_soup() {
+    const TOKENS: &[&str] = &[
+        "let ", "in ", "fun ", "match ", "with ", "-> ", "| ", "( ", ") ", "[ ", "] ", ":: ", "+ ",
+        "1 ", "x ", "\"s\" ", "if ", "then ", "else ", "; ", ", ", "try ", "when ", "[[...]] ",
+        ":= ", "rec ",
+    ];
+    let mut rng = SplitMix64::seed_from_u64(0x51EE_D006);
+    for _ in 0..256 {
+        let n = rng.random_range(0..40usize);
+        let src: String = (0..n).map(|_| TOKENS[rng.random_range(0..TOKENS.len())]).collect();
+        let _ = parse_program(&src);
+    }
+}
+
+/// The C++ parser never panics either.
+#[test]
+fn cpp_parser_never_panics() {
+    let mut rng = SplitMix64::seed_from_u64(0x51EE_D007);
+    for _ in 0..256 {
+        let len = rng.random_range(0..200usize);
+        let src: String =
+            (0..len).map(|_| (rng.random_range(0x20..0x7Fu64) as u8) as char).collect();
+        let _ = seminal::cpp::parse_cpp(&src);
     }
 }

@@ -3,10 +3,9 @@
 //! distribution — no panics, structurally valid variants, sound
 //! untriaged suggestions, and a suggestion or clean fallback everywhere.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use seminal::core::{Outcome, Searcher};
 use seminal::corpus::mutate::{mutate, ALL_KINDS};
+use seminal::corpus::rng::SplitMix64;
 use seminal::corpus::templates::TEMPLATES;
 use seminal::ml::edit::validate;
 use seminal::ml::parser::parse_program;
@@ -19,7 +18,7 @@ fn search_handles_every_template_and_kind() {
     let mut with_suggestions = 0usize;
     for template in TEMPLATES {
         for (k, kind) in ALL_KINDS.iter().enumerate() {
-            let mut rng = StdRng::seed_from_u64(k as u64 * 101 + 7);
+            let mut rng = SplitMix64::seed_from_u64(k as u64 * 101 + 7);
             let Some(mutant) = mutate(template.source, &[*kind], 1, &mut rng) else {
                 continue; // kind not applicable to this template
             };
@@ -79,7 +78,7 @@ fn multi_error_sweep_exercises_triage() {
     let mut triaged_runs = 0usize;
     let mut total = 0usize;
     for (i, template) in TEMPLATES.iter().enumerate() {
-        let mut rng = StdRng::seed_from_u64(i as u64 * 31 + 1);
+        let mut rng = SplitMix64::seed_from_u64(i as u64 * 31 + 7);
         let Some(mutant) = mutate(template.source, ALL_KINDS, 2, &mut rng) else {
             continue;
         };
