@@ -1,0 +1,84 @@
+//! Tracing-overhead bench: the cost of the observability layer on the
+//! Figure-5 bench set, in four configurations.
+//!
+//! * `tracing_disabled` — the default production path: no sinks, no
+//!   capture. The tracer is inert (no clock reads, no allocation for
+//!   targets); only the always-on metric counters and the per-probe
+//!   latency measurement remain. This is the configuration the < 2%
+//!   overhead budget (DESIGN.md §9) applies to.
+//! * `null_sink` — tracer enabled, records built and discarded: the
+//!   marginal cost of record construction.
+//! * `memory_capture` — `collect_trace`, ring-buffer capture.
+//! * `jsonl_stream` — records serialized to an `io::sink()` writer.
+//!
+//! Run with `OBS_OVERHEAD_ASSERT=1` to fail if the null-sink
+//! configuration exceeds the disabled one by more than 2% (left off by
+//! default: sub-percent wall-clock comparisons are too noisy for CI).
+
+use seminal_bench::bench_corpus;
+use seminal_core::{SearchConfig, Searcher};
+use seminal_ml::ast::Program;
+use seminal_ml::parser::parse_program;
+use seminal_obs::{JsonlSink, NullSink, TraceSink};
+use seminal_typeck::TypeCheckOracle;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Mean nanoseconds per corpus sweep over `iters` timed runs (after one
+/// warmup sweep).
+fn measure(iters: u32, progs: &[Program], searcher: &Searcher<TypeCheckOracle>) -> u64 {
+    let sweep = || progs.iter().map(|p| searcher.search(p).stats.oracle_calls).sum::<u64>();
+    std::hint::black_box(sweep());
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(sweep());
+    }
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX) / u64::from(iters)
+}
+
+fn main() {
+    let corpus = bench_corpus();
+    let progs: Vec<Program> = corpus.iter().filter_map(|f| parse_program(&f.source).ok()).collect();
+    assert!(!progs.is_empty());
+    let iters = 5;
+
+    let disabled = Searcher::new(TypeCheckOracle::new());
+
+    let mut null_sink = Searcher::new(TypeCheckOracle::new());
+    null_sink.add_sink(Arc::new(NullSink) as Arc<dyn TraceSink>);
+
+    let capture = Searcher::with_config(
+        TypeCheckOracle::new(),
+        SearchConfig { collect_trace: true, ..SearchConfig::default() },
+    );
+
+    let mut jsonl = Searcher::new(TypeCheckOracle::new());
+    jsonl.add_sink(Arc::new(JsonlSink::new(std::io::sink())) as Arc<dyn TraceSink>);
+
+    println!("== obs_overhead ({} files, {iters} sweeps each) ==", progs.len());
+    // One discarded sweep so the first measured configuration does not
+    // absorb whole-process warmup (allocator growth, page faults).
+    std::hint::black_box(measure(1, &progs, &disabled));
+    let base_ns = measure(iters, &progs, &disabled);
+    println!("tracing_disabled   mean {:>12} ns/sweep   (reference)", base_ns);
+    for (name, searcher) in
+        [("null_sink", &null_sink), ("memory_capture", &capture), ("jsonl_stream", &jsonl)]
+    {
+        let ns = measure(iters, &progs, searcher);
+        let overhead_milli = (ns.saturating_sub(base_ns)) * 1000 / base_ns.max(1);
+        println!(
+            "{name:<18} mean {ns:>12} ns/sweep   (+{}.{}%)",
+            overhead_milli / 10,
+            overhead_milli % 10
+        );
+    }
+
+    if std::env::var_os("OBS_OVERHEAD_ASSERT").is_some() {
+        let ns = measure(iters, &progs, &null_sink);
+        assert!(
+            ns.saturating_sub(base_ns) * 50 <= base_ns,
+            "null-sink tracing overhead above 2%: {ns} vs {base_ns} ns/sweep"
+        );
+        println!("overhead budget: OK (within 2%)");
+    }
+}

@@ -1,8 +1,14 @@
 //! Regenerates the paper's evaluation artifacts as text.
 //!
 //! ```text
-//! figures [all|figure5|figure6|figure7|headline|examples|cpp] [--scale N]
+//! figures [all|figure5|figure6|figure7|headline|examples|cpp|eval-metrics [OUT]] [--scale N]
 //! ```
+//!
+//! `eval-metrics` runs the evaluation suite and writes the
+//! `BENCH_search.json` benchmark artifact (headline aggregates plus the
+//! merged `seminal-obs/metrics-v1` snapshot) to `OUT` (default
+//! `BENCH_search.json`); CI uploads it and checks it round-trips through
+//! the documented schema.
 //!
 //! `--scale` multiplies the corpus size (default 1 ≈ 200 files; the
 //! paper's corpus was 1075 files ≈ `--scale 5`).
@@ -48,6 +54,7 @@ fn main() {
         "cpp" => print_cpp(),
         "ablations" => print_ablations(scale),
         "export" => export_corpus(scale, target.as_deref().unwrap_or("corpus-out")),
+        "eval-metrics" => eval_metrics(scale, target.as_deref().unwrap_or("BENCH_search.json")),
         "debug-kinds" => debug_kinds(scale),
         "all" => {
             print_examples();
@@ -58,7 +65,10 @@ fn main() {
             print_cpp();
         }
         other => {
-            eprintln!("unknown artifact `{other}`; try figure5|figure6|figure7|examples|cpp|all");
+            eprintln!(
+                "unknown artifact `{other}`; try \
+                 figure5|figure6|figure7|examples|cpp|eval-metrics|all"
+            );
             std::process::exit(2);
         }
     }
@@ -120,6 +130,21 @@ fn export_corpus(scale: usize, dir: &str) {
         seminal_corpus::TEMPLATES.len(),
         corpus.len(),
         root.display()
+    );
+}
+
+/// Runs the evaluation suite and writes the `BENCH_search.json`
+/// aggregate-metrics artifact.
+fn eval_metrics(scale: usize, out: &str) {
+    let corpus = harness_corpus(scale);
+    let results = evaluate_corpus(&corpus);
+    let json = seminal_eval::bench_search_json(&results);
+    std::fs::write(out, &json).expect("write metrics artifact");
+    println!(
+        "wrote {} ({} files, {} oracle calls)",
+        out,
+        results.len(),
+        seminal_eval::corpus_metrics(&results).counter("oracle_calls")
     );
 }
 

@@ -37,9 +37,18 @@ pub struct SearchConfig {
     /// verdicts are always safe. Off by default so oracle-call counts
     /// stay comparable with the paper's cost model.
     pub memoize_oracle: bool,
-    /// Record a [`TraceEvent`](crate::search::TraceEvent) per oracle
-    /// probe, for debugging and for teaching how the search proceeds.
+    /// Capture the structured trace into
+    /// [`SearchReport::records`](crate::search::SearchReport) (span
+    /// open/close records plus one event per oracle probe) and its legacy
+    /// flat projection `SearchReport::trace`, for debugging and for
+    /// teaching how the search proceeds. Sinks registered with
+    /// [`Searcher::add_sink`](crate::search::Searcher) receive the stream
+    /// regardless of this flag.
     pub collect_trace: bool,
+    /// Ring-buffer capacity (in records) of the in-report capture when
+    /// `collect_trace` is on; oldest records are dropped beyond it and
+    /// counted in the `trace.dropped` metric.
+    pub trace_capacity: usize,
     /// Use the constraint-blame analysis (unsat-core localization, see
     /// `seminal-analysis`) to focus the search: the first bad declaration
     /// is read off the baseline error instead of probed prefix-by-prefix,
@@ -64,6 +73,7 @@ impl Default for SearchConfig {
             max_permutation_args: 4,
             memoize_oracle: false,
             collect_trace: false,
+            trace_capacity: 262_144,
             blame_guidance: true,
         }
     }

@@ -44,7 +44,12 @@ pub mod search;
 
 pub use change::{Candidate, ChangeKind, Focus, Probe, Suggestion};
 pub use config::SearchConfig;
-pub use search::{Outcome, SearchReport, SearchStats, Searcher};
+pub use search::{CustomChange, Outcome, SearchReport, SearchStats, Searcher};
 
 // Re-export the oracle trait so downstream users need one import.
 pub use seminal_typeck::{Oracle, TypeCheckOracle};
+
+// Re-export the observability layer the search reports through, so
+// downstream users can consume `SearchReport::records`/`metrics` and
+// attach sinks with one import.
+pub use seminal_obs as obs;

@@ -17,6 +17,17 @@
 //!
 //! The searcher talks to the type-checker exclusively through the
 //! [`Oracle`] trait — it has no knowledge of type-system specifics.
+//!
+//! ## Observability
+//!
+//! Every search emits a structured trace (spans for the blame pass,
+//! prefix localization, each descent and triage round; one event per
+//! oracle probe with outcome and latency) through `seminal-obs`. Records
+//! stream to any sinks registered with [`Searcher::add_sink`] and, when
+//! [`SearchConfig::collect_trace`] is on, are captured into
+//! [`SearchReport::records`]. Aggregate counters and latency histograms
+//! are always collected (the cost is two clock reads and a few integer
+//! bumps per oracle call) and published as [`SearchReport::metrics`].
 
 use crate::change::{ChangeKind, Focus, Suggestion};
 use crate::config::SearchConfig;
@@ -27,12 +38,21 @@ use seminal_ml::ast::*;
 use seminal_ml::edit::{self, app_chain, Edit};
 use seminal_ml::pretty::{decl_to_string, expr_to_string, pat_to_string};
 use seminal_ml::span::Span;
+use seminal_obs::{
+    EventKind, Histogram, MemorySink, MetricsSnapshot, ProbeKind, SpanKind, SrcSpan, TraceRecord,
+    TraceSink, Tracer,
+};
 use seminal_typeck::{check_program_types, Oracle, TypeError};
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// One oracle probe, recorded when
-/// [`SearchConfig::collect_trace`](crate::SearchConfig) is on.
+/// One oracle probe of the legacy flat trace.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the structured stream in `SearchReport::records` \
+            (`seminal_obs::TraceRecord`) instead"
+)]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceEvent {
     /// What the probe was trying ("removal", "constructive: …",
@@ -45,12 +65,54 @@ pub struct TraceEvent {
     pub success: bool,
 }
 
+#[allow(deprecated)]
+impl TraceEvent {
+    /// Projects the structured record stream onto the legacy flat trace:
+    /// one event per oracle probe (the initial whole-program check is
+    /// skipped, as it predates the legacy trace) plus the synthetic
+    /// `prefix` entry for blame-localized prefix inference. This is the
+    /// compatibility shim — [`SearchReport::trace`] is exactly this
+    /// projection of [`SearchReport::records`].
+    pub fn from_records(records: &[TraceRecord]) -> Vec<TraceEvent> {
+        records
+            .iter()
+            .filter_map(|rec| match rec {
+                TraceRecord::Event {
+                    kind: EventKind::OracleProbe { probe, target, outcome, .. },
+                    ..
+                } => {
+                    if matches!(probe, ProbeKind::Baseline) {
+                        None
+                    } else {
+                        Some(TraceEvent {
+                            action: probe.legacy_action(),
+                            target: target.clone(),
+                            success: *outcome,
+                        })
+                    }
+                }
+                TraceRecord::Event { kind: EventKind::PrefixLocalized { detail, .. }, .. } => {
+                    Some(TraceEvent {
+                        action: "prefix".to_owned(),
+                        target: detail.clone(),
+                        success: false,
+                    })
+                }
+                _ => None,
+            })
+            .collect()
+    }
+}
+
 /// Cost and coverage counters for one search.
 #[derive(Debug, Clone, Default)]
 pub struct SearchStats {
     /// Oracle invocations (the paper's cost unit).
     pub oracle_calls: u64,
-    /// Wall-clock duration of the search.
+    /// Wall-clock duration of the whole run — the constraint-blame pass
+    /// plus the oracle-driven search. [`SearchStats::blame_time`] is a
+    /// disjoint sub-interval of this; [`SearchStats::search_time`] is the
+    /// remainder.
     pub elapsed: Duration,
     /// Whether triage mode was entered.
     pub triage_used: bool,
@@ -71,8 +133,21 @@ pub struct SearchStats {
     pub sites_pruned: u64,
     /// Wall-clock cost of the constraint-blame analysis (recording,
     /// core shrinking, correction-subset enumeration). Not an oracle
-    /// cost: the blame pass replays unification in-process.
+    /// cost: the blame pass replays unification in-process. Disjoint
+    /// from the oracle-driven search time by construction — the blame
+    /// pass runs once, before the search proper, and this field measures
+    /// exactly that interval.
     pub blame_time: Duration,
+}
+
+impl SearchStats {
+    /// Wall-clock of the oracle-driven search alone: `elapsed` minus the
+    /// disjoint `blame_time` sub-interval. Use this when comparing
+    /// against unguided search cost (which has no blame pass), so the
+    /// comparison is apples-to-apples.
+    pub fn search_time(&self) -> Duration {
+        self.elapsed.saturating_sub(self.blame_time)
+    }
 }
 
 /// What the search concluded.
@@ -94,9 +169,19 @@ pub struct SearchReport {
     /// The conventional type-checker's message for the same input, for
     /// side-by-side presentation and for the evaluation harness.
     pub baseline: Option<TypeError>,
-    /// Probe-by-probe log (empty unless
+    /// Legacy probe-by-probe log — the projection of [`Self::records`]
+    /// through [`TraceEvent::from_records`] (empty unless
     /// [`SearchConfig::collect_trace`](crate::SearchConfig) is set).
+    #[deprecated(since = "0.2.0", note = "use `records` (the structured stream) instead")]
+    #[allow(deprecated)]
     pub trace: Vec<TraceEvent>,
+    /// Captured structured trace: span open/close records with
+    /// parent/child nesting and one event per oracle probe (empty unless
+    /// [`SearchConfig::collect_trace`](crate::SearchConfig) is set).
+    pub records: Vec<TraceRecord>,
+    /// Aggregate counters and latency histograms for this search
+    /// (always collected; schema `seminal-obs/metrics-v1`).
+    pub metrics: MetricsSnapshot,
 }
 
 impl SearchReport {
@@ -130,6 +215,7 @@ pub struct Searcher<O> {
     oracle: O,
     config: SearchConfig,
     extra_changes: Vec<CustomChange>,
+    sinks: Vec<Arc<dyn TraceSink>>,
 }
 
 impl<O: std::fmt::Debug> std::fmt::Debug for Searcher<O> {
@@ -138,6 +224,7 @@ impl<O: std::fmt::Debug> std::fmt::Debug for Searcher<O> {
             .field("oracle", &self.oracle)
             .field("config", &self.config)
             .field("extra_changes", &self.extra_changes.len())
+            .field("sinks", &self.sinks.len())
             .finish()
     }
 }
@@ -145,12 +232,17 @@ impl<O: std::fmt::Debug> std::fmt::Debug for Searcher<O> {
 impl<O: Oracle> Searcher<O> {
     /// A searcher with the full-tool configuration.
     pub fn new(oracle: O) -> Searcher<O> {
-        Searcher { oracle, config: SearchConfig::default(), extra_changes: Vec::new() }
+        Searcher {
+            oracle,
+            config: SearchConfig::default(),
+            extra_changes: Vec::new(),
+            sinks: Vec::new(),
+        }
     }
 
     /// A searcher with an explicit configuration (for the ablations).
     pub fn with_config(oracle: O, config: SearchConfig) -> Searcher<O> {
-        Searcher { oracle, config, extra_changes: Vec::new() }
+        Searcher { oracle, config, extra_changes: Vec::new(), sinks: Vec::new() }
     }
 
     /// Registers a user-defined constructive change (§6's open framework).
@@ -163,14 +255,34 @@ impl<O: Oracle> Searcher<O> {
         self
     }
 
+    /// Attaches a trace sink: every search streams its structured records
+    /// into it (in addition to the in-report capture that
+    /// [`SearchConfig::collect_trace`](crate::SearchConfig) controls).
+    /// Use a [`seminal_obs::JsonlSink`] to persist traces, or a
+    /// [`seminal_obs::MemorySink`] to observe a search from tests.
+    pub fn add_sink(&mut self, sink: Arc<dyn TraceSink>) -> &mut Searcher<O> {
+        self.sinks.push(sink);
+        self
+    }
+
     /// The active configuration.
     pub fn config(&self) -> &SearchConfig {
         &self.config
     }
 
     /// Runs the full search on `prog`.
+    #[allow(deprecated)]
     pub fn search(&self, prog: &Program) -> SearchReport {
         let start = Instant::now();
+        let capture = if self.config.collect_trace {
+            Some(Arc::new(MemorySink::new(self.config.trace_capacity)))
+        } else {
+            None
+        };
+        let mut sinks = self.sinks.clone();
+        if let Some(c) = &capture {
+            sinks.push(c.clone() as Arc<dyn TraceSink>);
+        }
         let mut run = Run {
             oracle: &self.oracle,
             cfg: &self.config,
@@ -181,24 +293,32 @@ impl<O: Oracle> Searcher<O> {
             suggestions: Vec::new(),
             memo: HashMap::new(),
             memo_hits: 0,
-            trace: Vec::new(),
-            probe_label: (String::new(), String::new()),
+            tracer: Tracer::new(sinks),
+            probe_label: None,
+            local: LocalMetrics::default(),
             blame: None,
             deferred: Vec::new(),
             sites_pruned: 0,
         };
+        let root = run.tracer.open(SpanKind::Search);
         let baseline = match run.check_full(prog) {
             Ok(()) => {
+                run.tracer.close(root);
+                let stats = SearchStats {
+                    oracle_calls: run.calls,
+                    elapsed: start.elapsed(),
+                    ..SearchStats::default()
+                };
+                let records = capture.as_ref().map(|c| c.drain()).unwrap_or_default();
+                let metrics = run.local.snapshot(&stats, 0);
                 return SearchReport {
                     outcome: Outcome::WellTyped,
-                    stats: SearchStats {
-                        oracle_calls: run.calls,
-                        elapsed: start.elapsed(),
-                        ..SearchStats::default()
-                    },
+                    stats,
                     baseline: None,
-                    trace: Vec::new(),
-                }
+                    trace: TraceEvent::from_records(&records),
+                    records,
+                    metrics,
+                };
             }
             Err(e) => e,
         };
@@ -207,16 +327,20 @@ impl<O: Oracle> Searcher<O> {
         // well-typed bypass above stays a single oracle call).
         let blame_clock = Instant::now();
         if self.config.blame_guidance {
+            let span = run.tracer.open(SpanKind::BlamePass);
             run.blame = seminal_analysis::analyze(prog);
+            run.tracer.close(span);
         }
         let blame_time =
             if self.config.blame_guidance { blame_clock.elapsed() } else { Duration::ZERO };
+        run.local.blame_ns = duration_ns(blame_time);
         let core_size = run.blame.as_ref().map_or(0, |b| b.core_size);
 
         // §2.1: find the first ill-typed definition. The checker aborts at
         // the first error and processes declarations in order, so when the
         // baseline span maps into a top-level declaration, every earlier
         // prefix is known to type-check and the probe loop is redundant.
+        let prefix_span = run.tracer.open(SpanKind::PrefixLocalization);
         let mut first_bad = 0;
         if run.blame.is_some() {
             if let Some(d) = prog
@@ -225,27 +349,23 @@ impl<O: Oracle> Searcher<O> {
                 .position(|decl| !baseline.span.is_empty() && decl.span.contains(baseline.span))
             {
                 first_bad = d + 1;
-                if self.config.collect_trace {
-                    run.trace.push(TraceEvent {
-                        action: "prefix".to_owned(),
-                        target: format!(
-                            "first {first_bad} declaration(s), blame-localized (no probe)"
-                        ),
-                        success: false,
-                    });
-                }
+                run.tracer.event(EventKind::PrefixLocalized {
+                    first_bad: first_bad as u32,
+                    detail: format!("first {first_bad} declaration(s), blame-localized (no probe)"),
+                });
             }
         }
         if first_bad == 0 {
             first_bad = prog.decls.len();
             for k in 1..=prog.decls.len() {
-                run.label("prefix", format!("first {k} declaration(s)"));
+                run.label(ProbeKind::Prefix, Span::DUMMY, || format!("first {k} declaration(s)"));
                 if !run.check(&prog.prefix(k)) {
                     first_bad = k;
                     break;
                 }
             }
         }
+        run.tracer.close(prefix_span);
         let scope_prog = prog.prefix(first_bad);
         let scope = Scope::new(scope_prog);
         run.search_decl(&scope, first_bad - 1);
@@ -259,7 +379,9 @@ impl<O: Oracle> Searcher<O> {
                 break;
             }
             if let Some(node) = scope.prog.find_expr(id).cloned() {
+                let span = run.tracer.open(SpanKind::Descend { span: src_span(node.span) });
                 run.enumerate_changes(&scope, &node, false, 0);
+                run.tracer.close(span);
             }
         }
 
@@ -268,6 +390,23 @@ impl<O: Oracle> Searcher<O> {
         let mut seen = std::collections::HashSet::new();
         suggestions.retain(|s| seen.insert(s.dedup_key()));
         rank(&mut suggestions);
+        run.tracer.close(root);
+        let stats = SearchStats {
+            oracle_calls: run.calls,
+            elapsed: start.elapsed(),
+            triage_used: run.triage_used,
+            budget_exhausted: run.budget_hit,
+            first_bad_decl: first_bad,
+            memo_hits: run.memo_hits,
+            core_size,
+            sites_pruned: run.sites_pruned,
+            blame_time,
+        };
+        let records = capture.as_ref().map(|c| c.drain()).unwrap_or_default();
+        if let Some(c) = &capture {
+            run.local.trace_dropped = c.dropped();
+        }
+        let metrics = run.local.snapshot(&stats, suggestions.len() as u64);
         let outcome = if suggestions.is_empty() {
             Outcome::NoSuggestion
         } else {
@@ -275,20 +414,68 @@ impl<O: Oracle> Searcher<O> {
         };
         SearchReport {
             outcome,
-            stats: SearchStats {
-                oracle_calls: run.calls,
-                elapsed: start.elapsed(),
-                triage_used: run.triage_used,
-                budget_exhausted: run.budget_hit,
-                first_bad_decl: first_bad,
-                memo_hits: run.memo_hits,
-                core_size,
-                sites_pruned: run.sites_pruned,
-                blame_time,
-            },
+            stats,
             baseline: Some(baseline),
-            trace: std::mem::take(&mut run.trace),
+            trace: TraceEvent::from_records(&records),
+            records,
+            metrics,
         }
+    }
+}
+
+fn src_span(span: Span) -> SrcSpan {
+    SrcSpan::new(span.start, span.end)
+}
+
+fn duration_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Allocation-free accumulators for the per-search metrics snapshot —
+/// plain integer bumps on the probe hot path, folded into a
+/// [`MetricsSnapshot`] once per search.
+#[derive(Debug, Default)]
+struct LocalMetrics {
+    oracle_latency: Histogram,
+    descend_depth: Histogram,
+    max_depth: u64,
+    probes: [u64; ProbeKind::METRIC_KEYS.len()],
+    triage_rounds: u64,
+    blame_ns: u64,
+    trace_dropped: u64,
+}
+
+impl LocalMetrics {
+    fn snapshot(&self, stats: &SearchStats, suggestions: u64) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::default();
+        let c = &mut snap.counters;
+        c.insert("oracle_calls".to_owned(), stats.oracle_calls);
+        c.insert("memo_hits".to_owned(), stats.memo_hits);
+        c.insert("suggestions".to_owned(), suggestions);
+        c.insert("first_bad_decl".to_owned(), stats.first_bad_decl as u64);
+        c.insert("core_size".to_owned(), stats.core_size as u64);
+        c.insert("sites_pruned".to_owned(), stats.sites_pruned);
+        c.insert("triage.rounds".to_owned(), self.triage_rounds);
+        c.insert("budget_exhausted".to_owned(), u64::from(stats.budget_exhausted));
+        c.insert("descend.max_depth".to_owned(), self.max_depth);
+        c.insert("elapsed_ns".to_owned(), duration_ns(stats.elapsed));
+        c.insert("blame_ns".to_owned(), self.blame_ns);
+        c.insert("search_ns".to_owned(), duration_ns(stats.search_time()));
+        if self.trace_dropped > 0 {
+            c.insert("trace.dropped".to_owned(), self.trace_dropped);
+        }
+        for (i, &n) in self.probes.iter().enumerate() {
+            if n > 0 {
+                c.insert(format!("probes.{}", ProbeKind::METRIC_KEYS[i]), n);
+            }
+        }
+        if self.oracle_latency.count > 0 {
+            snap.histograms.insert("oracle.latency_ns".to_owned(), self.oracle_latency.clone());
+        }
+        if self.descend_depth.count > 0 {
+            snap.histograms.insert("descend.depth".to_owned(), self.descend_depth.clone());
+        }
+        snap
     }
 }
 
@@ -362,9 +549,12 @@ struct Run<'a, O> {
     suggestions: Vec<Suggestion>,
     memo: HashMap<String, bool>,
     memo_hits: u64,
-    trace: Vec<TraceEvent>,
-    /// Context labels for the next probe's trace entry.
-    probe_label: (String, String),
+    /// Structured-trace emitter (inert unless sinks are attached).
+    tracer: Tracer,
+    /// Typed label for the next probe's trace event and family counter.
+    probe_label: Option<(ProbeKind, String, Span)>,
+    /// Hot-path metric accumulators.
+    local: LocalMetrics,
     /// Blame analysis of the original program, when guidance is on and
     /// the error has a constraint trace.
     blame: Option<BlameAnalysis>,
@@ -377,45 +567,70 @@ struct Run<'a, O> {
 impl<O: Oracle> Run<'_, O> {
     fn check_full(&mut self, prog: &Program) -> Result<(), TypeError> {
         self.calls += 1;
-        self.oracle.check(prog)
+        let clock = Instant::now();
+        let verdict = self.oracle.check(prog);
+        let latency_ns = duration_ns(clock.elapsed());
+        self.probe_label = Some((ProbeKind::Baseline, String::new(), Span::DUMMY));
+        self.record_probe(verdict.is_ok(), false, latency_ns);
+        verdict
     }
 
-    /// Budgeted boolean oracle query, optionally memoized and traced.
+    /// Budgeted boolean oracle query, optionally memoized; always counted
+    /// and timed, and emitted as a structured probe event when tracing.
     fn check(&mut self, prog: &Program) -> bool {
         if self.calls >= self.cfg.max_oracle_calls {
             self.budget_hit = true;
+            self.probe_label = None;
             return false;
         }
-        let ok = if self.cfg.memoize_oracle {
+        let (ok, cached, latency_ns) = if self.cfg.memoize_oracle {
             let key = seminal_ml::pretty::program_to_string(prog);
             if let Some(&cached) = self.memo.get(&key) {
                 self.memo_hits += 1;
-                cached
+                (cached, true, 0)
             } else {
                 self.calls += 1;
+                let clock = Instant::now();
                 let verdict = self.oracle.check(prog).is_ok();
+                let latency_ns = duration_ns(clock.elapsed());
                 self.memo.insert(key, verdict);
-                verdict
+                (verdict, false, latency_ns)
             }
         } else {
             self.calls += 1;
-            self.oracle.check(prog).is_ok()
+            let clock = Instant::now();
+            let verdict = self.oracle.check(prog).is_ok();
+            (verdict, false, duration_ns(clock.elapsed()))
         };
-        if self.cfg.collect_trace {
-            let (action, target) = std::mem::take(&mut self.probe_label);
-            self.trace.push(TraceEvent {
-                action: if action.is_empty() { "probe".to_owned() } else { action },
-                target,
-                success: ok,
-            });
-        }
+        self.record_probe(ok, cached, latency_ns);
         ok
     }
 
-    /// Labels the next `check` call's trace entry.
-    fn label(&mut self, action: impl Into<String>, target: impl Into<String>) {
-        if self.cfg.collect_trace {
-            self.probe_label = (action.into(), target.into());
+    /// Labels the next `check` call's probe. The target string is only
+    /// rendered when a trace is being emitted; the kind is kept always,
+    /// for the per-family counters.
+    fn label(&mut self, probe: ProbeKind, span: Span, target: impl FnOnce() -> String) {
+        let target = if self.tracer.enabled() { target() } else { String::new() };
+        self.probe_label = Some((probe, target, span));
+    }
+
+    /// Folds one probe verdict into metrics and the trace stream.
+    fn record_probe(&mut self, outcome: bool, cached: bool, latency_ns: u64) {
+        let (probe, target, span) =
+            self.probe_label.take().unwrap_or((ProbeKind::Other, String::new(), Span::DUMMY));
+        self.local.probes[probe.metric_index()] += 1;
+        if !cached {
+            self.local.oracle_latency.observe(latency_ns);
+        }
+        if self.tracer.enabled() {
+            self.tracer.event(EventKind::OracleProbe {
+                probe,
+                target,
+                span: src_span(span),
+                outcome,
+                cached,
+                latency_ns,
+            });
         }
     }
 
@@ -427,6 +642,13 @@ impl<O: Oracle> Run<'_, O> {
     /// off, so ranking is unchanged in that mode).
     fn blame_at(&self, span: Span) -> u32 {
         self.blame.as_ref().map_or(0, |b| b.milli_score_at(span))
+    }
+
+    /// Opens a triage-round span and bumps the round counters.
+    fn begin_triage_round(&mut self) -> u64 {
+        self.triage_used = true;
+        self.local.triage_rounds += 1;
+        self.tracer.open(SpanKind::Triage { round: self.local.triage_rounds as u32 })
     }
 
     // ------------------------------------------------------------------
@@ -443,6 +665,11 @@ impl<O: Oracle> Run<'_, O> {
                     if let DeclKind::Let { rec, .. } = &mut variant.decls[idx].kind {
                         *rec = true;
                     }
+                    self.label(
+                        ProbeKind::Constructive { family: "let rec".to_owned() },
+                        decl.span,
+                        || decl_to_string(&decl),
+                    );
                     if self.check(&variant) {
                         let context_str = decl_to_string(&variant.decls[idx]);
                         self.suggestions.push(Suggestion {
@@ -511,9 +738,27 @@ impl<O: Oracle> Run<'_, O> {
         if node.is_hole() {
             return false;
         }
+        let depth = scope.meta(node.id).depth as u64;
+        self.local.descend_depth.observe(depth);
+        self.local.max_depth = self.local.max_depth.max(depth);
+        let span = self.tracer.open(SpanKind::Descend { span: src_span(node.span) });
+        let descended = self.search_expr_at(scope, &node, triage_depth, triaged, removed_siblings);
+        self.tracer.close(span);
+        descended
+    }
+
+    /// The body of [`Run::search_expr`], inside that node's trace span.
+    fn search_expr_at(
+        &mut self,
+        scope: &Scope,
+        node: &Expr,
+        triage_depth: usize,
+        triaged: bool,
+        removed_siblings: usize,
+    ) -> bool {
         // Removal probe.
-        let removal_variant = edit::remove_expr(&scope.prog, node_id);
-        self.label("removal", expr_to_string(&node));
+        let removal_variant = edit::remove_expr(&scope.prog, node.id);
+        self.label(ProbeKind::Removal, node.span, || expr_to_string(node));
         if !self.check(&removal_variant) {
             return false;
         }
@@ -545,12 +790,12 @@ impl<O: Oracle> Run<'_, O> {
         // nodes), so guidance changes probe order, never the suggestion
         // set.
         let (mut any_specific, mut adapt_ok) = (false, false);
-        if self.defers(&node, triaged, triage_depth) {
-            self.deferred.push(node_id);
+        if self.defers(node, triaged, triage_depth) {
+            self.deferred.push(node.id);
             self.sites_pruned += 1;
         } else {
             (any_specific, adapt_ok) =
-                self.enumerate_changes(scope, &node, triaged, removed_siblings);
+                self.enumerate_changes(scope, node, triaged, removed_siblings);
         }
 
         // Triage (§2.4): only when wholesale removal of a sizeable node is
@@ -565,7 +810,7 @@ impl<O: Oracle> Run<'_, O> {
             && triage_depth < self.cfg.max_triage_depth
         {
             let before = self.suggestions.len();
-            self.triage(scope, &node, triage_depth);
+            self.triage(scope, node, triage_depth);
             triage_found = self.suggestions.len() > before;
         }
 
@@ -581,7 +826,7 @@ impl<O: Oracle> Run<'_, O> {
             };
             self.push_suggestion(
                 scope,
-                &node,
+                node,
                 &Expr::hole(Span::DUMMY),
                 removal_variant,
                 ChangeKind::Removal,
@@ -645,7 +890,7 @@ impl<O: Oracle> Run<'_, O> {
                     }
                     crate::change::Probe::Gated { gate, then } => {
                         let gate_variant = edit::replace_expr(&scope.prog, node.id, gate);
-                        self.label("gate", expr_to_string(node));
+                        self.label(ProbeKind::Gate, node.span, || expr_to_string(node));
                         if self.check(&gate_variant) {
                             for c in then {
                                 if self.done() {
@@ -719,12 +964,12 @@ impl<O: Oracle> Run<'_, O> {
         removed_siblings: usize,
     ) -> bool {
         let variant = edit::replace_expr(&scope.prog, node.id, replacement.clone());
-        let action = match &kind {
-            ChangeKind::Constructive(d) => format!("constructive: {d}"),
-            ChangeKind::Adaptation => "adaptation".to_owned(),
-            ChangeKind::Removal => "removal".to_owned(),
+        let probe = match &kind {
+            ChangeKind::Constructive(d) => ProbeKind::Constructive { family: d.clone() },
+            ChangeKind::Adaptation => ProbeKind::Adaptation,
+            ChangeKind::Removal => ProbeKind::Removal,
         };
-        self.label(action, expr_to_string(node));
+        self.label(probe, node.span, || expr_to_string(node));
         if !self.check(&variant) {
             return false;
         }
@@ -818,7 +1063,12 @@ impl<O: Oracle> Run<'_, O> {
     /// wildcarding the others (rightmost first), recurring in the first
     /// context that admits any fix for the focus.
     fn triage_siblings(&mut self, scope: &Scope, members: &[NodeId], depth: usize) {
-        self.triage_used = true;
+        let span = self.begin_triage_round();
+        self.triage_siblings_inner(scope, members, depth);
+        self.tracer.close(span);
+    }
+
+    fn triage_siblings_inner(&mut self, scope: &Scope, members: &[NodeId], depth: usize) {
         for &focus in members {
             if self.done() {
                 return;
@@ -832,10 +1082,10 @@ impl<O: Oracle> Run<'_, O> {
                 for &r in removed {
                     probe_edit = probe_edit.remove_expr(r);
                 }
-                self.label(
-                    "triage-context",
-                    format!("focus {} with {} sibling(s) removed", focus, j),
-                );
+                let focus_span = scope.prog.find_expr(focus).map_or(Span::DUMMY, |node| node.span);
+                self.label(ProbeKind::TriageContext, focus_span, || {
+                    format!("focus {} with {} sibling(s) removed", focus, j)
+                });
                 if self.check(&edit::apply(&scope.prog, &probe_edit)) {
                     // Some fix exists for the focus in this context.
                     let mut ctx_edit = Edit::new();
@@ -860,6 +1110,19 @@ impl<O: Oracle> Run<'_, O> {
         arms: &[Arm],
         depth: usize,
     ) {
+        let span = self.begin_triage_round();
+        self.triage_match_inner(scope, node, scrut, arms, depth);
+        self.tracer.close(span);
+    }
+
+    fn triage_match_inner(
+        &mut self,
+        scope: &Scope,
+        node: &Expr,
+        scrut: &Expr,
+        arms: &[Arm],
+        depth: usize,
+    ) {
         // Phase 1: scrutinee alone — `match scrut with _ -> [[...]]`.
         let phase1 = Expr::synth(
             ExprKind::Match(
@@ -873,7 +1136,7 @@ impl<O: Oracle> Run<'_, O> {
             Span::DUMMY,
         );
         let p1 = edit::replace_expr(&scope.prog, node.id, phase1);
-        self.label("triage-match-phase1 (scrutinee)", expr_to_string(scrut));
+        self.label(ProbeKind::TriageMatch { phase: 1 }, scrut.span, || expr_to_string(scrut));
         if !self.check(&p1) {
             let ctx = Scope::new(p1);
             self.search_expr(&ctx, scrut.id, depth + 1, true, arms.len());
@@ -898,7 +1161,7 @@ impl<O: Oracle> Run<'_, O> {
             Span::DUMMY,
         );
         let p2 = edit::replace_expr(&scope.prog, node.id, phase2);
-        self.label("triage-match-phase2 (patterns)", expr_to_string(node));
+        self.label(ProbeKind::TriageMatch { phase: 2 }, node.span, || expr_to_string(node));
         if !self.check(&p2) {
             self.triage_patterns(&Scope::new(p2), arms);
             return;
@@ -928,6 +1191,13 @@ impl<O: Oracle> Run<'_, O> {
                 for &r in removed {
                     probe = probe.replace_pat(r, Pat::wild(Span::DUMMY));
                 }
+                self.label(ProbeKind::TriagePattern, arms[i].pat.span, || {
+                    format!(
+                        "focus pattern {} with {} sibling(s) wildcarded",
+                        pat_to_string(&arms[i].pat),
+                        j
+                    )
+                });
                 if self.check(&edit::apply(&scope.prog, &probe)) {
                     let mut ctx_edit = Edit::new();
                     for &r in removed {
@@ -948,6 +1218,7 @@ impl<O: Oracle> Run<'_, O> {
     fn search_pattern(&mut self, scope: &Scope, pat: &Pat, removed_siblings: usize) -> bool {
         let variant =
             edit::apply(&scope.prog, &Edit::new().replace_pat(pat.id, Pat::wild(Span::DUMMY)));
+        self.label(ProbeKind::TriagePattern, pat.span, || pat_to_string(pat));
         if !self.check(&variant) {
             return false;
         }

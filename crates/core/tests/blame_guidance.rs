@@ -159,6 +159,7 @@ fn guided_search_is_deterministic() {
 }
 
 #[test]
+#[allow(deprecated)] // asserts on the legacy flat-trace shim
 fn guided_trace_still_records_a_prefix_event() {
     let src = SCENARIOS[0].1; // figure2
     let cfg = SearchConfig { collect_trace: true, ..SearchConfig::default() };

@@ -408,6 +408,7 @@ fn memoized_search_gives_identical_results_with_fewer_calls() {
 }
 
 #[test]
+#[allow(deprecated)] // exercises the legacy flat-trace shim
 fn trace_records_every_probe() {
     let cfg = SearchConfig { collect_trace: true, ..SearchConfig::default() };
     let report = search_cfg(FIGURE2, cfg);
@@ -431,6 +432,7 @@ fn trace_records_every_probe() {
 }
 
 #[test]
+#[allow(deprecated)] // exercises the legacy flat-trace shim
 fn trace_off_by_default() {
     let report = search(FIGURE2);
     assert!(report.trace.is_empty());

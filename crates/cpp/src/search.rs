@@ -17,7 +17,12 @@ use crate::ast::*;
 use crate::check::{check, CppError};
 use crate::edit::{remove_stmt, replace_expr, replace_stmt};
 use seminal_ml::span::Span;
+use seminal_obs::{
+    EventKind, Histogram, MetricsSnapshot, ProbeKind, SpanKind, SrcSpan, TraceSink, Tracer,
+};
 use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// The class of a C++ suggestion, ranked in this order.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -80,6 +85,11 @@ pub struct CppReport {
     pub baseline: Vec<CppError>,
     /// Type-checker invocations.
     pub oracle_calls: u64,
+    /// Wall-clock duration of the search.
+    pub elapsed: Duration,
+    /// Aggregate counters and latency histogram (same schema as the Caml
+    /// search's [`seminal_obs`] metrics).
+    pub metrics: MetricsSnapshot,
 }
 
 impl CppReport {
@@ -89,15 +99,117 @@ impl CppReport {
     }
 }
 
+/// Per-probe bookkeeping for the C++ search: outcome classification plus
+/// trace events and metric counters, mirroring the Caml searcher's `Run`.
+struct ProbeCtx<'a> {
+    before: &'a HashSet<String>,
+    n_before: usize,
+    calls: u64,
+    tracer: Tracer,
+    latency: Histogram,
+    probes: [u64; ProbeKind::METRIC_KEYS.len()],
+    suggestions: Vec<CppSuggestion>,
+}
+
+impl ProbeCtx<'_> {
+    /// Checks one variant; a probe "succeeds" when it eliminates some
+    /// errors while introducing no new ones (§4.2's implicit triage).
+    #[allow(clippy::too_many_arguments)]
+    fn try_variant(
+        &mut self,
+        variant: &CProgram,
+        kind: CppChangeKind,
+        span: Span,
+        original: String,
+        replacement: String,
+        size: usize,
+    ) {
+        self.calls += 1;
+        let clock = Instant::now();
+        let errors = check(variant);
+        let latency_ns = u64::try_from(clock.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let after: HashSet<String> = errors.iter().map(CppError::key).collect();
+        let introduces_new = after.iter().any(|k| !self.before.contains(k));
+        let accepted = errors.len() < self.n_before && !introduces_new;
+        let probe = match &kind {
+            CppChangeKind::Constructive(d) => ProbeKind::Constructive { family: d.clone() },
+            CppChangeKind::Adaptation => ProbeKind::Adaptation,
+            CppChangeKind::Removal => ProbeKind::Removal,
+            CppChangeKind::Statement(_) => ProbeKind::Statement,
+        };
+        self.probes[probe.metric_index()] += 1;
+        self.latency.observe(latency_ns);
+        if self.tracer.enabled() {
+            self.tracer.event(EventKind::OracleProbe {
+                probe,
+                target: original.clone(),
+                span: SrcSpan::new(span.start, span.end),
+                outcome: accepted,
+                cached: false,
+                latency_ns,
+            });
+        }
+        if accepted {
+            self.suggestions.push(CppSuggestion {
+                kind,
+                span,
+                original,
+                replacement,
+                errors_before: self.n_before,
+                errors_after: errors.len(),
+                size,
+            });
+        }
+    }
+}
+
 /// Runs the C++ search.
 pub fn search_cpp(prog: &CProgram) -> CppReport {
+    search_cpp_with(prog, &[])
+}
+
+/// Runs the C++ search, streaming structured trace records (one event per
+/// oracle probe under a root span) into `sinks`.
+pub fn search_cpp_with(prog: &CProgram, sinks: &[Arc<dyn TraceSink>]) -> CppReport {
+    let start = Instant::now();
+    let mut tracer = Tracer::new(sinks.to_vec());
+    let root = tracer.open(SpanKind::Search);
+    let clock = Instant::now();
     let baseline = check(prog);
-    let mut calls = 1u64;
-    if baseline.is_empty() {
-        return CppReport { suggestions: Vec::new(), baseline, oracle_calls: calls };
-    }
+    let baseline_ns = u64::try_from(clock.elapsed().as_nanos()).unwrap_or(u64::MAX);
     let before: HashSet<String> = baseline.iter().map(CppError::key).collect();
-    let n_before = baseline.len();
+    let mut ctx = ProbeCtx {
+        before: &before,
+        n_before: baseline.len(),
+        calls: 1,
+        tracer,
+        latency: Histogram::default(),
+        probes: [0; ProbeKind::METRIC_KEYS.len()],
+        suggestions: Vec::new(),
+    };
+    ctx.probes[ProbeKind::Baseline.metric_index()] += 1;
+    ctx.latency.observe(baseline_ns);
+    if ctx.tracer.enabled() {
+        ctx.tracer.event(EventKind::OracleProbe {
+            probe: ProbeKind::Baseline,
+            target: String::new(),
+            span: SrcSpan::EMPTY,
+            outcome: baseline.is_empty(),
+            cached: false,
+            latency_ns: baseline_ns,
+        });
+    }
+    if baseline.is_empty() {
+        ctx.tracer.close(root);
+        let metrics = cpp_metrics(&ctx, 0);
+        return CppReport {
+            suggestions: Vec::new(),
+            baseline,
+            oracle_calls: ctx.calls,
+            elapsed: start.elapsed(),
+            metrics,
+        };
+    }
 
     // Focus on the function containing the first error (§4.2).
     let first_site = baseline[0].site;
@@ -108,44 +220,16 @@ pub fn search_cpp(prog: &CProgram) -> CppReport {
         .unwrap_or(0);
     let focus_fn = prog.fns[focus].clone();
 
-    let mut suggestions: Vec<CppSuggestion> = Vec::new();
-    let try_variant = |variant: &CProgram,
-                       kind: CppChangeKind,
-                       span: Span,
-                       original: String,
-                       replacement: String,
-                       size: usize,
-                       calls: &mut u64,
-                       out: &mut Vec<CppSuggestion>| {
-        *calls += 1;
-        let errors = check(variant);
-        let after: HashSet<String> = errors.iter().map(CppError::key).collect();
-        let introduces_new = after.iter().any(|k| !before.contains(k));
-        if errors.len() < n_before && !introduces_new {
-            out.push(CppSuggestion {
-                kind,
-                span,
-                original,
-                replacement,
-                errors_before: n_before,
-                errors_after: errors.len(),
-                size,
-            });
-        }
-    };
-
     // --- statement-level changes ---------------------------------------
     for stmt in &focus_fn.body {
         let removed = remove_stmt(prog, stmt.id);
-        try_variant(
+        ctx.try_variant(
             &removed,
             CppChangeKind::Statement("delete the statement".into()),
             stmt.span,
             stmt.to_string(),
             String::new(),
             1,
-            &mut calls,
-            &mut suggestions,
         );
         // Hoisting: `e0(e1, …);` → `voidMagic(e1); …` to localize which
         // argument carries the errors.
@@ -169,15 +253,13 @@ pub fn search_cpp(prog: &CProgram) -> CppReport {
                     })
                     .collect();
                 let variant = replace_stmt(prog, stmt.id, hoisted);
-                try_variant(
+                ctx.try_variant(
                     &variant,
                     CppChangeKind::Statement("hoist the call's arguments".into()),
                     stmt.span,
                     stmt.to_string(),
                     "voidMagic(…); …".into(),
                     1,
-                    &mut calls,
-                    &mut suggestions,
                 );
             }
         }
@@ -193,15 +275,13 @@ pub fn search_cpp(prog: &CProgram) -> CppReport {
 
         // Removal: magicFun(0).
         let removal = replace_expr(prog, node.id, CExpr::synth(CExprKind::Magic, Span::DUMMY));
-        try_variant(
+        ctx.try_variant(
             &removal,
             CppChangeKind::Removal,
             span,
             original.clone(),
             "magicFun(0)".into(),
             size,
-            &mut calls,
-            &mut suggestions,
         );
 
         // Adaptation: magicFun(e).
@@ -211,15 +291,13 @@ pub fn search_cpp(prog: &CProgram) -> CppReport {
                 node.id,
                 CExpr::synth(CExprKind::MagicAdapt(Box::new(node.clone())), Span::DUMMY),
             );
-            try_variant(
+            ctx.try_variant(
                 &adapted,
                 CppChangeKind::Adaptation,
                 span,
                 original.clone(),
                 format!("magicFun({original})"),
                 size,
-                &mut calls,
-                &mut suggestions,
             );
         }
 
@@ -241,15 +319,13 @@ pub fn search_cpp(prog: &CProgram) -> CppReport {
                     Span::DUMMY,
                 ),
             );
-            try_variant(
+            ctx.try_variant(
                 &wrapped,
                 CppChangeKind::Constructive("wrap the expression in ptr_fun".into()),
                 span,
                 original.clone(),
                 format!("ptr_fun({original})"),
                 size,
-                &mut calls,
-                &mut suggestions,
             );
         }
 
@@ -257,15 +333,13 @@ pub fn search_cpp(prog: &CProgram) -> CppReport {
         if let CExprKind::Call { callee, args } = &node.kind {
             if matches!(&callee.kind, CExprKind::Var(n) if n == "ptr_fun") && args.len() == 1 {
                 let variant = replace_expr(prog, node.id, args[0].clone());
-                try_variant(
+                ctx.try_variant(
                     &variant,
                     CppChangeKind::Constructive("remove the ptr_fun wrapper".into()),
                     span,
                     original.clone(),
                     args[0].to_string(),
                     size,
-                    &mut calls,
-                    &mut suggestions,
                 );
             }
         }
@@ -279,15 +353,13 @@ pub fn search_cpp(prog: &CProgram) -> CppReport {
             let desc = if *arrow { "use `.` instead of `->`" } else { "use `->` instead of `.`" };
             let replacement = flipped.to_string();
             let variant = replace_expr(prog, node.id, flipped);
-            try_variant(
+            ctx.try_variant(
                 &variant,
                 CppChangeKind::Constructive(desc.into()),
                 span,
                 original.clone(),
                 replacement,
                 size,
-                &mut calls,
-                &mut suggestions,
             );
         }
 
@@ -301,15 +373,13 @@ pub fn search_cpp(prog: &CProgram) -> CppReport {
                 );
                 let replacement = as_method.to_string();
                 let variant = replace_expr(prog, node.id, as_method);
-                try_variant(
+                ctx.try_variant(
                     &variant,
                     CppChangeKind::Constructive("use `.` instead of `->`".into()),
                     span,
                     original.clone(),
                     replacement,
                     size,
-                    &mut calls,
-                    &mut suggestions,
                 );
             }
         }
@@ -325,15 +395,13 @@ pub fn search_cpp(prog: &CProgram) -> CppReport {
                 );
                 let replacement = flipped.to_string();
                 let variant = replace_expr(prog, node.id, flipped);
-                try_variant(
+                ctx.try_variant(
                     &variant,
                     CppChangeKind::Constructive("reverse the call's arguments".into()),
                     span,
                     original.clone(),
                     replacement,
                     size,
-                    &mut calls,
-                    &mut suggestions,
                 );
             }
             if args.len() >= 2 {
@@ -346,7 +414,7 @@ pub fn search_cpp(prog: &CProgram) -> CppReport {
                     );
                     let replacement = shrunk.to_string();
                     let variant = replace_expr(prog, node.id, shrunk);
-                    try_variant(
+                    ctx.try_variant(
                         &variant,
                         CppChangeKind::Constructive(format!(
                             "remove argument {} from the call",
@@ -356,8 +424,6 @@ pub fn search_cpp(prog: &CProgram) -> CppReport {
                         original.clone(),
                         replacement,
                         size,
-                        &mut calls,
-                        &mut suggestions,
                     );
                 }
             }
@@ -365,6 +431,7 @@ pub fn search_cpp(prog: &CProgram) -> CppReport {
     }
 
     // Rank: complete fixes first, then class, then smaller fragments.
+    let mut suggestions = std::mem::take(&mut ctx.suggestions);
     suggestions.sort_by(|a, b| {
         (a.errors_after > 0)
             .cmp(&(b.errors_after > 0))
@@ -377,5 +444,24 @@ pub fn search_cpp(prog: &CProgram) -> CppReport {
     let mut seen = HashSet::new();
     suggestions.retain(|s| seen.insert((s.span, s.replacement.clone())));
 
-    CppReport { suggestions, baseline, oracle_calls: calls }
+    ctx.tracer.close(root);
+    let metrics = cpp_metrics(&ctx, suggestions.len() as u64);
+    CppReport { suggestions, baseline, oracle_calls: ctx.calls, elapsed: start.elapsed(), metrics }
+}
+
+/// Folds the probe context into the stable metrics snapshot schema.
+fn cpp_metrics(ctx: &ProbeCtx<'_>, suggestions: u64) -> MetricsSnapshot {
+    let mut snap = MetricsSnapshot::default();
+    snap.counters.insert("oracle_calls".to_owned(), ctx.calls);
+    snap.counters.insert("errors_before".to_owned(), ctx.n_before as u64);
+    snap.counters.insert("suggestions".to_owned(), suggestions);
+    for (i, &n) in ctx.probes.iter().enumerate() {
+        if n > 0 {
+            snap.counters.insert(format!("probes.{}", ProbeKind::METRIC_KEYS[i]), n);
+        }
+    }
+    if ctx.latency.count > 0 {
+        snap.histograms.insert("oracle.latency_ns".to_owned(), ctx.latency.clone());
+    }
+    snap
 }

@@ -118,6 +118,7 @@ mod tests {
             full_time: std::time::Duration::ZERO,
             no_triage_time: std::time::Duration::ZERO,
             full_calls: 1,
+            metrics: seminal_obs::MetricsSnapshot::default(),
         }
     }
 

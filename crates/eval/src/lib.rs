@@ -18,6 +18,7 @@ pub mod category;
 pub mod figure5;
 pub mod figure7;
 pub mod judge;
+pub mod metrics;
 pub mod runner;
 
 pub use ablation::{ablations, location_only, render_ablations, render_location_only};
@@ -26,4 +27,5 @@ pub use category::{classify, headline, Category, CategoryCounts, Headline};
 pub use figure5::{figure5, render_figure5, Figure5};
 pub use figure7::{cdf, figure7, render_figure7, Figure7};
 pub use judge::{judge_baseline, judge_seminal, Judgment};
+pub use metrics::{bench_search_json, corpus_metrics};
 pub use runner::{evaluate_corpus, FileResult};

@@ -26,6 +26,9 @@ pub struct FileResult {
     pub no_triage_time: Duration,
     /// Oracle calls made by the full tool.
     pub full_calls: u64,
+    /// The full tool's per-search metrics snapshot (counters and latency
+    /// histograms, schema `seminal-obs/metrics-v1`).
+    pub metrics: seminal_obs::MetricsSnapshot,
 }
 
 /// Evaluates every file; files that unexpectedly parse/type-check are
@@ -55,6 +58,7 @@ pub fn evaluate_corpus(files: &[CorpusFile]) -> Vec<FileResult> {
                 full_time: full_report.stats.elapsed,
                 no_triage_time: nt_report.stats.elapsed,
                 full_calls: full_report.stats.oracle_calls,
+                metrics: full_report.metrics,
             })
         })
         .collect()

@@ -1,0 +1,676 @@
+//! Hierarchical structured tracing for the search.
+//!
+//! A search emits a stream of [`TraceRecord`]s: span open/close pairs
+//! (nesting regions of the search — descent into a node, a triage round,
+//! the blame pass) and point events inside them (each oracle probe, with
+//! outcome and latency). Records carry monotonic nanosecond timestamps
+//! relative to the start of the trace and flow into a pluggable
+//! [`TraceSink`]:
+//!
+//! * [`MemorySink`] — bounded in-memory ring buffer (what powers the
+//!   report's captured record stream and the CLI's `--trace`/`--profile`);
+//! * [`JsonlSink`] — one JSON document per record, for offline analysis;
+//! * [`NullSink`] — swallows everything (useful as an explicit default).
+//!
+//! [`check_invariants`] is the executable specification of the stream:
+//! unique span ids, balanced open/close, every event under a live parent,
+//! nondecreasing timestamps.
+
+use crate::json::Json;
+use std::collections::VecDeque;
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// A half-open byte range into the searched source file.
+///
+/// `seminal-obs` is dependency-free, so this mirrors (and converts
+/// trivially to and from) the AST's span type without depending on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct SrcSpan {
+    /// Byte offset of the first character.
+    pub start: u32,
+    /// Byte offset one past the last character.
+    pub end: u32,
+}
+
+impl SrcSpan {
+    /// The empty span used for whole-program or synthesized targets.
+    pub const EMPTY: SrcSpan = SrcSpan { start: 0, end: 0 };
+
+    /// Creates a span from raw byte offsets.
+    pub fn new(start: u32, end: u32) -> SrcSpan {
+        SrcSpan { start, end }
+    }
+
+    /// Whether the span covers zero bytes.
+    pub fn is_empty(self) -> bool {
+        self.start == self.end
+    }
+
+    /// Whether `self` entirely contains `other`.
+    pub fn contains(self, other: SrcSpan) -> bool {
+        self.start <= other.start && other.end <= self.end
+    }
+}
+
+/// What a span of the trace covers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpanKind {
+    /// The whole search (always the root span).
+    Search,
+    /// The constraint-blame analysis pass.
+    BlamePass,
+    /// Locating the first ill-typed top-level declaration (§2.1).
+    PrefixLocalization,
+    /// Recursive descent into the node at `span`.
+    Descend {
+        /// Source span of the node being descended into.
+        span: SrcSpan,
+    },
+    /// One triage round (§2.4) — sibling wildcarding or a match phase.
+    Triage {
+        /// 1-based round number within this search.
+        round: u32,
+    },
+}
+
+impl SpanKind {
+    /// Stable lowercase tag used in the JSON encoding and trace rendering.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            SpanKind::Search => "search",
+            SpanKind::BlamePass => "blame-pass",
+            SpanKind::PrefixLocalization => "prefix-localization",
+            SpanKind::Descend { .. } => "descend",
+            SpanKind::Triage { .. } => "triage",
+        }
+    }
+}
+
+/// What an oracle probe was trying, typed (the stringly `action` of the
+/// legacy `TraceEvent` API is derived from this via
+/// [`ProbeKind::legacy_action`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProbeKind {
+    /// The initial whole-program check that decides ill-typedness.
+    Baseline,
+    /// A §2.1 prefix probe.
+    Prefix,
+    /// Replacing a node with the wildcard `[[...]]`.
+    Removal,
+    /// An all-wildcards gate before an expensive constructive family.
+    Gate,
+    /// A §2.2 constructive change from the named family.
+    Constructive {
+        /// The human-readable family, e.g. "curried version of the function".
+        family: String,
+    },
+    /// A §2.3 adaptation-to-context probe.
+    Adaptation,
+    /// A triage context probe (focus + wildcarded siblings).
+    TriageContext,
+    /// A match-triage phase probe (§2.4, Figure 4).
+    TriageMatch {
+        /// Phase 1 (scrutinee) or 2 (patterns).
+        phase: u8,
+    },
+    /// A pattern-wildcarding probe during pattern triage.
+    TriagePattern,
+    /// A C++ statement-level change (deletion or hoisting, §4.2).
+    Statement,
+    /// A probe whose call site did not label it (legacy action "probe").
+    Other,
+}
+
+impl ProbeKind {
+    /// Every [`ProbeKind::metric_key`] value, in [`ProbeKind::metric_index`]
+    /// order — the fixed universe of per-family probe counters.
+    pub const METRIC_KEYS: [&'static str; 11] = [
+        "baseline",
+        "prefix",
+        "removal",
+        "gate",
+        "constructive",
+        "adaptation",
+        "triage_context",
+        "triage_match",
+        "triage_pattern",
+        "statement",
+        "other",
+    ];
+
+    /// Index of this kind's family into [`ProbeKind::METRIC_KEYS`] (for
+    /// allocation-free per-family counting on the search hot path).
+    pub fn metric_index(&self) -> usize {
+        match self {
+            ProbeKind::Baseline => 0,
+            ProbeKind::Prefix => 1,
+            ProbeKind::Removal => 2,
+            ProbeKind::Gate => 3,
+            ProbeKind::Constructive { .. } => 4,
+            ProbeKind::Adaptation => 5,
+            ProbeKind::TriageContext => 6,
+            ProbeKind::TriageMatch { .. } => 7,
+            ProbeKind::TriagePattern => 8,
+            ProbeKind::Statement => 9,
+            ProbeKind::Other => 10,
+        }
+    }
+    /// The action string of the legacy flat trace, preserved verbatim for
+    /// the deprecated `TraceEvent` compatibility shim.
+    pub fn legacy_action(&self) -> String {
+        match self {
+            ProbeKind::Baseline => "baseline".to_owned(),
+            ProbeKind::Prefix => "prefix".to_owned(),
+            ProbeKind::Removal => "removal".to_owned(),
+            ProbeKind::Gate => "gate".to_owned(),
+            ProbeKind::Constructive { family } => format!("constructive: {family}"),
+            ProbeKind::Adaptation => "adaptation".to_owned(),
+            ProbeKind::TriageContext => "triage-context".to_owned(),
+            ProbeKind::TriageMatch { phase: 1 } => "triage-match-phase1 (scrutinee)".to_owned(),
+            ProbeKind::TriageMatch { phase: 2 } => "triage-match-phase2 (patterns)".to_owned(),
+            ProbeKind::TriageMatch { phase } => format!("triage-match-phase{phase}"),
+            ProbeKind::TriagePattern => "triage-pattern".to_owned(),
+            ProbeKind::Statement => "statement".to_owned(),
+            ProbeKind::Other => "probe".to_owned(),
+        }
+    }
+
+    /// Short stable key for per-family metrics counters
+    /// (`probes.<metric_key>`).
+    pub fn metric_key(&self) -> &'static str {
+        match self {
+            ProbeKind::Baseline => "baseline",
+            ProbeKind::Prefix => "prefix",
+            ProbeKind::Removal => "removal",
+            ProbeKind::Gate => "gate",
+            ProbeKind::Constructive { .. } => "constructive",
+            ProbeKind::Adaptation => "adaptation",
+            ProbeKind::TriageContext => "triage_context",
+            ProbeKind::TriageMatch { .. } => "triage_match",
+            ProbeKind::TriagePattern => "triage_pattern",
+            ProbeKind::Statement => "statement",
+            ProbeKind::Other => "other",
+        }
+    }
+}
+
+/// A point event inside a span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// One oracle invocation (or memo-cache hit, when `cached`).
+    OracleProbe {
+        /// What the probe was trying.
+        probe: ProbeKind,
+        /// Concrete syntax of the changed node (empty for whole-program
+        /// probes).
+        target: String,
+        /// Source span of the changed node ([`SrcSpan::EMPTY`] for
+        /// whole-program or synthesized targets).
+        span: SrcSpan,
+        /// Whether the variant type-checked.
+        outcome: bool,
+        /// Whether the verdict came from the memo cache instead of a real
+        /// oracle run.
+        cached: bool,
+        /// Wall-clock cost of the oracle call (0 when `cached`).
+        latency_ns: u64,
+    },
+    /// The first bad declaration was read off the blame analysis instead
+    /// of probed prefix-by-prefix.
+    PrefixLocalized {
+        /// 1-based index of the first ill-typed declaration.
+        first_bad: u32,
+        /// Human-readable detail (mirrors the legacy trace's target).
+        detail: String,
+    },
+}
+
+/// One record of the structured trace stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceRecord {
+    /// A span opened. `parent` is `None` only for the root span.
+    Open { id: u64, parent: Option<u64>, kind: SpanKind, at_ns: u64 },
+    /// A point event inside the (still open) span `parent`.
+    Event { parent: u64, kind: EventKind, at_ns: u64 },
+    /// The span `id` closed.
+    Close { id: u64, at_ns: u64 },
+}
+
+impl TraceRecord {
+    /// The record's timestamp (nanoseconds since the trace epoch).
+    pub fn at_ns(&self) -> u64 {
+        match self {
+            TraceRecord::Open { at_ns, .. }
+            | TraceRecord::Event { at_ns, .. }
+            | TraceRecord::Close { at_ns, .. } => *at_ns,
+        }
+    }
+
+    /// JSON encoding (one object; the JSONL sink emits one per line).
+    pub fn to_json(&self) -> Json {
+        match self {
+            TraceRecord::Open { id, parent, kind, at_ns } => {
+                let mut members = vec![
+                    ("t".to_owned(), Json::Str("open".to_owned())),
+                    ("id".to_owned(), Json::Num(*id)),
+                    ("parent".to_owned(), parent.map_or(Json::Null, Json::Num)),
+                    ("kind".to_owned(), Json::Str(kind.tag().to_owned())),
+                ];
+                match kind {
+                    SpanKind::Descend { span } => {
+                        members.push(("span".to_owned(), span_json(*span)));
+                    }
+                    SpanKind::Triage { round } => {
+                        members.push(("round".to_owned(), Json::Num(u64::from(*round))));
+                    }
+                    _ => {}
+                }
+                members.push(("at_ns".to_owned(), Json::Num(*at_ns)));
+                Json::Obj(members)
+            }
+            TraceRecord::Event { parent, kind, at_ns } => {
+                let mut members = vec![
+                    ("t".to_owned(), Json::Str("event".to_owned())),
+                    ("parent".to_owned(), Json::Num(*parent)),
+                ];
+                match kind {
+                    EventKind::OracleProbe { probe, target, span, outcome, cached, latency_ns } => {
+                        members.push(("kind".to_owned(), Json::Str("oracle-probe".to_owned())));
+                        members
+                            .push(("probe".to_owned(), Json::Str(probe.metric_key().to_owned())));
+                        if let ProbeKind::Constructive { family } = probe {
+                            members.push(("family".to_owned(), Json::Str(family.clone())));
+                        }
+                        members.push(("target".to_owned(), Json::Str(target.clone())));
+                        members.push(("span".to_owned(), span_json(*span)));
+                        members.push(("outcome".to_owned(), Json::Bool(*outcome)));
+                        members.push(("cached".to_owned(), Json::Bool(*cached)));
+                        members.push(("latency_ns".to_owned(), Json::Num(*latency_ns)));
+                    }
+                    EventKind::PrefixLocalized { first_bad, detail } => {
+                        members.push(("kind".to_owned(), Json::Str("prefix-localized".to_owned())));
+                        members.push(("first_bad".to_owned(), Json::Num(u64::from(*first_bad))));
+                        members.push(("detail".to_owned(), Json::Str(detail.clone())));
+                    }
+                }
+                members.push(("at_ns".to_owned(), Json::Num(*at_ns)));
+                Json::Obj(members)
+            }
+            TraceRecord::Close { id, at_ns } => Json::Obj(vec![
+                ("t".to_owned(), Json::Str("close".to_owned())),
+                ("id".to_owned(), Json::Num(*id)),
+                ("at_ns".to_owned(), Json::Num(*at_ns)),
+            ]),
+        }
+    }
+}
+
+fn span_json(span: SrcSpan) -> Json {
+    Json::Arr(vec![Json::Num(u64::from(span.start)), Json::Num(u64::from(span.end))])
+}
+
+/// Where trace records go. Implementations must tolerate being called
+/// from a single search thread; `Send + Sync` lets one sink be shared
+/// across searches (e.g. an eval run streaming every search to one file).
+pub trait TraceSink: Send + Sync {
+    /// Consumes one record.
+    fn record(&self, rec: &TraceRecord);
+}
+
+/// Swallows every record.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record(&self, _rec: &TraceRecord) {}
+}
+
+/// Bounded in-memory ring buffer: keeps the most recent `capacity`
+/// records, dropping the oldest (and counting the drops) on overflow.
+#[derive(Debug)]
+pub struct MemorySink {
+    capacity: usize,
+    state: Mutex<MemoryState>,
+}
+
+#[derive(Debug, Default)]
+struct MemoryState {
+    buf: VecDeque<TraceRecord>,
+    dropped: u64,
+}
+
+impl MemorySink {
+    /// A ring buffer holding at most `capacity` records.
+    pub fn new(capacity: usize) -> MemorySink {
+        MemorySink { capacity: capacity.max(1), state: Mutex::new(MemoryState::default()) }
+    }
+
+    /// Takes the buffered records, leaving the sink empty.
+    pub fn drain(&self) -> Vec<TraceRecord> {
+        let mut state = self.state.lock().expect("memory sink poisoned");
+        state.buf.drain(..).collect()
+    }
+
+    /// The buffered records (cloned, oldest first).
+    pub fn records(&self) -> Vec<TraceRecord> {
+        let state = self.state.lock().expect("memory sink poisoned");
+        state.buf.iter().cloned().collect()
+    }
+
+    /// How many records were dropped to stay within capacity.
+    pub fn dropped(&self) -> u64 {
+        self.state.lock().expect("memory sink poisoned").dropped
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn record(&self, rec: &TraceRecord) {
+        let mut state = self.state.lock().expect("memory sink poisoned");
+        if state.buf.len() == self.capacity {
+            state.buf.pop_front();
+            state.dropped += 1;
+        }
+        state.buf.push_back(rec.clone());
+    }
+}
+
+/// Writes each record as one compact JSON document per line.
+#[derive(Debug)]
+pub struct JsonlSink<W: Write + Send> {
+    writer: Mutex<W>,
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Wraps a writer; records are flushed line-by-line on drop of the
+    /// writer, not per record (callers needing durability should wrap a
+    /// buffered writer and flush).
+    pub fn new(writer: W) -> JsonlSink<W> {
+        JsonlSink { writer: Mutex::new(writer) }
+    }
+
+    /// Unwraps the inner writer.
+    pub fn into_inner(self) -> W {
+        self.writer.into_inner().expect("jsonl sink poisoned")
+    }
+}
+
+impl<W: Write + Send> TraceSink for JsonlSink<W> {
+    fn record(&self, rec: &TraceRecord) {
+        let mut w = self.writer.lock().expect("jsonl sink poisoned");
+        // A full disk during tracing must not abort the search; the
+        // trace is advisory output.
+        let _ = writeln!(w, "{}", rec.to_json().to_string_compact());
+    }
+}
+
+/// Emits the structured stream: manages span ids, the open-span stack,
+/// and monotonic timestamps, and fans records out to the attached sinks.
+///
+/// A disabled tracer ([`Tracer::disabled`]) does no clock reads, no
+/// allocation, and no sink calls — the zero-overhead configuration the
+/// searcher uses by default.
+#[derive(Debug)]
+pub struct Tracer {
+    inner: Option<TracerInner>,
+}
+
+struct TracerInner {
+    sinks: Vec<Arc<dyn TraceSink>>,
+    stack: Vec<u64>,
+    next_id: u64,
+    epoch: Instant,
+    last_ns: u64,
+}
+
+impl std::fmt::Debug for TracerInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TracerInner")
+            .field("sinks", &self.sinks.len())
+            .field("stack", &self.stack)
+            .field("next_id", &self.next_id)
+            .finish()
+    }
+}
+
+impl Tracer {
+    /// A tracer that records nothing.
+    pub fn disabled() -> Tracer {
+        Tracer { inner: None }
+    }
+
+    /// A tracer fanning out to `sinks` (disabled when the list is empty).
+    pub fn new(sinks: Vec<Arc<dyn TraceSink>>) -> Tracer {
+        if sinks.is_empty() {
+            return Tracer::disabled();
+        }
+        Tracer {
+            inner: Some(TracerInner {
+                sinks,
+                stack: Vec::new(),
+                next_id: 1,
+                epoch: Instant::now(),
+                last_ns: 0,
+            }),
+        }
+    }
+
+    /// Whether records are being emitted.
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Opens a span under the currently open one; returns its id
+    /// (0 when disabled — a valid argument to [`Tracer::close`], which
+    /// ignores it).
+    pub fn open(&mut self, kind: SpanKind) -> u64 {
+        let Some(inner) = &mut self.inner else { return 0 };
+        let id = inner.next_id;
+        inner.next_id += 1;
+        let parent = inner.stack.last().copied();
+        let at_ns = inner.now_ns();
+        inner.stack.push(id);
+        inner.emit(&TraceRecord::Open { id, parent, kind, at_ns });
+        id
+    }
+
+    /// Closes the span `id`, which must be the innermost open one (spans
+    /// close in LIFO order by construction of the searcher).
+    pub fn close(&mut self, id: u64) {
+        let Some(inner) = &mut self.inner else { return };
+        debug_assert_eq!(inner.stack.last(), Some(&id), "spans must close LIFO");
+        inner.stack.pop();
+        let at_ns = inner.now_ns();
+        inner.emit(&TraceRecord::Close { id, at_ns });
+    }
+
+    /// Emits a point event inside the innermost open span.
+    ///
+    /// Every event needs a live parent; callers must have opened a root
+    /// span first (debug-asserted).
+    pub fn event(&mut self, kind: EventKind) {
+        let Some(inner) = &mut self.inner else { return };
+        debug_assert!(!inner.stack.is_empty(), "events need a live parent span");
+        let parent = inner.stack.last().copied().unwrap_or(0);
+        let at_ns = inner.now_ns();
+        inner.emit(&TraceRecord::Event { parent, kind, at_ns });
+    }
+}
+
+impl TracerInner {
+    fn now_ns(&mut self) -> u64 {
+        // Clamp to nondecreasing so the stream invariant holds even if
+        // the platform clock misbehaves.
+        let ns = u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.last_ns = self.last_ns.max(ns);
+        self.last_ns
+    }
+
+    fn emit(&self, rec: &TraceRecord) {
+        for sink in &self.sinks {
+            sink.record(rec);
+        }
+    }
+}
+
+/// Checks the stream invariants on a complete captured trace:
+///
+/// 1. span ids are unique and opens precede their closes;
+/// 2. open/close records balance exactly (no span left open);
+/// 3. every event's parent span is open — and not yet closed — at the
+///    event's position in the stream;
+/// 4. a child span's parent is live at open time;
+/// 5. timestamps never decrease.
+///
+/// # Errors
+///
+/// A description of the first violated invariant.
+pub fn check_invariants(records: &[TraceRecord]) -> Result<(), String> {
+    let mut live: Vec<u64> = Vec::new();
+    let mut seen: std::collections::HashSet<u64> = std::collections::HashSet::new();
+    let mut last_ns = 0u64;
+    for (i, rec) in records.iter().enumerate() {
+        if rec.at_ns() < last_ns {
+            return Err(format!("record {i}: timestamp went backwards"));
+        }
+        last_ns = rec.at_ns();
+        match rec {
+            TraceRecord::Open { id, parent, .. } => {
+                if !seen.insert(*id) {
+                    return Err(format!("record {i}: span id {id} reused"));
+                }
+                match parent {
+                    None => {
+                        if !live.is_empty() {
+                            return Err(format!(
+                                "record {i}: span {id} has no parent but spans are open"
+                            ));
+                        }
+                    }
+                    Some(p) => {
+                        if live.last() != Some(p) {
+                            return Err(format!(
+                                "record {i}: span {id} parent {p} is not the innermost open span"
+                            ));
+                        }
+                    }
+                }
+                live.push(*id);
+            }
+            TraceRecord::Event { parent, .. } => {
+                if !live.contains(parent) {
+                    return Err(format!("record {i}: event parent span {parent} is not live"));
+                }
+            }
+            TraceRecord::Close { id, .. } => {
+                if live.pop() != Some(*id) {
+                    return Err(format!("record {i}: close of {id} does not match innermost open"));
+                }
+            }
+        }
+    }
+    if !live.is_empty() {
+        return Err(format!("spans left open at end of stream: {live:?}"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn probe(outcome: bool) -> EventKind {
+        EventKind::OracleProbe {
+            probe: ProbeKind::Removal,
+            target: "x + y".to_owned(),
+            span: SrcSpan::new(4, 9),
+            outcome,
+            cached: false,
+            latency_ns: 10,
+        }
+    }
+
+    #[test]
+    fn tracer_produces_an_invariant_respecting_stream() {
+        let sink = Arc::new(MemorySink::new(1024));
+        let mut tr = Tracer::new(vec![sink.clone()]);
+        let root = tr.open(SpanKind::Search);
+        let d = tr.open(SpanKind::Descend { span: SrcSpan::new(0, 10) });
+        tr.event(probe(true));
+        tr.event(probe(false));
+        tr.close(d);
+        let t = tr.open(SpanKind::Triage { round: 1 });
+        tr.event(probe(true));
+        tr.close(t);
+        tr.close(root);
+        let records = sink.drain();
+        assert_eq!(records.len(), 9);
+        check_invariants(&records).unwrap();
+    }
+
+    #[test]
+    fn disabled_tracer_is_inert() {
+        let mut tr = Tracer::disabled();
+        assert!(!tr.enabled());
+        let id = tr.open(SpanKind::Search);
+        tr.event(probe(true));
+        tr.close(id);
+        // Nothing to observe — the point is that none of this panicked
+        // and no sink existed to receive anything.
+    }
+
+    #[test]
+    fn ring_buffer_drops_oldest() {
+        let sink = MemorySink::new(2);
+        for i in 0..5u64 {
+            sink.record(&TraceRecord::Close { id: i, at_ns: i });
+        }
+        assert_eq!(sink.dropped(), 3);
+        let kept = sink.records();
+        assert_eq!(kept.len(), 2);
+        assert_eq!(kept[0], TraceRecord::Close { id: 3, at_ns: 3 });
+        assert_eq!(kept[1], TraceRecord::Close { id: 4, at_ns: 4 });
+    }
+
+    #[test]
+    fn jsonl_sink_writes_parseable_lines() {
+        let sink = JsonlSink::new(Vec::new());
+        sink.record(&TraceRecord::Open { id: 1, parent: None, kind: SpanKind::Search, at_ns: 0 });
+        sink.record(&TraceRecord::Event { parent: 1, kind: probe(true), at_ns: 5 });
+        sink.record(&TraceRecord::Close { id: 1, at_ns: 9 });
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for line in lines {
+            crate::json::parse(line).unwrap();
+        }
+        assert!(text.contains("\"oracle-probe\""));
+    }
+
+    #[test]
+    fn invariant_checker_rejects_bad_streams() {
+        // Event outside any span.
+        let bad = vec![TraceRecord::Event { parent: 1, kind: probe(true), at_ns: 0 }];
+        assert!(check_invariants(&bad).is_err());
+        // Unbalanced open.
+        let bad = vec![TraceRecord::Open { id: 1, parent: None, kind: SpanKind::Search, at_ns: 0 }];
+        assert!(check_invariants(&bad).is_err());
+        // Close of a span that is not innermost.
+        let bad = vec![
+            TraceRecord::Open { id: 1, parent: None, kind: SpanKind::Search, at_ns: 0 },
+            TraceRecord::Open { id: 2, parent: Some(1), kind: SpanKind::BlamePass, at_ns: 1 },
+            TraceRecord::Close { id: 1, at_ns: 2 },
+        ];
+        assert!(check_invariants(&bad).is_err());
+        // Event under an already-closed parent.
+        let bad = vec![
+            TraceRecord::Open { id: 1, parent: None, kind: SpanKind::Search, at_ns: 0 },
+            TraceRecord::Open { id: 2, parent: Some(1), kind: SpanKind::BlamePass, at_ns: 1 },
+            TraceRecord::Close { id: 2, at_ns: 2 },
+            TraceRecord::Event { parent: 2, kind: probe(true), at_ns: 3 },
+            TraceRecord::Close { id: 1, at_ns: 4 },
+        ];
+        assert!(check_invariants(&bad).is_err());
+    }
+}

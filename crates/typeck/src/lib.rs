@@ -39,6 +39,6 @@ pub mod unify;
 
 pub use error::{TypeError, TypeErrorKind};
 pub use infer::{check_program, check_program_types, trace_program};
-pub use oracle::{CountingOracle, Oracle, TypeCheckOracle};
+pub use oracle::{CountingOracle, InstrumentedOracle, Oracle, TypeCheckOracle};
 pub use record::{Constraint, ConstraintTrace};
 pub use types::{pretty, Scheme, TvId, Ty};

@@ -81,6 +81,50 @@ impl<O: Oracle + ?Sized> Oracle for &O {
     }
 }
 
+/// Wraps an oracle and publishes calls, errors, and per-call latency to
+/// a shared [`MetricsRegistry`](seminal_obs::MetricsRegistry): counter
+/// `oracle.calls`, counter `oracle.errors` (ill-typed verdicts), and
+/// histogram `oracle.check_latency_ns`. Unlike the search's own
+/// per-report metrics, the registry is shared and thread-safe, so one
+/// registry can aggregate across many searches (the eval harness) or
+/// across oracles.
+#[derive(Debug)]
+pub struct InstrumentedOracle<O> {
+    inner: O,
+    registry: std::sync::Arc<seminal_obs::MetricsRegistry>,
+}
+
+impl<O: Oracle> InstrumentedOracle<O> {
+    /// Wraps `inner`, publishing into `registry`.
+    pub fn new(inner: O, registry: std::sync::Arc<seminal_obs::MetricsRegistry>) -> Self {
+        InstrumentedOracle { inner, registry }
+    }
+
+    /// The registry this oracle publishes into.
+    pub fn registry(&self) -> &std::sync::Arc<seminal_obs::MetricsRegistry> {
+        &self.registry
+    }
+
+    /// Unwraps the inner oracle.
+    pub fn into_inner(self) -> O {
+        self.inner
+    }
+}
+
+impl<O: Oracle> Oracle for InstrumentedOracle<O> {
+    fn check(&self, prog: &Program) -> Result<(), TypeError> {
+        let clock = std::time::Instant::now();
+        let verdict = self.inner.check(prog);
+        let ns = u64::try_from(clock.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.registry.inc("oracle.calls");
+        if verdict.is_err() {
+            self.registry.inc("oracle.errors");
+        }
+        self.registry.observe("oracle.check_latency_ns", ns);
+        verdict
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -96,6 +140,20 @@ mod tests {
     fn oracle_rejects_ill_typed() {
         let prog = parse_program("let x = 1 + true").unwrap();
         assert!(TypeCheckOracle::new().check(&prog).is_err());
+    }
+
+    #[test]
+    fn instrumented_oracle_publishes_metrics() {
+        let registry = std::sync::Arc::new(seminal_obs::MetricsRegistry::new());
+        let oracle = InstrumentedOracle::new(TypeCheckOracle::new(), registry.clone());
+        let good = parse_program("let x = 1").unwrap();
+        let bad = parse_program("let x = 1 + true").unwrap();
+        assert!(oracle.check(&good).is_ok());
+        assert!(oracle.check(&bad).is_err());
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("oracle.calls"), 2);
+        assert_eq!(snap.counter("oracle.errors"), 1);
+        assert_eq!(snap.histograms["oracle.check_latency_ns"].count, 2);
     }
 
     #[test]

@@ -1,10 +1,11 @@
 //! The `seminal` command-line tool.
 //!
 //! ```text
-//! seminal check <file.ml>    search an ill-typed Caml-subset file
-//! seminal analyze <file.ml>  blamed-span localization report (no search)
-//! seminal cpp <file.cpp>     run the C++ template-function prototype
-//! seminal demo               run the paper's worked examples
+//! seminal check <file.ml>          search an ill-typed Caml-subset file
+//! seminal analyze <file.ml>        blamed-span localization report (no search)
+//! seminal metrics-check <file.json> validate a metrics snapshot against the schema
+//! seminal cpp <file.cpp>           run the C++ template-function prototype
+//! seminal demo                     run the paper's worked examples
 //! ```
 //!
 //! `check` prints the conventional type-checker message followed by the
@@ -12,11 +13,34 @@
 //! evaluation compares. `analyze` runs only the static constraint-blame
 //! pass: a top-k list of blamed spans from unsat-core localization,
 //! usable as a fast lint without any oracle search.
+//!
+//! Observability flags on `check`: `--trace` (structured span/probe tree),
+//! `--trace-json PATH` (stream JSONL trace records), `--metrics-json PATH`
+//! (write the `seminal-obs/metrics-v1` snapshot), `--profile` (per-span
+//! oracle-cost flame report). `metrics-check` validates a snapshot file
+//! against the schema with unknown fields rejected.
+//!
+//! Exit codes (see `--help`): 0 success/no errors, 1 type errors found or
+//! invalid metrics, 2 usage error, 3 parse error, 4 file I/O error.
 
 use seminal::core::{message, Outcome, SearchConfig, Searcher};
 use seminal::ml::parser::parse_program;
 use seminal::typeck::TypeCheckOracle;
+use seminal_obs::{
+    profile, render_profile, EventKind, JsonlSink, MetricsSnapshot, SpanKind, TraceRecord,
+};
 use std::process::ExitCode;
+use std::sync::Arc;
+
+/// The program found type errors (`check`, `analyze`, `cpp`) or the
+/// metrics file failed validation (`metrics-check`).
+const EXIT_TYPE_ERRORS: u8 = 1;
+/// Bad command line.
+const EXIT_USAGE: u8 = 2;
+/// The input file does not parse.
+const EXIT_PARSE: u8 = 3;
+/// A file could not be read or written.
+const EXIT_IO: u8 = 4;
 
 /// Options parsed from the command line.
 struct Opts {
@@ -24,14 +48,27 @@ struct Opts {
     top: usize,
     /// Disable triage (§2.4) — the evaluation's ablation, exposed for use.
     no_triage: bool,
-    /// Print the probe-by-probe search trace.
+    /// Print the structured search trace (spans nested, one line per probe).
     trace: bool,
+    /// Print the per-span oracle-cost flame report.
+    profile: bool,
+    /// Write the metrics snapshot (JSON, schema `seminal-obs/metrics-v1`).
+    metrics_json: Option<String>,
+    /// Stream trace records as JSON lines.
+    trace_json: Option<String>,
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut positional: Vec<&str> = Vec::new();
-    let mut opts = Opts { top: 3, no_triage: false, trace: false };
+    let mut opts = Opts {
+        top: 3,
+        no_triage: false,
+        trace: false,
+        profile: false,
+        metrics_json: None,
+        trace_json: None,
+    };
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -47,7 +84,29 @@ fn main() -> ExitCode {
                 opts.trace = true;
                 i += 1;
             }
+            "--profile" => {
+                opts.profile = true;
+                i += 1;
+            }
+            "--metrics-json" => match args.get(i + 1) {
+                Some(path) => {
+                    opts.metrics_json = Some(path.clone());
+                    i += 2;
+                }
+                None => return usage(),
+            },
+            "--trace-json" => match args.get(i + 1) {
+                Some(path) => {
+                    opts.trace_json = Some(path.clone());
+                    i += 2;
+                }
+                None => return usage(),
+            },
             other => {
+                if other.starts_with("--") {
+                    eprintln!("unknown flag `{other}`");
+                    return usage();
+                }
                 positional.push(other);
                 i += 1;
             }
@@ -62,6 +121,10 @@ fn main() -> ExitCode {
             Some(path) => analyze_file(path, &opts),
             None => usage(),
         },
+        Some("metrics-check") => match positional.get(1) {
+            Some(path) => metrics_check(path),
+            None => usage(),
+        },
         Some("cpp") => match positional.get(1) {
             Some(path) => check_cpp(path),
             None => usage(),
@@ -73,12 +136,21 @@ fn main() -> ExitCode {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  seminal check [--top N] [--no-triage] [--trace] <file.ml>\n  \
+        "usage:\n  \
+         seminal check [--top N] [--no-triage] [--trace] [--profile]\n               \
+         [--metrics-json PATH] [--trace-json PATH] <file.ml>\n  \
          seminal analyze [--top N] <file.ml>    blamed-span localization report\n  \
+         seminal metrics-check <file.json>      validate a metrics snapshot\n  \
          seminal cpp <file.cpp>    C++ template-function prototype\n  \
-         seminal demo              run the paper's worked examples"
+         seminal demo              run the paper's worked examples\n\n\
+         exit codes:\n  \
+         0  no type errors (check/analyze/cpp); metrics file valid (metrics-check)\n  \
+         1  type errors found; metrics file invalid\n  \
+         2  usage error\n  \
+         3  the input file does not parse\n  \
+         4  a file could not be read or written"
     );
-    ExitCode::from(2)
+    ExitCode::from(EXIT_USAGE)
 }
 
 fn check_file(path: &str, opts: &Opts) -> ExitCode {
@@ -86,20 +158,38 @@ fn check_file(path: &str, opts: &Opts) -> ExitCode {
         Ok(s) => s,
         Err(e) => {
             eprintln!("cannot read {path}: {e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_IO);
         }
     };
     let prog = match parse_program(&source) {
         Ok(p) => p,
         Err(e) => {
             eprintln!("{e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_PARSE);
         }
     };
     let mut config =
         if opts.no_triage { SearchConfig::without_triage() } else { SearchConfig::default() };
-    config.collect_trace = opts.trace;
-    let report = Searcher::with_config(TypeCheckOracle::new(), config).search(&prog);
+    config.collect_trace = opts.trace || opts.profile || opts.metrics_json.is_some();
+    let mut searcher = Searcher::with_config(TypeCheckOracle::new(), config);
+    if let Some(out) = &opts.trace_json {
+        match std::fs::File::create(out) {
+            Ok(f) => {
+                searcher.add_sink(Arc::new(JsonlSink::new(std::io::BufWriter::new(f))));
+            }
+            Err(e) => {
+                eprintln!("cannot write {out}: {e}");
+                return ExitCode::from(EXIT_IO);
+            }
+        }
+    }
+    let report = searcher.search(&prog);
+    if let Some(out) = &opts.metrics_json {
+        if let Err(e) = std::fs::write(out, report.metrics.to_json_string()) {
+            eprintln!("cannot write {out}: {e}");
+            return ExitCode::from(EXIT_IO);
+        }
+    }
     match &report.outcome {
         Outcome::WellTyped => {
             println!("{path}: no type errors");
@@ -117,19 +207,75 @@ fn check_file(path: &str, opts: &Opts) -> ExitCode {
                 if report.stats.triage_used { ", triage used" } else { "" }
             );
             if opts.trace {
-                println!("\nsearch trace ({} probes):", report.trace.len());
-                for t in &report.trace {
-                    println!(
-                        "  [{}] {}  `{}`",
-                        if t.success { "ok " } else { "err" },
-                        t.action,
-                        t.target
-                    );
-                }
+                print!("{}", render_trace_tree(&report.records, &source));
             }
-            ExitCode::FAILURE
+            if opts.profile {
+                println!();
+                print!("{}", render_profile(&profile(&report.records), Some(&source)));
+            }
+            ExitCode::from(EXIT_TYPE_ERRORS)
         }
     }
+}
+
+/// Renders the structured record stream as an indented span tree with one
+/// line per oracle probe.
+fn render_trace_tree(records: &[TraceRecord], source: &str) -> String {
+    use std::fmt::Write as _;
+    let probes = records
+        .iter()
+        .filter(|r| matches!(r, TraceRecord::Event { kind: EventKind::OracleProbe { .. }, .. }))
+        .count();
+    let mut out = format!("\nsearch trace ({probes} probes):\n");
+    let mut depth = 0usize;
+    let line_of =
+        |at: u32| 1 + source.as_bytes().iter().take(at as usize).filter(|&&b| b == b'\n').count();
+    for rec in records {
+        match rec {
+            TraceRecord::Open { kind, .. } => {
+                let label = match kind {
+                    SpanKind::Search => "search".to_owned(),
+                    SpanKind::BlamePass => "blame pass".to_owned(),
+                    SpanKind::PrefixLocalization => "prefix localization".to_owned(),
+                    SpanKind::Descend { span } => {
+                        format!("descend (line {})", line_of(span.start))
+                    }
+                    SpanKind::Triage { round } => format!("triage round {round}"),
+                };
+                let _ = writeln!(out, "  {:indent$}{label}", "", indent = depth * 2);
+                depth += 1;
+            }
+            TraceRecord::Close { .. } => depth = depth.saturating_sub(1),
+            TraceRecord::Event { kind, .. } => match kind {
+                EventKind::OracleProbe { probe, target, outcome, cached, latency_ns, .. } => {
+                    let _ = writeln!(
+                        out,
+                        "  {:indent$}[{}] {}  `{}`{}{}",
+                        "",
+                        if *outcome { "ok " } else { "err" },
+                        probe.legacy_action(),
+                        target,
+                        if *cached { "  (cached)" } else { "" },
+                        if *latency_ns > 0 && !cached {
+                            format!("  {}µs", latency_ns / 1_000)
+                        } else {
+                            String::new()
+                        },
+                        indent = depth * 2,
+                    );
+                }
+                EventKind::PrefixLocalized { detail, .. } => {
+                    let _ = writeln!(
+                        out,
+                        "  {:indent$}[loc] prefix  `{detail}`",
+                        "",
+                        indent = depth * 2,
+                    );
+                }
+            },
+        }
+    }
+    out
 }
 
 fn analyze_file(path: &str, opts: &Opts) -> ExitCode {
@@ -137,14 +283,14 @@ fn analyze_file(path: &str, opts: &Opts) -> ExitCode {
         Ok(s) => s,
         Err(e) => {
             eprintln!("cannot read {path}: {e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_IO);
         }
     };
     let prog = match parse_program(&source) {
         Ok(p) => p,
         Err(e) => {
             eprintln!("{e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_PARSE);
         }
     };
     match seminal::analysis::analyze(&prog) {
@@ -154,7 +300,36 @@ fn analyze_file(path: &str, opts: &Opts) -> ExitCode {
         }
         Some(analysis) => {
             print!("{}", seminal::analysis::render_report(&analysis, &source, opts.top));
-            ExitCode::FAILURE
+            ExitCode::from(EXIT_TYPE_ERRORS)
+        }
+    }
+}
+
+/// Validates a metrics snapshot file against the documented schema
+/// (`seminal-obs/metrics-v1`, unknown fields rejected) by round-tripping
+/// it through the strict reader.
+fn metrics_check(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::from(EXIT_IO);
+        }
+    };
+    match MetricsSnapshot::from_json_str(&text) {
+        Ok(snap) => {
+            println!(
+                "{path}: valid {} snapshot ({} counters, {} histograms, {} oracle calls)",
+                seminal_obs::SCHEMA,
+                snap.counters.len(),
+                snap.histograms.len(),
+                snap.counter("oracle_calls"),
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{path}: invalid metrics snapshot: {e}");
+            ExitCode::from(EXIT_TYPE_ERRORS)
         }
     }
 }
@@ -164,14 +339,14 @@ fn check_cpp(path: &str) -> ExitCode {
         Ok(s) => s,
         Err(e) => {
             eprintln!("cannot read {path}: {e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_IO);
         }
     };
     let prog = match seminal::cpp::parse_cpp(&source) {
         Ok(p) => p,
         Err(e) => {
             eprintln!("{e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_PARSE);
         }
     };
     let report = seminal::cpp::search_cpp(&prog);
@@ -187,7 +362,7 @@ fn check_cpp(path: &str) -> ExitCode {
     for s in report.suggestions.iter().take(3) {
         println!("  {}", s.render());
     }
-    ExitCode::FAILURE
+    ExitCode::from(EXIT_TYPE_ERRORS)
 }
 
 fn demo() -> ExitCode {

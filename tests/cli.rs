@@ -74,16 +74,35 @@ fn check_rejects_unparseable_file() {
     let path = dir.join("broken.ml");
     std::fs::write(&path, "let = = =\n").unwrap();
     let out = seminal().arg("check").arg(&path).output().expect("run check");
-    assert_eq!(out.status.code(), Some(1));
+    assert_eq!(out.status.code(), Some(3), "parse errors exit 3");
     assert!(String::from_utf8_lossy(&out.stderr).contains("parse error"));
+    let analyze = seminal().arg("analyze").arg(&path).output().expect("run analyze");
+    assert_eq!(analyze.status.code(), Some(3), "analyze parse errors exit 3 too");
     std::fs::remove_file(&path).ok();
 }
 
 #[test]
 fn check_missing_file_fails_cleanly() {
     let out = seminal().arg("check").arg("/definitely/not/a/file.ml").output().expect("run check");
-    assert_eq!(out.status.code(), Some(1));
+    assert_eq!(out.status.code(), Some(4), "I/O failures exit 4");
     assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}
+
+#[test]
+fn usage_lists_the_exit_code_table() {
+    let out = seminal().output().expect("run seminal");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("exit codes:"), "{stderr}");
+    for needle in ["type errors found", "usage error", "does not parse", "could not be read"] {
+        assert!(stderr.contains(needle), "missing `{needle}` in:\n{stderr}");
+    }
+}
+
+#[test]
+fn unknown_flags_are_usage_errors() {
+    let out = seminal().args(["check", "--bogus", "x.ml"]).output().expect("run check");
+    assert_eq!(out.status.code(), Some(2), "unknown flag exits 2, not treated as a file");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag `--bogus`"));
 }
 
 #[test]
@@ -127,6 +146,80 @@ fn trace_flag_prints_probes() {
     assert!(stdout.contains("[ok ]"));
     assert!(stdout.contains("removal"));
     std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn metrics_json_agrees_with_printed_oracle_calls() {
+    let root = env!("CARGO_MANIFEST_DIR");
+    let dir = std::env::temp_dir().join("seminal-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let metrics_path = dir.join("figure2-metrics.json");
+    let out = seminal()
+        .args(["check", "--metrics-json"])
+        .arg(&metrics_path)
+        .arg(format!("{root}/samples/figure2.ml"))
+        .output()
+        .expect("run check");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let printed: u64 = stdout
+        .lines()
+        .find_map(|l| l.strip_prefix('(')?.split_once(" oracle calls")?.0.parse().ok())
+        .expect("check prints the oracle-call count");
+    let json = std::fs::read_to_string(&metrics_path).expect("metrics file written");
+    let snap =
+        seminal_obs::MetricsSnapshot::from_json_str(&json).expect("metrics file is schema-valid");
+    assert_eq!(snap.counter("oracle_calls"), printed, "metrics vs printed count");
+
+    // And `metrics-check` accepts the file the tool itself wrote…
+    let check = seminal().arg("metrics-check").arg(&metrics_path).output().unwrap();
+    assert_eq!(check.status.code(), Some(0), "{}", String::from_utf8_lossy(&check.stderr));
+    // …but rejects one with an unknown field (deny-unknown-fields).
+    let tampered = json.replacen("\"counters\"", "\"surprise\": 1, \"counters\"", 1);
+    let bad_path = dir.join("tampered-metrics.json");
+    std::fs::write(&bad_path, tampered).unwrap();
+    let check = seminal().arg("metrics-check").arg(&bad_path).output().unwrap();
+    assert_eq!(check.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&check.stderr).contains("invalid"));
+    std::fs::remove_file(&metrics_path).ok();
+    std::fs::remove_file(&bad_path).ok();
+}
+
+#[test]
+fn trace_json_streams_parseable_records() {
+    let root = env!("CARGO_MANIFEST_DIR");
+    let dir = std::env::temp_dir().join("seminal-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace_path = dir.join("figure2-trace.jsonl");
+    seminal()
+        .args(["check", "--trace-json"])
+        .arg(&trace_path)
+        .arg(format!("{root}/samples/figure2.ml"))
+        .output()
+        .expect("run check");
+    let text = std::fs::read_to_string(&trace_path).expect("trace file written");
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(lines.len() > 10, "expected a real trace, got {} lines", lines.len());
+    for line in &lines {
+        let json = seminal_obs::parse_json(line).expect("each line is valid JSON");
+        assert!(json.get("t").is_some(), "record has a type tag: {line}");
+    }
+    assert!(lines[0].contains("\"open\""), "stream starts with the root span: {}", lines[0]);
+    assert!(lines.last().unwrap().contains("\"close\""), "stream ends closing the root span");
+    std::fs::remove_file(&trace_path).ok();
+}
+
+#[test]
+fn profile_flag_prints_flame_report() {
+    let root = env!("CARGO_MANIFEST_DIR");
+    let out = seminal()
+        .args(["check", "--profile"])
+        .arg(format!("{root}/samples/figure2.ml"))
+        .output()
+        .expect("run check");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Oracle-cost profile:"), "{stdout}");
+    assert!(stdout.contains("line 3"), "hot spans carry line numbers:\n{stdout}");
+    assert!(stdout.contains("fun (x, y) -> x + y"), "snippets shown:\n{stdout}");
 }
 
 #[test]
