@@ -16,7 +16,7 @@
 //! default: sub-percent wall-clock comparisons are too noisy for CI).
 
 use seminal_bench::bench_corpus;
-use seminal_core::{SearchConfig, Searcher};
+use seminal_core::{SearchConfig, SearchSession};
 use seminal_ml::ast::Program;
 use seminal_ml::parser::parse_program;
 use seminal_obs::{JsonlSink, NullSink, TraceSink};
@@ -26,7 +26,7 @@ use std::time::Instant;
 
 /// Mean nanoseconds per corpus sweep over `iters` timed runs (after one
 /// warmup sweep).
-fn measure(iters: u32, progs: &[Program], searcher: &Searcher<TypeCheckOracle>) -> u64 {
+fn measure(iters: u32, progs: &[Program], searcher: &SearchSession<TypeCheckOracle>) -> u64 {
     let sweep = || progs.iter().map(|p| searcher.search(p).stats.oracle_calls).sum::<u64>();
     std::hint::black_box(sweep());
     let start = Instant::now();
@@ -42,18 +42,22 @@ fn main() {
     assert!(!progs.is_empty());
     let iters = 5;
 
-    let disabled = Searcher::new(TypeCheckOracle::new());
+    let disabled = SearchSession::builder(TypeCheckOracle::new()).build().unwrap();
 
-    let mut null_sink = Searcher::new(TypeCheckOracle::new());
-    null_sink.add_sink(Arc::new(NullSink) as Arc<dyn TraceSink>);
+    let null_sink = SearchSession::builder(TypeCheckOracle::new())
+        .sink(Arc::new(NullSink) as Arc<dyn TraceSink>)
+        .build()
+        .unwrap();
 
-    let capture = Searcher::with_config(
-        TypeCheckOracle::new(),
-        SearchConfig { collect_trace: true, ..SearchConfig::default() },
-    );
+    let capture = SearchSession::builder(TypeCheckOracle::new())
+        .config(SearchConfig { collect_trace: true, ..SearchConfig::default() })
+        .build()
+        .unwrap();
 
-    let mut jsonl = Searcher::new(TypeCheckOracle::new());
-    jsonl.add_sink(Arc::new(JsonlSink::new(std::io::sink())) as Arc<dyn TraceSink>);
+    let jsonl = SearchSession::builder(TypeCheckOracle::new())
+        .sink(Arc::new(JsonlSink::new(std::io::sink())) as Arc<dyn TraceSink>)
+        .build()
+        .unwrap();
 
     println!("== obs_overhead ({} files, {iters} sweeps each) ==", progs.len());
     // One discarded sweep so the first measured configuration does not

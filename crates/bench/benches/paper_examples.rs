@@ -9,12 +9,12 @@
 
 use seminal_bench::timing::Group;
 use seminal_bench::{FIGURE2, FIGURE8, FIGURE9, MULTI_ERROR};
-use seminal_core::Searcher;
+use seminal_core::SearchSession;
 use seminal_ml::parser::parse_program;
 use seminal_typeck::TypeCheckOracle;
 
 fn assert_quality() {
-    let searcher = Searcher::new(TypeCheckOracle::new());
+    let searcher = SearchSession::builder(TypeCheckOracle::new()).build().unwrap();
     let fig2 = searcher.search(&parse_program(FIGURE2).unwrap());
     assert_eq!(fig2.best().unwrap().replacement_str, "fun x y -> x + y");
     let fig8 = searcher.search(&parse_program(FIGURE8).unwrap());
@@ -27,7 +27,7 @@ fn assert_quality() {
 
 fn main() {
     assert_quality();
-    let searcher = Searcher::new(TypeCheckOracle::new());
+    let searcher = SearchSession::builder(TypeCheckOracle::new()).build().unwrap();
     let mut group = Group::new("paper_examples");
     for (name, src) in [
         ("figure2_map2", FIGURE2),

@@ -7,7 +7,7 @@
 
 use seminal_bench::bench_corpus;
 use seminal_bench::timing::Group;
-use seminal_core::{SearchConfig, Searcher};
+use seminal_core::{SearchConfig, SearchSession};
 use seminal_ml::ast::Program;
 use seminal_ml::parser::parse_program;
 use seminal_typeck::TypeCheckOracle;
@@ -25,8 +25,9 @@ fn main() {
         ("triage_disabled", SearchConfig::without_triage()),
         ("blame_guidance_disabled", SearchConfig::without_blame_guidance()),
         ("removal_only_ablation", SearchConfig::removal_only()),
+        ("parallel_engine_4_threads", SearchConfig { threads: 4, ..SearchConfig::default() }),
     ] {
-        let searcher = Searcher::with_config(TypeCheckOracle::new(), cfg);
+        let searcher = SearchSession::builder(TypeCheckOracle::new()).config(cfg).build().unwrap();
         group.bench(name, || {
             progs.iter().map(|p| searcher.search(p).stats.oracle_calls).sum::<u64>()
         });

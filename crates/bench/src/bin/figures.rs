@@ -1,20 +1,24 @@
 //! Regenerates the paper's evaluation artifacts as text.
 //!
 //! ```text
-//! figures [all|figure5|figure6|figure7|headline|examples|cpp|eval-metrics [OUT]] [--scale N]
+//! figures [all|figure5|figure6|figure7|headline|examples|cpp|eval-metrics [OUT]]
+//!         [--scale N] [--threads N]
 //! ```
 //!
 //! `eval-metrics` runs the evaluation suite and writes the
 //! `BENCH_search.json` benchmark artifact (headline aggregates plus the
 //! merged `seminal-obs/metrics-v1` snapshot) to `OUT` (default
 //! `BENCH_search.json`); CI uploads it and checks it round-trips through
-//! the documented schema.
+//! the documented schema. With `--threads N` the corpus is evaluated by
+//! N file-level workers and the artifact records `threads` and the
+//! measured `wall_clock_ns`, so per-thread artifacts can be diffed for
+//! the parallel speedup.
 //!
 //! `--scale` multiplies the corpus size (default 1 ≈ 200 files; the
 //! paper's corpus was 1075 files ≈ `--scale 5`).
 
 use seminal_bench::{harness_corpus, FIGURE10_CPP, FIGURE2, FIGURE8, FIGURE9, MULTI_ERROR};
-use seminal_core::{message, Searcher};
+use seminal_core::{message, SearchSession};
 use seminal_corpus::session::{group_sizes, histogram, summarize};
 use seminal_eval::figure7::{figure7, render_figure7};
 use seminal_eval::{evaluate_corpus, figure5, render_figure5};
@@ -26,12 +30,17 @@ fn main() {
     let mut which = "all".to_owned();
     let mut target: Option<String> = None;
     let mut scale = 1usize;
+    let mut threads = 1usize;
     let mut i = 0;
     let mut positional = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--scale" => {
                 scale = args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or(1);
+                i += 2;
+            }
+            "--threads" => {
+                threads = args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or(1).max(1);
                 i += 2;
             }
             other => {
@@ -54,7 +63,9 @@ fn main() {
         "cpp" => print_cpp(),
         "ablations" => print_ablations(scale),
         "export" => export_corpus(scale, target.as_deref().unwrap_or("corpus-out")),
-        "eval-metrics" => eval_metrics(scale, target.as_deref().unwrap_or("BENCH_search.json")),
+        "eval-metrics" => {
+            eval_metrics(scale, threads, target.as_deref().unwrap_or("BENCH_search.json"));
+        }
         "debug-kinds" => debug_kinds(scale),
         "all" => {
             print_examples();
@@ -134,17 +145,22 @@ fn export_corpus(scale: usize, dir: &str) {
 }
 
 /// Runs the evaluation suite and writes the `BENCH_search.json`
-/// aggregate-metrics artifact.
-fn eval_metrics(scale: usize, out: &str) {
+/// aggregate-metrics artifact. `threads` selects file-level workers; the
+/// artifact records the worker count and the measured wall-clock.
+fn eval_metrics(scale: usize, threads: usize, out: &str) {
     let corpus = harness_corpus(scale);
-    let results = evaluate_corpus(&corpus);
-    let json = seminal_eval::bench_search_json(&results);
+    let start = std::time::Instant::now();
+    let results = seminal_eval::evaluate_corpus_with(&corpus, threads);
+    let wall = start.elapsed();
+    let json = seminal_eval::bench_search_json_with(&results, threads, wall);
     std::fs::write(out, &json).expect("write metrics artifact");
     println!(
-        "wrote {} ({} files, {} oracle calls)",
+        "wrote {} ({} files, {} oracle calls, {} threads, wall {:?})",
         out,
         results.len(),
-        seminal_eval::corpus_metrics(&results).counter("oracle_calls")
+        seminal_eval::corpus_metrics(&results).counter("oracle_calls"),
+        threads,
+        wall,
     );
 }
 
@@ -175,7 +191,7 @@ fn banner(title: &str) {
 
 fn print_examples() {
     banner("Worked examples (Figures 2, 8, 9 and the §2.4 multi-error program)");
-    let searcher = Searcher::new(TypeCheckOracle::new());
+    let searcher = SearchSession::builder(TypeCheckOracle::new()).build().unwrap();
     for (name, src) in [
         ("Figure 2 (map2, tupled vs curried)", FIGURE2),
         ("Figure 8 (swapped arguments)", FIGURE8),

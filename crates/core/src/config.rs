@@ -3,6 +3,41 @@
 //! The defaults correspond to the full tool of the paper's evaluation;
 //! the flags exist so the evaluation harness can run the ablations of
 //! Figure 5 (triage off) and Figure 7 (slow constructive change off).
+//!
+//! Configurations are built either from a preset (the `full()` /
+//! `without_*()` constructors) or through the validating
+//! [`SearchConfig::builder`], which rejects nonsense values
+//! (`threads == 0`, an empty trace ring) with a typed [`ConfigError`]
+//! instead of letting them panic deep inside a search.
+
+use std::fmt;
+
+/// A rejected [`SearchConfig`] value, reported by
+/// [`SearchConfigBuilder::build`] and [`SearchConfig::validate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `threads` must be at least 1 (1 = the sequential engine).
+    ZeroThreads,
+    /// `trace_capacity` must be at least 1 record.
+    ZeroTraceCapacity,
+    /// `max_oracle_calls` must be at least 1 (the baseline check).
+    ZeroOracleBudget,
+    /// `max_suggestions` must be at least 1.
+    ZeroSuggestionCap,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroThreads => write!(f, "`threads` must be >= 1 (1 = sequential)"),
+            ConfigError::ZeroTraceCapacity => write!(f, "`trace_capacity` must be >= 1 record"),
+            ConfigError::ZeroOracleBudget => write!(f, "`max_oracle_calls` must be >= 1"),
+            ConfigError::ZeroSuggestionCap => write!(f, "`max_suggestions` must be >= 1"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Tuning knobs for the [`Searcher`](crate::search::Searcher).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -57,6 +92,29 @@ pub struct SearchConfig {
     /// The fallback makes the guidance sound — no suggestion reachable
     /// with this off is lost while budget remains, only found later.
     pub blame_guidance: bool,
+    /// Worker threads for the parallel probe engine. At 1 (the default)
+    /// the search runs the sequential engine, byte-identical to the
+    /// pre-engine tool. Above 1, each enumeration frontier is drained
+    /// through a work-stealing pool of scoped `std::thread` workers into
+    /// a sharded memo cache; the suggestion set is unchanged (verdicts
+    /// are deterministic) but duplicate probes become memo hits, so
+    /// `oracle_calls` redistributes into `oracle_calls + memo_hits`.
+    /// The default honors the `SEMINAL_THREADS` environment variable so
+    /// CI can sweep a whole test suite through the parallel engine.
+    pub threads: usize,
+}
+
+/// Default thread count: `SEMINAL_THREADS` when set to a positive
+/// integer, else 1 (sequential). Read once per process.
+fn default_threads() -> usize {
+    static THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *THREADS.get_or_init(|| {
+        std::env::var("SEMINAL_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or(1)
+    })
 }
 
 impl Default for SearchConfig {
@@ -75,6 +133,7 @@ impl Default for SearchConfig {
             collect_trace: false,
             trace_capacity: 262_144,
             blame_guidance: true,
+            threads: default_threads(),
         }
     }
 }
@@ -83,6 +142,32 @@ impl SearchConfig {
     /// The full tool.
     pub fn full() -> SearchConfig {
         SearchConfig::default()
+    }
+
+    /// A validating builder starting from the defaults.
+    pub fn builder() -> SearchConfigBuilder {
+        SearchConfigBuilder::default()
+    }
+
+    /// Checks the invariants the search engine relies on.
+    ///
+    /// # Errors
+    ///
+    /// The first violated [`ConfigError`] invariant.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.threads == 0 {
+            return Err(ConfigError::ZeroThreads);
+        }
+        if self.trace_capacity == 0 {
+            return Err(ConfigError::ZeroTraceCapacity);
+        }
+        if self.max_oracle_calls == 0 {
+            return Err(ConfigError::ZeroOracleBudget);
+        }
+        if self.max_suggestions == 0 {
+            return Err(ConfigError::ZeroSuggestionCap);
+        }
+        Ok(())
     }
 
     /// The tool with triage disabled — the "without triage" arm of the
@@ -124,6 +209,116 @@ impl SearchConfig {
     }
 }
 
+/// Fluent, validating constructor for [`SearchConfig`]. Setters are
+/// infallible; [`SearchConfigBuilder::build`] checks the invariants and
+/// returns a typed [`ConfigError`] on violation, replacing the
+/// field-poking (`SearchConfig { threads: 0, ..default() }`) that used
+/// to let invalid values panic mid-search.
+#[derive(Debug, Clone, Default)]
+pub struct SearchConfigBuilder {
+    cfg: SearchConfig,
+}
+
+impl SearchConfigBuilder {
+    /// Starts from an existing configuration (e.g. an ablation preset).
+    pub fn from_config(cfg: SearchConfig) -> SearchConfigBuilder {
+        SearchConfigBuilder { cfg }
+    }
+
+    /// Worker threads for the probe engine (validated `>= 1` at build).
+    #[must_use]
+    pub fn threads(mut self, n: usize) -> Self {
+        self.cfg.threads = n;
+        self
+    }
+
+    /// Enable/disable triage (§2.4).
+    #[must_use]
+    pub fn triage(mut self, on: bool) -> Self {
+        self.cfg.triage = on;
+        self
+    }
+
+    /// Enable/disable adaptation-to-context changes (§2.3).
+    #[must_use]
+    pub fn adaptation(mut self, on: bool) -> Self {
+        self.cfg.adaptation = on;
+        self
+    }
+
+    /// Enable/disable constructive changes (§2.2).
+    #[must_use]
+    pub fn constructive(mut self, on: bool) -> Self {
+        self.cfg.constructive = on;
+        self
+    }
+
+    /// Use the deliberately slow nested-`match` reparenthesizing change.
+    #[must_use]
+    pub fn slow_match_reassoc(mut self, on: bool) -> Self {
+        self.cfg.slow_match_reassoc = on;
+        self
+    }
+
+    /// Oracle-call budget (validated `>= 1` at build).
+    #[must_use]
+    pub fn max_oracle_calls(mut self, budget: u64) -> Self {
+        self.cfg.max_oracle_calls = budget;
+        self
+    }
+
+    /// Suggestion cap (validated `>= 1` at build).
+    #[must_use]
+    pub fn max_suggestions(mut self, cap: usize) -> Self {
+        self.cfg.max_suggestions = cap;
+        self
+    }
+
+    /// Memoize oracle verdicts by rendered program text.
+    #[must_use]
+    pub fn memoize(mut self, on: bool) -> Self {
+        self.cfg.memoize_oracle = on;
+        self
+    }
+
+    /// Capture the structured trace into the report.
+    #[must_use]
+    pub fn collect_trace(mut self, on: bool) -> Self {
+        self.cfg.collect_trace = on;
+        self
+    }
+
+    /// In-report trace ring capacity (validated `>= 1` at build).
+    #[must_use]
+    pub fn trace_capacity(mut self, records: usize) -> Self {
+        self.cfg.trace_capacity = records;
+        self
+    }
+
+    /// Enable/disable constraint-blame guidance.
+    #[must_use]
+    pub fn blame_guidance(mut self, on: bool) -> Self {
+        self.cfg.blame_guidance = on;
+        self
+    }
+
+    /// Validates and produces the configuration.
+    ///
+    /// # Errors
+    ///
+    /// The first violated [`ConfigError`] invariant.
+    pub fn build(self) -> Result<SearchConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
+
+    /// The raw configuration with validation deferred — for callers
+    /// (the session builder) that validate once at their own build step.
+    pub(crate) fn build_unchecked(self) -> SearchConfig {
+        self.cfg
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,5 +334,44 @@ mod tests {
         assert!(!removal.constructive && !removal.adaptation && !removal.triage);
         assert!(full.blame_guidance, "guidance is on by default");
         assert!(!SearchConfig::without_blame_guidance().blame_guidance);
+    }
+
+    #[test]
+    fn builder_validates_and_builds() {
+        let cfg = SearchConfig::builder()
+            .threads(4)
+            .memoize(true)
+            .collect_trace(true)
+            .trace_capacity(128)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.threads, 4);
+        assert!(cfg.memoize_oracle && cfg.collect_trace);
+        assert_eq!(cfg.trace_capacity, 128);
+
+        assert_eq!(SearchConfig::builder().threads(0).build(), Err(ConfigError::ZeroThreads));
+        assert_eq!(
+            SearchConfig::builder().trace_capacity(0).build(),
+            Err(ConfigError::ZeroTraceCapacity)
+        );
+        assert_eq!(
+            SearchConfig::builder().max_oracle_calls(0).build(),
+            Err(ConfigError::ZeroOracleBudget)
+        );
+        assert_eq!(
+            SearchConfig::builder().max_suggestions(0).build(),
+            Err(ConfigError::ZeroSuggestionCap)
+        );
+        assert!(ConfigError::ZeroThreads.to_string().contains("threads"));
+    }
+
+    #[test]
+    fn builder_starts_from_presets() {
+        let cfg = SearchConfigBuilder::from_config(SearchConfig::without_triage())
+            .threads(2)
+            .build()
+            .unwrap();
+        assert!(!cfg.triage);
+        assert_eq!(cfg.threads, 2);
     }
 }

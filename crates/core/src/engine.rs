@@ -1,0 +1,401 @@
+//! The parallel probe engine: batched, work-stealing oracle dispatch
+//! behind a sharded concurrent memo cache.
+//!
+//! SEMINAL's search is probe-bound and embarrassingly parallel — each
+//! enumerated variant (§2.2) is an independent black-box oracle query —
+//! but the search *logic* (descend/enumerate/triage in
+//! [`crate::search`]) is deeply recursive and order-sensitive: which
+//! probe is issued next depends on earlier verdicts, and the ranking
+//! and trace contracts depend on that order. The engine therefore
+//! parallelizes **speculatively** rather than restructuring the
+//! recursion: at each enumeration frontier the searcher hands the whole
+//! candidate set to [`ProbeEngine::prefetch`], which drains it through
+//! a pool of scoped `std::thread` workers into the [`ShardedMemo`]; the
+//! unchanged sequential logic then *consumes* verdicts from the memo in
+//! its original order. Verdicts are deterministic (the oracle is a pure
+//! function of the rendered program), so the suggestion set, ranks, and
+//! trace structure are identical at any thread count — parallelism only
+//! changes *when* a verdict is computed, never *what* it is.
+//!
+//! Workers pull index chunks from per-worker deques (own front first,
+//! then steal from a victim's back) and submit each chunk through
+//! [`Oracle::check_batch`], so oracles with per-call setup amortize it
+//! across the chunk. Prefetched entries the searcher never reads are
+//! counted as `engine.speculative_waste`; the accounting identity
+//! `CountingOracle::calls == oracle_calls + speculative_waste` (and
+//! `consumed probes + memo hits == logical queries`) is what the
+//! determinism suite reconciles.
+//!
+//! The memo is a fixed array of `Mutex<HashMap>` shards rather than a
+//! lock-free map: the workspace is dependency-free by policy (offline
+//! builds), probe latency is micro- to milliseconds while a shard
+//! critical section is tens of nanoseconds, and FNV-spread keys make
+//! contention on 16 shards negligible. See DESIGN.md §10.
+
+use seminal_ml::ast::Program;
+use seminal_ml::pretty::program_to_string;
+use seminal_typeck::Oracle;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Number of memo shards. A power of two, sized so that even a full
+/// worker complement on a large machine rarely collides on a shard.
+pub const MEMO_SHARDS: usize = 16;
+
+/// Largest index chunk a worker claims at once — the unit handed to
+/// [`Oracle::check_batch`]. Small enough that stealing keeps the tail
+/// of a frontier balanced, large enough to amortize batch setup.
+const CHUNK: usize = 8;
+
+/// One cached oracle verdict.
+#[derive(Debug, Clone, Copy)]
+struct MemoEntry {
+    /// Whether the variant type-checked.
+    verdict: bool,
+    /// Wall-clock of the oracle call that produced the verdict.
+    latency_ns: u64,
+    /// Whether the searcher has already read this entry. The first read
+    /// of a prefetched entry is accounted as a real probe (the oracle
+    /// did run, speculatively, on the searcher's behalf); later reads
+    /// are memo hits.
+    consumed: bool,
+}
+
+/// What [`ShardedMemo::consume`] found for a key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemoLookup {
+    /// A prefetched verdict read for the first time: account it as the
+    /// probe the sequential engine would have issued here, with the
+    /// latency the worker measured.
+    Fresh {
+        /// Whether the variant type-checked.
+        verdict: bool,
+        /// Wall-clock of the speculative oracle call.
+        latency_ns: u64,
+    },
+    /// An already-consumed verdict: a true cache hit.
+    Hit {
+        /// Whether the variant type-checked.
+        verdict: bool,
+        /// Latency of the original call — the cost the cache saved.
+        saved_ns: u64,
+    },
+    /// Not cached; the caller must query the oracle itself.
+    Miss,
+}
+
+/// An `N`-way sharded `Mutex<HashMap>` memo keyed by rendered program
+/// text (the same key [`SearchConfig::memoize_oracle`] always used —
+/// the pretty-printer is deterministic and the oracle is a function of
+/// the rendered program). Shared by all workers within a frontier batch
+/// and across batches and triage rounds of one search.
+///
+/// [`SearchConfig::memoize_oracle`]: crate::SearchConfig::memoize_oracle
+#[derive(Debug)]
+pub struct ShardedMemo {
+    shards: Vec<Mutex<HashMap<String, MemoEntry>>>,
+}
+
+/// FNV-1a, inlined so shard selection never allocates or depends on
+/// `RandomState` (shard choice must be stable within a process run).
+fn fnv1a(key: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.as_bytes() {
+        hash ^= u64::from(*b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+impl ShardedMemo {
+    /// An empty memo with `shards` shards (at least 1).
+    pub fn new(shards: usize) -> ShardedMemo {
+        let n = shards.max(1);
+        ShardedMemo { shards: (0..n).map(|_| Mutex::new(HashMap::new())).collect() }
+    }
+
+    fn shard(&self, key: &str) -> &Mutex<HashMap<String, MemoEntry>> {
+        &self.shards[(fnv1a(key) as usize) % self.shards.len()]
+    }
+
+    /// Whether `key` is cached (consumed or not).
+    pub fn contains(&self, key: &str) -> bool {
+        self.shard(key).lock().expect("memo shard poisoned").contains_key(key)
+    }
+
+    /// Reads the verdict for `key`, marking it consumed.
+    pub fn consume(&self, key: &str) -> MemoLookup {
+        let mut shard = self.shard(key).lock().expect("memo shard poisoned");
+        match shard.get_mut(key) {
+            Some(e) if !e.consumed => {
+                e.consumed = true;
+                MemoLookup::Fresh { verdict: e.verdict, latency_ns: e.latency_ns }
+            }
+            Some(e) => MemoLookup::Hit { verdict: e.verdict, saved_ns: e.latency_ns },
+            None => MemoLookup::Miss,
+        }
+    }
+
+    /// Caches a verdict. The first writer wins; a concurrent duplicate
+    /// insert (two workers racing on the same rendered text) is dropped
+    /// rather than overwriting, so a consumed flag is never reset.
+    pub fn insert(&self, key: String, verdict: bool, latency_ns: u64, consumed: bool) {
+        let mut shard = self.shard(&key).lock().expect("memo shard poisoned");
+        shard.entry(key).or_insert(MemoEntry { verdict, latency_ns, consumed });
+    }
+
+    /// Total cached entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().expect("memo shard poisoned").len()).sum()
+    }
+
+    /// Whether the memo holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Entries prefetched but never consumed — the engine's speculative
+    /// waste, reported as the `engine.speculative_waste` counter.
+    pub fn unconsumed(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock().expect("memo shard poisoned").values().filter(|e| !e.consumed).count()
+                    as u64
+            })
+            .sum()
+    }
+}
+
+/// Work-stealing parallel prefetcher over a borrowed oracle. One engine
+/// serves one search: its [`ShardedMemo`] persists across every
+/// frontier batch and triage round of that search.
+///
+/// Workers are scoped threads spawned per frontier batch
+/// (`std::thread::scope`), not a persistent pool: frontiers arrive at
+/// the rate of the sequential consumer, each carries real type-checking
+/// work that dwarfs thread-spawn cost, and scoping keeps the engine
+/// free of `'static`/`Arc` bounds so borrowed oracles
+/// (`SearchSession::builder(&oracle)`) keep working.
+#[derive(Debug)]
+pub struct ProbeEngine<'o, O> {
+    oracle: &'o O,
+    threads: usize,
+    memo: ShardedMemo,
+    prefetched: AtomicU64,
+    batches: AtomicU64,
+    largest_batch: AtomicU64,
+}
+
+impl<'o, O: Oracle> ProbeEngine<'o, O> {
+    /// An engine with `threads` workers per frontier batch.
+    pub fn new(oracle: &'o O, threads: usize) -> ProbeEngine<'o, O> {
+        ProbeEngine {
+            oracle,
+            threads: threads.max(1),
+            memo: ShardedMemo::new(MEMO_SHARDS),
+            prefetched: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            largest_batch: AtomicU64::new(0),
+        }
+    }
+
+    /// The shared memo the sequential consumer reads verdicts from.
+    pub fn memo(&self) -> &ShardedMemo {
+        &self.memo
+    }
+
+    /// Configured worker parallelism.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Variants handed to workers across all batches so far.
+    pub fn prefetched(&self) -> u64 {
+        self.prefetched.load(Ordering::Relaxed)
+    }
+
+    /// Frontier batches dispatched so far.
+    pub fn batches(&self) -> u64 {
+        self.batches.load(Ordering::Relaxed)
+    }
+
+    /// Largest single frontier batch dispatched so far.
+    pub fn largest_batch(&self) -> u64 {
+        self.largest_batch.load(Ordering::Relaxed)
+    }
+
+    /// Speculatively evaluates a frontier of variants into the memo and
+    /// blocks until every verdict is cached. Variants already cached (or
+    /// duplicated within the frontier) are dispatched once.
+    pub fn prefetch(&self, variants: &[Program]) {
+        let mut seen = HashSet::new();
+        let jobs: Vec<(String, &Program)> = variants
+            .iter()
+            .map(|p| (program_to_string(p), p))
+            .filter(|(key, _)| !self.memo.contains(key) && seen.insert(key.clone()))
+            .collect();
+        if jobs.is_empty() {
+            return;
+        }
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.prefetched.fetch_add(jobs.len() as u64, Ordering::Relaxed);
+        self.largest_batch.fetch_max(jobs.len() as u64, Ordering::Relaxed);
+
+        let workers = self.threads.min(jobs.len());
+        if workers <= 1 {
+            let progs: Vec<&Program> = jobs.iter().map(|(_, p)| *p).collect();
+            self.run_chunk(&jobs, &progs, &(0..jobs.len()).collect::<Vec<_>>());
+            return;
+        }
+
+        // Deal contiguous index runs to per-worker deques; idle workers
+        // steal from the back of a victim's run, so neighbours in the
+        // frontier (which often share program structure and cost) tend
+        // to stay together.
+        let queues: Vec<Mutex<VecDeque<usize>>> =
+            (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+        for (i, queue) in queues.iter().enumerate() {
+            let lo = i * jobs.len() / workers;
+            let hi = (i + 1) * jobs.len() / workers;
+            queue.lock().expect("probe queue poisoned").extend(lo..hi);
+        }
+
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let queues = &queues;
+                let jobs = &jobs;
+                scope.spawn(move || {
+                    let mut chunk = Vec::with_capacity(CHUNK);
+                    let mut progs: Vec<&Program> = Vec::with_capacity(CHUNK);
+                    loop {
+                        chunk.clear();
+                        take_work(queues, w, &mut chunk);
+                        if chunk.is_empty() {
+                            return;
+                        }
+                        progs.clear();
+                        progs.extend(chunk.iter().map(|&i| jobs[i].1));
+                        self.run_chunk(jobs, &progs, &chunk);
+                    }
+                });
+            }
+        });
+    }
+
+    /// Checks one chunk through `Oracle::check_batch` and caches the
+    /// verdicts as unconsumed entries. Per-variant latency is the chunk
+    /// wall-clock split evenly — exact enough for the latency histogram
+    /// whose buckets are powers of two.
+    fn run_chunk(&self, jobs: &[(String, &Program)], progs: &[&Program], indices: &[usize]) {
+        if indices.is_empty() {
+            return;
+        }
+        let clock = Instant::now();
+        let verdicts = self.oracle.check_batch(progs);
+        let per_probe_ns =
+            u64::try_from(clock.elapsed().as_nanos()).unwrap_or(u64::MAX) / indices.len() as u64;
+        debug_assert_eq!(verdicts.len(), progs.len(), "check_batch must answer every variant");
+        for (&i, verdict) in indices.iter().zip(&verdicts) {
+            self.memo.insert(jobs[i].0.clone(), verdict.is_ok(), per_probe_ns, false);
+        }
+    }
+}
+
+/// Claims up to [`CHUNK`] indices for worker `w`: from its own queue's
+/// front first, else from the back half of the first non-empty victim.
+fn take_work(queues: &[Mutex<VecDeque<usize>>], w: usize, out: &mut Vec<usize>) {
+    {
+        let mut own = queues[w].lock().expect("probe queue poisoned");
+        if !own.is_empty() {
+            let n = own.len().min(CHUNK);
+            out.extend(own.drain(..n));
+            return;
+        }
+    }
+    for offset in 1..queues.len() {
+        let victim = (w + offset) % queues.len();
+        let mut q = queues[victim].lock().expect("probe queue poisoned");
+        if !q.is_empty() {
+            let n = q.len().div_ceil(2).min(CHUNK);
+            let at = q.len() - n;
+            out.extend(q.split_off(at));
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seminal_ml::parser::parse_program;
+    use seminal_typeck::{CountingOracle, TypeCheckOracle};
+
+    #[test]
+    fn memo_consume_distinguishes_fresh_from_hit() {
+        let memo = ShardedMemo::new(4);
+        assert_eq!(memo.consume("k"), MemoLookup::Miss);
+        memo.insert("k".to_owned(), true, 120, false);
+        assert_eq!(memo.consume("k"), MemoLookup::Fresh { verdict: true, latency_ns: 120 });
+        assert_eq!(memo.consume("k"), MemoLookup::Hit { verdict: true, saved_ns: 120 });
+        // First writer wins: a racing duplicate cannot flip the verdict
+        // or reset the consumed flag.
+        memo.insert("k".to_owned(), false, 7, false);
+        assert_eq!(memo.consume("k"), MemoLookup::Hit { verdict: true, saved_ns: 120 });
+        assert_eq!(memo.len(), 1);
+        assert_eq!(memo.unconsumed(), 0);
+    }
+
+    #[test]
+    fn prefetch_caches_every_variant_once() {
+        let oracle = CountingOracle::new(TypeCheckOracle::new());
+        let engine = ProbeEngine::new(&oracle, 4);
+        let good = parse_program("let x = 1 + 2").unwrap();
+        let bad = parse_program("let x = 1 + true").unwrap();
+        let variants = vec![good.clone(), bad.clone(), good.clone()];
+        engine.prefetch(&variants);
+        // The duplicate is dispatched once; re-prefetching adds nothing.
+        assert_eq!(oracle.calls(), 2);
+        assert_eq!(engine.prefetched(), 2);
+        engine.prefetch(&variants);
+        assert_eq!(oracle.calls(), 2);
+        assert_eq!(engine.batches(), 1);
+        let good_key = program_to_string(&good);
+        let bad_key = program_to_string(&bad);
+        assert!(matches!(
+            engine.memo().consume(&good_key),
+            MemoLookup::Fresh { verdict: true, .. }
+        ));
+        assert!(matches!(
+            engine.memo().consume(&bad_key),
+            MemoLookup::Fresh { verdict: false, .. }
+        ));
+        assert_eq!(engine.memo().unconsumed(), 0);
+    }
+
+    #[test]
+    fn work_stealing_drains_unbalanced_queues() {
+        let queues: Vec<Mutex<VecDeque<usize>>> =
+            (0..3).map(|_| Mutex::new(VecDeque::new())).collect();
+        queues[0].lock().unwrap().extend(0..20);
+        let mut claimed = Vec::new();
+        // Worker 2 owns nothing and must steal from worker 0's back.
+        let mut chunk = Vec::new();
+        take_work(&queues, 2, &mut chunk);
+        assert!(!chunk.is_empty() && chunk.iter().all(|&i| i >= 10), "steals from the back half");
+        claimed.extend(chunk.clone());
+        loop {
+            chunk.clear();
+            take_work(&queues, 1, &mut chunk);
+            if chunk.is_empty() {
+                break;
+            }
+            claimed.extend(chunk.clone());
+        }
+        claimed.sort_unstable();
+        claimed.dedup();
+        assert_eq!(claimed.len(), 20, "every job is claimed exactly once");
+    }
+}

@@ -22,29 +22,40 @@
 //!   three match phases in the searcher.
 //!
 //! ```
-//! use seminal_core::{Searcher, message};
+//! use seminal_core::{SearchSession, message};
 //! use seminal_ml::parser::parse_program;
 //! use seminal_typeck::TypeCheckOracle;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let src = "let lst = List.map (fun (x, y) -> x + y) (List.combine [1] [2])";
 //! let prog = parse_program(src)?;
-//! let report = Searcher::new(TypeCheckOracle::new()).search(&prog);
+//! let session = SearchSession::builder(TypeCheckOracle::new()).build()?;
+//! let report = session.search(&prog);
 //! assert!(report.best().is_none()); // this one type-checks
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! Searches run sequentially by default; `.threads(n)` on the builder
+//! turns on the parallel probe engine (see [`engine`]), which drains
+//! each enumeration frontier through a work-stealing worker pool into a
+//! sharded memo without changing the suggestion set.
 
 pub mod change;
 pub mod config;
+pub mod engine;
 pub mod enumerate;
 pub mod message;
 pub mod rank;
 pub mod search;
+pub mod session;
 
 pub use change::{Candidate, ChangeKind, Focus, Probe, Suggestion};
-pub use config::SearchConfig;
-pub use search::{CustomChange, Outcome, SearchReport, SearchStats, Searcher};
+pub use config::{ConfigError, SearchConfig, SearchConfigBuilder};
+#[allow(deprecated)]
+pub use search::Searcher;
+pub use search::{CustomChange, Outcome, SearchReport, SearchStats};
+pub use session::{SearchSession, SearchSessionBuilder};
 
 // Re-export the oracle trait so downstream users need one import.
 pub use seminal_typeck::{Oracle, TypeCheckOracle};

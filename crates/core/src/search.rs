@@ -31,6 +31,7 @@
 
 use crate::change::{ChangeKind, Focus, Suggestion};
 use crate::config::SearchConfig;
+use crate::engine::{MemoLookup, ProbeEngine};
 use crate::enumerate::changes_for;
 use crate::rank::rank;
 use seminal_analysis::BlameAnalysis;
@@ -209,18 +210,19 @@ impl SearchReport {
 /// threaten correctness, only waste oracle calls.
 pub type CustomChange = Box<dyn Fn(&Expr) -> Vec<crate::change::Candidate> + Send + Sync>;
 
-/// The search engine. Generic over the oracle so tests can instrument it;
-/// use [`seminal_typeck::TypeCheckOracle`] for the real thing.
-pub struct Searcher<O> {
-    oracle: O,
-    config: SearchConfig,
-    extra_changes: Vec<CustomChange>,
-    sinks: Vec<Arc<dyn TraceSink>>,
+/// The assembled search machinery — oracle, configuration, user
+/// changes, and sinks. [`crate::SearchSession`] is the public face;
+/// the deprecated [`Searcher`] wraps the same core.
+pub(crate) struct SearchCore<O> {
+    pub(crate) oracle: O,
+    pub(crate) config: SearchConfig,
+    pub(crate) extra_changes: Vec<CustomChange>,
+    pub(crate) sinks: Vec<Arc<dyn TraceSink>>,
 }
 
-impl<O: std::fmt::Debug> std::fmt::Debug for Searcher<O> {
+impl<O: std::fmt::Debug> std::fmt::Debug for SearchCore<O> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Searcher")
+        f.debug_struct("SearchCore")
             .field("oracle", &self.oracle)
             .field("config", &self.config)
             .field("extra_changes", &self.extra_changes.len())
@@ -229,20 +231,45 @@ impl<O: std::fmt::Debug> std::fmt::Debug for Searcher<O> {
     }
 }
 
+/// The original search entry point, superseded by the builder-based
+/// [`crate::SearchSession`]. This shim delegates to the same engine,
+/// so behavior is identical; only the construction API moved.
+#[deprecated(
+    since = "0.3.0",
+    note = "use `SearchSession::builder(oracle)` — `.threads(n)`, \
+            `.memoize(true)`, `.sink(s)`, `.custom_change(c)` replace \
+            `with_config`/`add_sink`/`add_change` mutation chains"
+)]
+pub struct Searcher<O> {
+    core: SearchCore<O>,
+}
+
+#[allow(deprecated)]
+impl<O: std::fmt::Debug> std::fmt::Debug for Searcher<O> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.core.fmt(f)
+    }
+}
+
+#[allow(deprecated)]
 impl<O: Oracle> Searcher<O> {
     /// A searcher with the full-tool configuration.
     pub fn new(oracle: O) -> Searcher<O> {
         Searcher {
-            oracle,
-            config: SearchConfig::default(),
-            extra_changes: Vec::new(),
-            sinks: Vec::new(),
+            core: SearchCore {
+                oracle,
+                config: SearchConfig::default(),
+                extra_changes: Vec::new(),
+                sinks: Vec::new(),
+            },
         }
     }
 
     /// A searcher with an explicit configuration (for the ablations).
     pub fn with_config(oracle: O, config: SearchConfig) -> Searcher<O> {
-        Searcher { oracle, config, extra_changes: Vec::new(), sinks: Vec::new() }
+        Searcher {
+            core: SearchCore { oracle, config, extra_changes: Vec::new(), sinks: Vec::new() },
+        }
     }
 
     /// Registers a user-defined constructive change (§6's open framework).
@@ -251,7 +278,7 @@ impl<O: Oracle> Searcher<O> {
     /// before they can become suggestions, so user changes cannot produce
     /// unsound messages.
     pub fn add_change(&mut self, change: CustomChange) -> &mut Searcher<O> {
-        self.extra_changes.push(change);
+        self.core.extra_changes.push(change);
         self
     }
 
@@ -261,18 +288,39 @@ impl<O: Oracle> Searcher<O> {
     /// Use a [`seminal_obs::JsonlSink`] to persist traces, or a
     /// [`seminal_obs::MemorySink`] to observe a search from tests.
     pub fn add_sink(&mut self, sink: Arc<dyn TraceSink>) -> &mut Searcher<O> {
-        self.sinks.push(sink);
+        self.core.sinks.push(sink);
         self
     }
 
     /// The active configuration.
     pub fn config(&self) -> &SearchConfig {
-        &self.config
+        &self.core.config
     }
 
     /// Runs the full search on `prog`.
-    #[allow(deprecated)]
     pub fn search(&self, prog: &Program) -> SearchReport {
+        self.core.search(prog)
+    }
+}
+
+impl<O: Oracle> SearchCore<O> {
+    /// Runs the full search on `prog`. At `config.threads == 1` this is
+    /// the sequential engine, byte-identical to the pre-engine tool; at
+    /// higher thread counts a [`ProbeEngine`] speculatively drains each
+    /// enumeration frontier into a sharded memo the sequential logic
+    /// consumes, so the suggestion set and ranks are unchanged while
+    /// wall-clock drops (see `crate::engine`).
+    pub(crate) fn search(&self, prog: &Program) -> SearchReport {
+        let engine = if self.config.threads > 1 {
+            Some(ProbeEngine::new(&self.oracle, self.config.threads))
+        } else {
+            None
+        };
+        self.run_search(prog, engine.as_ref())
+    }
+
+    #[allow(deprecated)]
+    fn run_search(&self, prog: &Program, engine: Option<&ProbeEngine<'_, O>>) -> SearchReport {
         let start = Instant::now();
         let capture = if self.config.collect_trace {
             Some(Arc::new(MemorySink::new(self.config.trace_capacity)))
@@ -286,6 +334,7 @@ impl<O: Oracle> Searcher<O> {
         let mut run = Run {
             oracle: &self.oracle,
             cfg: &self.config,
+            engine,
             extra_changes: &self.extra_changes,
             calls: 0,
             budget_hit: false,
@@ -310,7 +359,8 @@ impl<O: Oracle> Searcher<O> {
                     ..SearchStats::default()
                 };
                 let records = capture.as_ref().map(|c| c.drain()).unwrap_or_default();
-                let metrics = run.local.snapshot(&stats, 0);
+                let mut metrics = run.local.snapshot(&stats, 0);
+                fold_engine_metrics(&mut metrics, engine);
                 return SearchReport {
                     outcome: Outcome::WellTyped,
                     stats,
@@ -357,6 +407,11 @@ impl<O: Oracle> Searcher<O> {
         }
         if first_bad == 0 {
             first_bad = prog.decls.len();
+            if run.wants_prefetch(prog.decls.len()) {
+                let prefixes: Vec<Program> =
+                    (1..=prog.decls.len()).map(|k| prog.prefix(k)).collect();
+                run.prefetch(&prefixes);
+            }
             for k in 1..=prog.decls.len() {
                 run.label(ProbeKind::Prefix, Span::DUMMY, || format!("first {k} declaration(s)"));
                 if !run.check(&prog.prefix(k)) {
@@ -406,7 +461,8 @@ impl<O: Oracle> Searcher<O> {
         if let Some(c) = &capture {
             run.local.trace_dropped = c.dropped();
         }
-        let metrics = run.local.snapshot(&stats, suggestions.len() as u64);
+        let mut metrics = run.local.snapshot(&stats, suggestions.len() as u64);
+        fold_engine_metrics(&mut metrics, engine);
         let outcome = if suggestions.is_empty() {
             Outcome::NoSuggestion
         } else {
@@ -431,12 +487,32 @@ fn duration_ns(d: Duration) -> u64 {
     u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
 }
 
+/// Folds the probe engine's counters into a finished snapshot: the
+/// configured `probe_parallelism` gauge plus prefetch accounting. Only
+/// present when the parallel engine ran, so `threads = 1` snapshots are
+/// byte-identical to the sequential engine's.
+fn fold_engine_metrics<O: Oracle>(
+    metrics: &mut MetricsSnapshot,
+    engine: Option<&ProbeEngine<'_, O>>,
+) {
+    let Some(e) = engine else { return };
+    let c = &mut metrics.counters;
+    c.insert("probe_parallelism".to_owned(), e.threads() as u64);
+    c.insert("engine.prefetched".to_owned(), e.prefetched());
+    c.insert("engine.batches".to_owned(), e.batches());
+    c.insert("engine.largest_batch".to_owned(), e.largest_batch());
+    c.insert("engine.speculative_waste".to_owned(), e.memo().unconsumed());
+}
+
 /// Allocation-free accumulators for the per-search metrics snapshot —
 /// plain integer bumps on the probe hot path, folded into a
 /// [`MetricsSnapshot`] once per search.
 #[derive(Debug, Default)]
 struct LocalMetrics {
     oracle_latency: Histogram,
+    /// Latency each memo hit saved (the original call's cost), kept out
+    /// of `oracle_latency` so cache hits cannot skew its low buckets.
+    memo_hit_saved: Histogram,
     descend_depth: Histogram,
     max_depth: u64,
     probes: [u64; ProbeKind::METRIC_KEYS.len()],
@@ -471,6 +547,9 @@ impl LocalMetrics {
         }
         if self.oracle_latency.count > 0 {
             snap.histograms.insert("oracle.latency_ns".to_owned(), self.oracle_latency.clone());
+        }
+        if self.memo_hit_saved.count > 0 {
+            snap.histograms.insert("memo.hit_saved_ns".to_owned(), self.memo_hit_saved.clone());
         }
         if self.descend_depth.count > 0 {
             snap.histograms.insert("descend.depth".to_owned(), self.descend_depth.clone());
@@ -542,12 +621,18 @@ fn build_meta(
 struct Run<'a, O> {
     oracle: &'a O,
     cfg: &'a SearchConfig,
+    /// Parallel probe engine (`None` at `threads == 1`, where the run
+    /// is the literal sequential engine).
+    engine: Option<&'a ProbeEngine<'a, O>>,
     extra_changes: &'a [CustomChange],
     calls: u64,
     budget_hit: bool,
     triage_used: bool,
     suggestions: Vec<Suggestion>,
-    memo: HashMap<String, bool>,
+    /// Sequential memo ([`SearchConfig::memoize_oracle`]): verdict plus
+    /// the original call's latency, so hits can report saved cost. The
+    /// parallel engine uses its own sharded memo instead.
+    memo: HashMap<String, (bool, u64)>,
     memo_hits: u64,
     /// Structured-trace emitter (inert unless sinks are attached).
     tracer: Tracer,
@@ -577,23 +662,52 @@ impl<O: Oracle> Run<'_, O> {
 
     /// Budgeted boolean oracle query, optionally memoized; always counted
     /// and timed, and emitted as a structured probe event when tracing.
+    ///
+    /// With the parallel engine active, verdicts come from its sharded
+    /// memo: the first read of a prefetched entry is accounted as the
+    /// probe the sequential engine would have issued here (counted in
+    /// `calls`, with the worker-measured latency); later reads of the
+    /// same rendered variant are memo hits. A miss falls through to a
+    /// direct oracle call whose verdict is cached for later rounds.
     fn check(&mut self, prog: &Program) -> bool {
         if self.calls >= self.cfg.max_oracle_calls {
             self.budget_hit = true;
             self.probe_label = None;
             return false;
         }
-        let (ok, cached, latency_ns) = if self.cfg.memoize_oracle {
+        let (ok, cached, latency_ns) = if let Some(engine) = self.engine {
             let key = seminal_ml::pretty::program_to_string(prog);
-            if let Some(&cached) = self.memo.get(&key) {
+            match engine.memo().consume(&key) {
+                MemoLookup::Fresh { verdict, latency_ns } => {
+                    self.calls += 1;
+                    (verdict, false, latency_ns)
+                }
+                MemoLookup::Hit { verdict, saved_ns } => {
+                    self.memo_hits += 1;
+                    self.local.memo_hit_saved.observe(saved_ns);
+                    (verdict, true, 0)
+                }
+                MemoLookup::Miss => {
+                    self.calls += 1;
+                    let clock = Instant::now();
+                    let verdict = self.oracle.check(prog).is_ok();
+                    let latency_ns = duration_ns(clock.elapsed());
+                    engine.memo().insert(key, verdict, latency_ns, true);
+                    (verdict, false, latency_ns)
+                }
+            }
+        } else if self.cfg.memoize_oracle {
+            let key = seminal_ml::pretty::program_to_string(prog);
+            if let Some(&(cached, saved_ns)) = self.memo.get(&key) {
                 self.memo_hits += 1;
+                self.local.memo_hit_saved.observe(saved_ns);
                 (cached, true, 0)
             } else {
                 self.calls += 1;
                 let clock = Instant::now();
                 let verdict = self.oracle.check(prog).is_ok();
                 let latency_ns = duration_ns(clock.elapsed());
-                self.memo.insert(key, verdict);
+                self.memo.insert(key, (verdict, latency_ns));
                 (verdict, false, latency_ns)
             }
         } else {
@@ -604,6 +718,25 @@ impl<O: Oracle> Run<'_, O> {
         };
         self.record_probe(ok, cached, latency_ns);
         ok
+    }
+
+    /// Whether a frontier of `frontier` candidate variants is worth
+    /// handing to the parallel engine.
+    fn wants_prefetch(&self, frontier: usize) -> bool {
+        frontier >= 2 && self.engine.is_some() && self.calls < self.cfg.max_oracle_calls
+    }
+
+    /// Speculatively evaluates a frontier into the engine's memo,
+    /// capped at the remaining oracle budget so speculation cannot run
+    /// far past `max_oracle_calls`.
+    fn prefetch(&self, variants: &[Program]) {
+        if let Some(engine) = self.engine {
+            let room = self.cfg.max_oracle_calls.saturating_sub(self.calls);
+            let cap = usize::try_from(room).unwrap_or(usize::MAX).min(variants.len());
+            if cap > 0 {
+                engine.prefetch(&variants[..cap]);
+            }
+        }
     }
 
     /// Labels the next `check` call's probe. The target string is only
@@ -774,6 +907,13 @@ impl<O: Oracle> Run<'_, O> {
         if let Some(blame) = &self.blame {
             children.sort_by_key(|&(_, span)| std::cmp::Reverse(blame.milli_score_at(span)));
         }
+        // Speculative frontier: each child's own removal probe — the
+        // first oracle query its recursive visit will issue.
+        if self.wants_prefetch(children.len()) {
+            let variants: Vec<Program> =
+                children.iter().map(|&(id, _)| edit::remove_expr(&scope.prog, id)).collect();
+            self.prefetch(&variants);
+        }
         let mut any_child = false;
         for (c, _) in children {
             if self.search_expr(scope, c, triage_depth, triaged, removed_siblings) {
@@ -869,43 +1009,90 @@ impl<O: Oracle> Run<'_, O> {
         let meta = scope.meta(node.id);
         let mut any_specific = false;
 
+        let probes = if self.cfg.constructive {
+            changes_for(node, meta.top_of_chain, self.cfg)
+        } else {
+            Vec::new()
+        };
+        // User-registered constructive changes (§6's open framework).
+        let extra_candidates: Vec<crate::change::Candidate> = if self.cfg.constructive {
+            self.extra_changes.iter().flat_map(|ch| ch(node)).collect()
+        } else {
+            Vec::new()
+        };
+        // Adaptation to context (§2.3).
+        let adapt_candidate = if self.cfg.adaptation && !matches!(node.kind, ExprKind::Adapt(_)) {
+            Some(Expr::synth(ExprKind::Adapt(Box::new(node.clone())), Span::DUMMY))
+        } else {
+            None
+        };
+
+        // Speculative frontier: every first-wave probe at this node.
+        // Gated second waves are withheld until their gate's verdict.
+        let frontier =
+            probes.len() + extra_candidates.len() + usize::from(adapt_candidate.is_some());
+        if self.wants_prefetch(frontier) {
+            let mut variants = Vec::with_capacity(frontier);
+            for probe in &probes {
+                let head = match probe {
+                    crate::change::Probe::One(c) => &c.replacement,
+                    crate::change::Probe::Gated { gate, .. } => gate,
+                };
+                variants.push(edit::replace_expr(&scope.prog, node.id, head.clone()));
+            }
+            for c in &extra_candidates {
+                variants.push(edit::replace_expr(&scope.prog, node.id, c.replacement.clone()));
+            }
+            if let Some(adapted) = &adapt_candidate {
+                variants.push(edit::replace_expr(&scope.prog, node.id, adapted.clone()));
+            }
+            self.prefetch(&variants);
+        }
+
         // Constructive changes (§2.2).
-        if self.cfg.constructive {
-            for probe in changes_for(node, meta.top_of_chain, self.cfg) {
-                if self.done() {
-                    break;
-                }
-                match probe {
-                    crate::change::Probe::One(c) => {
-                        if self.try_candidate(
-                            scope,
-                            node,
-                            &c.replacement,
-                            ChangeKind::Constructive(c.description),
-                            triaged,
-                            removed_siblings,
-                        ) {
-                            any_specific = true;
-                        }
+        for probe in probes {
+            if self.done() {
+                break;
+            }
+            match probe {
+                crate::change::Probe::One(c) => {
+                    if self.try_candidate(
+                        scope,
+                        node,
+                        &c.replacement,
+                        ChangeKind::Constructive(c.description),
+                        triaged,
+                        removed_siblings,
+                    ) {
+                        any_specific = true;
                     }
-                    crate::change::Probe::Gated { gate, then } => {
-                        let gate_variant = edit::replace_expr(&scope.prog, node.id, gate);
-                        self.label(ProbeKind::Gate, node.span, || expr_to_string(node));
-                        if self.check(&gate_variant) {
-                            for c in then {
-                                if self.done() {
-                                    break;
-                                }
-                                if self.try_candidate(
-                                    scope,
-                                    node,
-                                    &c.replacement,
-                                    ChangeKind::Constructive(c.description),
-                                    triaged,
-                                    removed_siblings,
-                                ) {
-                                    any_specific = true;
-                                }
+                }
+                crate::change::Probe::Gated { gate, then } => {
+                    let gate_variant = edit::replace_expr(&scope.prog, node.id, gate);
+                    self.label(ProbeKind::Gate, node.span, || expr_to_string(node));
+                    if self.check(&gate_variant) {
+                        if self.wants_prefetch(then.len()) {
+                            let variants: Vec<Program> = then
+                                .iter()
+                                .map(|c| {
+                                    edit::replace_expr(&scope.prog, node.id, c.replacement.clone())
+                                })
+                                .collect();
+                            self.prefetch(&variants);
+                        }
+                        for c in then {
+                            if self.done() {
+                                break;
+                            }
+                            if self.try_candidate(
+                                scope,
+                                node,
+                                &c.replacement,
+                                ChangeKind::Constructive(c.description),
+                                triaged,
+                                removed_siblings,
+                            ) {
+                                any_specific = true;
                             }
                         }
                     }
@@ -913,31 +1100,24 @@ impl<O: Oracle> Run<'_, O> {
             }
         }
 
-        // User-registered constructive changes (§6's open framework).
-        if self.cfg.constructive {
-            let extra_candidates: Vec<crate::change::Candidate> =
-                self.extra_changes.iter().flat_map(|ch| ch(node)).collect();
-            for c in extra_candidates {
-                if self.done() {
-                    break;
-                }
-                if self.try_candidate(
-                    scope,
-                    node,
-                    &c.replacement,
-                    ChangeKind::Constructive(c.description),
-                    triaged,
-                    removed_siblings,
-                ) {
-                    any_specific = true;
-                }
+        for c in extra_candidates {
+            if self.done() {
+                break;
+            }
+            if self.try_candidate(
+                scope,
+                node,
+                &c.replacement,
+                ChangeKind::Constructive(c.description),
+                triaged,
+                removed_siblings,
+            ) {
+                any_specific = true;
             }
         }
 
-        // Adaptation to context (§2.3).
         let mut adapt_ok = false;
-        if self.cfg.adaptation && !matches!(node.kind, ExprKind::Adapt(_)) {
-            let adapted = Expr::synth(ExprKind::Adapt(Box::new(node.clone())), Span::DUMMY);
+        if let Some(adapted) = adapt_candidate {
             if self.try_candidate(
                 scope,
                 node,
@@ -1074,6 +1254,21 @@ impl<O: Oracle> Run<'_, O> {
                 return;
             }
             let others: Vec<NodeId> = members.iter().copied().filter(|&m| m != focus).collect();
+            // Speculative frontier: every widening of this focus's
+            // removed-sibling context.
+            if self.wants_prefetch(others.len()) {
+                let variants: Vec<Program> = (1..=others.len())
+                    .map(|j| {
+                        let removed = &others[others.len() - j..];
+                        let mut probe_edit = Edit::new().remove_expr(focus);
+                        for &r in removed {
+                            probe_edit = probe_edit.remove_expr(r);
+                        }
+                        edit::apply(&scope.prog, &probe_edit)
+                    })
+                    .collect();
+                self.prefetch(&variants);
+            }
             // j = 0 (focus removed alone) is already known to fail — the
             // regular search tried it before entering triage.
             for j in 1..=others.len() {
@@ -1185,6 +1380,21 @@ impl<O: Oracle> Run<'_, O> {
             }
             let others: Vec<NodeId> =
                 pats.iter().enumerate().filter(|&(j, _)| j != i).map(|(_, p)| *p).collect();
+            // Speculative frontier: this focus pattern wildcarded with
+            // each cumulative widening of wildcarded siblings.
+            if self.wants_prefetch(others.len() + 1) {
+                let variants: Vec<Program> = (0..=others.len())
+                    .map(|j| {
+                        let removed = &others[others.len() - j..];
+                        let mut probe = Edit::new().replace_pat(focus, Pat::wild(Span::DUMMY));
+                        for &r in removed {
+                            probe = probe.replace_pat(r, Pat::wild(Span::DUMMY));
+                        }
+                        edit::apply(&scope.prog, &probe)
+                    })
+                    .collect();
+                self.prefetch(&variants);
+            }
             for j in 0..=others.len() {
                 let removed = &others[others.len() - j..];
                 let mut probe = Edit::new().replace_pat(focus, Pat::wild(Span::DUMMY));

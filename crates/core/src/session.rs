@@ -1,0 +1,202 @@
+//! `SearchSession`: the unified builder entry point for running
+//! searches.
+//!
+//! One construction path replaces the `Searcher::new` /
+//! `Searcher::with_config` / `add_change` / `add_sink` mutation chains:
+//!
+//! ```
+//! use seminal_core::SearchSession;
+//! use seminal_ml::parser::parse_program;
+//! use seminal_typeck::TypeCheckOracle;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let session = SearchSession::builder(TypeCheckOracle::new())
+//!     .threads(2)
+//!     .memoize(true)
+//!     .build()?;
+//! let prog = parse_program("let x = 1 + true")?;
+//! let report = session.search(&prog);
+//! assert!(report.best().is_some());
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The builder validates at [`SearchSessionBuilder::build`] (typed
+//! [`ConfigError`]s, no panics), and the C++ front end mirrors the same
+//! shape (`seminal_cpp::CppSearchSession::builder`), so ML and C++
+//! callers read identically.
+
+use crate::config::{ConfigError, SearchConfig, SearchConfigBuilder};
+use crate::search::{CustomChange, SearchCore, SearchReport};
+use seminal_ml::ast::Program;
+use seminal_obs::TraceSink;
+use seminal_typeck::Oracle;
+use std::sync::Arc;
+
+/// A fully-assembled search pipeline: oracle, validated configuration,
+/// user-registered constructive changes, and trace sinks. Construct
+/// with [`SearchSession::builder`]; run with [`SearchSession::search`].
+///
+/// Sessions borrow nothing and share nothing mutable, so one session
+/// can serve many programs, and `&session` handles can run searches
+/// from several threads at once (each search keeps its own memo and
+/// engine).
+pub struct SearchSession<O> {
+    core: SearchCore<O>,
+}
+
+impl<O: std::fmt::Debug> std::fmt::Debug for SearchSession<O> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SearchSession").field("core", &self.core).finish()
+    }
+}
+
+impl<O: Oracle> SearchSession<O> {
+    /// Starts a builder around `oracle` (owned or borrowed — `&O` is an
+    /// [`Oracle`] too) with the full-tool default configuration.
+    pub fn builder(oracle: O) -> SearchSessionBuilder<O> {
+        SearchSessionBuilder {
+            oracle,
+            config: SearchConfig::default(),
+            changes: Vec::new(),
+            sinks: Vec::new(),
+        }
+    }
+
+    /// Runs the full search on `prog`.
+    pub fn search(&self, prog: &Program) -> SearchReport {
+        self.core.search(prog)
+    }
+
+    /// The validated configuration this session runs with.
+    pub fn config(&self) -> &SearchConfig {
+        &self.core.config
+    }
+
+    /// Unwraps the oracle, consuming the session.
+    pub fn into_oracle(self) -> O {
+        self.core.oracle
+    }
+}
+
+/// Fluent constructor for [`SearchSession`]. Setters are infallible and
+/// chainable; [`SearchSessionBuilder::build`] validates the assembled
+/// configuration and returns a typed [`ConfigError`] on violation.
+pub struct SearchSessionBuilder<O> {
+    oracle: O,
+    config: SearchConfig,
+    changes: Vec<CustomChange>,
+    sinks: Vec<Arc<dyn TraceSink>>,
+}
+
+impl<O: Oracle> SearchSessionBuilder<O> {
+    /// Replaces the whole configuration (e.g. an ablation preset).
+    /// Later field setters apply on top.
+    #[must_use]
+    pub fn config(mut self, config: SearchConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Edits the configuration through the validating
+    /// [`SearchConfigBuilder`] (validation still happens at build).
+    #[must_use]
+    pub fn configure(mut self, f: impl FnOnce(SearchConfigBuilder) -> SearchConfigBuilder) -> Self {
+        let builder = SearchConfigBuilder::from_config(self.config);
+        // Defer validation to `build` so errors surface in one place.
+        self.config = f(builder).build_unchecked();
+        self
+    }
+
+    /// Worker threads for the parallel probe engine (validated `>= 1`
+    /// at build; 1 = the sequential engine).
+    #[must_use]
+    pub fn threads(mut self, n: usize) -> Self {
+        self.config.threads = n;
+        self
+    }
+
+    /// Memoize oracle verdicts by rendered program text.
+    #[must_use]
+    pub fn memoize(mut self, on: bool) -> Self {
+        self.config.memoize_oracle = on;
+        self
+    }
+
+    /// Capture the structured trace into each report.
+    #[must_use]
+    pub fn collect_trace(mut self, on: bool) -> Self {
+        self.config.collect_trace = on;
+        self
+    }
+
+    /// Attaches a trace sink; every search streams its records into it.
+    #[must_use]
+    pub fn sink(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.sinks.push(sink);
+        self
+    }
+
+    /// Registers a user-defined constructive change (§6's open
+    /// framework). Proposed candidates are oracle-validated before they
+    /// can become suggestions, so user changes cannot produce unsound
+    /// messages.
+    #[must_use]
+    pub fn custom_change(mut self, change: CustomChange) -> Self {
+        self.changes.push(change);
+        self
+    }
+
+    /// Validates the configuration and assembles the session.
+    ///
+    /// # Errors
+    ///
+    /// The first violated [`ConfigError`] invariant.
+    pub fn build(self) -> Result<SearchSession<O>, ConfigError> {
+        self.config.validate()?;
+        Ok(SearchSession {
+            core: SearchCore {
+                oracle: self.oracle,
+                config: self.config,
+                extra_changes: self.changes,
+                sinks: self.sinks,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seminal_ml::parser::parse_program;
+    use seminal_typeck::TypeCheckOracle;
+
+    #[test]
+    fn builder_assembles_and_validates() {
+        let session = SearchSession::builder(TypeCheckOracle::new())
+            .threads(2)
+            .memoize(true)
+            .collect_trace(true)
+            .build()
+            .unwrap();
+        assert_eq!(session.config().threads, 2);
+        assert!(session.config().memoize_oracle && session.config().collect_trace);
+
+        let err = SearchSession::builder(TypeCheckOracle::new()).threads(0).build();
+        assert!(matches!(err, Err(ConfigError::ZeroThreads)));
+    }
+
+    #[test]
+    fn borrowed_oracle_and_preset_config_work() {
+        let oracle = TypeCheckOracle::new();
+        let session = SearchSession::builder(&oracle)
+            .config(SearchConfig::without_triage())
+            .configure(|c| c.max_suggestions(8))
+            .build()
+            .unwrap();
+        assert!(!session.config().triage);
+        assert_eq!(session.config().max_suggestions, 8);
+        let prog = parse_program("let x = 1 + true").unwrap();
+        assert!(session.search(&prog).best().is_some());
+    }
+}

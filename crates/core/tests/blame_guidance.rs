@@ -4,7 +4,7 @@
 //! suggestion, and (c) report a superset-or-equal of the unguided top-3 —
 //! guidance reorders work, it never loses messages.
 
-use seminal_core::{SearchConfig, SearchReport, Searcher};
+use seminal_core::{SearchConfig, SearchReport, SearchSession};
 use seminal_ml::parser::parse_program;
 use seminal_typeck::TypeCheckOracle;
 
@@ -44,7 +44,15 @@ const SCENARIOS: &[(&str, &str)] = &[
 
 fn run(src: &str, cfg: SearchConfig) -> SearchReport {
     let prog = parse_program(src).unwrap_or_else(|e| panic!("parse: {e}"));
-    Searcher::with_config(TypeCheckOracle::new(), cfg).search(&prog)
+    // threads(1): these tests compare exact oracle-call costs between
+    // configurations, which only makes sense on the sequential path
+    // (the engine's shared memo would fold duplicate probes into hits).
+    SearchSession::builder(TypeCheckOracle::new())
+        .config(cfg)
+        .threads(1)
+        .build()
+        .unwrap()
+        .search(&prog)
 }
 
 fn keys(report: &SearchReport) -> Vec<(String, String)> {

@@ -1,18 +1,18 @@
 //! End-to-end search tests: every worked example in the paper, plus the
 //! system's core soundness invariant (all suggested variants type-check).
 
-use seminal_core::{message, ChangeKind, Outcome, SearchConfig, Searcher};
+use seminal_core::{message, ChangeKind, Outcome, SearchConfig, SearchSession};
 use seminal_ml::parser::parse_program;
 use seminal_typeck::{check_program, CountingOracle, TypeCheckOracle};
 
 fn search(src: &str) -> seminal_core::SearchReport {
     let prog = parse_program(src).unwrap_or_else(|e| panic!("parse: {e}"));
-    Searcher::new(TypeCheckOracle::new()).search(&prog)
+    SearchSession::builder(TypeCheckOracle::new()).build().unwrap().search(&prog)
 }
 
 fn search_cfg(src: &str, cfg: SearchConfig) -> seminal_core::SearchReport {
     let prog = parse_program(src).unwrap_or_else(|e| panic!("parse: {e}"));
-    Searcher::with_config(TypeCheckOracle::new(), cfg).search(&prog)
+    SearchSession::builder(TypeCheckOracle::new()).config(cfg).build().unwrap().search(&prog)
 }
 
 const FIGURE2: &str =
@@ -282,7 +282,9 @@ fn every_untriaged_suggestion_variant_type_checks() {
 fn oracle_calls_are_counted_and_bounded() {
     let prog = parse_program(FIGURE2).unwrap();
     let oracle = CountingOracle::new(TypeCheckOracle::new());
-    let report = Searcher::new(&oracle).search(&prog);
+    // threads(1): raw-oracle accounting must not include speculative
+    // prefetch waste, so don't let SEMINAL_THREADS enable the engine.
+    let report = SearchSession::builder(&oracle).threads(1).build().unwrap().search(&prog);
     assert!(report.stats.oracle_calls >= oracle.calls());
     assert!(oracle.calls() > 5, "search must actually consult the oracle");
     assert!(oracle.calls() < 5_000, "search should not explode: {}", oracle.calls());
@@ -330,35 +332,35 @@ fn custom_changes_extend_the_enumerator() {
     let prog = parse_program(src).unwrap();
 
     // Without the custom change there is no constructive fix at the call.
-    let plain = Searcher::new(TypeCheckOracle::new()).search(&prog);
+    let plain = SearchSession::builder(TypeCheckOracle::new()).build().unwrap().search(&prog);
     assert!(plain.suggestions().iter().all(|s| !s.replacement_str.contains("String.concat")));
 
-    let mut searcher = Searcher::new(TypeCheckOracle::new());
-    searcher.add_change(Box::new(|e: &Expr| {
-        // Rewrite `List.map f xs` to `String.concat "" (List.map f xs)`.
-        let ExprKind::App(_, _) = &e.kind else { return Vec::new() };
-        let wrapped = Expr::synth(
-            ExprKind::App(
-                Box::new(Expr::synth(
-                    ExprKind::App(
-                        Box::new(Expr::var("String.concat", Span::DUMMY)),
-                        Box::new(Expr::synth(
-                            ExprKind::Lit(seminal_ml::ast::Lit::Str(String::new())),
-                            Span::DUMMY,
-                        )),
-                    ),
-                    Span::DUMMY,
-                )),
-                Box::new(e.clone()),
-            ),
-            Span::DUMMY,
-        );
-        vec![Candidate {
-            replacement: wrapped,
-            description: "join the mapped strings with String.concat".to_owned(),
-        }]
-    }));
-    let report = searcher.search(&prog);
+    let builder =
+        SearchSession::builder(TypeCheckOracle::new()).custom_change(Box::new(|e: &Expr| {
+            // Rewrite `List.map f xs` to `String.concat "" (List.map f xs)`.
+            let ExprKind::App(_, _) = &e.kind else { return Vec::new() };
+            let wrapped = Expr::synth(
+                ExprKind::App(
+                    Box::new(Expr::synth(
+                        ExprKind::App(
+                            Box::new(Expr::var("String.concat", Span::DUMMY)),
+                            Box::new(Expr::synth(
+                                ExprKind::Lit(seminal_ml::ast::Lit::Str(String::new())),
+                                Span::DUMMY,
+                            )),
+                        ),
+                        Span::DUMMY,
+                    )),
+                    Box::new(e.clone()),
+                ),
+                Span::DUMMY,
+            );
+            vec![Candidate {
+                replacement: wrapped,
+                description: "join the mapped strings with String.concat".to_owned(),
+            }]
+        }));
+    let report = builder.build().unwrap().search(&prog);
     let hit = report.suggestions().iter().find(|s| s.replacement_str.contains("String.concat"));
     assert!(
         hit.is_some(),
@@ -434,7 +436,9 @@ fn trace_records_every_probe() {
 #[test]
 #[allow(deprecated)] // exercises the legacy flat-trace shim
 fn trace_off_by_default() {
-    let report = search(FIGURE2);
+    // threads(1): the parallel engine's shared memo produces memo hits by
+    // design, so pin the sequential path for the memo_hits == 0 check.
+    let report = search_cfg(FIGURE2, SearchConfig { threads: 1, ..SearchConfig::default() });
     assert!(report.trace.is_empty());
     assert_eq!(report.stats.memo_hits, 0);
 }

@@ -6,7 +6,7 @@
 use seminal_core::obs::{
     check_invariants, EventKind, MemorySink, ProbeKind, TraceRecord, TraceSink,
 };
-use seminal_core::{SearchConfig, Searcher, TypeCheckOracle};
+use seminal_core::{SearchConfig, SearchSession, TypeCheckOracle};
 use seminal_ml::parser::parse_program;
 use std::sync::Arc;
 
@@ -30,8 +30,12 @@ const WORKED_EXAMPLES: [&str; 3] = [FIGURE2, FIGURE8, MULTI_ERROR];
 
 fn traced(src: &str, cfg: SearchConfig) -> seminal_core::SearchReport {
     let prog = parse_program(src).unwrap_or_else(|e| panic!("parse: {e}"));
-    let cfg = SearchConfig { collect_trace: true, ..cfg };
-    Searcher::with_config(TypeCheckOracle::new(), cfg).search(&prog)
+    // threads(1): these tests pin the *sequential* reconciliation rules
+    // (e.g. zero cached probes without memoize_oracle), which the parallel
+    // engine's shared memo deliberately changes. The determinism suite
+    // covers the engine's own reconciliation at several thread counts.
+    let cfg = SearchConfig { collect_trace: true, threads: 1, ..cfg };
+    SearchSession::builder(TypeCheckOracle::new()).config(cfg).build().unwrap().search(&prog)
 }
 
 /// Counts `(uncached, cached)` oracle-probe events.
@@ -144,9 +148,11 @@ fn legacy_flat_trace_mirrors_the_structured_stream() {
 fn attached_sinks_stream_even_with_capture_off() {
     let prog = parse_program(FIGURE2).unwrap();
     let sink = Arc::new(MemorySink::new(1 << 16));
-    let mut searcher = Searcher::new(TypeCheckOracle::new());
-    searcher.add_sink(sink.clone() as Arc<dyn TraceSink>);
-    let report = searcher.search(&prog);
+    let session = SearchSession::builder(TypeCheckOracle::new())
+        .sink(sink.clone() as Arc<dyn TraceSink>)
+        .build()
+        .unwrap();
+    let report = session.search(&prog);
     assert!(report.records.is_empty(), "collect_trace off: nothing in the report");
     let streamed = sink.drain();
     assert!(!streamed.is_empty(), "sink received the stream");
@@ -158,7 +164,7 @@ fn attached_sinks_stream_even_with_capture_off() {
 #[test]
 fn blame_time_is_a_disjoint_sub_interval_of_elapsed() {
     let prog = parse_program(FIGURE2).unwrap();
-    let report = Searcher::new(TypeCheckOracle::new()).search(&prog);
+    let report = SearchSession::builder(TypeCheckOracle::new()).build().unwrap().search(&prog);
     let stats = &report.stats;
     assert!(stats.blame_time <= stats.elapsed, "blame pass happens inside the run");
     assert_eq!(
@@ -167,9 +173,11 @@ fn blame_time_is_a_disjoint_sub_interval_of_elapsed() {
         "search_time is the remainder"
     );
     // Guidance off: no blame pass at all, so the two clocks coincide.
-    let unguided =
-        Searcher::with_config(TypeCheckOracle::new(), SearchConfig::without_blame_guidance())
-            .search(&prog);
+    let unguided = SearchSession::builder(TypeCheckOracle::new())
+        .config(SearchConfig::without_blame_guidance())
+        .build()
+        .unwrap()
+        .search(&prog);
     assert_eq!(unguided.stats.blame_time, std::time::Duration::ZERO);
     assert_eq!(unguided.stats.search_time(), unguided.stats.elapsed);
 }

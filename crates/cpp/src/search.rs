@@ -13,6 +13,17 @@
 //! * constructive changes include STL-specific ones, chiefly wrapping and
 //!   unwrapping `ptr_fun` (Figure 10's fix).
 
+//!
+//! ## Parallel probing
+//!
+//! Unlike the Caml searcher's verdict-driven recursion, the C++ search
+//! is a *flat* enumeration: every candidate change is known up front
+//! and no probe depends on another's verdict. The search therefore runs
+//! in three phases — collect every [`PendingProbe`], evaluate them (in
+//! parallel when [`CppSearchSession`] is built with `threads > 1`),
+//! then fold verdicts back **in enumeration order** — so the report is
+//! identical at any thread count.
+
 use crate::ast::*;
 use crate::check::{check, CppError};
 use crate::edit::{remove_stmt, replace_expr, replace_stmt};
@@ -21,7 +32,9 @@ use seminal_obs::{
     EventKind, Histogram, MetricsSnapshot, ProbeKind, SpanKind, SrcSpan, TraceSink, Tracer,
 };
 use std::collections::HashSet;
-use std::sync::Arc;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// The class of a C++ suggestion, ranked in this order.
@@ -99,8 +112,27 @@ impl CppReport {
     }
 }
 
-/// Per-probe bookkeeping for the C++ search: outcome classification plus
-/// trace events and metric counters, mirroring the Caml searcher's `Run`.
+/// One enumerated change awaiting its verdict: the variant program plus
+/// everything the fold needs to classify, trace, and report it.
+struct PendingProbe {
+    variant: CProgram,
+    kind: CppChangeKind,
+    span: Span,
+    original: String,
+    replacement: String,
+    size: usize,
+}
+
+/// A checked probe: the variant's full error cascade and the check's
+/// wall-clock cost.
+struct Verdict {
+    errors: Vec<CppError>,
+    latency_ns: u64,
+}
+
+/// Per-search bookkeeping for the fold phase: outcome classification
+/// plus trace events and metric counters, mirroring the Caml searcher's
+/// `Run`.
 struct ProbeCtx<'a> {
     before: &'a HashSet<String>,
     n_before: usize,
@@ -112,58 +144,155 @@ struct ProbeCtx<'a> {
 }
 
 impl ProbeCtx<'_> {
-    /// Checks one variant; a probe "succeeds" when it eliminates some
-    /// errors while introducing no new ones (§4.2's implicit triage).
-    #[allow(clippy::too_many_arguments)]
-    fn try_variant(
-        &mut self,
-        variant: &CProgram,
-        kind: CppChangeKind,
-        span: Span,
-        original: String,
-        replacement: String,
-        size: usize,
-    ) {
+    /// Folds one verdict in enumeration order; a probe "succeeds" when
+    /// it eliminates some errors while introducing no new ones (§4.2's
+    /// implicit triage).
+    fn fold(&mut self, probe: PendingProbe, verdict: Verdict) {
         self.calls += 1;
-        let clock = Instant::now();
-        let errors = check(variant);
-        let latency_ns = u64::try_from(clock.elapsed().as_nanos()).unwrap_or(u64::MAX);
-        let after: HashSet<String> = errors.iter().map(CppError::key).collect();
+        let after: HashSet<String> = verdict.errors.iter().map(CppError::key).collect();
         let introduces_new = after.iter().any(|k| !self.before.contains(k));
-        let accepted = errors.len() < self.n_before && !introduces_new;
-        let probe = match &kind {
+        let accepted = verdict.errors.len() < self.n_before && !introduces_new;
+        let kind = match &probe.kind {
             CppChangeKind::Constructive(d) => ProbeKind::Constructive { family: d.clone() },
             CppChangeKind::Adaptation => ProbeKind::Adaptation,
             CppChangeKind::Removal => ProbeKind::Removal,
             CppChangeKind::Statement(_) => ProbeKind::Statement,
         };
-        self.probes[probe.metric_index()] += 1;
-        self.latency.observe(latency_ns);
+        self.probes[kind.metric_index()] += 1;
+        self.latency.observe(verdict.latency_ns);
         if self.tracer.enabled() {
             self.tracer.event(EventKind::OracleProbe {
-                probe,
-                target: original.clone(),
-                span: SrcSpan::new(span.start, span.end),
+                probe: kind,
+                target: probe.original.clone(),
+                span: SrcSpan::new(probe.span.start, probe.span.end),
                 outcome: accepted,
                 cached: false,
-                latency_ns,
+                latency_ns: verdict.latency_ns,
             });
         }
         if accepted {
             self.suggestions.push(CppSuggestion {
-                kind,
-                span,
-                original,
-                replacement,
+                kind: probe.kind,
+                span: probe.span,
+                original: probe.original,
+                replacement: probe.replacement,
                 errors_before: self.n_before,
-                errors_after: errors.len(),
-                size,
+                errors_after: verdict.errors.len(),
+                size: probe.size,
             });
         }
     }
 }
 
-/// Runs the C++ search.
+/// A rejected [`CppSearchSession`] configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CppConfigError {
+    /// `threads` must be at least 1 (1 = the sequential search).
+    ZeroThreads,
+}
+
+impl fmt::Display for CppConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CppConfigError::ZeroThreads => write!(f, "`threads` must be >= 1 (1 = sequential)"),
+        }
+    }
+}
+
+impl std::error::Error for CppConfigError {}
+
+/// The C++ search pipeline, mirroring the ML side's
+/// `SearchSession::builder(...).threads(n).sink(s).build()` shape (the
+/// checker is built in, so no oracle argument).
+pub struct CppSearchSession {
+    threads: usize,
+    sinks: Vec<Arc<dyn TraceSink>>,
+}
+
+impl fmt::Debug for CppSearchSession {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CppSearchSession")
+            .field("threads", &self.threads)
+            .field("sinks", &self.sinks.len())
+            .finish()
+    }
+}
+
+impl CppSearchSession {
+    /// Starts a builder with the sequential default (or the
+    /// `SEMINAL_THREADS` environment default, like the ML engine).
+    pub fn builder() -> CppSearchSessionBuilder {
+        CppSearchSessionBuilder { threads: default_threads(), sinks: Vec::new() }
+    }
+
+    /// Configured probe parallelism.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs the C++ search on `prog`.
+    pub fn search(&self, prog: &CProgram) -> CppReport {
+        search_cpp_impl(prog, self.threads, &self.sinks)
+    }
+}
+
+/// Fluent constructor for [`CppSearchSession`].
+pub struct CppSearchSessionBuilder {
+    threads: usize,
+    sinks: Vec<Arc<dyn TraceSink>>,
+}
+
+impl fmt::Debug for CppSearchSessionBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CppSearchSessionBuilder")
+            .field("threads", &self.threads)
+            .field("sinks", &self.sinks.len())
+            .finish()
+    }
+}
+
+impl CppSearchSessionBuilder {
+    /// Worker threads for probe evaluation (validated `>= 1` at build).
+    #[must_use]
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n;
+        self
+    }
+
+    /// Attaches a trace sink; every search streams its records into it.
+    #[must_use]
+    pub fn sink(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.sinks.push(sink);
+        self
+    }
+
+    /// Validates and assembles the session.
+    ///
+    /// # Errors
+    ///
+    /// [`CppConfigError::ZeroThreads`] when `threads == 0`.
+    pub fn build(self) -> Result<CppSearchSession, CppConfigError> {
+        if self.threads == 0 {
+            return Err(CppConfigError::ZeroThreads);
+        }
+        Ok(CppSearchSession { threads: self.threads, sinks: self.sinks })
+    }
+}
+
+/// Default thread count: `SEMINAL_THREADS` when set to a positive
+/// integer, else 1 (sequential). Read once per process.
+fn default_threads() -> usize {
+    static THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *THREADS.get_or_init(|| {
+        std::env::var("SEMINAL_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or(1)
+    })
+}
+
+/// Runs the C++ search with the default session.
 pub fn search_cpp(prog: &CProgram) -> CppReport {
     search_cpp_with(prog, &[])
 }
@@ -171,6 +300,50 @@ pub fn search_cpp(prog: &CProgram) -> CppReport {
 /// Runs the C++ search, streaming structured trace records (one event per
 /// oracle probe under a root span) into `sinks`.
 pub fn search_cpp_with(prog: &CProgram, sinks: &[Arc<dyn TraceSink>]) -> CppReport {
+    search_cpp_impl(prog, default_threads(), sinks)
+}
+
+/// Largest contiguous run of pending probes a worker claims at once.
+const CHUNK: usize = 8;
+
+/// Evaluates every pending probe, in parallel at `threads > 1`. The
+/// returned verdicts are indexed like `pending`, so the fold consumes
+/// them in enumeration order regardless of which worker checked what.
+fn evaluate_probes(pending: &[PendingProbe], threads: usize) -> Vec<Verdict> {
+    let check_one = |p: &PendingProbe| {
+        let clock = Instant::now();
+        let errors = check(&p.variant);
+        let latency_ns = u64::try_from(clock.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        Verdict { errors, latency_ns }
+    };
+    let workers = threads.min(pending.len());
+    if workers <= 1 {
+        return pending.iter().map(check_one).collect();
+    }
+    let slots: Vec<Mutex<Option<Verdict>>> = pending.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let lo = next.fetch_add(CHUNK, Ordering::Relaxed);
+                if lo >= pending.len() {
+                    return;
+                }
+                let hi = (lo + CHUNK).min(pending.len());
+                for i in lo..hi {
+                    let verdict = check_one(&pending[i]);
+                    *slots[i].lock().expect("probe slot poisoned") = Some(verdict);
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("probe slot poisoned").expect("every probe checked"))
+        .collect()
+}
+
+fn search_cpp_impl(prog: &CProgram, threads: usize, sinks: &[Arc<dyn TraceSink>]) -> CppReport {
     let start = Instant::now();
     let mut tracer = Tracer::new(sinks.to_vec());
     let root = tracer.open(SpanKind::Search);
@@ -201,7 +374,7 @@ pub fn search_cpp_with(prog: &CProgram, sinks: &[Arc<dyn TraceSink>]) -> CppRepo
     }
     if baseline.is_empty() {
         ctx.tracer.close(root);
-        let metrics = cpp_metrics(&ctx, 0);
+        let metrics = cpp_metrics(&ctx, 0, threads);
         return CppReport {
             suggestions: Vec::new(),
             baseline,
@@ -220,17 +393,20 @@ pub fn search_cpp_with(prog: &CProgram, sinks: &[Arc<dyn TraceSink>]) -> CppRepo
         .unwrap_or(0);
     let focus_fn = prog.fns[focus].clone();
 
+    // Phase 1: collect the whole probe frontier. No probe's membership
+    // depends on another's verdict, so enumeration is verdict-free.
+    let mut pending: Vec<PendingProbe> = Vec::new();
+
     // --- statement-level changes ---------------------------------------
     for stmt in &focus_fn.body {
-        let removed = remove_stmt(prog, stmt.id);
-        ctx.try_variant(
-            &removed,
-            CppChangeKind::Statement("delete the statement".into()),
-            stmt.span,
-            stmt.to_string(),
-            String::new(),
-            1,
-        );
+        pending.push(PendingProbe {
+            variant: remove_stmt(prog, stmt.id),
+            kind: CppChangeKind::Statement("delete the statement".into()),
+            span: stmt.span,
+            original: stmt.to_string(),
+            replacement: String::new(),
+            size: 1,
+        });
         // Hoisting: `e0(e1, …);` → `voidMagic(e1); …` to localize which
         // argument carries the errors.
         if let CStmtKind::Expr(e) = &stmt.kind {
@@ -252,15 +428,14 @@ pub fn search_cpp_with(prog: &CProgram, sinks: &[Arc<dyn TraceSink>]) -> CppRepo
                         )),
                     })
                     .collect();
-                let variant = replace_stmt(prog, stmt.id, hoisted);
-                ctx.try_variant(
-                    &variant,
-                    CppChangeKind::Statement("hoist the call's arguments".into()),
-                    stmt.span,
-                    stmt.to_string(),
-                    "voidMagic(…); …".into(),
-                    1,
-                );
+                pending.push(PendingProbe {
+                    variant: replace_stmt(prog, stmt.id, hoisted),
+                    kind: CppChangeKind::Statement("hoist the call's arguments".into()),
+                    span: stmt.span,
+                    original: stmt.to_string(),
+                    replacement: "voidMagic(…); …".into(),
+                    size: 1,
+                });
             }
         }
     }
@@ -274,15 +449,14 @@ pub fn search_cpp_with(prog: &CProgram, sinks: &[Arc<dyn TraceSink>]) -> CppRepo
         let size = node.size();
 
         // Removal: magicFun(0).
-        let removal = replace_expr(prog, node.id, CExpr::synth(CExprKind::Magic, Span::DUMMY));
-        ctx.try_variant(
-            &removal,
-            CppChangeKind::Removal,
+        pending.push(PendingProbe {
+            variant: replace_expr(prog, node.id, CExpr::synth(CExprKind::Magic, Span::DUMMY)),
+            kind: CppChangeKind::Removal,
             span,
-            original.clone(),
-            "magicFun(0)".into(),
+            original: original.clone(),
+            replacement: "magicFun(0)".into(),
             size,
-        );
+        });
 
         // Adaptation: magicFun(e).
         if !matches!(node.kind, CExprKind::Magic | CExprKind::MagicAdapt(_)) {
@@ -291,14 +465,14 @@ pub fn search_cpp_with(prog: &CProgram, sinks: &[Arc<dyn TraceSink>]) -> CppRepo
                 node.id,
                 CExpr::synth(CExprKind::MagicAdapt(Box::new(node.clone())), Span::DUMMY),
             );
-            ctx.try_variant(
-                &adapted,
-                CppChangeKind::Adaptation,
+            pending.push(PendingProbe {
+                variant: adapted,
+                kind: CppChangeKind::Adaptation,
                 span,
-                original.clone(),
-                format!("magicFun({original})"),
+                original: original.clone(),
+                replacement: format!("magicFun({original})"),
                 size,
-            );
+            });
         }
 
         // Constructive: wrap in ptr_fun.
@@ -319,28 +493,27 @@ pub fn search_cpp_with(prog: &CProgram, sinks: &[Arc<dyn TraceSink>]) -> CppRepo
                     Span::DUMMY,
                 ),
             );
-            ctx.try_variant(
-                &wrapped,
-                CppChangeKind::Constructive("wrap the expression in ptr_fun".into()),
+            pending.push(PendingProbe {
+                variant: wrapped,
+                kind: CppChangeKind::Constructive("wrap the expression in ptr_fun".into()),
                 span,
-                original.clone(),
-                format!("ptr_fun({original})"),
+                original: original.clone(),
+                replacement: format!("ptr_fun({original})"),
                 size,
-            );
+            });
         }
 
         // Constructive: unwrap ptr_fun.
         if let CExprKind::Call { callee, args } = &node.kind {
             if matches!(&callee.kind, CExprKind::Var(n) if n == "ptr_fun") && args.len() == 1 {
-                let variant = replace_expr(prog, node.id, args[0].clone());
-                ctx.try_variant(
-                    &variant,
-                    CppChangeKind::Constructive("remove the ptr_fun wrapper".into()),
+                pending.push(PendingProbe {
+                    variant: replace_expr(prog, node.id, args[0].clone()),
+                    kind: CppChangeKind::Constructive("remove the ptr_fun wrapper".into()),
                     span,
-                    original.clone(),
-                    args[0].to_string(),
+                    original: original.clone(),
+                    replacement: args[0].to_string(),
                     size,
-                );
+                });
             }
         }
 
@@ -352,15 +525,14 @@ pub fn search_cpp_with(prog: &CProgram, sinks: &[Arc<dyn TraceSink>]) -> CppRepo
             );
             let desc = if *arrow { "use `.` instead of `->`" } else { "use `->` instead of `.`" };
             let replacement = flipped.to_string();
-            let variant = replace_expr(prog, node.id, flipped);
-            ctx.try_variant(
-                &variant,
-                CppChangeKind::Constructive(desc.into()),
+            pending.push(PendingProbe {
+                variant: replace_expr(prog, node.id, flipped),
+                kind: CppChangeKind::Constructive(desc.into()),
                 span,
-                original.clone(),
+                original: original.clone(),
                 replacement,
                 size,
-            );
+            });
         }
 
         // Constructive: `p->m(args)` → `p.m(args)` (Figure 3's C++ row:
@@ -372,15 +544,14 @@ pub fn search_cpp_with(prog: &CProgram, sinks: &[Arc<dyn TraceSink>]) -> CppRepo
                     Span::DUMMY,
                 );
                 let replacement = as_method.to_string();
-                let variant = replace_expr(prog, node.id, as_method);
-                ctx.try_variant(
-                    &variant,
-                    CppChangeKind::Constructive("use `.` instead of `->`".into()),
+                pending.push(PendingProbe {
+                    variant: replace_expr(prog, node.id, as_method),
+                    kind: CppChangeKind::Constructive("use `.` instead of `->`".into()),
                     span,
-                    original.clone(),
+                    original: original.clone(),
                     replacement,
                     size,
-                );
+                });
             }
         }
 
@@ -394,15 +565,14 @@ pub fn search_cpp_with(prog: &CProgram, sinks: &[Arc<dyn TraceSink>]) -> CppRepo
                     Span::DUMMY,
                 );
                 let replacement = flipped.to_string();
-                let variant = replace_expr(prog, node.id, flipped);
-                ctx.try_variant(
-                    &variant,
-                    CppChangeKind::Constructive("reverse the call's arguments".into()),
+                pending.push(PendingProbe {
+                    variant: replace_expr(prog, node.id, flipped),
+                    kind: CppChangeKind::Constructive("reverse the call's arguments".into()),
                     span,
-                    original.clone(),
+                    original: original.clone(),
                     replacement,
                     size,
-                );
+                });
             }
             if args.len() >= 2 {
                 for i in 0..args.len() {
@@ -413,21 +583,28 @@ pub fn search_cpp_with(prog: &CProgram, sinks: &[Arc<dyn TraceSink>]) -> CppRepo
                         Span::DUMMY,
                     );
                     let replacement = shrunk.to_string();
-                    let variant = replace_expr(prog, node.id, shrunk);
-                    ctx.try_variant(
-                        &variant,
-                        CppChangeKind::Constructive(format!(
+                    pending.push(PendingProbe {
+                        variant: replace_expr(prog, node.id, shrunk),
+                        kind: CppChangeKind::Constructive(format!(
                             "remove argument {} from the call",
                             i + 1
                         )),
                         span,
-                        original.clone(),
+                        original: original.clone(),
                         replacement,
                         size,
-                    );
+                    });
                 }
             }
         }
+    }
+
+    // Phase 2: evaluate the frontier (the only parallel section), then
+    // Phase 3: fold verdicts back in enumeration order, so suggestions,
+    // ranks, and trace records are identical at any thread count.
+    let verdicts = evaluate_probes(&pending, threads);
+    for (probe, verdict) in pending.into_iter().zip(verdicts) {
+        ctx.fold(probe, verdict);
     }
 
     // Rank: complete fixes first, then class, then smaller fragments.
@@ -445,16 +622,19 @@ pub fn search_cpp_with(prog: &CProgram, sinks: &[Arc<dyn TraceSink>]) -> CppRepo
     suggestions.retain(|s| seen.insert((s.span, s.replacement.clone())));
 
     ctx.tracer.close(root);
-    let metrics = cpp_metrics(&ctx, suggestions.len() as u64);
+    let metrics = cpp_metrics(&ctx, suggestions.len() as u64, threads);
     CppReport { suggestions, baseline, oracle_calls: ctx.calls, elapsed: start.elapsed(), metrics }
 }
 
 /// Folds the probe context into the stable metrics snapshot schema.
-fn cpp_metrics(ctx: &ProbeCtx<'_>, suggestions: u64) -> MetricsSnapshot {
+fn cpp_metrics(ctx: &ProbeCtx<'_>, suggestions: u64, threads: usize) -> MetricsSnapshot {
     let mut snap = MetricsSnapshot::default();
     snap.counters.insert("oracle_calls".to_owned(), ctx.calls);
     snap.counters.insert("errors_before".to_owned(), ctx.n_before as u64);
     snap.counters.insert("suggestions".to_owned(), suggestions);
+    if threads > 1 {
+        snap.counters.insert("probe_parallelism".to_owned(), threads as u64);
+    }
     for (i, &n) in ctx.probes.iter().enumerate() {
         if n > 0 {
             snap.counters.insert(format!("probes.{}", ProbeKind::METRIC_KEYS[i]), n);

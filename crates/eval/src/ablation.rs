@@ -8,7 +8,7 @@
 //! good results for each of the three error messages".
 
 use crate::judge::{judge_baseline, judge_seminal};
-use seminal_core::{SearchConfig, Searcher};
+use seminal_core::{SearchConfig, SearchSession};
 use seminal_corpus::CorpusFile;
 use seminal_ml::parser::parse_program;
 use seminal_typeck::{check_program, TypeCheckOracle};
@@ -43,7 +43,10 @@ pub fn ablations(files: &[CorpusFile]) -> Vec<AblationRow> {
     ablation_configs()
         .into_iter()
         .map(|(name, cfg)| {
-            let searcher = Searcher::with_config(TypeCheckOracle::new(), cfg);
+            let searcher = SearchSession::builder(TypeCheckOracle::new())
+                .config(cfg)
+                .build()
+                .expect("ablation configs are valid");
             let mut better = 0usize;
             let mut worse = 0usize;
             let mut total = 0usize;
@@ -105,7 +108,8 @@ pub struct LocationOnly {
 
 /// Measures location-only vs accuracy-based goodness for both systems.
 pub fn location_only(files: &[CorpusFile]) -> LocationOnly {
-    let searcher = Searcher::new(TypeCheckOracle::new());
+    let searcher =
+        SearchSession::builder(TypeCheckOracle::new()).build().expect("default config is valid");
     let mut out = LocationOnly {
         files: 0,
         checker_location_good: 0,

@@ -9,7 +9,7 @@
 //! same three configurations; absolute numbers differ from 2007 hardware
 //! and ocamlc, but the curve ordering is the reproduction target.
 
-use seminal_core::{SearchConfig, Searcher};
+use seminal_core::{SearchConfig, SearchSession};
 use seminal_corpus::CorpusFile;
 use seminal_ml::parser::parse_program;
 use seminal_typeck::TypeCheckOracle;
@@ -30,10 +30,15 @@ pub struct Figure7 {
 /// Runs all three configurations over the corpus.
 pub fn figure7(files: &[CorpusFile]) -> Figure7 {
     let mut fig = Figure7::default();
-    let with_slow =
-        Searcher::with_config(TypeCheckOracle::new(), SearchConfig::with_slow_match_reassoc());
-    let fast = Searcher::new(TypeCheckOracle::new());
-    let no_triage = Searcher::with_config(TypeCheckOracle::new(), SearchConfig::without_triage());
+    let session = |cfg: SearchConfig| {
+        SearchSession::builder(TypeCheckOracle::new())
+            .config(cfg)
+            .build()
+            .expect("preset configs are valid")
+    };
+    let with_slow = session(SearchConfig::with_slow_match_reassoc());
+    let fast = session(SearchConfig::default());
+    let no_triage = session(SearchConfig::without_triage());
     for file in files {
         let Ok(prog) = parse_program(&file.source) else { continue };
         fig.full_with_slow.push(with_slow.search(&prog).stats.elapsed);

@@ -214,7 +214,7 @@ fn blames_fault_node(prog: &Program, blamed: NodeId, t: &GroundTruth) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use seminal_core::Searcher;
+    use seminal_core::SearchSession;
     use seminal_corpus::mutate::mutate;
     use seminal_corpus::rng::SplitMix64;
     use seminal_corpus::templates::TEMPLATES;
@@ -238,7 +238,7 @@ mod tests {
     fn tuple_params_fault_judged_accurate_for_seminal() {
         let file = file_from("map2_combine", MutationKind::TupleParams, 5);
         let prog = parse_program(&file.source).unwrap();
-        let report = Searcher::new(TypeCheckOracle::new()).search(&prog);
+        let report = SearchSession::builder(TypeCheckOracle::new()).build().unwrap().search(&prog);
         let j = judge_seminal(&file, &report);
         assert!(j.location_good, "best: {:?}", report.best().map(|s| &s.original_str));
         assert!(j.accurate);
@@ -285,7 +285,8 @@ mod tests {
             let file = file_from(i, kind, 31);
             let prog = parse_program(&file.source).unwrap();
             let err = check_program(&prog).unwrap_err();
-            let report = Searcher::new(TypeCheckOracle::new()).search(&prog);
+            let report =
+                SearchSession::builder(TypeCheckOracle::new()).build().unwrap().search(&prog);
             let _ = judge_baseline(&file, &err);
             let _ = judge_seminal(&file, &report);
         }

@@ -1,12 +1,26 @@
 //! Runs the three systems of §3 over a corpus: the baseline checker,
 //! Seminal, and Seminal with triage disabled.
+//!
+//! ## Parallel evaluation
+//!
+//! Corpus files are independent, so [`evaluate_corpus_with`] parallelizes
+//! at file granularity: `threads` scoped workers claim file indices from
+//! an atomic counter and write into per-file slots, which are then
+//! collected in corpus order. Each per-file search runs the sequential
+//! engine (`threads(1)`), so the suggestions, judgments, and oracle-call
+//! counts are identical at every worker count — only wall-clock changes.
+//! (Probe-engine parallelism inside a single search is exercised by the
+//! core determinism suite; stacking it on top of file-level workers
+//! would only oversubscribe the machine.)
 
 use crate::category::{classify, Category};
 use crate::judge::{judge_baseline, judge_seminal, Judgment};
-use seminal_core::{SearchConfig, Searcher};
+use seminal_core::{SearchConfig, SearchSession};
 use seminal_corpus::CorpusFile;
 use seminal_ml::parser::parse_program;
 use seminal_typeck::{check_program, TypeCheckOracle};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Duration;
 
 /// Everything measured for one corpus file.
@@ -31,37 +45,69 @@ pub struct FileResult {
     pub metrics: seminal_obs::MetricsSnapshot,
 }
 
-/// Evaluates every file; files that unexpectedly parse/type-check are
-/// skipped (the corpus generator prevents them by construction).
+/// Evaluates every file sequentially; files that unexpectedly
+/// parse/type-check are skipped (the corpus generator prevents them by
+/// construction). Equivalent to `evaluate_corpus_with(files, 1)`.
 pub fn evaluate_corpus(files: &[CorpusFile]) -> Vec<FileResult> {
-    let full_searcher = Searcher::new(TypeCheckOracle::new());
-    let nt_searcher = Searcher::with_config(TypeCheckOracle::new(), SearchConfig::without_triage());
-    files
-        .iter()
-        .filter_map(|file| {
-            let prog = parse_program(&file.source).ok()?;
-            let baseline_err = check_program(&prog).err()?;
-            let full_report = full_searcher.search(&prog);
-            let nt_report = nt_searcher.search(&prog);
-            let full = judge_seminal(file, &full_report);
-            let no_triage = judge_seminal(file, &nt_report);
-            let baseline = judge_baseline(file, &baseline_err);
-            Some(FileResult {
-                id: file.id.clone(),
-                programmer: file.programmer,
-                assignment: file.assignment,
-                multi_error: file.is_multi_error(),
-                category: classify(full, no_triage, baseline),
-                full,
-                no_triage,
-                baseline,
-                full_time: full_report.stats.elapsed,
-                no_triage_time: nt_report.stats.elapsed,
-                full_calls: full_report.stats.oracle_calls,
-                metrics: full_report.metrics,
-            })
-        })
-        .collect()
+    evaluate_corpus_with(files, 1)
+}
+
+/// Evaluates every file using `threads` file-level workers. Results are
+/// returned in corpus order and are identical at every `threads` value;
+/// only wall-clock differs.
+pub fn evaluate_corpus_with(files: &[CorpusFile], threads: usize) -> Vec<FileResult> {
+    let workers = threads.max(1).min(files.len().max(1));
+    if workers <= 1 {
+        return files.iter().filter_map(evaluate_file).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<FileResult>>> = files.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(file) = files.get(i) else { break };
+                *slots[i].lock().expect("file slot poisoned") = evaluate_file(file);
+            });
+        }
+    });
+    slots.into_iter().filter_map(|m| m.into_inner().expect("file slot poisoned")).collect()
+}
+
+/// Runs all three systems over one file. Sessions are pinned to
+/// `threads(1)` so per-file results do not depend on `SEMINAL_THREADS`
+/// or on the worker count of the surrounding corpus run.
+fn evaluate_file(file: &CorpusFile) -> Option<FileResult> {
+    let full_session = SearchSession::builder(TypeCheckOracle::new())
+        .threads(1)
+        .build()
+        .expect("default config with threads=1 is valid");
+    let nt_session = SearchSession::builder(TypeCheckOracle::new())
+        .config(SearchConfig::without_triage())
+        .threads(1)
+        .build()
+        .expect("no-triage config with threads=1 is valid");
+    let prog = parse_program(&file.source).ok()?;
+    let baseline_err = check_program(&prog).err()?;
+    let full_report = full_session.search(&prog);
+    let nt_report = nt_session.search(&prog);
+    let full = judge_seminal(file, &full_report);
+    let no_triage = judge_seminal(file, &nt_report);
+    let baseline = judge_baseline(file, &baseline_err);
+    Some(FileResult {
+        id: file.id.clone(),
+        programmer: file.programmer,
+        assignment: file.assignment,
+        multi_error: file.is_multi_error(),
+        category: classify(full, no_triage, baseline),
+        full,
+        no_triage,
+        baseline,
+        full_time: full_report.stats.elapsed,
+        no_triage_time: nt_report.stats.elapsed,
+        full_calls: full_report.stats.oracle_calls,
+        metrics: full_report.metrics,
+    })
 }
 
 #[cfg(test)]
@@ -91,5 +137,21 @@ mod tests {
             "Seminal no-worse on only {no_worse}/{} files",
             results.len()
         );
+    }
+
+    #[test]
+    fn parallel_evaluation_matches_sequential_in_order_and_content() {
+        let files = generate(&small_config(6));
+        let seq = evaluate_corpus_with(&files, 1);
+        let par = evaluate_corpus_with(&files, 4);
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.id, b.id, "file order must be preserved");
+            assert_eq!(a.full, b.full, "{}: full judgment differs", a.id);
+            assert_eq!(a.no_triage, b.no_triage, "{}: no-triage judgment differs", a.id);
+            assert_eq!(a.baseline, b.baseline, "{}: baseline judgment differs", a.id);
+            assert_eq!(a.category, b.category, "{}: category differs", a.id);
+            assert_eq!(a.full_calls, b.full_calls, "{}: oracle calls differ", a.id);
+        }
     }
 }

@@ -9,16 +9,37 @@
 use crate::error::TypeError;
 use crate::infer::check_program;
 use seminal_ml::ast::Program;
-use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A black-box type checker.
-pub trait Oracle {
+///
+/// Oracles are `Send + Sync`: the parallel probe engine shares one oracle
+/// across its worker threads, so `check` must be callable concurrently.
+/// Oracles carrying mutable state (counters, registries) use interior
+/// mutability with atomics or locks, as [`CountingOracle`] and
+/// [`InstrumentedOracle`] do.
+pub trait Oracle: Send + Sync {
     /// Type-checks the whole program, returning the first error if any.
     ///
     /// # Errors
     ///
     /// The first [`TypeError`] in inference order.
     fn check(&self, prog: &Program) -> Result<(), TypeError>;
+
+    /// Type-checks a whole frontier of program variants at once, in
+    /// order. The default just maps [`Oracle::check`]; oracles with
+    /// per-call setup worth amortizing (an external checker process, the
+    /// C++ instantiation checker warming a template cache) override this
+    /// to pay that setup once per batch. The parallel probe engine hands
+    /// each worker's stolen chunk through this method.
+    ///
+    /// # Errors
+    ///
+    /// One verdict per variant, each carrying the first [`TypeError`] in
+    /// inference order when ill-typed.
+    fn check_batch(&self, progs: &[&Program]) -> Vec<Result<(), TypeError>> {
+        progs.iter().map(|p| self.check(p)).collect()
+    }
 }
 
 /// The real checker from [`crate::infer`].
@@ -40,26 +61,28 @@ impl Oracle for TypeCheckOracle {
 
 /// Wraps an oracle and counts calls — the cost metric of the paper's
 /// efficiency discussion (search cost ≈ number of type-checker runs).
+/// The counter is atomic so the wrapper stays a valid [`Oracle`] when
+/// probes run on the parallel engine's worker threads.
 #[derive(Debug, Default)]
 pub struct CountingOracle<O> {
     inner: O,
-    calls: Cell<u64>,
+    calls: AtomicU64,
 }
 
 impl<O: Oracle> CountingOracle<O> {
     /// Wraps `inner` with a zeroed counter.
     pub fn new(inner: O) -> CountingOracle<O> {
-        CountingOracle { inner, calls: Cell::new(0) }
+        CountingOracle { inner, calls: AtomicU64::new(0) }
     }
 
     /// Number of `check` calls made so far.
     pub fn calls(&self) -> u64 {
-        self.calls.get()
+        self.calls.load(Ordering::Relaxed)
     }
 
     /// Resets the counter to zero.
     pub fn reset(&self) {
-        self.calls.set(0);
+        self.calls.store(0, Ordering::Relaxed);
     }
 
     /// Unwraps the inner oracle.
@@ -70,7 +93,7 @@ impl<O: Oracle> CountingOracle<O> {
 
 impl<O: Oracle> Oracle for CountingOracle<O> {
     fn check(&self, prog: &Program) -> Result<(), TypeError> {
-        self.calls.set(self.calls.get() + 1);
+        self.calls.fetch_add(1, Ordering::Relaxed);
         self.inner.check(prog)
     }
 }

@@ -12,7 +12,7 @@
 //! DSLs).
 
 use seminal::core::change::Candidate;
-use seminal::core::{message, Searcher};
+use seminal::core::{message, SearchSession};
 use seminal::ml::ast::{Expr, ExprKind};
 use seminal::ml::parser::parse_program;
 use seminal::ml::span::Span;
@@ -27,7 +27,7 @@ let shout =
     let program = parse_program(source)?;
 
     // The stock searcher localizes the error but has no domain insight.
-    let stock = Searcher::new(TypeCheckOracle::new()).search(&program);
+    let stock = SearchSession::builder(TypeCheckOracle::new()).build()?.search(&program);
     println!("stock top suggestion:");
     println!("{}", message::render(stock.best().expect("a suggestion")));
 
@@ -35,25 +35,26 @@ let shout =
     // meant as `List.hd e`. A few lines, no compiler surgery, and the
     // oracle still validates every candidate — a bad custom change can
     // waste time but never produce a wrong "this type-checks" claim.
-    let mut searcher = Searcher::new(TypeCheckOracle::new());
-    searcher.add_change(Box::new(|node: &Expr| {
-        let ExprKind::App(f, arg) = &node.kind else { return Vec::new() };
-        let ExprKind::Var(name) = &f.kind else { return Vec::new() };
-        if name != "List.length" {
-            return Vec::new();
-        }
-        vec![Candidate {
-            replacement: Expr::synth(
-                ExprKind::App(
-                    Box::new(Expr::var("List.hd", Span::DUMMY)),
-                    Box::new((**arg).clone()),
+    let session = SearchSession::builder(TypeCheckOracle::new())
+        .custom_change(Box::new(|node: &Expr| {
+            let ExprKind::App(f, arg) = &node.kind else { return Vec::new() };
+            let ExprKind::Var(name) = &f.kind else { return Vec::new() };
+            if name != "List.length" {
+                return Vec::new();
+            }
+            vec![Candidate {
+                replacement: Expr::synth(
+                    ExprKind::App(
+                        Box::new(Expr::var("List.hd", Span::DUMMY)),
+                        Box::new((**arg).clone()),
+                    ),
+                    Span::DUMMY,
                 ),
-                Span::DUMMY,
-            ),
-            description: "take the first element with List.hd (team lint #42)".to_owned(),
-        }]
-    }));
-    let custom = searcher.search(&program);
+                description: "take the first element with List.hd (team lint #42)".to_owned(),
+            }]
+        }))
+        .build()?;
+    let custom = session.search(&program);
     println!("with the custom change registered:");
     let hit = custom
         .suggestions()

@@ -5,7 +5,7 @@
 //! cargo run --example multi_error_triage
 //! ```
 
-use seminal::core::{message, SearchConfig, Searcher};
+use seminal::core::{message, SearchConfig, SearchSession};
 use seminal::ml::parser::parse_program;
 use seminal::typeck::TypeCheckOracle;
 
@@ -26,7 +26,9 @@ let f x y =
     }
 
     println!("=== without triage ===");
-    let no_triage = Searcher::with_config(TypeCheckOracle::new(), SearchConfig::without_triage());
+    let no_triage = SearchSession::builder(TypeCheckOracle::new())
+        .config(SearchConfig::without_triage())
+        .build()?;
     let report = no_triage.search(&program);
     match report.best() {
         Some(s) => println!("{}", message::render(s)),
@@ -34,7 +36,7 @@ let f x y =
     }
 
     println!("=== with triage ===");
-    let full = Searcher::new(TypeCheckOracle::new());
+    let full = SearchSession::builder(TypeCheckOracle::new()).build()?;
     let report = full.search(&program);
     assert!(report.stats.triage_used, "this input requires triage");
     for s in report.suggestions().iter().take(3) {

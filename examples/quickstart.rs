@@ -5,7 +5,7 @@
 //! cargo run --example quickstart
 //! ```
 
-use seminal::core::{message, Searcher};
+use seminal::core::{message, SearchSession};
 use seminal::ml::parser::parse_program;
 use seminal::typeck::TypeCheckOracle;
 
@@ -20,8 +20,8 @@ let updated = add shopping item
 "#;
 
     let program = parse_program(source)?;
-    let searcher = Searcher::new(TypeCheckOracle::new());
-    let report = searcher.search(&program);
+    let session = SearchSession::builder(TypeCheckOracle::new()).build()?;
+    let report = session.search(&program);
 
     // The conventional message: correct but mystifying without knowing
     // how unification flows through polymorphic types.

@@ -19,7 +19,7 @@
 //! ## Quickstart
 //!
 //! ```
-//! use seminal::core::{message, Searcher};
+//! use seminal::core::{message, SearchSession};
 //! use seminal::ml::parser::parse_program;
 //! use seminal::typeck::TypeCheckOracle;
 //!
@@ -27,7 +27,8 @@
 //! let src = "let lst = List.map (fun (x, y) -> x + y) (List.combine [1] [2])
 //! let n = List.length lst + \"oops\"";
 //! let prog = parse_program(src)?;
-//! let report = Searcher::new(TypeCheckOracle::new()).search(&prog);
+//! let session = SearchSession::builder(TypeCheckOracle::new()).build()?;
+//! let report = session.search(&prog);
 //! let best = report.best().expect("a suggestion");
 //! println!("{}", message::render(best));
 //! # Ok(())

@@ -14,6 +14,10 @@
 //! pass: a top-k list of blamed spans from unsat-core localization,
 //! usable as a fast lint without any oracle search.
 //!
+//! `--threads N` on `check` and `cpp` selects the parallel probe engine's
+//! worker count (default honors `SEMINAL_THREADS`; suggestions are
+//! identical at every thread count).
+//!
 //! Observability flags on `check`: `--trace` (structured span/probe tree),
 //! `--trace-json PATH` (stream JSONL trace records), `--metrics-json PATH`
 //! (write the `seminal-obs/metrics-v1` snapshot), `--profile` (per-span
@@ -23,7 +27,7 @@
 //! Exit codes (see `--help`): 0 success/no errors, 1 type errors found or
 //! invalid metrics, 2 usage error, 3 parse error, 4 file I/O error.
 
-use seminal::core::{message, Outcome, SearchConfig, Searcher};
+use seminal::core::{message, Outcome, SearchConfig, SearchSession};
 use seminal::ml::parser::parse_program;
 use seminal::typeck::TypeCheckOracle;
 use seminal_obs::{
@@ -56,6 +60,9 @@ struct Opts {
     metrics_json: Option<String>,
     /// Stream trace records as JSON lines.
     trace_json: Option<String>,
+    /// Worker threads for the parallel probe engine (`None` = config
+    /// default, which honors `SEMINAL_THREADS`).
+    threads: Option<usize>,
 }
 
 fn main() -> ExitCode {
@@ -68,6 +75,7 @@ fn main() -> ExitCode {
         profile: false,
         metrics_json: None,
         trace_json: None,
+        threads: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -102,6 +110,15 @@ fn main() -> ExitCode {
                 }
                 None => return usage(),
             },
+            "--threads" => match args.get(i + 1).and_then(|s| s.parse::<usize>().ok()) {
+                // `0` is kept so the config builder reports the typed
+                // error; anything unparsable is a usage error here.
+                Some(n) => {
+                    opts.threads = Some(n);
+                    i += 2;
+                }
+                None => return usage(),
+            },
             other => {
                 if other.starts_with("--") {
                     eprintln!("unknown flag `{other}`");
@@ -126,7 +143,7 @@ fn main() -> ExitCode {
             None => usage(),
         },
         Some("cpp") => match positional.get(1) {
-            Some(path) => check_cpp(path),
+            Some(path) => check_cpp(path, &opts),
             None => usage(),
         },
         Some("demo") => demo(),
@@ -137,7 +154,7 @@ fn main() -> ExitCode {
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  \
-         seminal check [--top N] [--no-triage] [--trace] [--profile]\n               \
+         seminal check [--top N] [--no-triage] [--threads N] [--trace] [--profile]\n               \
          [--metrics-json PATH] [--trace-json PATH] <file.ml>\n  \
          seminal analyze [--top N] <file.ml>    blamed-span localization report\n  \
          seminal metrics-check <file.json>      validate a metrics snapshot\n  \
@@ -171,11 +188,14 @@ fn check_file(path: &str, opts: &Opts) -> ExitCode {
     let mut config =
         if opts.no_triage { SearchConfig::without_triage() } else { SearchConfig::default() };
     config.collect_trace = opts.trace || opts.profile || opts.metrics_json.is_some();
-    let mut searcher = Searcher::with_config(TypeCheckOracle::new(), config);
+    let mut builder = SearchSession::builder(TypeCheckOracle::new()).config(config);
+    if let Some(n) = opts.threads {
+        builder = builder.threads(n);
+    }
     if let Some(out) = &opts.trace_json {
         match std::fs::File::create(out) {
             Ok(f) => {
-                searcher.add_sink(Arc::new(JsonlSink::new(std::io::BufWriter::new(f))));
+                builder = builder.sink(Arc::new(JsonlSink::new(std::io::BufWriter::new(f))));
             }
             Err(e) => {
                 eprintln!("cannot write {out}: {e}");
@@ -183,7 +203,14 @@ fn check_file(path: &str, opts: &Opts) -> ExitCode {
             }
         }
     }
-    let report = searcher.search(&prog);
+    let session = match builder.build() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("invalid configuration: {e}");
+            return ExitCode::from(EXIT_USAGE);
+        }
+    };
+    let report = session.search(&prog);
     if let Some(out) = &opts.metrics_json {
         if let Err(e) = std::fs::write(out, report.metrics.to_json_string()) {
             eprintln!("cannot write {out}: {e}");
@@ -334,7 +361,7 @@ fn metrics_check(path: &str) -> ExitCode {
     }
 }
 
-fn check_cpp(path: &str) -> ExitCode {
+fn check_cpp(path: &str, opts: &Opts) -> ExitCode {
     let source = match std::fs::read_to_string(path) {
         Ok(s) => s,
         Err(e) => {
@@ -349,7 +376,18 @@ fn check_cpp(path: &str) -> ExitCode {
             return ExitCode::from(EXIT_PARSE);
         }
     };
-    let report = seminal::cpp::search_cpp(&prog);
+    let mut builder = seminal::cpp::CppSearchSession::builder();
+    if let Some(n) = opts.threads {
+        builder = builder.threads(n);
+    }
+    let session = match builder.build() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("invalid configuration: {e}");
+            return ExitCode::from(EXIT_USAGE);
+        }
+    };
+    let report = session.search(&prog);
     if report.baseline.is_empty() {
         println!("{path}: no type errors");
         return ExitCode::SUCCESS;
@@ -368,7 +406,9 @@ fn check_cpp(path: &str) -> ExitCode {
 fn demo() -> ExitCode {
     let figure2 = "let map2 f aList bList = List.map (fun (a, b) -> f a b) (List.combine aList bList)\nlet lst = map2 (fun (x, y) -> x + y) [1;2;3] [4;5;6]\nlet ans = List.filter (fun x -> x == 0) lst\n";
     let prog = parse_program(figure2).expect("figure 2 parses");
-    let report = Searcher::new(TypeCheckOracle::new()).search(&prog);
+    let session =
+        SearchSession::builder(TypeCheckOracle::new()).build().expect("default config is valid");
+    let report = session.search(&prog);
     if let Some(err) = &report.baseline {
         println!("Type-checker:\n{}\n", err.render(figure2));
     }

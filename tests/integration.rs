@@ -1,6 +1,6 @@
 //! Cross-crate integration tests: corpus → search → judge → figures.
 
-use seminal::core::{ChangeKind, SearchConfig, Searcher};
+use seminal::core::{ChangeKind, SearchConfig, SearchSession};
 use seminal::corpus::generate::{generate, CorpusConfig};
 use seminal::corpus::session::{group_sizes, histogram, summarize};
 use seminal::eval::{evaluate_corpus, figure5, render_figure5, Category};
@@ -81,7 +81,8 @@ fn oracle_call_counts_ordered_across_configs() {
         let prog = parse_program(&f.source).unwrap();
         let count = |cfg: SearchConfig| {
             let oracle = CountingOracle::new(TypeCheckOracle::new());
-            Searcher::with_config(&oracle, cfg).search(&prog);
+            // threads(1): exact counts must not depend on SEMINAL_THREADS.
+            SearchSession::builder(&oracle).config(cfg).threads(1).build().unwrap().search(&prog);
             oracle.calls()
         };
         let full = count(SearchConfig::default());
@@ -104,7 +105,8 @@ let classify a b c =
     let prog = parse_program(src).unwrap();
     let count = |cfg: SearchConfig| {
         let oracle = CountingOracle::new(TypeCheckOracle::new());
-        Searcher::with_config(&oracle, cfg).search(&prog);
+        // threads(1): exact counts must not depend on SEMINAL_THREADS.
+        SearchSession::builder(&oracle).config(cfg).threads(1).build().unwrap().search(&prog);
         oracle.calls()
     };
     let fast = count(SearchConfig::default());
@@ -133,7 +135,7 @@ fn ml_and_cpp_searchers_agree_on_philosophy() {
     // examples in one test.
     let ml_src = "let lst = List.map (fun (x, y) -> x + y) (List.combine [1] [2])\nlet n = lst\nlet bad = List.map (fun (a, b) -> a ^ b) lst";
     let prog = parse_program(ml_src).unwrap();
-    let ml_report = Searcher::new(TypeCheckOracle::new()).search(&prog);
+    let ml_report = SearchSession::builder(TypeCheckOracle::new()).build().unwrap().search(&prog);
     // lst : (int) list after combine/map — `a ^ b` over int pairs fails.
     assert!(ml_report.best().is_some());
 
@@ -163,7 +165,7 @@ fn best_suggestion_often_matches_ground_truth_fragment() {
     // Not a universal law (several fixes can be equally valid), but the
     // exact-inverse rate should be well above zero.
     let corpus = small_corpus(7);
-    let searcher = Searcher::new(TypeCheckOracle::new());
+    let searcher = SearchSession::builder(TypeCheckOracle::new()).build().unwrap();
     let mut exact = 0;
     let mut total = 0;
     for f in &corpus {
@@ -184,7 +186,10 @@ fn best_suggestion_often_matches_ground_truth_fragment() {
 #[test]
 fn removal_only_is_strictly_weaker_but_still_localizes() {
     let corpus = small_corpus(8);
-    let removal = Searcher::with_config(TypeCheckOracle::new(), SearchConfig::removal_only());
+    let removal = SearchSession::builder(TypeCheckOracle::new())
+        .config(SearchConfig::removal_only())
+        .build()
+        .unwrap();
     for f in corpus.iter().take(5) {
         let prog = parse_program(&f.source).unwrap();
         let report = removal.search(&prog);

@@ -2,13 +2,13 @@
 //! pin the user-facing output — wording, layout, types — so presentation
 //! regressions are caught, not just search-result regressions.
 
-use seminal::core::{message, Searcher};
+use seminal::core::{message, SearchSession};
 use seminal::ml::parser::parse_program;
 use seminal::typeck::{check_program, TypeCheckOracle};
 
 fn seminal_message(src: &str) -> String {
     let prog = parse_program(src).unwrap();
-    let report = Searcher::new(TypeCheckOracle::new()).search(&prog);
+    let report = SearchSession::builder(TypeCheckOracle::new()).build().unwrap().search(&prog);
     message::render(report.best().expect("a suggestion"))
 }
 
@@ -77,7 +77,7 @@ fn triage_message_golden_prefix() {
   | n, [] -> n\n\
   | _, 5 -> 5 + \"hi\"\n";
     let prog = parse_program(src).unwrap();
-    let report = Searcher::new(TypeCheckOracle::new()).search(&prog);
+    let report = SearchSession::builder(TypeCheckOracle::new()).build().unwrap().search(&prog);
     let pat_fix = report
         .suggestions()
         .iter()
@@ -95,7 +95,7 @@ fn triage_message_golden_prefix() {
 fn unbound_message_golden() {
     let src = "let f x = print x; x + 1";
     let prog = parse_program(src).unwrap();
-    let report = Searcher::new(TypeCheckOracle::new()).search(&prog);
+    let report = SearchSession::builder(TypeCheckOracle::new()).build().unwrap().search(&prog);
     let hinted = report
         .suggestions()
         .iter()
@@ -135,7 +135,7 @@ void myFun(vector<long>& inv, vector<long>& outv) {
 fn report_rendering_numbers_suggestions() {
     let src = "let r = List.mem [\"a\"] \"a\"";
     let prog = parse_program(src).unwrap();
-    let report = Searcher::new(TypeCheckOracle::new()).search(&prog);
+    let report = SearchSession::builder(TypeCheckOracle::new()).build().unwrap().search(&prog);
     let text = message::render_report(&report, src, 2);
     assert!(text.starts_with("[1] At line 1"));
     assert!(text.contains("[2] At line 1"));

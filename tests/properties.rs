@@ -9,7 +9,7 @@
 //! * corpus mutants are deterministic and ill-typed;
 //! * every untriaged suggestion's variant type-checks (search soundness).
 
-use seminal::core::Searcher;
+use seminal::core::SearchSession;
 use seminal::corpus::mutate::{mutate, ALL_KINDS};
 use seminal::corpus::rng::SplitMix64;
 use seminal::corpus::templates::TEMPLATES;
@@ -206,7 +206,8 @@ fn suggestions_type_check() {
         let mut rng = SplitMix64::seed_from_u64(seed * 7 + 1);
         if let Some(m) = mutate(t.source, ALL_KINDS, 1, &mut rng) {
             let prog = parse_program(&m.source).unwrap();
-            let report = Searcher::new(TypeCheckOracle::new()).search(&prog);
+            let report =
+                SearchSession::builder(TypeCheckOracle::new()).build().unwrap().search(&prog);
             for s in report.suggestions() {
                 if !s.triaged {
                     assert!(

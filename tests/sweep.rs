@@ -3,7 +3,7 @@
 //! distribution — no panics, structurally valid variants, sound
 //! untriaged suggestions, and a suggestion or clean fallback everywhere.
 
-use seminal::core::{Outcome, Searcher};
+use seminal::core::{Outcome, SearchSession};
 use seminal::corpus::mutate::{mutate, ALL_KINDS};
 use seminal::corpus::rng::SplitMix64;
 use seminal::corpus::templates::TEMPLATES;
@@ -13,7 +13,7 @@ use seminal::typeck::{check_program, TypeCheckOracle};
 
 #[test]
 fn search_handles_every_template_and_kind() {
-    let searcher = Searcher::new(TypeCheckOracle::new());
+    let searcher = SearchSession::builder(TypeCheckOracle::new()).build().unwrap();
     let mut searched = 0usize;
     let mut with_suggestions = 0usize;
     for template in TEMPLATES {
@@ -74,7 +74,7 @@ fn search_handles_every_template_and_kind() {
 
 #[test]
 fn multi_error_sweep_exercises_triage() {
-    let searcher = Searcher::new(TypeCheckOracle::new());
+    let searcher = SearchSession::builder(TypeCheckOracle::new()).build().unwrap();
     let mut triaged_runs = 0usize;
     let mut total = 0usize;
     for (i, template) in TEMPLATES.iter().enumerate() {
