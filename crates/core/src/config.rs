@@ -11,6 +11,7 @@
 //! instead of letting them panic deep inside a search.
 
 use std::fmt;
+use std::time::Duration;
 
 /// A rejected [`SearchConfig`] value, reported by
 /// [`SearchConfigBuilder::build`] and [`SearchConfig::validate`].
@@ -24,6 +25,8 @@ pub enum ConfigError {
     ZeroOracleBudget,
     /// `max_suggestions` must be at least 1.
     ZeroSuggestionCap,
+    /// `deadline`, when set, must be a positive duration.
+    ZeroDeadline,
 }
 
 impl fmt::Display for ConfigError {
@@ -33,6 +36,9 @@ impl fmt::Display for ConfigError {
             ConfigError::ZeroTraceCapacity => write!(f, "`trace_capacity` must be >= 1 record"),
             ConfigError::ZeroOracleBudget => write!(f, "`max_oracle_calls` must be >= 1"),
             ConfigError::ZeroSuggestionCap => write!(f, "`max_suggestions` must be >= 1"),
+            ConfigError::ZeroDeadline => {
+                write!(f, "`deadline` must be a positive duration when set")
+            }
         }
     }
 }
@@ -102,6 +108,15 @@ pub struct SearchConfig {
     /// The default honors the `SEMINAL_THREADS` environment variable so
     /// CI can sweep a whole test suite through the parallel engine.
     pub threads: usize,
+    /// Wall-clock deadline for one search, measured from the start of
+    /// [`search`](crate::SearchSession::search). The baseline check
+    /// always runs; after it, the sequential loop and the probe engine's
+    /// workers stop cooperatively once the deadline passes, and the
+    /// report carries the best-so-far suggestions with
+    /// `Completion::DeadlineExpired`. `None` (the default) means
+    /// unbounded. The default honors `SEMINAL_DEADLINE_MS` the way
+    /// `threads` honors `SEMINAL_THREADS`.
+    pub deadline: Option<Duration>,
 }
 
 /// Default thread count: `SEMINAL_THREADS` when set to a positive
@@ -114,6 +129,20 @@ fn default_threads() -> usize {
             .and_then(|v| v.trim().parse::<usize>().ok())
             .filter(|&n| n >= 1)
             .unwrap_or(1)
+    })
+}
+
+/// Default per-search deadline: `SEMINAL_DEADLINE_MS` when set to a
+/// positive integer (milliseconds), else unbounded. Read once per
+/// process.
+fn default_deadline() -> Option<Duration> {
+    static DEADLINE: std::sync::OnceLock<Option<Duration>> = std::sync::OnceLock::new();
+    *DEADLINE.get_or_init(|| {
+        std::env::var("SEMINAL_DEADLINE_MS")
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .filter(|&ms| ms >= 1)
+            .map(Duration::from_millis)
     })
 }
 
@@ -134,6 +163,7 @@ impl Default for SearchConfig {
             trace_capacity: 262_144,
             blame_guidance: true,
             threads: default_threads(),
+            deadline: default_deadline(),
         }
     }
 }
@@ -166,6 +196,9 @@ impl SearchConfig {
         }
         if self.max_suggestions == 0 {
             return Err(ConfigError::ZeroSuggestionCap);
+        }
+        if self.deadline == Some(Duration::ZERO) {
+            return Err(ConfigError::ZeroDeadline);
         }
         Ok(())
     }
@@ -302,6 +335,14 @@ impl SearchConfigBuilder {
         self
     }
 
+    /// Wall-clock deadline for one search; `None` removes any limit
+    /// (validated positive at build when set).
+    #[must_use]
+    pub fn deadline(mut self, limit: Option<Duration>) -> Self {
+        self.cfg.deadline = limit;
+        self
+    }
+
     /// Validates and produces the configuration.
     ///
     /// # Errors
@@ -363,6 +404,18 @@ mod tests {
             Err(ConfigError::ZeroSuggestionCap)
         );
         assert!(ConfigError::ZeroThreads.to_string().contains("threads"));
+    }
+
+    #[test]
+    fn deadline_must_be_positive_when_set() {
+        assert_eq!(
+            SearchConfig::builder().deadline(Some(Duration::ZERO)).build(),
+            Err(ConfigError::ZeroDeadline)
+        );
+        let cfg =
+            SearchConfig::builder().deadline(Some(Duration::from_millis(50))).build().unwrap();
+        assert_eq!(cfg.deadline, Some(Duration::from_millis(50)));
+        assert!(SearchConfig::builder().deadline(None).build().is_ok());
     }
 
     #[test]

@@ -32,10 +32,12 @@
 //! critical section is tens of nanoseconds, and FNV-spread keys make
 //! contention on 16 shards negligible. See DESIGN.md §10.
 
+use crate::budget::Budget;
 use seminal_ml::ast::Program;
 use seminal_ml::pretty::program_to_string;
-use seminal_typeck::Oracle;
+use seminal_typeck::{guarded_probe, Oracle, ProbeOutcome};
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -52,8 +54,10 @@ const CHUNK: usize = 8;
 /// One cached oracle verdict.
 #[derive(Debug, Clone, Copy)]
 struct MemoEntry {
-    /// Whether the variant type-checked.
-    verdict: bool,
+    /// The probe's three-valued verdict ([`ProbeOutcome::Faulted`] when
+    /// the oracle panicked and the panic was isolated — cached like any
+    /// other verdict, so a deterministic fault costs one fault total).
+    verdict: ProbeOutcome,
     /// Wall-clock of the oracle call that produced the verdict.
     latency_ns: u64,
     /// Whether the searcher has already read this entry. The first read
@@ -70,15 +74,15 @@ pub enum MemoLookup {
     /// probe the sequential engine would have issued here, with the
     /// latency the worker measured.
     Fresh {
-        /// Whether the variant type-checked.
-        verdict: bool,
+        /// The probe's verdict.
+        verdict: ProbeOutcome,
         /// Wall-clock of the speculative oracle call.
         latency_ns: u64,
     },
     /// An already-consumed verdict: a true cache hit.
     Hit {
-        /// Whether the variant type-checked.
-        verdict: bool,
+        /// The probe's verdict.
+        verdict: ProbeOutcome,
         /// Latency of the original call — the cost the cache saved.
         saved_ns: u64,
     },
@@ -141,7 +145,7 @@ impl ShardedMemo {
     /// Caches a verdict. The first writer wins; a concurrent duplicate
     /// insert (two workers racing on the same rendered text) is dropped
     /// rather than overwriting, so a consumed flag is never reset.
-    pub fn insert(&self, key: String, verdict: bool, latency_ns: u64, consumed: bool) {
+    pub fn insert(&self, key: String, verdict: ProbeOutcome, latency_ns: u64, consumed: bool) {
         let mut shard = self.shard(&key).lock().expect("memo shard poisoned");
         shard.entry(key).or_insert(MemoEntry { verdict, latency_ns, consumed });
     }
@@ -187,10 +191,17 @@ pub struct ProbeEngine<'o, O> {
     prefetched: AtomicU64,
     batches: AtomicU64,
     largest_batch: AtomicU64,
+    /// Probes whose oracle call panicked and was isolated by a worker
+    /// (includes speculative probes the searcher never consumes).
+    probe_faults: AtomicU64,
+    /// Shared run bounds; workers poll `interrupted()` between chunks so
+    /// a deadline or cancel drains the prefetch promptly.
+    halt: Option<Budget>,
 }
 
 impl<'o, O: Oracle> ProbeEngine<'o, O> {
-    /// An engine with `threads` workers per frontier batch.
+    /// An engine with `threads` workers per frontier batch and no run
+    /// bounds (prefetch always runs to completion).
     pub fn new(oracle: &'o O, threads: usize) -> ProbeEngine<'o, O> {
         ProbeEngine {
             oracle,
@@ -199,7 +210,19 @@ impl<'o, O: Oracle> ProbeEngine<'o, O> {
             prefetched: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             largest_batch: AtomicU64::new(0),
+            probe_faults: AtomicU64::new(0),
+            halt: None,
         }
+    }
+
+    /// An engine whose workers stop between chunks once `budget` reports
+    /// a deadline expiry or cancellation.
+    pub fn with_halt(oracle: &'o O, threads: usize, budget: Budget) -> ProbeEngine<'o, O> {
+        ProbeEngine { halt: Some(budget), ..ProbeEngine::new(oracle, threads) }
+    }
+
+    fn interrupted(&self) -> bool {
+        self.halt.as_ref().is_some_and(Budget::interrupted)
     }
 
     /// The shared memo the sequential consumer reads verdicts from.
@@ -227,10 +250,18 @@ impl<'o, O: Oracle> ProbeEngine<'o, O> {
         self.largest_batch.load(Ordering::Relaxed)
     }
 
+    /// Worker-side isolated panics so far (speculative probes included).
+    pub fn probe_faults(&self) -> u64 {
+        self.probe_faults.load(Ordering::Relaxed)
+    }
+
     /// Speculatively evaluates a frontier of variants into the memo and
     /// blocks until every verdict is cached. Variants already cached (or
     /// duplicated within the frontier) are dispatched once.
     pub fn prefetch(&self, variants: &[Program]) {
+        if self.interrupted() {
+            return;
+        }
         let mut seen = HashSet::new();
         let jobs: Vec<(String, &Program)> = variants
             .iter()
@@ -271,6 +302,12 @@ impl<'o, O: Oracle> ProbeEngine<'o, O> {
                     let mut chunk = Vec::with_capacity(CHUNK);
                     let mut progs: Vec<&Program> = Vec::with_capacity(CHUNK);
                     loop {
+                        // Poll the run bounds between chunks: a deadline
+                        // or cancel drains the queue cooperatively (the
+                        // in-flight chunk finishes, the rest is dropped).
+                        if self.interrupted() {
+                            return;
+                        }
                         chunk.clear();
                         take_work(queues, w, &mut chunk);
                         if chunk.is_empty() {
@@ -289,17 +326,39 @@ impl<'o, O: Oracle> ProbeEngine<'o, O> {
     /// verdicts as unconsumed entries. Per-variant latency is the chunk
     /// wall-clock split evenly — exact enough for the latency histogram
     /// whose buckets are powers of two.
+    ///
+    /// The batch runs under a panic guard: if the oracle unwinds
+    /// mid-batch, each variant of the chunk is retried under its own
+    /// guard so one poisoned variant is cached as `Faulted` while its
+    /// chunk-mates keep their real verdicts — a fault never kills a
+    /// worker or poisons the memo.
     fn run_chunk(&self, jobs: &[(String, &Program)], progs: &[&Program], indices: &[usize]) {
         if indices.is_empty() {
             return;
         }
         let clock = Instant::now();
-        let verdicts = self.oracle.check_batch(progs);
-        let per_probe_ns =
-            u64::try_from(clock.elapsed().as_nanos()).unwrap_or(u64::MAX) / indices.len() as u64;
-        debug_assert_eq!(verdicts.len(), progs.len(), "check_batch must answer every variant");
-        for (&i, verdict) in indices.iter().zip(&verdicts) {
-            self.memo.insert(jobs[i].0.clone(), verdict.is_ok(), per_probe_ns, false);
+        if let Ok(verdicts) = catch_unwind(AssertUnwindSafe(|| self.oracle.check_batch(progs))) {
+            let per_probe_ns = u64::try_from(clock.elapsed().as_nanos()).unwrap_or(u64::MAX)
+                / indices.len() as u64;
+            debug_assert_eq!(verdicts.len(), progs.len(), "check_batch must answer every variant");
+            for (&i, verdict) in indices.iter().zip(&verdicts) {
+                self.memo.insert(
+                    jobs[i].0.clone(),
+                    ProbeOutcome::from_verdict(verdict),
+                    per_probe_ns,
+                    false,
+                );
+            }
+            return;
+        }
+        for &i in indices {
+            let clock = Instant::now();
+            let outcome = guarded_probe(self.oracle, jobs[i].1);
+            let latency_ns = u64::try_from(clock.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            if outcome.faulted() {
+                self.probe_faults.fetch_add(1, Ordering::Relaxed);
+            }
+            self.memo.insert(jobs[i].0.clone(), outcome, latency_ns, false);
         }
     }
 }
@@ -337,13 +396,22 @@ mod tests {
     fn memo_consume_distinguishes_fresh_from_hit() {
         let memo = ShardedMemo::new(4);
         assert_eq!(memo.consume("k"), MemoLookup::Miss);
-        memo.insert("k".to_owned(), true, 120, false);
-        assert_eq!(memo.consume("k"), MemoLookup::Fresh { verdict: true, latency_ns: 120 });
-        assert_eq!(memo.consume("k"), MemoLookup::Hit { verdict: true, saved_ns: 120 });
+        memo.insert("k".to_owned(), ProbeOutcome::Pass, 120, false);
+        assert_eq!(
+            memo.consume("k"),
+            MemoLookup::Fresh { verdict: ProbeOutcome::Pass, latency_ns: 120 }
+        );
+        assert_eq!(
+            memo.consume("k"),
+            MemoLookup::Hit { verdict: ProbeOutcome::Pass, saved_ns: 120 }
+        );
         // First writer wins: a racing duplicate cannot flip the verdict
         // or reset the consumed flag.
-        memo.insert("k".to_owned(), false, 7, false);
-        assert_eq!(memo.consume("k"), MemoLookup::Hit { verdict: true, saved_ns: 120 });
+        memo.insert("k".to_owned(), ProbeOutcome::Fail, 7, false);
+        assert_eq!(
+            memo.consume("k"),
+            MemoLookup::Hit { verdict: ProbeOutcome::Pass, saved_ns: 120 }
+        );
         assert_eq!(memo.len(), 1);
         assert_eq!(memo.unconsumed(), 0);
     }
@@ -366,13 +434,80 @@ mod tests {
         let bad_key = program_to_string(&bad);
         assert!(matches!(
             engine.memo().consume(&good_key),
-            MemoLookup::Fresh { verdict: true, .. }
+            MemoLookup::Fresh { verdict: ProbeOutcome::Pass, .. }
         ));
         assert!(matches!(
             engine.memo().consume(&bad_key),
-            MemoLookup::Fresh { verdict: false, .. }
+            MemoLookup::Fresh { verdict: ProbeOutcome::Fail, .. }
         ));
         assert_eq!(engine.memo().unconsumed(), 0);
+    }
+
+    /// Panics on any program whose rendered text contains "boom";
+    /// delegates to the real checker otherwise.
+    struct TrapOracle;
+
+    impl Oracle for TrapOracle {
+        fn check(&self, prog: &Program) -> Result<(), seminal_typeck::TypeError> {
+            let text = program_to_string(prog);
+            assert!(!text.contains("boom"), "chaos: trap oracle tripped");
+            TypeCheckOracle::new().check(prog)
+        }
+    }
+
+    #[test]
+    fn a_panicking_probe_is_cached_as_faulted_without_killing_its_chunk() {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|info| {
+            let payload = info.payload();
+            let expected = payload.downcast_ref::<String>().is_some_and(|s| s.contains("chaos"))
+                || payload.downcast_ref::<&str>().is_some_and(|s| s.contains("chaos"));
+            if !expected {
+                eprintln!("unexpected panic: {info}");
+            }
+        }));
+        let oracle = TrapOracle;
+        let engine = ProbeEngine::new(&oracle, 4);
+        let good = parse_program("let x = 1 + 2").unwrap();
+        let bad = parse_program("let x = 1 + true").unwrap();
+        let trap = parse_program("let boom = 0").unwrap();
+        engine.prefetch(&[good.clone(), trap.clone(), bad.clone()]);
+        std::panic::set_hook(prev);
+
+        assert_eq!(engine.probe_faults(), 1, "exactly the trapped probe faulted");
+        assert!(matches!(
+            engine.memo().consume(&program_to_string(&good)),
+            MemoLookup::Fresh { verdict: ProbeOutcome::Pass, .. }
+        ));
+        assert!(matches!(
+            engine.memo().consume(&program_to_string(&trap)),
+            MemoLookup::Fresh { verdict: ProbeOutcome::Faulted, .. }
+        ));
+        assert!(matches!(
+            engine.memo().consume(&program_to_string(&bad)),
+            MemoLookup::Fresh { verdict: ProbeOutcome::Fail, .. }
+        ));
+        // A faulted entry re-reads as a hit like any other (the fault is
+        // memoized, not recomputed).
+        assert!(matches!(
+            engine.memo().consume(&program_to_string(&trap)),
+            MemoLookup::Hit { verdict: ProbeOutcome::Faulted, .. }
+        ));
+    }
+
+    #[test]
+    fn an_interrupted_engine_drops_pending_work_but_joins_cleanly() {
+        use crate::budget::SearchHandle;
+        let handle = SearchHandle::new();
+        let oracle = CountingOracle::new(TypeCheckOracle::new());
+        let budget = Budget::start(u64::MAX, None, handle.flag());
+        let engine = ProbeEngine::with_halt(&oracle, 4, budget);
+        handle.cancel();
+        let variants: Vec<Program> =
+            (0..64).map(|i| parse_program(&format!("let v{i} = {i}")).unwrap()).collect();
+        engine.prefetch(&variants);
+        assert_eq!(oracle.calls(), 0, "a cancelled engine dispatches nothing");
+        assert!(engine.memo().is_empty());
     }
 
     #[test]

@@ -41,6 +41,7 @@
 //! each enumeration frontier through a work-stealing worker pool into a
 //! sharded memo without changing the suggestion set.
 
+pub mod budget;
 pub mod change;
 pub mod config;
 pub mod engine;
@@ -50,6 +51,7 @@ pub mod rank;
 pub mod search;
 pub mod session;
 
+pub use budget::{Budget, SearchHandle, StopReason};
 pub use change::{Candidate, ChangeKind, Focus, Probe, Suggestion};
 pub use config::{ConfigError, SearchConfig, SearchConfigBuilder};
 #[allow(deprecated)]
@@ -57,8 +59,10 @@ pub use search::Searcher;
 pub use search::{CustomChange, Outcome, SearchReport, SearchStats};
 pub use session::{SearchSession, SearchSessionBuilder};
 
-// Re-export the oracle trait so downstream users need one import.
-pub use seminal_typeck::{Oracle, TypeCheckOracle};
+// Re-export the oracle trait so downstream users need one import, and
+// the fault-tolerance vocabulary search reports speak.
+pub use seminal_obs::Completion;
+pub use seminal_typeck::{Oracle, ProbeOutcome, TypeCheckOracle};
 
 // Re-export the observability layer the search reports through, so
 // downstream users can consume `SearchReport::records`/`metrics` and

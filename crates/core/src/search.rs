@@ -29,6 +29,7 @@
 //! are always collected (the cost is two clock reads and a few integer
 //! bumps per oracle call) and published as [`SearchReport::metrics`].
 
+use crate::budget::{Budget, SearchHandle, StopReason};
 use crate::change::{ChangeKind, Focus, Suggestion};
 use crate::config::SearchConfig;
 use crate::engine::{MemoLookup, ProbeEngine};
@@ -40,11 +41,14 @@ use seminal_ml::edit::{self, app_chain, Edit};
 use seminal_ml::pretty::{decl_to_string, expr_to_string, pat_to_string};
 use seminal_ml::span::Span;
 use seminal_obs::{
-    EventKind, Histogram, MemorySink, MetricsSnapshot, ProbeKind, SpanKind, SrcSpan, TraceRecord,
-    TraceSink, Tracer,
+    Completion, EventKind, Histogram, MemorySink, MetricsSnapshot, ProbeKind, SpanKind, SrcSpan,
+    TraceRecord, TraceSink, Tracer,
 };
-use seminal_typeck::{check_program_types, Oracle, TypeError};
+use seminal_typeck::{
+    check_program_types, guarded_check, guarded_probe, Oracle, ProbeOutcome, TypeError,
+};
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -117,8 +121,16 @@ pub struct SearchStats {
     pub elapsed: Duration,
     /// Whether triage mode was entered.
     pub triage_used: bool,
-    /// Whether the oracle-call budget stopped the search early.
+    /// Whether the oracle-call budget stopped the search early
+    /// (equivalent to `completion == Completion::BudgetExhausted` on the
+    /// report; kept here for the paper's cost accounting).
     pub budget_exhausted: bool,
+    /// Logical probes whose oracle call panicked and was isolated
+    /// ([`ProbeOutcome::Faulted`]). Each logical probe is exactly one of
+    /// an oracle call, a memo hit, or a probe fault, so
+    /// `oracle_calls + memo_hits + probe_faults` is the logical probe
+    /// count — identical at every thread count.
+    pub probe_faults: u64,
     /// Index (1-based) of the first ill-typed top-level definition.
     pub first_bad_decl: usize,
     /// Oracle calls answered from the memo cache
@@ -166,6 +178,12 @@ pub enum Outcome {
 #[derive(Debug, Clone)]
 pub struct SearchReport {
     pub outcome: Outcome,
+    /// How the run ended: `Complete` when the search examined everything
+    /// it planned to, otherwise the strongest bound that stopped it
+    /// (cancel > deadline > call budget) or `Degraded` when isolated
+    /// probe faults curtailed the plan. Whatever the completion, the
+    /// suggestions in `outcome` are the ranked best-so-far set.
+    pub completion: Completion,
     pub stats: SearchStats,
     /// The conventional type-checker's message for the same input, for
     /// side-by-side presentation and for the evaluation harness.
@@ -218,6 +236,9 @@ pub(crate) struct SearchCore<O> {
     pub(crate) config: SearchConfig,
     pub(crate) extra_changes: Vec<CustomChange>,
     pub(crate) sinks: Vec<Arc<dyn TraceSink>>,
+    /// The session-scoped cancellation handle every search's budget
+    /// polls; [`crate::SearchSession::handle`] clones it out.
+    pub(crate) handle: SearchHandle,
 }
 
 impl<O: std::fmt::Debug> std::fmt::Debug for SearchCore<O> {
@@ -261,6 +282,7 @@ impl<O: Oracle> Searcher<O> {
                 config: SearchConfig::default(),
                 extra_changes: Vec::new(),
                 sinks: Vec::new(),
+                handle: SearchHandle::new(),
             },
         }
     }
@@ -268,7 +290,13 @@ impl<O: Oracle> Searcher<O> {
     /// A searcher with an explicit configuration (for the ablations).
     pub fn with_config(oracle: O, config: SearchConfig) -> Searcher<O> {
         Searcher {
-            core: SearchCore { oracle, config, extra_changes: Vec::new(), sinks: Vec::new() },
+            core: SearchCore {
+                oracle,
+                config,
+                extra_changes: Vec::new(),
+                sinks: Vec::new(),
+                handle: SearchHandle::new(),
+            },
         }
     }
 
@@ -311,16 +339,23 @@ impl<O: Oracle> SearchCore<O> {
     /// consumes, so the suggestion set and ranks are unchanged while
     /// wall-clock drops (see `crate::engine`).
     pub(crate) fn search(&self, prog: &Program) -> SearchReport {
+        let budget =
+            Budget::start(self.config.max_oracle_calls, self.config.deadline, self.handle.flag());
         let engine = if self.config.threads > 1 {
-            Some(ProbeEngine::new(&self.oracle, self.config.threads))
+            Some(ProbeEngine::with_halt(&self.oracle, self.config.threads, budget.clone()))
         } else {
             None
         };
-        self.run_search(prog, engine.as_ref())
+        self.run_search(prog, engine.as_ref(), budget)
     }
 
     #[allow(deprecated)]
-    fn run_search(&self, prog: &Program, engine: Option<&ProbeEngine<'_, O>>) -> SearchReport {
+    fn run_search(
+        &self,
+        prog: &Program,
+        engine: Option<&ProbeEngine<'_, O>>,
+        budget: Budget,
+    ) -> SearchReport {
         let start = Instant::now();
         let capture = if self.config.collect_trace {
             Some(Arc::new(MemorySink::new(self.config.trace_capacity)))
@@ -337,7 +372,9 @@ impl<O: Oracle> SearchCore<O> {
             engine,
             extra_changes: &self.extra_changes,
             calls: 0,
-            budget_hit: false,
+            budget,
+            stop: None,
+            probe_faults: 0,
             triage_used: false,
             suggestions: Vec::new(),
             memo: HashMap::new(),
@@ -359,10 +396,11 @@ impl<O: Oracle> SearchCore<O> {
                     ..SearchStats::default()
                 };
                 let records = capture.as_ref().map(|c| c.drain()).unwrap_or_default();
-                let mut metrics = run.local.snapshot(&stats, 0);
+                let mut metrics = run.local.snapshot(&stats, 0, Completion::Complete);
                 fold_engine_metrics(&mut metrics, engine);
                 return SearchReport {
                     outcome: Outcome::WellTyped,
+                    completion: Completion::Complete,
                     stats,
                     baseline: None,
                     trace: TraceEvent::from_records(&records),
@@ -446,11 +484,20 @@ impl<O: Oracle> SearchCore<O> {
         suggestions.retain(|s| seen.insert(s.dedup_key()));
         rank(&mut suggestions);
         run.tracer.close(root);
+        // The strongest bound that stopped the run wins; when nothing
+        // stopped it but probes faulted, the plan was silently thinned
+        // and the run is honest about being degraded.
+        let completion = match run.stop {
+            Some(reason) => reason.completion(),
+            None if run.probe_faults > 0 => Completion::Degraded { faults: run.probe_faults },
+            None => Completion::Complete,
+        };
         let stats = SearchStats {
             oracle_calls: run.calls,
             elapsed: start.elapsed(),
             triage_used: run.triage_used,
-            budget_exhausted: run.budget_hit,
+            budget_exhausted: run.stop == Some(StopReason::BudgetExhausted),
+            probe_faults: run.probe_faults,
             first_bad_decl: first_bad,
             memo_hits: run.memo_hits,
             core_size,
@@ -461,7 +508,7 @@ impl<O: Oracle> SearchCore<O> {
         if let Some(c) = &capture {
             run.local.trace_dropped = c.dropped();
         }
-        let mut metrics = run.local.snapshot(&stats, suggestions.len() as u64);
+        let mut metrics = run.local.snapshot(&stats, suggestions.len() as u64, completion);
         fold_engine_metrics(&mut metrics, engine);
         let outcome = if suggestions.is_empty() {
             Outcome::NoSuggestion
@@ -470,6 +517,7 @@ impl<O: Oracle> SearchCore<O> {
         };
         SearchReport {
             outcome,
+            completion,
             stats,
             baseline: Some(baseline),
             trace: TraceEvent::from_records(&records),
@@ -502,6 +550,7 @@ fn fold_engine_metrics<O: Oracle>(
     c.insert("engine.batches".to_owned(), e.batches());
     c.insert("engine.largest_batch".to_owned(), e.largest_batch());
     c.insert("engine.speculative_waste".to_owned(), e.memo().unconsumed());
+    c.insert("engine.probe_faults".to_owned(), e.probe_faults());
 }
 
 /// Allocation-free accumulators for the per-search metrics snapshot —
@@ -522,11 +571,18 @@ struct LocalMetrics {
 }
 
 impl LocalMetrics {
-    fn snapshot(&self, stats: &SearchStats, suggestions: u64) -> MetricsSnapshot {
+    fn snapshot(
+        &self,
+        stats: &SearchStats,
+        suggestions: u64,
+        completion: Completion,
+    ) -> MetricsSnapshot {
         let mut snap = MetricsSnapshot::default();
         let c = &mut snap.counters;
         c.insert("oracle_calls".to_owned(), stats.oracle_calls);
         c.insert("memo_hits".to_owned(), stats.memo_hits);
+        c.insert("probe_faults".to_owned(), stats.probe_faults);
+        c.insert("completion".to_owned(), completion.metric_code());
         c.insert("suggestions".to_owned(), suggestions);
         c.insert("first_bad_decl".to_owned(), stats.first_bad_decl as u64);
         c.insert("core_size".to_owned(), stats.core_size as u64);
@@ -626,13 +682,22 @@ struct Run<'a, O> {
     engine: Option<&'a ProbeEngine<'a, O>>,
     extra_changes: &'a [CustomChange],
     calls: u64,
-    budget_hit: bool,
+    /// The run's bounds: call cap, deadline, cancellation. Consulted
+    /// before every probe; the engine holds a clone for its workers.
+    budget: Budget,
+    /// The first bound that tripped, sticky for the rest of the run so
+    /// the completion reports one coherent reason.
+    stop: Option<StopReason>,
+    /// Probes whose oracle call panicked and was isolated (each is a
+    /// logical probe alongside `calls` and `memo_hits`, never double
+    /// counted).
+    probe_faults: u64,
     triage_used: bool,
     suggestions: Vec<Suggestion>,
     /// Sequential memo ([`SearchConfig::memoize_oracle`]): verdict plus
     /// the original call's latency, so hits can report saved cost. The
     /// parallel engine uses its own sharded memo instead.
-    memo: HashMap<String, (bool, u64)>,
+    memo: HashMap<String, (ProbeOutcome, u64)>,
     memo_hits: u64,
     /// Structured-trace emitter (inert unless sinks are attached).
     tracer: Tracer,
@@ -650,18 +715,42 @@ struct Run<'a, O> {
 }
 
 impl<O: Oracle> Run<'_, O> {
+    /// Baseline check: always runs (even under a tripped budget, so the
+    /// caller always has the conventional message to fall back to), and
+    /// a panicking checker is isolated into a synthetic
+    /// [`TypeErrorKind::OracleFault`](seminal_typeck::TypeErrorKind)
+    /// error — the search proceeds, treating the program as ill-typed.
     fn check_full(&mut self, prog: &Program) -> Result<(), TypeError> {
-        self.calls += 1;
         let clock = Instant::now();
-        let verdict = self.oracle.check(prog);
+        let verdict = guarded_check(self.oracle, prog);
         let latency_ns = duration_ns(clock.elapsed());
+        let faulted = verdict.as_ref().err().is_some_and(TypeError::is_fault);
+        if faulted {
+            self.probe_faults += 1;
+        } else {
+            self.calls += 1;
+        }
         self.probe_label = Some((ProbeKind::Baseline, String::new(), Span::DUMMY));
-        self.record_probe(verdict.is_ok(), false, latency_ns);
+        let outcome =
+            if faulted { ProbeOutcome::Faulted } else { ProbeOutcome::from_verdict(&verdict) };
+        self.record_probe(outcome, false, latency_ns);
         verdict
     }
 
-    /// Budgeted boolean oracle query, optionally memoized; always counted
+    /// Whether a bound has tripped, computing and latching the stop
+    /// reason on first trip.
+    fn halted(&mut self) -> bool {
+        if self.stop.is_none() {
+            self.stop = self.budget.stop_reason(self.calls);
+        }
+        self.stop.is_some()
+    }
+
+    /// Bounded boolean oracle query, optionally memoized; always counted
     /// and timed, and emitted as a structured probe event when tracing.
+    /// Oracle panics are isolated ([`guarded_probe`]): a faulted probe
+    /// reads as "did not type-check", is memoized like any verdict, and
+    /// is tallied in `probe_faults` instead of `calls`.
     ///
     /// With the parallel engine active, verdicts come from its sharded
     /// memo: the first read of a prefetched entry is accounted as the
@@ -670,54 +759,55 @@ impl<O: Oracle> Run<'_, O> {
     /// same rendered variant are memo hits. A miss falls through to a
     /// direct oracle call whose verdict is cached for later rounds.
     fn check(&mut self, prog: &Program) -> bool {
-        if self.calls >= self.cfg.max_oracle_calls {
-            self.budget_hit = true;
+        if self.halted() {
             self.probe_label = None;
             return false;
         }
-        let (ok, cached, latency_ns) = if let Some(engine) = self.engine {
+        let (outcome, cached, latency_ns) = if let Some(engine) = self.engine {
             let key = seminal_ml::pretty::program_to_string(prog);
             match engine.memo().consume(&key) {
-                MemoLookup::Fresh { verdict, latency_ns } => {
-                    self.calls += 1;
-                    (verdict, false, latency_ns)
-                }
+                MemoLookup::Fresh { verdict, latency_ns } => (verdict, false, latency_ns),
                 MemoLookup::Hit { verdict, saved_ns } => {
-                    self.memo_hits += 1;
                     self.local.memo_hit_saved.observe(saved_ns);
                     (verdict, true, 0)
                 }
                 MemoLookup::Miss => {
-                    self.calls += 1;
                     let clock = Instant::now();
-                    let verdict = self.oracle.check(prog).is_ok();
+                    let outcome = guarded_probe(self.oracle, prog);
                     let latency_ns = duration_ns(clock.elapsed());
-                    engine.memo().insert(key, verdict, latency_ns, true);
-                    (verdict, false, latency_ns)
+                    engine.memo().insert(key, outcome, latency_ns, true);
+                    (outcome, false, latency_ns)
                 }
             }
         } else if self.cfg.memoize_oracle {
             let key = seminal_ml::pretty::program_to_string(prog);
-            if let Some(&(cached, saved_ns)) = self.memo.get(&key) {
-                self.memo_hits += 1;
+            if let Some(&(outcome, saved_ns)) = self.memo.get(&key) {
                 self.local.memo_hit_saved.observe(saved_ns);
-                (cached, true, 0)
+                (outcome, true, 0)
             } else {
-                self.calls += 1;
                 let clock = Instant::now();
-                let verdict = self.oracle.check(prog).is_ok();
+                let outcome = guarded_probe(self.oracle, prog);
                 let latency_ns = duration_ns(clock.elapsed());
-                self.memo.insert(key, (verdict, latency_ns));
-                (verdict, false, latency_ns)
+                self.memo.insert(key, (outcome, latency_ns));
+                (outcome, false, latency_ns)
             }
         } else {
-            self.calls += 1;
             let clock = Instant::now();
-            let verdict = self.oracle.check(prog).is_ok();
-            (verdict, false, duration_ns(clock.elapsed()))
+            let outcome = guarded_probe(self.oracle, prog);
+            (outcome, false, duration_ns(clock.elapsed()))
         };
-        self.record_probe(ok, cached, latency_ns);
-        ok
+        // Every logical probe is exactly one of: a memo hit, a fault, or
+        // an oracle call — so the three tallies reconcile at any thread
+        // count.
+        if cached {
+            self.memo_hits += 1;
+        } else if outcome.faulted() {
+            self.probe_faults += 1;
+        } else {
+            self.calls += 1;
+        }
+        self.record_probe(outcome, cached, latency_ns);
+        outcome.passed()
     }
 
     /// Whether a frontier of `frontier` candidate variants is worth
@@ -748,11 +838,14 @@ impl<O: Oracle> Run<'_, O> {
     }
 
     /// Folds one probe verdict into metrics and the trace stream.
-    fn record_probe(&mut self, outcome: bool, cached: bool, latency_ns: u64) {
+    /// Faulted probes are kept out of the oracle-latency histogram (the
+    /// panic's cost is not an oracle latency), so the histogram count
+    /// still equals `oracle_calls`.
+    fn record_probe(&mut self, outcome: ProbeOutcome, cached: bool, latency_ns: u64) {
         let (probe, target, span) =
             self.probe_label.take().unwrap_or((ProbeKind::Other, String::new(), Span::DUMMY));
         self.local.probes[probe.metric_index()] += 1;
-        if !cached {
+        if !cached && !outcome.faulted() {
             self.local.oracle_latency.observe(latency_ns);
         }
         if self.tracer.enabled() {
@@ -760,15 +853,16 @@ impl<O: Oracle> Run<'_, O> {
                 probe,
                 target,
                 span: src_span(span),
-                outcome,
+                outcome: outcome.passed(),
                 cached,
+                faulted: outcome.faulted(),
                 latency_ns,
             });
         }
     }
 
     fn done(&self) -> bool {
-        self.budget_hit || self.suggestions.len() >= self.cfg.max_suggestions
+        self.stop.is_some() || self.suggestions.len() >= self.cfg.max_suggestions
     }
 
     /// Quantized blame score for a suggestion at `span` (0 with guidance
@@ -1009,17 +1103,34 @@ impl<O: Oracle> Run<'_, O> {
         let meta = scope.meta(node.id);
         let mut any_specific = false;
 
+        // Both the built-in enumerator and user-registered changes run
+        // under panic isolation: a panicking step loses only that node's
+        // candidates (counted as a fault so the run reports `Degraded`),
+        // never the search.
         let probes = if self.cfg.constructive {
-            changes_for(node, meta.top_of_chain, self.cfg)
+            let cfg = self.cfg;
+            match catch_unwind(AssertUnwindSafe(|| changes_for(node, meta.top_of_chain, cfg))) {
+                Ok(probes) => probes,
+                Err(_) => {
+                    self.probe_faults += 1;
+                    Vec::new()
+                }
+            }
         } else {
             Vec::new()
         };
         // User-registered constructive changes (§6's open framework).
-        let extra_candidates: Vec<crate::change::Candidate> = if self.cfg.constructive {
-            self.extra_changes.iter().flat_map(|ch| ch(node)).collect()
-        } else {
-            Vec::new()
-        };
+        let mut extra_candidates: Vec<crate::change::Candidate> = Vec::new();
+        if self.cfg.constructive {
+            let mut faults = 0;
+            for change in self.extra_changes {
+                match catch_unwind(AssertUnwindSafe(|| change(node))) {
+                    Ok(candidates) => extra_candidates.extend(candidates),
+                    Err(_) => faults += 1,
+                }
+            }
+            self.probe_faults += faults;
+        }
         // Adaptation to context (§2.3).
         let adapt_candidate = if self.cfg.adaptation && !matches!(node.kind, ExprKind::Adapt(_)) {
             Some(Expr::synth(ExprKind::Adapt(Box::new(node.clone())), Span::DUMMY))

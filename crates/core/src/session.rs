@@ -26,12 +26,14 @@
 //! shape (`seminal_cpp::CppSearchSession::builder`), so ML and C++
 //! callers read identically.
 
+use crate::budget::SearchHandle;
 use crate::config::{ConfigError, SearchConfig, SearchConfigBuilder};
 use crate::search::{CustomChange, SearchCore, SearchReport};
 use seminal_ml::ast::Program;
 use seminal_obs::TraceSink;
 use seminal_typeck::Oracle;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// A fully-assembled search pipeline: oracle, validated configuration,
 /// user-registered constructive changes, and trace sinks. Construct
@@ -66,6 +68,15 @@ impl<O: Oracle> SearchSession<O> {
     /// Runs the full search on `prog`.
     pub fn search(&self, prog: &Program) -> SearchReport {
         self.core.search(prog)
+    }
+
+    /// A cancellation handle for this session's searches: call
+    /// [`SearchHandle::cancel`] from any thread and every in-flight and
+    /// future search stops at its next probe boundary, reporting
+    /// `Completion::Cancelled` with best-so-far suggestions.
+    /// Cancellation is sticky; build a new session to search again.
+    pub fn handle(&self) -> SearchHandle {
+        self.core.handle.clone()
     }
 
     /// The validated configuration this session runs with.
@@ -123,6 +134,22 @@ impl<O: Oracle> SearchSessionBuilder<O> {
         self
     }
 
+    /// Wall-clock deadline per search (`None` = unbounded; validated
+    /// non-zero at build). When it expires the search stops
+    /// cooperatively and reports `Completion::DeadlineExpired`.
+    #[must_use]
+    pub fn deadline(mut self, limit: Option<Duration>) -> Self {
+        self.config.deadline = limit;
+        self
+    }
+
+    /// Convenience for [`SearchSessionBuilder::deadline`] in
+    /// milliseconds, matching the CLI's `--deadline-ms`.
+    #[must_use]
+    pub fn deadline_ms(self, ms: u64) -> Self {
+        self.deadline(Some(Duration::from_millis(ms)))
+    }
+
     /// Capture the structured trace into each report.
     #[must_use]
     pub fn collect_trace(mut self, on: bool) -> Self {
@@ -160,6 +187,7 @@ impl<O: Oracle> SearchSessionBuilder<O> {
                 config: self.config,
                 extra_changes: self.changes,
                 sinks: self.sinks,
+                handle: SearchHandle::new(),
             },
         })
     }

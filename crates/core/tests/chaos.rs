@@ -1,0 +1,256 @@
+//! The chaos suite: degradation invariants under deterministic fault
+//! injection.
+//!
+//! A [`ChaosOracle`] panics on a seeded, text-keyed fraction of probes —
+//! the same variants fault at every thread count — and the search must
+//! absorb every injection: finish, rank best-so-far suggestions, report
+//! `Completion::Degraded` with an exact fault count, and keep the probe
+//! accounting identity `oracle_calls + memo_hits + probe_faults`
+//! constant across thread counts. Cancellation and deadlines degrade the
+//! same way: cooperative stop, best-so-far payload, honest completion.
+
+use seminal_core::{Completion, SearchReport, SearchSession};
+use seminal_ml::parser::parse_program;
+use seminal_typeck::{ChaosConfig, ChaosOracle, TypeCheckOracle};
+use std::sync::Once;
+use std::time::{Duration, Instant};
+
+const SCENARIOS: &[(&str, &str)] = &[
+    (
+        "figure2",
+        "let map2 f aList bList = List.map (fun (a, b) -> f a b) (List.combine aList bList)\n\
+         let lst = map2 (fun (x, y) -> x + y) [1;2;3] [4;5;6]\n\
+         let ans = List.filter (fun x -> x == 0) lst\n",
+    ),
+    (
+        "figure8",
+        "let add str lst = if List.mem str lst then lst else str :: lst\n\
+         let vList1 = [\"a\"]\n\
+         let s = \"b\"\n\
+         let r = add vList1 s\n",
+    ),
+    (
+        "multi_error_triage",
+        "let go () =\n\
+         let x = 3 + true in\n\
+         let a = 1 + 2 in\n\
+         let b = a * 3 in\n\
+         let c = 4 + \"hi\" in\n\
+         b + c\n",
+    ),
+    ("list_comma", "let total = List.fold_left (fun a b -> a + b) 0 [1, 2, 3]"),
+    ("missing_rec", "let fact n = if n = 0 then 1 else n * fact (n - 1)"),
+];
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// Ten percent nominal panic rate — the ISSUE's headline chaos load.
+const PANIC_PER_MILLE: u16 = 100;
+
+/// Installs a process-wide panic hook that swallows the expected
+/// `"chaos"`-marked injections but still prints anything else. Installed
+/// once and left in place: hooks are global, and these tests run
+/// concurrently.
+fn quiet_chaos_panics() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<&str>()
+                .map(|s| s.contains("chaos"))
+                .or_else(|| info.payload().downcast_ref::<String>().map(|s| s.contains("chaos")))
+                .unwrap_or(false);
+            if !injected {
+                prev(info);
+            }
+        }));
+    });
+}
+
+fn run_chaotic(src: &str, seed: u64, threads: usize) -> SearchReport {
+    quiet_chaos_panics();
+    let prog = parse_program(src).unwrap_or_else(|e| panic!("parse: {e}"));
+    let oracle =
+        ChaosOracle::new(TypeCheckOracle::new(), ChaosConfig::panics(seed, PANIC_PER_MILLE));
+    SearchSession::builder(oracle).threads(threads).memoize(true).build().unwrap().search(&prog)
+}
+
+/// The user-visible payload: every suggestion in rank order.
+fn payload(report: &SearchReport) -> Vec<(String, String, Option<String>, bool)> {
+    report
+        .suggestions()
+        .iter()
+        .map(|s| (s.original_str.clone(), s.replacement_str.clone(), s.new_type.clone(), s.triaged))
+        .collect()
+}
+
+#[test]
+fn every_chaotic_search_finishes_and_reports_faults_honestly() {
+    let mut faulted_somewhere = false;
+    for (name, src) in SCENARIOS {
+        for seed in [1, 7, 42] {
+            let report = run_chaotic(src, seed, 1);
+            match report.completion {
+                Completion::Complete => {
+                    assert_eq!(report.stats.probe_faults, 0, "{name}/{seed}: hidden faults");
+                }
+                Completion::Degraded { faults } => {
+                    assert!(faults > 0, "{name}/{seed}: degraded with zero faults");
+                    assert_eq!(
+                        faults, report.stats.probe_faults,
+                        "{name}/{seed}: completion and stats disagree on the fault count"
+                    );
+                    faulted_somewhere = true;
+                }
+                other => panic!("{name}/{seed}: unexpected completion {other}"),
+            }
+            assert_eq!(
+                report.metrics.counter("probe_faults"),
+                report.stats.probe_faults,
+                "{name}/{seed}: metrics disagree with stats"
+            );
+        }
+    }
+    assert!(faulted_somewhere, "a 10% panic rate never fired across the whole suite");
+}
+
+#[test]
+fn chaotic_payloads_and_completion_are_identical_across_thread_counts() {
+    for (name, src) in SCENARIOS {
+        let base = run_chaotic(src, 42, 1);
+        for threads in [2, 8] {
+            let par = run_chaotic(src, 42, threads);
+            assert_eq!(
+                payload(&base),
+                payload(&par),
+                "{name}: chaotic payload changed at {threads} threads"
+            );
+            assert_eq!(
+                base.completion, par.completion,
+                "{name}: completion changed at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn chaotic_probe_accounting_reconciles_across_thread_counts() {
+    // Every logical probe is exactly one of: real oracle call, memo hit,
+    // isolated fault. The partition varies with the schedule; the sum
+    // may not.
+    for (name, src) in SCENARIOS {
+        let base = run_chaotic(src, 42, 1);
+        let logical = base.stats.oracle_calls + base.stats.memo_hits + base.stats.probe_faults;
+        for threads in [2, 8] {
+            let par = run_chaotic(src, 42, threads);
+            assert_eq!(
+                par.stats.oracle_calls + par.stats.memo_hits + par.stats.probe_faults,
+                logical,
+                "{name}: probe accounting diverged at {threads} threads \
+                 ({} calls + {} hits + {} faults, sequential was {logical})",
+                par.stats.oracle_calls,
+                par.stats.memo_hits,
+                par.stats.probe_faults,
+            );
+        }
+    }
+}
+
+#[test]
+fn faulted_probes_stay_out_of_the_oracle_latency_histogram() {
+    for (name, src) in SCENARIOS {
+        for threads in THREAD_COUNTS {
+            let report = run_chaotic(src, 42, threads);
+            let observed =
+                report.metrics.histograms.get("oracle.latency_ns").map_or(0, |h| h.count);
+            assert_eq!(
+                observed, report.stats.oracle_calls,
+                "{name} at {threads} threads: histogram must hold real calls only"
+            );
+        }
+    }
+}
+
+#[test]
+fn cancellation_is_cooperative_sticky_and_honest() {
+    let prog = parse_program(SCENARIOS[0].1).unwrap();
+    for threads in THREAD_COUNTS {
+        let session =
+            SearchSession::builder(TypeCheckOracle::new()).threads(threads).build().unwrap();
+        session.handle().cancel();
+        let report = session.search(&prog);
+        assert_eq!(
+            report.completion,
+            Completion::Cancelled,
+            "pre-cancelled search must report Cancelled at {threads} threads"
+        );
+        // Sticky: the same session stays cancelled for later searches.
+        let again = session.search(&prog);
+        assert_eq!(again.completion, Completion::Cancelled);
+    }
+}
+
+#[test]
+fn cancelling_mid_search_still_returns_a_report() {
+    let prog = parse_program(SCENARIOS[2].1).unwrap();
+    let session = SearchSession::builder(TypeCheckOracle::new()).threads(2).build().unwrap();
+    let handle = session.handle();
+    std::thread::scope(|s| {
+        s.spawn(move || handle.cancel());
+        let report = session.search(&prog);
+        // Depending on timing the search may finish first; either way it
+        // must return, and a cancelled run must say so.
+        assert!(
+            matches!(report.completion, Completion::Cancelled | Completion::Complete),
+            "unexpected completion {}",
+            report.completion
+        );
+    });
+}
+
+#[test]
+fn deadline_expiry_degrades_gracefully_without_leaking_workers() {
+    quiet_chaos_panics();
+    // Delay-injected probes make the tiny deadline certain to expire
+    // mid-search at every thread count.
+    let prog = parse_program(SCENARIOS[0].1).unwrap();
+    for threads in THREAD_COUNTS {
+        let oracle = ChaosOracle::new(
+            TypeCheckOracle::new(),
+            ChaosConfig::delays(5, 1000, Duration::from_millis(2)),
+        );
+        let started = Instant::now();
+        let report = SearchSession::builder(oracle)
+            .threads(threads)
+            .deadline(Some(Duration::from_millis(5)))
+            .build()
+            .unwrap()
+            .search(&prog);
+        assert_eq!(
+            report.completion,
+            Completion::DeadlineExpired,
+            "slow probes against a 5ms deadline must expire at {threads} threads"
+        );
+        // Scoped workers join before `search` returns; a leak or a
+        // non-cooperative worker would blow well past this bound.
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "search took {:?} at {threads} threads — workers did not stop",
+            started.elapsed()
+        );
+    }
+}
+
+#[test]
+fn budget_exhaustion_still_reports_through_completion() {
+    let prog = parse_program(SCENARIOS[0].1).unwrap();
+    let report = SearchSession::builder(TypeCheckOracle::new())
+        .configure(|c| c.max_oracle_calls(3))
+        .build()
+        .unwrap()
+        .search(&prog);
+    assert_eq!(report.completion, Completion::BudgetExhausted);
+    assert!(report.stats.budget_exhausted, "legacy flag mirrors the completion");
+}

@@ -11,7 +11,7 @@
 use seminal_core::obs::check_invariants;
 use seminal_core::{Outcome, SearchConfig, SearchReport, SearchSession};
 use seminal_ml::parser::parse_program;
-use seminal_typeck::{CountingOracle, TypeCheckOracle};
+use seminal_typeck::{ChaosConfig, ChaosOracle, CountingOracle, TypeCheckOracle};
 
 const SCENARIOS: &[(&str, &str)] = &[
     (
@@ -215,4 +215,40 @@ fn well_typed_input_is_identical_at_every_thread_count() {
         assert_eq!(report.stats.oracle_calls, 1, "one baseline check, no engine work");
         assert_eq!(report.metrics.counter("engine.prefetched"), 0);
     }
+}
+
+#[test]
+fn determinism_survives_seeded_fault_injection() {
+    // The engine's contract extends to a faulty oracle: injections are
+    // keyed by program text, so the same variants fault at every thread
+    // count, and payloads, completion status, and the full probe
+    // accounting (`oracle_calls + memo_hits + probe_faults`) must all
+    // reconcile exactly.
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    for (name, src) in SCENARIOS {
+        let prog = parse_program(src).unwrap();
+        let run = |threads: usize| {
+            let oracle = ChaosOracle::new(TypeCheckOracle::new(), ChaosConfig::panics(1729, 100));
+            SearchSession::builder(oracle)
+                .threads(threads)
+                .memoize(true)
+                .build()
+                .unwrap()
+                .search(&prog)
+        };
+        let base = run(1);
+        let logical = base.stats.oracle_calls + base.stats.memo_hits + base.stats.probe_faults;
+        for threads in [2, 8] {
+            let par = run(threads);
+            assert_eq!(payload(&base), payload(&par), "{name}: payload at {threads} threads");
+            assert_eq!(base.completion, par.completion, "{name}: completion at {threads} threads");
+            assert_eq!(
+                par.stats.oracle_calls + par.stats.memo_hits + par.stats.probe_faults,
+                logical,
+                "{name}: probe accounting diverged at {threads} threads"
+            );
+        }
+    }
+    std::panic::set_hook(prev);
 }

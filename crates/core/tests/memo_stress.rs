@@ -23,13 +23,21 @@ use seminal_core::engine::{MemoLookup, ProbeEngine, ShardedMemo};
 use seminal_ml::ast::Program;
 use seminal_ml::parser::parse_program;
 use seminal_ml::pretty::program_to_string;
-use seminal_typeck::{CountingOracle, TypeCheckOracle};
+use seminal_typeck::{CountingOracle, ProbeOutcome, TypeCheckOracle};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 const THREADS: usize = 8;
 const KEYS: usize = 512;
 const ROUNDS: usize = 32;
+
+fn outcome(even: bool) -> ProbeOutcome {
+    if even {
+        ProbeOutcome::Pass
+    } else {
+        ProbeOutcome::Fail
+    }
+}
 
 fn key(i: usize) -> String {
     format!("let probe{i} = {i}")
@@ -39,7 +47,7 @@ fn key(i: usize) -> String {
 fn concurrent_consumes_yield_exactly_one_fresh_per_key() {
     let memo = ShardedMemo::new(16);
     for i in 0..KEYS {
-        memo.insert(key(i), i % 2 == 0, 1_000 + i as u64, false);
+        memo.insert(key(i), outcome(i % 2 == 0), 1_000 + i as u64, false);
     }
 
     let fresh: Vec<AtomicU64> = (0..KEYS).map(|_| AtomicU64::new(0)).collect();
@@ -56,11 +64,19 @@ fn concurrent_consumes_yield_exactly_one_fresh_per_key() {
                         match memo.consume(&key(i)) {
                             MemoLookup::Fresh { verdict, latency_ns } => {
                                 fresh[i].fetch_add(1, Ordering::Relaxed);
-                                assert_eq!(verdict, i % 2 == 0, "key {i}: verdict corrupted");
+                                assert_eq!(
+                                    verdict,
+                                    outcome(i % 2 == 0),
+                                    "key {i}: verdict corrupted"
+                                );
                                 assert_eq!(latency_ns, 1_000 + i as u64);
                             }
                             MemoLookup::Hit { verdict, saved_ns } => {
-                                assert_eq!(verdict, i % 2 == 0, "key {i}: verdict corrupted");
+                                assert_eq!(
+                                    verdict,
+                                    outcome(i % 2 == 0),
+                                    "key {i}: verdict corrupted"
+                                );
                                 assert_eq!(
                                     saved_ns,
                                     1_000 + i as u64,
@@ -90,7 +106,8 @@ fn concurrent_consumes_yield_exactly_one_fresh_per_key() {
 fn racing_duplicate_inserts_never_change_a_verdict_or_reset_consumed() {
     let memo = ShardedMemo::new(16);
     let fresh: Vec<AtomicU64> = (0..KEYS).map(|_| AtomicU64::new(0)).collect();
-    let first_verdict: Vec<Mutex<Option<bool>>> = (0..KEYS).map(|_| Mutex::new(None)).collect();
+    let first_verdict: Vec<Mutex<Option<ProbeOutcome>>> =
+        (0..KEYS).map(|_| Mutex::new(None)).collect();
 
     std::thread::scope(|s| {
         for t in 0..THREADS {
@@ -103,7 +120,7 @@ fn racing_duplicate_inserts_never_change_a_verdict_or_reset_consumed() {
                         let i = (j + t * 67 + round * 13) % KEYS;
                         // Each thread proposes its own verdict; only the
                         // first writer's may ever be observed.
-                        memo.insert(key(i), t % 2 == 0, t as u64 + 1, false);
+                        memo.insert(key(i), outcome(t % 2 == 0), t as u64 + 1, false);
                         let seen = match memo.consume(&key(i)) {
                             MemoLookup::Fresh { verdict, .. } => {
                                 fresh[i].fetch_add(1, Ordering::Relaxed);
@@ -192,7 +209,7 @@ fn prefetch_dispatches_each_distinct_variant_to_the_oracle_once() {
             let rendered = program_to_string(&prog);
             match engine.memo().consume(&rendered) {
                 MemoLookup::Fresh { verdict, .. } => {
-                    assert!(!verdict, "every stress variant is ill-typed");
+                    assert_eq!(verdict, ProbeOutcome::Fail, "every stress variant is ill-typed");
                 }
                 other => panic!("first consume of {rendered:?} was {other:?}"),
             }

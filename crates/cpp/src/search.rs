@@ -29,12 +29,14 @@ use crate::check::{check, CppError};
 use crate::edit::{remove_stmt, replace_expr, replace_stmt};
 use seminal_ml::span::Span;
 use seminal_obs::{
-    EventKind, Histogram, MetricsSnapshot, ProbeKind, SpanKind, SrcSpan, TraceSink, Tracer,
+    Completion, EventKind, Histogram, MetricsSnapshot, ProbeKind, SpanKind, SrcSpan, TraceSink,
+    Tracer,
 };
 use std::collections::HashSet;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// The class of a C++ suggestion, ranked in this order.
@@ -96,8 +98,14 @@ pub struct CppReport {
     pub suggestions: Vec<CppSuggestion>,
     /// The conventional compiler's full cascade.
     pub baseline: Vec<CppError>,
+    /// How the run ended; whatever the completion, `suggestions` is the
+    /// ranked best-so-far set (same contract as the Caml search).
+    pub completion: Completion,
     /// Type-checker invocations.
     pub oracle_calls: u64,
+    /// Probes whose check panicked and was isolated (never accepted as
+    /// suggestions, never counted as oracle calls).
+    pub probe_faults: u64,
     /// Wall-clock duration of the search.
     pub elapsed: Duration,
     /// Aggregate counters and latency histogram (same schema as the Caml
@@ -124,10 +132,12 @@ struct PendingProbe {
 }
 
 /// A checked probe: the variant's full error cascade and the check's
-/// wall-clock cost.
+/// wall-clock cost. `faulted` marks a probe whose check panicked (the
+/// panic was isolated; the probe can never be accepted).
 struct Verdict {
     errors: Vec<CppError>,
     latency_ns: u64,
+    faulted: bool,
 }
 
 /// Per-search bookkeeping for the fold phase: outcome classification
@@ -137,6 +147,10 @@ struct ProbeCtx<'a> {
     before: &'a HashSet<String>,
     n_before: usize,
     calls: u64,
+    /// Probes whose check panicked and was isolated.
+    probe_faults: u64,
+    /// Probes never evaluated because the deadline expired first.
+    skipped: u64,
     tracer: Tracer,
     latency: Histogram,
     probes: [u64; ProbeKind::METRIC_KEYS.len()],
@@ -146,12 +160,17 @@ struct ProbeCtx<'a> {
 impl ProbeCtx<'_> {
     /// Folds one verdict in enumeration order; a probe "succeeds" when
     /// it eliminates some errors while introducing no new ones (§4.2's
-    /// implicit triage).
+    /// implicit triage). A faulted probe is tallied but can never be
+    /// accepted — an isolated panic must not read as "fixes all errors".
     fn fold(&mut self, probe: PendingProbe, verdict: Verdict) {
-        self.calls += 1;
+        if verdict.faulted {
+            self.probe_faults += 1;
+        } else {
+            self.calls += 1;
+        }
         let after: HashSet<String> = verdict.errors.iter().map(CppError::key).collect();
         let introduces_new = after.iter().any(|k| !self.before.contains(k));
-        let accepted = verdict.errors.len() < self.n_before && !introduces_new;
+        let accepted = !verdict.faulted && verdict.errors.len() < self.n_before && !introduces_new;
         let kind = match &probe.kind {
             CppChangeKind::Constructive(d) => ProbeKind::Constructive { family: d.clone() },
             CppChangeKind::Adaptation => ProbeKind::Adaptation,
@@ -159,7 +178,9 @@ impl ProbeCtx<'_> {
             CppChangeKind::Statement(_) => ProbeKind::Statement,
         };
         self.probes[kind.metric_index()] += 1;
-        self.latency.observe(verdict.latency_ns);
+        if !verdict.faulted {
+            self.latency.observe(verdict.latency_ns);
+        }
         if self.tracer.enabled() {
             self.tracer.event(EventKind::OracleProbe {
                 probe: kind,
@@ -167,6 +188,7 @@ impl ProbeCtx<'_> {
                 span: SrcSpan::new(probe.span.start, probe.span.end),
                 outcome: accepted,
                 cached: false,
+                faulted: verdict.faulted,
                 latency_ns: verdict.latency_ns,
             });
         }
@@ -189,23 +211,61 @@ impl ProbeCtx<'_> {
 pub enum CppConfigError {
     /// `threads` must be at least 1 (1 = the sequential search).
     ZeroThreads,
+    /// `deadline` must be a positive duration when set.
+    ZeroDeadline,
 }
 
 impl fmt::Display for CppConfigError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CppConfigError::ZeroThreads => write!(f, "`threads` must be >= 1 (1 = sequential)"),
+            CppConfigError::ZeroDeadline => {
+                write!(f, "`deadline` must be a positive duration when set")
+            }
         }
     }
 }
 
 impl std::error::Error for CppConfigError {}
 
+/// Deterministic fault injection for the C++ searcher's chaos tests.
+///
+/// The C++ checker is built in (no oracle object to wrap), so injection
+/// hangs off the session instead: probe `index` in the flat enumeration
+/// panics when its seeded draw lands under `panic_per_mille`. The
+/// decision is a pure function of `(seed, index)` — the enumeration
+/// order is fixed before any verdict exists — so the injected fault set
+/// is identical at every thread count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CppChaos {
+    /// Mixed into every draw; two seeds give independent fault sets.
+    pub seed: u64,
+    /// Panic probability per probe, in thousandths (100 = 10%).
+    pub panic_per_mille: u16,
+}
+
+impl CppChaos {
+    /// Whether probe `index` is chosen to panic under this seed.
+    pub fn would_panic(&self, index: usize) -> bool {
+        // SplitMix64 finalizer over the seeded index: cheap, stateless,
+        // and well-mixed for consecutive indices.
+        let mut z = self
+            .seed
+            .wrapping_add((index as u64).wrapping_add(1).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        z % 1000 < u64::from(self.panic_per_mille)
+    }
+}
+
 /// The C++ search pipeline, mirroring the ML side's
 /// `SearchSession::builder(...).threads(n).sink(s).build()` shape (the
 /// checker is built in, so no oracle argument).
 pub struct CppSearchSession {
     threads: usize,
+    deadline: Option<Duration>,
+    chaos: Option<CppChaos>,
     sinks: Vec<Arc<dyn TraceSink>>,
 }
 
@@ -213,6 +273,8 @@ impl fmt::Debug for CppSearchSession {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("CppSearchSession")
             .field("threads", &self.threads)
+            .field("deadline", &self.deadline)
+            .field("chaos", &self.chaos)
             .field("sinks", &self.sinks.len())
             .finish()
     }
@@ -222,7 +284,12 @@ impl CppSearchSession {
     /// Starts a builder with the sequential default (or the
     /// `SEMINAL_THREADS` environment default, like the ML engine).
     pub fn builder() -> CppSearchSessionBuilder {
-        CppSearchSessionBuilder { threads: default_threads(), sinks: Vec::new() }
+        CppSearchSessionBuilder {
+            threads: default_threads(),
+            deadline: None,
+            chaos: None,
+            sinks: Vec::new(),
+        }
     }
 
     /// Configured probe parallelism.
@@ -232,13 +299,15 @@ impl CppSearchSession {
 
     /// Runs the C++ search on `prog`.
     pub fn search(&self, prog: &CProgram) -> CppReport {
-        search_cpp_impl(prog, self.threads, &self.sinks)
+        search_cpp_impl(prog, self.threads, self.deadline, self.chaos, &self.sinks)
     }
 }
 
 /// Fluent constructor for [`CppSearchSession`].
 pub struct CppSearchSessionBuilder {
     threads: usize,
+    deadline: Option<Duration>,
+    chaos: Option<CppChaos>,
     sinks: Vec<Arc<dyn TraceSink>>,
 }
 
@@ -246,6 +315,8 @@ impl fmt::Debug for CppSearchSessionBuilder {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("CppSearchSessionBuilder")
             .field("threads", &self.threads)
+            .field("deadline", &self.deadline)
+            .field("chaos", &self.chaos)
             .field("sinks", &self.sinks.len())
             .finish()
     }
@@ -256,6 +327,30 @@ impl CppSearchSessionBuilder {
     #[must_use]
     pub fn threads(mut self, n: usize) -> Self {
         self.threads = n;
+        self
+    }
+
+    /// Wall-clock deadline per search (`None` = unbounded; validated
+    /// non-zero at build). When it expires, remaining probes are skipped
+    /// and the report says `Completion::DeadlineExpired` with whatever
+    /// suggestions the evaluated prefix produced.
+    #[must_use]
+    pub fn deadline(mut self, limit: Option<Duration>) -> Self {
+        self.deadline = limit;
+        self
+    }
+
+    /// Convenience for [`CppSearchSessionBuilder::deadline`] in
+    /// milliseconds, matching the CLI's `--deadline-ms`.
+    #[must_use]
+    pub fn deadline_ms(self, ms: u64) -> Self {
+        self.deadline(Some(Duration::from_millis(ms)))
+    }
+
+    /// Enables deterministic fault injection (chaos tests only).
+    #[must_use]
+    pub fn chaos(mut self, chaos: CppChaos) -> Self {
+        self.chaos = Some(chaos);
         self
     }
 
@@ -270,12 +365,21 @@ impl CppSearchSessionBuilder {
     ///
     /// # Errors
     ///
-    /// [`CppConfigError::ZeroThreads`] when `threads == 0`.
+    /// [`CppConfigError::ZeroThreads`] when `threads == 0`;
+    /// [`CppConfigError::ZeroDeadline`] when `deadline == Some(0)`.
     pub fn build(self) -> Result<CppSearchSession, CppConfigError> {
         if self.threads == 0 {
             return Err(CppConfigError::ZeroThreads);
         }
-        Ok(CppSearchSession { threads: self.threads, sinks: self.sinks })
+        if self.deadline == Some(Duration::ZERO) {
+            return Err(CppConfigError::ZeroDeadline);
+        }
+        Ok(CppSearchSession {
+            threads: self.threads,
+            deadline: self.deadline,
+            chaos: self.chaos,
+            sinks: self.sinks,
+        })
     }
 }
 
@@ -300,68 +404,117 @@ pub fn search_cpp(prog: &CProgram) -> CppReport {
 /// Runs the C++ search, streaming structured trace records (one event per
 /// oracle probe under a root span) into `sinks`.
 pub fn search_cpp_with(prog: &CProgram, sinks: &[Arc<dyn TraceSink>]) -> CppReport {
-    search_cpp_impl(prog, default_threads(), sinks)
+    search_cpp_impl(prog, default_threads(), None, None, sinks)
 }
 
 /// Largest contiguous run of pending probes a worker claims at once.
 const CHUNK: usize = 8;
 
-/// Evaluates every pending probe, in parallel at `threads > 1`. The
-/// returned verdicts are indexed like `pending`, so the fold consumes
-/// them in enumeration order regardless of which worker checked what.
-fn evaluate_probes(pending: &[PendingProbe], threads: usize) -> Vec<Verdict> {
-    let check_one = |p: &PendingProbe| {
+/// Evaluates pending probes, in parallel at `threads > 1`. The returned
+/// verdicts are indexed like `pending`, so the fold consumes them in
+/// enumeration order regardless of which worker checked what.
+///
+/// Fault tolerance: each check runs under `catch_unwind`, so a panicking
+/// probe yields a `faulted` verdict instead of poisoning its slot or
+/// killing a worker; slots that were poisoned anyway are recovered. When
+/// `deadline` passes, workers stop claiming chunks and unevaluated
+/// probes come back as `None` (skipped) — the scoped threads still join
+/// normally, so nothing leaks.
+fn evaluate_probes(
+    pending: &[PendingProbe],
+    threads: usize,
+    deadline: Option<Instant>,
+    chaos: Option<CppChaos>,
+) -> Vec<Option<Verdict>> {
+    let check_one = |i: usize, p: &PendingProbe| {
         let clock = Instant::now();
-        let errors = check(&p.variant);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            if chaos.is_some_and(|c| c.would_panic(i)) {
+                panic!("chaos: injected C++ checker panic");
+            }
+            check(&p.variant)
+        }));
         let latency_ns = u64::try_from(clock.elapsed().as_nanos()).unwrap_or(u64::MAX);
-        Verdict { errors, latency_ns }
+        match result {
+            Ok(errors) => Verdict { errors, latency_ns, faulted: false },
+            Err(_) => Verdict { errors: Vec::new(), latency_ns, faulted: true },
+        }
     };
+    let expired = || deadline.is_some_and(|d| Instant::now() >= d);
     let workers = threads.min(pending.len());
     if workers <= 1 {
-        return pending.iter().map(check_one).collect();
+        return pending
+            .iter()
+            .enumerate()
+            .map(|(i, p)| if expired() { None } else { Some(check_one(i, p)) })
+            .collect();
     }
     let slots: Vec<Mutex<Option<Verdict>>> = pending.iter().map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
+                if expired() {
+                    return;
+                }
                 let lo = next.fetch_add(CHUNK, Ordering::Relaxed);
                 if lo >= pending.len() {
                     return;
                 }
                 let hi = (lo + CHUNK).min(pending.len());
                 for i in lo..hi {
-                    let verdict = check_one(&pending[i]);
-                    *slots[i].lock().expect("probe slot poisoned") = Some(verdict);
+                    let verdict = check_one(i, &pending[i]);
+                    *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(verdict);
                 }
             });
         }
     });
-    slots
-        .into_iter()
-        .map(|s| s.into_inner().expect("probe slot poisoned").expect("every probe checked"))
-        .collect()
+    slots.into_iter().map(|s| s.into_inner().unwrap_or_else(PoisonError::into_inner)).collect()
 }
 
-fn search_cpp_impl(prog: &CProgram, threads: usize, sinks: &[Arc<dyn TraceSink>]) -> CppReport {
+fn search_cpp_impl(
+    prog: &CProgram,
+    threads: usize,
+    deadline: Option<Duration>,
+    chaos: Option<CppChaos>,
+    sinks: &[Arc<dyn TraceSink>],
+) -> CppReport {
     let start = Instant::now();
+    // An unrepresentable deadline (absurdly large limit) means unbounded.
+    let deadline = deadline.and_then(|d| Instant::now().checked_add(d));
     let mut tracer = Tracer::new(sinks.to_vec());
     let root = tracer.open(SpanKind::Search);
     let clock = Instant::now();
-    let baseline = check(prog);
+    // The baseline always runs, and a panicking checker is isolated into
+    // a synthetic diagnostic so the caller still gets a report.
+    let (baseline, baseline_faulted) = match catch_unwind(AssertUnwindSafe(|| check(prog))) {
+        Ok(errors) => (errors, false),
+        Err(_) => (
+            vec![CppError {
+                message: "the checker faulted on this program (internal error isolated)".to_owned(),
+                site: Span::DUMMY,
+                chain: Vec::new(),
+            }],
+            true,
+        ),
+    };
     let baseline_ns = u64::try_from(clock.elapsed().as_nanos()).unwrap_or(u64::MAX);
     let before: HashSet<String> = baseline.iter().map(CppError::key).collect();
     let mut ctx = ProbeCtx {
         before: &before,
         n_before: baseline.len(),
-        calls: 1,
+        calls: u64::from(!baseline_faulted),
+        probe_faults: u64::from(baseline_faulted),
+        skipped: 0,
         tracer,
         latency: Histogram::default(),
         probes: [0; ProbeKind::METRIC_KEYS.len()],
         suggestions: Vec::new(),
     };
     ctx.probes[ProbeKind::Baseline.metric_index()] += 1;
-    ctx.latency.observe(baseline_ns);
+    if !baseline_faulted {
+        ctx.latency.observe(baseline_ns);
+    }
     if ctx.tracer.enabled() {
         ctx.tracer.event(EventKind::OracleProbe {
             probe: ProbeKind::Baseline,
@@ -369,16 +522,19 @@ fn search_cpp_impl(prog: &CProgram, threads: usize, sinks: &[Arc<dyn TraceSink>]
             span: SrcSpan::EMPTY,
             outcome: baseline.is_empty(),
             cached: false,
+            faulted: baseline_faulted,
             latency_ns: baseline_ns,
         });
     }
     if baseline.is_empty() {
         ctx.tracer.close(root);
-        let metrics = cpp_metrics(&ctx, 0, threads);
+        let metrics = cpp_metrics(&ctx, 0, threads, Completion::Complete);
         return CppReport {
             suggestions: Vec::new(),
             baseline,
+            completion: Completion::Complete,
             oracle_calls: ctx.calls,
+            probe_faults: ctx.probe_faults,
             elapsed: start.elapsed(),
             metrics,
         };
@@ -602,9 +758,12 @@ fn search_cpp_impl(prog: &CProgram, threads: usize, sinks: &[Arc<dyn TraceSink>]
     // Phase 2: evaluate the frontier (the only parallel section), then
     // Phase 3: fold verdicts back in enumeration order, so suggestions,
     // ranks, and trace records are identical at any thread count.
-    let verdicts = evaluate_probes(&pending, threads);
+    let verdicts = evaluate_probes(&pending, threads, deadline, chaos);
     for (probe, verdict) in pending.into_iter().zip(verdicts) {
-        ctx.fold(probe, verdict);
+        match verdict {
+            Some(v) => ctx.fold(probe, v),
+            None => ctx.skipped += 1,
+        }
     }
 
     // Rank: complete fixes first, then class, then smaller fragments.
@@ -622,14 +781,41 @@ fn search_cpp_impl(prog: &CProgram, threads: usize, sinks: &[Arc<dyn TraceSink>]
     suggestions.retain(|s| seen.insert((s.span, s.replacement.clone())));
 
     ctx.tracer.close(root);
-    let metrics = cpp_metrics(&ctx, suggestions.len() as u64, threads);
-    CppReport { suggestions, baseline, oracle_calls: ctx.calls, elapsed: start.elapsed(), metrics }
+    // Mirrors the Caml search's precedence: a deadline (the only reason
+    // probes are skipped here) outranks degradation by faults.
+    let completion = if ctx.skipped > 0 {
+        Completion::DeadlineExpired
+    } else if ctx.probe_faults > 0 {
+        Completion::Degraded { faults: ctx.probe_faults }
+    } else {
+        Completion::Complete
+    };
+    let metrics = cpp_metrics(&ctx, suggestions.len() as u64, threads, completion);
+    CppReport {
+        suggestions,
+        baseline,
+        completion,
+        oracle_calls: ctx.calls,
+        probe_faults: ctx.probe_faults,
+        elapsed: start.elapsed(),
+        metrics,
+    }
 }
 
 /// Folds the probe context into the stable metrics snapshot schema.
-fn cpp_metrics(ctx: &ProbeCtx<'_>, suggestions: u64, threads: usize) -> MetricsSnapshot {
+fn cpp_metrics(
+    ctx: &ProbeCtx<'_>,
+    suggestions: u64,
+    threads: usize,
+    completion: Completion,
+) -> MetricsSnapshot {
     let mut snap = MetricsSnapshot::default();
     snap.counters.insert("oracle_calls".to_owned(), ctx.calls);
+    snap.counters.insert("probe_faults".to_owned(), ctx.probe_faults);
+    snap.counters.insert("completion".to_owned(), completion.metric_code());
+    if ctx.skipped > 0 {
+        snap.counters.insert("deadline_skipped".to_owned(), ctx.skipped);
+    }
     snap.counters.insert("errors_before".to_owned(), ctx.n_before as u64);
     snap.counters.insert("suggestions".to_owned(), suggestions);
     if threads > 1 {

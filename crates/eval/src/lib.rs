@@ -28,4 +28,6 @@ pub use figure5::{figure5, render_figure5, Figure5};
 pub use figure7::{cdf, figure7, render_figure7, Figure7};
 pub use judge::{judge_baseline, judge_seminal, Judgment};
 pub use metrics::{bench_search_json, bench_search_json_with, corpus_metrics};
-pub use runner::{evaluate_corpus, evaluate_corpus_with, FileResult};
+pub use runner::{
+    evaluate_corpus, evaluate_corpus_run, evaluate_corpus_with, CorpusRun, FileResult, SkippedFile,
+};

@@ -18,9 +18,11 @@ use crate::judge::{judge_baseline, judge_seminal, Judgment};
 use seminal_core::{SearchConfig, SearchSession};
 use seminal_corpus::CorpusFile;
 use seminal_ml::parser::parse_program;
+use seminal_obs::MetricsSnapshot;
 use seminal_typeck::{check_program, TypeCheckOracle};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 use std::time::Duration;
 
 /// Everything measured for one corpus file.
@@ -45,6 +47,34 @@ pub struct FileResult {
     pub metrics: seminal_obs::MetricsSnapshot,
 }
 
+/// A corpus file that produced no [`FileResult`], and why. A panicking
+/// evaluation is isolated into one of these — it costs the run a single
+/// record, never the whole corpus pass.
+#[derive(Debug, Clone)]
+pub struct SkippedFile {
+    pub id: String,
+    pub reason: String,
+}
+
+/// The outcome of a corpus pass: per-file results in corpus order, plus
+/// a record for every file that produced none.
+#[derive(Debug, Clone)]
+pub struct CorpusRun {
+    pub results: Vec<FileResult>,
+    pub skipped: Vec<SkippedFile>,
+}
+
+impl CorpusRun {
+    /// The corpus-wide metrics snapshot: every file's per-search
+    /// snapshot merged, plus the `eval.files_skipped` counter so a run
+    /// that silently lost files cannot masquerade as a full one.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let mut merged = crate::metrics::corpus_metrics(&self.results);
+        merged.counters.insert("eval.files_skipped".to_owned(), self.skipped.len() as u64);
+        merged
+    }
+}
+
 /// Evaluates every file sequentially; files that unexpectedly
 /// parse/type-check are skipped (the corpus generator prevents them by
 /// construction). Equivalent to `evaluate_corpus_with(files, 1)`.
@@ -54,30 +84,68 @@ pub fn evaluate_corpus(files: &[CorpusFile]) -> Vec<FileResult> {
 
 /// Evaluates every file using `threads` file-level workers. Results are
 /// returned in corpus order and are identical at every `threads` value;
-/// only wall-clock differs.
+/// only wall-clock differs. Skip records are dropped; use
+/// [`evaluate_corpus_run`] to keep them.
 pub fn evaluate_corpus_with(files: &[CorpusFile], threads: usize) -> Vec<FileResult> {
+    evaluate_corpus_run(files, threads).results
+}
+
+/// Evaluates every file using `threads` file-level workers, keeping a
+/// [`SkippedFile`] record for each file that produced no result
+/// (including files whose evaluation panicked — the panic is isolated
+/// per file, so the rest of the corpus still runs).
+pub fn evaluate_corpus_run(files: &[CorpusFile], threads: usize) -> CorpusRun {
     let workers = threads.max(1).min(files.len().max(1));
-    if workers <= 1 {
-        return files.iter().filter_map(evaluate_file).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<FileResult>>> = files.iter().map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(file) = files.get(i) else { break };
-                *slots[i].lock().expect("file slot poisoned") = evaluate_file(file);
-            });
+    let outcomes: Vec<Result<FileResult, String>> = if workers <= 1 {
+        files.iter().map(guarded_evaluate).collect()
+    } else {
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Result<FileResult, String>>>> =
+            files.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(file) = files.get(i) else { break };
+                    let outcome = guarded_evaluate(file);
+                    // A panic between lock and store can poison a slot;
+                    // recover the lock — the slot value itself is
+                    // whatever was last stored, which is what we want.
+                    *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(outcome);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .unwrap_or_else(|| Err("file was never evaluated".to_owned()))
+            })
+            .collect()
+    };
+    let mut run = CorpusRun { results: Vec::new(), skipped: Vec::new() };
+    for (file, outcome) in files.iter().zip(outcomes) {
+        match outcome {
+            Ok(result) => run.results.push(result),
+            Err(reason) => run.skipped.push(SkippedFile { id: file.id.clone(), reason }),
         }
-    });
-    slots.into_iter().filter_map(|m| m.into_inner().expect("file slot poisoned")).collect()
+    }
+    run
+}
+
+/// [`evaluate_file`] under panic isolation: a file whose evaluation
+/// panics yields a skip reason instead of unwinding into the worker (and
+/// poisoning every slot mutex behind it).
+fn guarded_evaluate(file: &CorpusFile) -> Result<FileResult, String> {
+    catch_unwind(AssertUnwindSafe(|| evaluate_file(file)))
+        .unwrap_or_else(|_| Err("evaluation panicked (isolated)".to_owned()))
 }
 
 /// Runs all three systems over one file. Sessions are pinned to
 /// `threads(1)` so per-file results do not depend on `SEMINAL_THREADS`
 /// or on the worker count of the surrounding corpus run.
-fn evaluate_file(file: &CorpusFile) -> Option<FileResult> {
+fn evaluate_file(file: &CorpusFile) -> Result<FileResult, String> {
     let full_session = SearchSession::builder(TypeCheckOracle::new())
         .threads(1)
         .build()
@@ -87,14 +155,16 @@ fn evaluate_file(file: &CorpusFile) -> Option<FileResult> {
         .threads(1)
         .build()
         .expect("no-triage config with threads=1 is valid");
-    let prog = parse_program(&file.source).ok()?;
-    let baseline_err = check_program(&prog).err()?;
+    let prog = parse_program(&file.source).map_err(|e| format!("does not parse: {e}"))?;
+    let Some(baseline_err) = check_program(&prog).err() else {
+        return Err("unexpectedly type-checks".to_owned());
+    };
     let full_report = full_session.search(&prog);
     let nt_report = nt_session.search(&prog);
     let full = judge_seminal(file, &full_report);
     let no_triage = judge_seminal(file, &nt_report);
     let baseline = judge_baseline(file, &baseline_err);
-    Some(FileResult {
+    Ok(FileResult {
         id: file.id.clone(),
         programmer: file.programmer,
         assignment: file.assignment,
@@ -137,6 +207,23 @@ mod tests {
             "Seminal no-worse on only {no_worse}/{} files",
             results.len()
         );
+    }
+
+    #[test]
+    fn unusable_files_become_skip_records_not_lost_results() {
+        let mut files = generate(&small_config(4));
+        files[1].source = "let let let (".to_owned(); // cannot parse
+        files[2].source = "let x = 1".to_owned(); // type-checks
+        for threads in [1, 4] {
+            let run = evaluate_corpus_run(&files, threads);
+            assert_eq!(run.results.len(), files.len() - 2, "threads={threads}");
+            assert_eq!(run.skipped.len(), 2, "threads={threads}");
+            assert_eq!(run.skipped[0].id, files[1].id);
+            assert!(run.skipped[0].reason.contains("does not parse"), "{}", run.skipped[0].reason);
+            assert_eq!(run.skipped[1].id, files[2].id);
+            assert!(run.skipped[1].reason.contains("type-checks"), "{}", run.skipped[1].reason);
+            assert_eq!(run.metrics().counter("eval.files_skipped"), 2);
+        }
     }
 
     #[test]

@@ -111,14 +111,39 @@ pub fn parse_expr(source: &str) -> Result<(Expr, Program), ParseError> {
     Ok((e, program))
 }
 
+/// Deepest nesting the recursive-descent parser will follow before
+/// reporting a diagnostic instead of risking a stack overflow. Each
+/// level costs a dozen-odd stack frames through the precedence chain, so
+/// this keeps worst-case stack use far below any platform default while
+/// accepting any program a person (or the enumerator) plausibly writes.
+const MAX_DEPTH: usize = 64;
+
 struct Parser {
     tokens: Vec<Spanned>,
     pos: usize,
+    /// Current nesting depth across the recursion chokepoints
+    /// (atoms, keyword forms, unary chains, patterns, type expressions).
+    depth: usize,
 }
 
 impl Parser {
     fn new(tokens: Vec<Spanned>) -> Parser {
-        Parser { tokens, pos: 0 }
+        Parser { tokens, pos: 0, depth: 0 }
+    }
+
+    /// Bumps the nesting depth, failing with a regular [`ParseError`]
+    /// (not a stack overflow) on pathologically nested input. Paired
+    /// with a decrement in the wrappers below; an error abandons the
+    /// whole parse, so the counter need not survive failure.
+    fn enter(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(ParseError {
+                message: format!("nesting exceeds the supported depth ({MAX_DEPTH})"),
+                span: self.span(),
+            });
+        }
+        Ok(())
     }
 
     fn peek(&self) -> &Token {
@@ -353,6 +378,13 @@ impl Parser {
 
     /// Postfix constructor application: `int list`, `('a, 'b) t`.
     fn type_app(&mut self) -> Result<TypeExpr, ParseError> {
+        self.enter()?;
+        let result = self.type_app_inner();
+        self.depth -= 1;
+        result
+    }
+
+    fn type_app_inner(&mut self) -> Result<TypeExpr, ParseError> {
         let mut base = match self.peek().clone() {
             Token::TyVar(v) => {
                 self.bump();
@@ -410,6 +442,13 @@ impl Parser {
     }
 
     fn pattern(&mut self, prog: &mut Program) -> Result<Pat, ParseError> {
+        self.enter()?;
+        let result = self.pattern_inner(prog);
+        self.depth -= 1;
+        result
+    }
+
+    fn pattern_inner(&mut self, prog: &mut Program) -> Result<Pat, ParseError> {
         let start = self.span();
         let first = self.pat_cons(prog)?;
         if !self.at(&Token::Comma) {
@@ -574,6 +613,13 @@ impl Parser {
     }
 
     fn kw_form(&mut self, prog: &mut Program) -> Result<Expr, ParseError> {
+        self.enter()?;
+        let result = self.kw_form_inner(prog);
+        self.depth -= 1;
+        result
+    }
+
+    fn kw_form_inner(&mut self, prog: &mut Program) -> Result<Expr, ParseError> {
         let start = self.span();
         let id = prog.fresh_id();
         let kind = match self.peek() {
@@ -884,6 +930,13 @@ impl Parser {
     }
 
     fn expr_unary(&mut self, prog: &mut Program) -> Result<Expr, ParseError> {
+        self.enter()?;
+        let result = self.expr_unary_inner(prog);
+        self.depth -= 1;
+        result
+    }
+
+    fn expr_unary_inner(&mut self, prog: &mut Program) -> Result<Expr, ParseError> {
         let start = self.span();
         match self.peek() {
             Token::Minus => {
@@ -964,6 +1017,17 @@ impl Parser {
     }
 
     fn expr_atom(&mut self, prog: &mut Program, head_position: bool) -> Result<Expr, ParseError> {
+        self.enter()?;
+        let result = self.expr_atom_inner(prog, head_position);
+        self.depth -= 1;
+        result
+    }
+
+    fn expr_atom_inner(
+        &mut self,
+        prog: &mut Program,
+        head_position: bool,
+    ) -> Result<Expr, ParseError> {
         let start = self.span();
         let id = prog.fresh_id();
         let kind = match self.peek().clone() {

@@ -124,6 +124,34 @@ fn lit_to_string(l: &Lit) -> String {
     }
 }
 
+/// Deepest nesting the printer will follow before eliding a subtree.
+/// Far above what the parser's own depth guard admits, so elision only
+/// ever triggers on programmatically built ASTs — and even then the
+/// printer stays total instead of overflowing the stack.
+const MAX_DEPTH: usize = 500;
+
+thread_local! {
+    static DEPTH: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+/// Claims one level of printing depth; `false` means the cutoff was hit
+/// and the caller should emit a placeholder instead of recursing. A
+/// `true` return must be paired with [`leave`].
+fn enter() -> bool {
+    DEPTH.with(|d| {
+        if d.get() >= MAX_DEPTH {
+            false
+        } else {
+            d.set(d.get() + 1);
+            true
+        }
+    })
+}
+
+fn leave() {
+    DEPTH.with(|d| d.set(d.get() - 1));
+}
+
 fn write_paren(out: &mut String, want: Prec, have: Prec, body: impl FnOnce(&mut String)) {
     if have < want {
         out.push('(');
@@ -140,6 +168,17 @@ fn is_operator_name(name: &str) -> bool {
 }
 
 fn write_expr(out: &mut String, e: &Expr, ctx: Prec) {
+    if !enter() {
+        // Elide the subtree as a hole: still-parseable output, no
+        // unbounded recursion.
+        out.push_str("[[...]]");
+        return;
+    }
+    write_expr_inner(out, e, ctx);
+    leave();
+}
+
+fn write_expr_inner(out: &mut String, e: &Expr, ctx: Prec) {
     match &e.kind {
         ExprKind::Var(name) => {
             if is_operator_name(name) || name == "mod" {
@@ -351,6 +390,15 @@ fn write_binding(out: &mut String, b: &Binding) {
 /// Pattern printing. `ctx` levels: 0 = top (tuples bare), 1 = cons operand,
 /// 2 = atom required (function parameter / constructor argument).
 fn write_pat(out: &mut String, p: &Pat, ctx: u8) {
+    if !enter() {
+        out.push('_');
+        return;
+    }
+    write_pat_inner(out, p, ctx);
+    leave();
+}
+
+fn write_pat_inner(out: &mut String, p: &Pat, ctx: u8) {
     match &p.kind {
         PatKind::Wild => out.push('_'),
         PatKind::Var(name) => out.push_str(name),

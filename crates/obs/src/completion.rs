@@ -1,0 +1,109 @@
+//! How a search run ended.
+//!
+//! The fault-tolerance layer guarantees that every search returns a
+//! report with best-so-far ranked suggestions, no matter how it was
+//! stopped — by its oracle-call budget, a wall-clock deadline, a
+//! cooperative cancel, or probe faults absorbed along the way.
+//! [`Completion`] is the honest record of which of those happened, shared
+//! by the Caml and C++ front ends (both report it in their metrics
+//! snapshots and the CLI maps it to an exit code).
+
+/// The terminal status of one search run, in ascending order of
+/// "how much of the planned search actually ran".
+///
+/// Precedence when several conditions hold at once (e.g. a cancel lands
+/// on a run that already absorbed faults): `Cancelled` >
+/// `DeadlineExpired` > `BudgetExhausted` > `Degraded` > `Complete`.
+/// The strongest reason the search stopped is the one reported.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum Completion {
+    /// The search ran to the end of its enumeration (possibly hitting
+    /// the suggestion cap, which is a result-size limit, not a fault).
+    #[default]
+    Complete,
+    /// The search ran out of planned work only because probes faulted
+    /// (panicked and were isolated); `faults` is the number of logical
+    /// probes whose verdict was synthesized as `Faulted`.
+    Degraded {
+        /// How many logical probes faulted during the run.
+        faults: u64,
+    },
+    /// The oracle-call budget (`max_oracle_calls`) was exhausted.
+    BudgetExhausted,
+    /// The wall-clock deadline expired.
+    DeadlineExpired,
+    /// The caller cancelled the search through its handle.
+    Cancelled,
+}
+
+impl Completion {
+    /// Whether the search examined everything it planned to (no budget,
+    /// deadline, cancellation, or fault curtailed it).
+    pub fn is_complete(self) -> bool {
+        matches!(self, Completion::Complete)
+    }
+
+    /// Stable lowercase tag for logs and JSON artifacts.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Completion::Complete => "complete",
+            Completion::Degraded { .. } => "degraded",
+            Completion::BudgetExhausted => "budget-exhausted",
+            Completion::DeadlineExpired => "deadline-expired",
+            Completion::Cancelled => "cancelled",
+        }
+    }
+
+    /// Stable numeric code for the `completion` metrics counter
+    /// (metrics counters are `u64`, so the enum is flattened; the fault
+    /// count travels separately as `probe_faults`).
+    pub fn metric_code(self) -> u64 {
+        match self {
+            Completion::Complete => 0,
+            Completion::Degraded { .. } => 1,
+            Completion::BudgetExhausted => 2,
+            Completion::DeadlineExpired => 3,
+            Completion::Cancelled => 4,
+        }
+    }
+}
+
+impl std::fmt::Display for Completion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Completion::Degraded { faults } => write!(f, "degraded ({faults} probe faults)"),
+            other => f.write_str(other.tag()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_and_tags_are_stable() {
+        let all = [
+            Completion::Complete,
+            Completion::Degraded { faults: 3 },
+            Completion::BudgetExhausted,
+            Completion::DeadlineExpired,
+            Completion::Cancelled,
+        ];
+        let codes: Vec<u64> = all.iter().map(|c| c.metric_code()).collect();
+        assert_eq!(codes, vec![0, 1, 2, 3, 4]);
+        let tags: Vec<&str> = all.iter().map(|c| c.tag()).collect();
+        assert_eq!(
+            tags,
+            vec!["complete", "degraded", "budget-exhausted", "deadline-expired", "cancelled"]
+        );
+        assert!(Completion::Complete.is_complete());
+        assert!(!Completion::Cancelled.is_complete());
+    }
+
+    #[test]
+    fn display_includes_the_fault_count() {
+        assert_eq!(Completion::Degraded { faults: 7 }.to_string(), "degraded (7 probe faults)");
+        assert_eq!(Completion::DeadlineExpired.to_string(), "deadline-expired");
+    }
+}

@@ -25,11 +25,13 @@
 //! cycles), and **stable artifacts** (the snapshot schema is versioned
 //! and round-trip-checked in CI).
 
+pub mod completion;
 pub mod json;
 pub mod metrics;
 pub mod profile;
 pub mod trace;
 
+pub use completion::Completion;
 pub use json::{parse as parse_json, Json, JsonError};
 pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot, SCHEMA};
 pub use profile::{profile, render as render_profile, ProfileNode, SpanProfile};

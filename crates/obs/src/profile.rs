@@ -217,6 +217,7 @@ mod tests {
                 span,
                 outcome: false,
                 cached: false,
+                faulted: false,
                 latency_ns,
             },
             at_ns: 0,

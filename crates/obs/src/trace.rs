@@ -214,6 +214,9 @@ pub enum EventKind {
         /// Whether the verdict came from the memo cache instead of a real
         /// oracle run.
         cached: bool,
+        /// Whether the probe panicked and the verdict was synthesized as
+        /// a fault (panic isolation; implies `outcome == false`).
+        faulted: bool,
         /// Wall-clock cost of the oracle call (0 when `cached`).
         latency_ns: u64,
     },
@@ -276,7 +279,15 @@ impl TraceRecord {
                     ("parent".to_owned(), Json::Num(*parent)),
                 ];
                 match kind {
-                    EventKind::OracleProbe { probe, target, span, outcome, cached, latency_ns } => {
+                    EventKind::OracleProbe {
+                        probe,
+                        target,
+                        span,
+                        outcome,
+                        cached,
+                        faulted,
+                        latency_ns,
+                    } => {
                         members.push(("kind".to_owned(), Json::Str("oracle-probe".to_owned())));
                         members
                             .push(("probe".to_owned(), Json::Str(probe.metric_key().to_owned())));
@@ -287,6 +298,9 @@ impl TraceRecord {
                         members.push(("span".to_owned(), span_json(*span)));
                         members.push(("outcome".to_owned(), Json::Bool(*outcome)));
                         members.push(("cached".to_owned(), Json::Bool(*cached)));
+                        if *faulted {
+                            members.push(("faulted".to_owned(), Json::Bool(true)));
+                        }
                         members.push(("latency_ns".to_owned(), Json::Num(*latency_ns)));
                     }
                     EventKind::PrefixLocalized { first_bad, detail } => {
@@ -587,6 +601,7 @@ mod tests {
             span: SrcSpan::new(4, 9),
             outcome,
             cached: false,
+            faulted: false,
             latency_ns: 10,
         }
     }

@@ -32,6 +32,14 @@ pub enum TypeErrorKind {
     ForeignField { record: String, field: String },
     /// The same variable is bound twice in one pattern.
     DuplicatePatternVar(String),
+    /// The expression nests deeper than the checker's recursion guard
+    /// allows; reported as a diagnostic instead of overflowing the stack.
+    TooDeep(usize),
+    /// The checker itself faulted (panicked) on this program and the
+    /// panic was isolated; synthesized by the fault-tolerance layer, never
+    /// by inference. Treated as ill-typed so the search can continue and
+    /// report a degraded completion instead of crashing.
+    OracleFault,
 }
 
 /// A type error at a source location.
@@ -76,6 +84,12 @@ impl TypeError {
             TypeErrorKind::DuplicatePatternVar(name) => {
                 format!("The variable {name} is bound several times in this matching")
             }
+            TypeErrorKind::TooDeep(limit) => {
+                format!("This expression nests deeper than the supported depth ({limit})")
+            }
+            TypeErrorKind::OracleFault => {
+                "The type checker faulted on this program (internal error isolated)".to_owned()
+            }
         }
     }
 
@@ -103,6 +117,12 @@ impl TypeError {
                 | TypeErrorKind::UnboundField(_)
                 | TypeErrorKind::UnboundType(_)
         )
+    }
+
+    /// Whether this error was synthesized by the panic-isolation layer
+    /// rather than produced by inference.
+    pub fn is_fault(&self) -> bool {
+        matches!(self.kind, TypeErrorKind::OracleFault)
     }
 }
 

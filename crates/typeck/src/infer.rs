@@ -71,8 +71,15 @@ pub fn check_program_types(
     Ok(out)
 }
 
+/// Deepest expression nesting inference will follow before reporting a
+/// [`TypeErrorKind::TooDeep`] diagnostic instead of risking a stack
+/// overflow on adversarial input.
+const MAX_DEPTH: usize = 48;
+
 struct Infer {
     uni: Unifier,
+    /// Current recursion depth across `infer`/`check`.
+    depth: usize,
     env: Env,
     capture: HashSet<NodeId>,
     captured: HashMap<NodeId, Ty>,
@@ -90,6 +97,7 @@ impl Infer {
     fn new(wanted: &[NodeId]) -> Infer {
         Infer {
             uni: Unifier::new(),
+            depth: 0,
             env: stdlib_env().clone(),
             capture: wanted.iter().copied().collect(),
             captured: HashMap::new(),
@@ -521,8 +529,23 @@ impl Infer {
     // Expressions
     // ------------------------------------------------------------------
 
+    /// Bumps the recursion depth shared by `infer` and `check`, failing
+    /// with a regular diagnostic on pathologically nested input. Paired
+    /// with a decrement in those wrappers; an error aborts the whole
+    /// check, so the counter need not survive failure.
+    fn enter(&mut self, span: Span) -> Res<()> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(TypeError { kind: TypeErrorKind::TooDeep(MAX_DEPTH), span });
+        }
+        Ok(())
+    }
+
     fn infer(&mut self, e: &Expr) -> Res<Ty> {
-        let ty = self.infer_kind(e)?;
+        self.enter(e.span)?;
+        let ty = self.infer_kind(e);
+        self.depth -= 1;
+        let ty = ty?;
         if self.capture.contains(&e.id) {
             self.captured.insert(e.id, ty.clone());
         }
@@ -533,6 +556,13 @@ impl Infer {
     /// blame lands on the deepest mismatching subexpression (as ocamlc's
     /// does).
     fn check(&mut self, e: &Expr, expected: &Ty) -> Res<()> {
+        self.enter(e.span)?;
+        let result = self.check_inner(e, expected);
+        self.depth -= 1;
+        result
+    }
+
+    fn check_inner(&mut self, e: &Expr, expected: &Ty) -> Res<()> {
         if self.capture.contains(&e.id) {
             self.captured.insert(e.id, expected.clone());
         }

@@ -28,6 +28,7 @@
 //! # }
 //! ```
 
+pub mod chaos;
 pub mod env;
 pub mod error;
 pub mod infer;
@@ -37,8 +38,12 @@ pub mod stdlib;
 pub mod types;
 pub mod unify;
 
+pub use chaos::{ChaosConfig, ChaosOracle};
 pub use error::{TypeError, TypeErrorKind};
 pub use infer::{check_program, check_program_types, trace_program};
-pub use oracle::{CountingOracle, InstrumentedOracle, Oracle, TypeCheckOracle};
+pub use oracle::{
+    guarded_check, guarded_probe, CountingOracle, InstrumentedOracle, Oracle, ProbeOutcome,
+    TypeCheckOracle,
+};
 pub use record::{Constraint, ConstraintTrace};
 pub use types::{pretty, Scheme, TvId, Ty};

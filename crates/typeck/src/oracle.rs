@@ -6,10 +6,82 @@
 //! never on inference internals — which is what keeps the approach free
 //! of type-checker modifications.
 
-use crate::error::TypeError;
+use crate::error::{TypeError, TypeErrorKind};
 use crate::infer::check_program;
 use seminal_ml::ast::Program;
+use seminal_ml::span::Span;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The three-valued verdict of one fault-isolated probe.
+///
+/// The search layers never call an oracle bare on the probe path: every
+/// probe runs under a panic guard ([`guarded_probe`]) and an oracle that
+/// panics yields `Faulted` instead of unwinding into the engine. A
+/// `Faulted` verdict is memoized like any other (so a deterministic
+/// fault costs one fault, not one per duplicate probe), counted in
+/// `probe_faults`, and treated as "did not type-check" by the search —
+/// the conservative reading that can suppress a suggestion but never
+/// fabricate one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProbeOutcome {
+    /// The variant type-checked.
+    Pass,
+    /// The variant did not type-check.
+    Fail,
+    /// The oracle panicked on this variant; the panic was isolated.
+    Faulted,
+}
+
+impl ProbeOutcome {
+    /// Whether the variant type-checked (`Faulted` reads as "no").
+    pub fn passed(self) -> bool {
+        matches!(self, ProbeOutcome::Pass)
+    }
+
+    /// Whether the verdict was synthesized from an isolated panic.
+    pub fn faulted(self) -> bool {
+        matches!(self, ProbeOutcome::Faulted)
+    }
+
+    /// Collapses an oracle verdict (no fault involved).
+    pub fn from_verdict<E>(verdict: &Result<(), E>) -> ProbeOutcome {
+        if verdict.is_ok() {
+            ProbeOutcome::Pass
+        } else {
+            ProbeOutcome::Fail
+        }
+    }
+}
+
+/// Runs one probe under a panic guard: a panicking oracle yields
+/// [`ProbeOutcome::Faulted`] instead of unwinding into the search.
+///
+/// `AssertUnwindSafe` is sound here because the oracle is only observed
+/// through `&self` afterwards and the trait contract requires interior
+/// mutability to be panic-consistent (the built-in oracles hold atomics
+/// or locks that the guard never leaves mid-update).
+pub fn guarded_probe<O: Oracle + ?Sized>(oracle: &O, prog: &Program) -> ProbeOutcome {
+    match catch_unwind(AssertUnwindSafe(|| oracle.check(prog))) {
+        Ok(verdict) => ProbeOutcome::from_verdict(&verdict),
+        Err(_) => ProbeOutcome::Faulted,
+    }
+}
+
+/// Like [`Oracle::check`] but with panic isolation: a panicking oracle
+/// yields a synthesized [`TypeErrorKind::OracleFault`] error (at the
+/// dummy span) so callers that need the concrete baseline error — not
+/// just a verdict — can keep going. Distinguish real errors from
+/// isolated faults with [`TypeError::is_fault`].
+///
+/// # Errors
+///
+/// The oracle's own [`TypeError`] when the program is ill-typed, or the
+/// synthesized fault error when the oracle panicked.
+pub fn guarded_check<O: Oracle + ?Sized>(oracle: &O, prog: &Program) -> Result<(), TypeError> {
+    catch_unwind(AssertUnwindSafe(|| oracle.check(prog)))
+        .unwrap_or(Err(TypeError { kind: TypeErrorKind::OracleFault, span: Span::DUMMY }))
+}
 
 /// A black-box type checker.
 ///

@@ -586,3 +586,22 @@ fn user_polymorphism_pretty_names_in_order() {
 fn option_and_list_composites() {
     assert_eq!(principal_type_of("let f = fun x -> Some [x]"), "'a -> 'a list option");
 }
+
+#[test]
+fn pathological_nesting_is_a_too_deep_diagnostic_not_an_overflow() {
+    // The parser's own guard caps nesting below inference's, so only a
+    // hand-built AST reaches this path (the searcher builds variants
+    // programmatically). The checker must answer, not blow the stack.
+    use seminal_ml::ast::{Decl, Expr, NodeId, Program, UnOp};
+    use seminal_ml::span::Span;
+    let mut e = Expr::synth(ExprKind::Lit(Lit::Int(1)), Span::DUMMY);
+    for _ in 0..3_000 {
+        e = Expr::synth(ExprKind::UnOp(UnOp::Neg, Box::new(e)), Span::DUMMY);
+    }
+    let prog = Program {
+        decls: vec![Decl { id: NodeId::SYNTH, span: Span::DUMMY, kind: DeclKind::Expr(e) }],
+        next_id: 0,
+    };
+    let err = check_program(&prog).expect_err("the guard must fire before the stack overflows");
+    assert!(matches!(err.kind, TypeErrorKind::TooDeep(_)), "got {:?}", err.kind);
+}

@@ -16,7 +16,10 @@
 //!
 //! `--threads N` on `check` and `cpp` selects the parallel probe engine's
 //! worker count (default honors `SEMINAL_THREADS`; suggestions are
-//! identical at every thread count).
+//! identical at every thread count). `--deadline-ms N` bounds one
+//! search's wall clock (default honors `SEMINAL_DEADLINE_MS`): when it
+//! expires, best-so-far suggestions are still printed and the run exits
+//! with the degraded code 5.
 //!
 //! Observability flags on `check`: `--trace` (structured span/probe tree),
 //! `--trace-json PATH` (stream JSONL trace records), `--metrics-json PATH`
@@ -25,7 +28,9 @@
 //! against the schema with unknown fields rejected.
 //!
 //! Exit codes (see `--help`): 0 success/no errors, 1 type errors found or
-//! invalid metrics, 2 usage error, 3 parse error, 4 file I/O error.
+//! invalid metrics, 2 usage error, 3 parse error, 4 file I/O error,
+//! 5 type errors found but the search degraded (deadline, budget,
+//! cancellation, or isolated probe faults).
 
 use seminal::core::{message, Outcome, SearchConfig, SearchSession};
 use seminal::ml::parser::parse_program;
@@ -45,6 +50,10 @@ const EXIT_USAGE: u8 = 2;
 const EXIT_PARSE: u8 = 3;
 /// A file could not be read or written.
 const EXIT_IO: u8 = 4;
+/// Type errors were found but the search degraded: it hit its deadline
+/// or oracle budget, was cancelled, or isolated probe faults, so the
+/// printed suggestions are best-so-far rather than exhaustive.
+const EXIT_DEGRADED: u8 = 5;
 
 /// Options parsed from the command line.
 struct Opts {
@@ -63,6 +72,9 @@ struct Opts {
     /// Worker threads for the parallel probe engine (`None` = config
     /// default, which honors `SEMINAL_THREADS`).
     threads: Option<usize>,
+    /// Wall-clock deadline per search in milliseconds (`None` = config
+    /// default, which honors `SEMINAL_DEADLINE_MS`).
+    deadline_ms: Option<u64>,
 }
 
 fn main() -> ExitCode {
@@ -76,6 +88,7 @@ fn main() -> ExitCode {
         metrics_json: None,
         trace_json: None,
         threads: None,
+        deadline_ms: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -119,6 +132,15 @@ fn main() -> ExitCode {
                 }
                 None => return usage(),
             },
+            "--deadline-ms" => match args.get(i + 1).and_then(|s| s.parse::<u64>().ok()) {
+                // `0` is kept so the config builder reports the typed
+                // error, matching `--threads 0`.
+                Some(ms) => {
+                    opts.deadline_ms = Some(ms);
+                    i += 2;
+                }
+                None => return usage(),
+            },
             other => {
                 if other.starts_with("--") {
                     eprintln!("unknown flag `{other}`");
@@ -154,18 +176,23 @@ fn main() -> ExitCode {
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  \
-         seminal check [--top N] [--no-triage] [--threads N] [--trace] [--profile]\n               \
-         [--metrics-json PATH] [--trace-json PATH] <file.ml>\n  \
+         seminal check [--top N] [--no-triage] [--threads N] [--deadline-ms N]\n               \
+         [--trace] [--profile] [--metrics-json PATH] [--trace-json PATH] <file.ml>\n  \
          seminal analyze [--top N] <file.ml>    blamed-span localization report\n  \
          seminal metrics-check <file.json>      validate a metrics snapshot\n  \
-         seminal cpp <file.cpp>    C++ template-function prototype\n  \
+         seminal cpp [--threads N] [--deadline-ms N] <file.cpp>    C++ prototype\n  \
          seminal demo              run the paper's worked examples\n\n\
+         `--deadline-ms N` bounds one search's wall clock (default honors\n\
+         SEMINAL_DEADLINE_MS); when it expires the best-so-far suggestions\n\
+         are still printed and the run exits 5.\n\n\
          exit codes:\n  \
          0  no type errors (check/analyze/cpp); metrics file valid (metrics-check)\n  \
          1  type errors found; metrics file invalid\n  \
          2  usage error\n  \
          3  the input file does not parse\n  \
-         4  a file could not be read or written"
+         4  a file could not be read or written\n  \
+         5  type errors found but the search degraded (deadline, budget,\n     \
+         cancellation, or isolated probe faults); suggestions are best-so-far"
     );
     ExitCode::from(EXIT_USAGE)
 }
@@ -191,6 +218,9 @@ fn check_file(path: &str, opts: &Opts) -> ExitCode {
     let mut builder = SearchSession::builder(TypeCheckOracle::new()).config(config);
     if let Some(n) = opts.threads {
         builder = builder.threads(n);
+    }
+    if let Some(ms) = opts.deadline_ms {
+        builder = builder.deadline_ms(ms);
     }
     if let Some(out) = &opts.trace_json {
         match std::fs::File::create(out) {
@@ -240,7 +270,12 @@ fn check_file(path: &str, opts: &Opts) -> ExitCode {
                 println!();
                 print!("{}", render_profile(&profile(&report.records), Some(&source)));
             }
-            ExitCode::from(EXIT_TYPE_ERRORS)
+            if report.completion.is_complete() {
+                ExitCode::from(EXIT_TYPE_ERRORS)
+            } else {
+                eprintln!("search degraded: {} — suggestions are best-so-far", report.completion);
+                ExitCode::from(EXIT_DEGRADED)
+            }
         }
     }
 }
@@ -380,6 +415,9 @@ fn check_cpp(path: &str, opts: &Opts) -> ExitCode {
     if let Some(n) = opts.threads {
         builder = builder.threads(n);
     }
+    if let Some(ms) = opts.deadline_ms {
+        builder = builder.deadline_ms(ms);
+    }
     let session = match builder.build() {
         Ok(s) => s,
         Err(e) => {
@@ -400,7 +438,12 @@ fn check_cpp(path: &str, opts: &Opts) -> ExitCode {
     for s in report.suggestions.iter().take(3) {
         println!("  {}", s.render());
     }
-    ExitCode::from(EXIT_TYPE_ERRORS)
+    if report.completion.is_complete() {
+        ExitCode::from(EXIT_TYPE_ERRORS)
+    } else {
+        eprintln!("search degraded: {} — suggestions are best-so-far", report.completion);
+        ExitCode::from(EXIT_DEGRADED)
+    }
 }
 
 fn demo() -> ExitCode {
