@@ -161,6 +161,14 @@ impl SearchStats {
     pub fn search_time(&self) -> Duration {
         self.elapsed.saturating_sub(self.blame_time)
     }
+
+    /// The logical probe count: every planned probe resolves as exactly
+    /// one oracle call, memo hit, or isolated fault, so this sum is
+    /// invariant across thread counts and memo settings — the
+    /// conservation identity the determinism and fuzzing suites assert.
+    pub fn logical_probes(&self) -> u64 {
+        self.oracle_calls + self.memo_hits + self.probe_faults
+    }
 }
 
 /// What the search concluded.
@@ -218,6 +226,21 @@ impl SearchReport {
             Outcome::Suggestions(s) => s,
             _ => &[],
         }
+    }
+
+    /// The full user-visible payload: every suggestion in rank order
+    /// with the fields a message is rendered from (original fragment,
+    /// replacement, inferred type, triage flag). Two reports with equal
+    /// payloads are indistinguishable to the user, which makes this the
+    /// unit of comparison for the differential suites (the determinism
+    /// tests and the fuzzing harness's thread-identity oracle).
+    pub fn payload(&self) -> Vec<(String, String, Option<String>, bool)> {
+        self.suggestions()
+            .iter()
+            .map(|s| {
+                (s.original_str.clone(), s.replacement_str.clone(), s.new_type.clone(), s.triaged)
+            })
+            .collect()
     }
 }
 

@@ -29,5 +29,5 @@ pub mod session;
 pub mod templates;
 
 pub use generate::{generate, CorpusConfig, CorpusFile};
-pub use mutate::{mutate, GroundTruth, Mutant, MutationKind, ALL_KINDS};
+pub use mutate::{mutate, mutate_chain, GroundTruth, Mutant, MutationKind, ALL_KINDS};
 pub use templates::{Template, TEMPLATES};

@@ -213,6 +213,72 @@ pub fn mutate(
     Some(Mutant { source, truths })
 }
 
+/// Applies a chain of up to `steps` raw mutations in sequence, each at a
+/// random applicable site, **without** [`mutate`]'s ill-typed guarantee:
+/// later links can cancel earlier ones out (an operator flipped twice)
+/// or land on type-preserving edits, so the result may still type-check.
+/// This is the adversarial extension point the fuzzing harness builds on
+/// — it wants exactly the programs `mutate` retries away, and counting
+/// those *vacuous* cases is the harness's job, not this function's job
+/// to prevent.
+///
+/// Ground truths are recorded per link and resolved against the chain's
+/// *final* rendering; a link whose site was destroyed by a later link
+/// keeps its kind but degrades its span to `Span::DUMMY`.
+///
+/// Returns `None` when the template does not parse or no link could be
+/// applied at all.
+pub fn mutate_chain(
+    template_src: &str,
+    allowed: &[MutationKind],
+    steps: usize,
+    rng: &mut SplitMix64,
+) -> Option<Mutant> {
+    if allowed.is_empty() || steps == 0 {
+        return None;
+    }
+    let mut prog = parse_program(template_src).ok()?;
+    let mut pending: Vec<PendingTruth> = Vec::new();
+    for _link in 0..steps {
+        let mut applied = false;
+        for _attempt in 0..20 {
+            let kind = allowed[rng.random_range(0..allowed.len())];
+            if let Some((mutated, truth)) = apply_one(&prog, kind, rng) {
+                prog = mutated;
+                pending.push(truth);
+                applied = true;
+                break;
+            }
+        }
+        if !applied {
+            break;
+        }
+    }
+    if pending.is_empty() {
+        return None;
+    }
+    let source = program_to_string(&prog);
+    let reparsed = parse_program(&source).ok()?;
+    let truths = pending
+        .into_iter()
+        .map(|p| {
+            let span = match &p.path {
+                Some(path) => expr_at_path(&reparsed, path).map_or(Span::DUMMY, |e| e.span),
+                None => reparsed.decls.get(p.decl).map_or(Span::DUMMY, |d| d.span),
+            };
+            GroundTruth {
+                kind: p.kind,
+                path: p.path,
+                decl: p.decl,
+                span,
+                original: p.original,
+                mutated: p.mutated,
+            }
+        })
+        .collect();
+    Some(Mutant { source, truths })
+}
+
 /// Applies one mutation of the given kind at a random applicable site.
 fn apply_one(
     prog: &Program,
@@ -481,6 +547,43 @@ mod tests {
             }
         }
         assert!(made >= TEMPLATES.len() / 2, "only {made} mutants built");
+    }
+
+    #[test]
+    fn mutation_chains_are_deterministic_and_parse() {
+        for t in TEMPLATES.iter().take(6) {
+            let a = mutate_chain(t.source, ALL_KINDS, 3, &mut rng(91));
+            let b = mutate_chain(t.source, ALL_KINDS, 3, &mut rng(91));
+            match (a, b) {
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.source, b.source, "{}: chain not seed-deterministic", t.name);
+                    assert!(parse_program(&a.source).is_ok(), "{}: chain output parses", t.name);
+                    assert!(!a.truths.is_empty() && a.truths.len() <= 3, "{}", t.name);
+                }
+                (None, None) => {}
+                _ => panic!("{}: chain determinism broken (Some vs None)", t.name),
+            }
+        }
+    }
+
+    #[test]
+    fn mutation_chains_can_be_vacuous() {
+        // Unlike `mutate`, chains give no ill-typed guarantee: links can
+        // cancel out (an operator flipped twice) or land on edits the
+        // checker absorbs. The fuzz harness counts these as
+        // `fuzz.vacuous_cases`; this test pins down that they exist.
+        let mut vacuous = 0;
+        for seed in 0..400u64 {
+            for t in TEMPLATES.iter().take(4) {
+                if let Some(m) = mutate_chain(t.source, ALL_KINDS, 2, &mut rng(seed)) {
+                    let prog = parse_program(&m.source).unwrap();
+                    if check_program(&prog).is_ok() {
+                        vacuous += 1;
+                    }
+                }
+            }
+        }
+        assert!(vacuous > 0, "no vacuous chain in 1600 draws — guarantee changed?");
     }
 
     #[test]

@@ -118,6 +118,17 @@ impl CppReport {
     pub fn best(&self) -> Option<&CppSuggestion> {
         self.suggestions.first()
     }
+
+    /// The user-visible payload: every suggestion in rank order with the
+    /// fields its quick-fix line renders from plus the residual error
+    /// counts — the unit of comparison for the differential fuzz loop's
+    /// thread-identity oracle (mirrors the Caml report's `payload`).
+    pub fn payload(&self) -> Vec<(String, String, usize, usize)> {
+        self.suggestions
+            .iter()
+            .map(|s| (s.original.clone(), s.replacement.clone(), s.errors_before, s.errors_after))
+            .collect()
+    }
 }
 
 /// One enumerated change awaiting its verdict: the variant program plus

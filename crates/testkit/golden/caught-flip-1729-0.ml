@@ -1,0 +1,1 @@
+let deep = if true then true else 0

@@ -1,0 +1,1 @@
+let deep = if true then "s" else 0

@@ -1,0 +1,1 @@
+let deep = 1 + true

@@ -1,0 +1,1 @@
+let f v = let v = [v] in v + 1

@@ -1,0 +1,350 @@
+//! The differential invariant catalog.
+//!
+//! Each oracle is a pure check over search reports (plus, where needed,
+//! a fresh run of the real type-checker), returning `None` when the
+//! invariant holds. [`InvariantSuite::check_case`] runs the whole
+//! catalog against one program: it performs the sequential, parallel,
+//! and unguided searches itself so the individual oracles stay
+//! unit-testable on hand-built reports.
+//!
+//! The catalog (names are the stable identifiers used in JSONL failure
+//! artifacts and the golden-corpus manifest):
+//!
+//! | invariant | claim |
+//! |---|---|
+//! | `suggestion-revalidates` | every reported suggestion's variant re-typechecks under a fresh, chaos-free oracle |
+//! | `outcome-agreement` | the report says `WellTyped` iff a fresh oracle accepts the input |
+//! | `pretty-roundtrip` | pretty-print → reparse → pretty-print is a fixpoint of the input |
+//! | `thread-identity` | `threads=1` and `threads=N` reports have identical payloads and completion |
+//! | `probe-accounting` | `oracle_calls + memo_hits + probe_faults` is conserved across thread counts |
+//! | `blame-agreement` | blame-guided and unguided search accept the same suggestion set |
+//! | `completion-consistency` | `Completion` agrees with the stats that justify it |
+
+use seminal_core::{Outcome, SearchConfig, SearchReport, SearchSession};
+use seminal_ml::ast::Program;
+use seminal_ml::parser::parse_program;
+use seminal_ml::pretty::program_to_string;
+use seminal_obs::Completion;
+use seminal_typeck::{check_program, ChaosConfig, ChaosOracle, TypeCheckOracle};
+use std::collections::BTreeSet;
+
+/// Stable identifier: suggestions re-typecheck under a fresh oracle.
+pub const INV_SUGGESTION_REVALIDATES: &str = "suggestion-revalidates";
+/// Stable identifier: `WellTyped` verdicts agree with a fresh oracle.
+pub const INV_OUTCOME_AGREEMENT: &str = "outcome-agreement";
+/// Stable identifier: pretty-print → reparse fixpoint.
+pub const INV_PRETTY_ROUNDTRIP: &str = "pretty-roundtrip";
+/// Stable identifier: payload identity across thread counts.
+pub const INV_THREAD_IDENTITY: &str = "thread-identity";
+/// Stable identifier: logical-probe conservation across thread counts.
+pub const INV_PROBE_ACCOUNTING: &str = "probe-accounting";
+/// Stable identifier: guided/unguided suggestion-set agreement.
+pub const INV_BLAME_AGREEMENT: &str = "blame-agreement";
+/// Stable identifier: `Completion` vs stats consistency.
+pub const INV_COMPLETION_CONSISTENCY: &str = "completion-consistency";
+
+/// Every invariant name, in catalog order.
+pub const ALL_INVARIANTS: &[&str] = &[
+    INV_SUGGESTION_REVALIDATES,
+    INV_OUTCOME_AGREEMENT,
+    INV_PRETTY_ROUNDTRIP,
+    INV_THREAD_IDENTITY,
+    INV_PROBE_ACCOUNTING,
+    INV_BLAME_AGREEMENT,
+    INV_COMPLETION_CONSISTENCY,
+];
+
+/// One invariant violation: which oracle fired and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The catalog identifier (one of the `INV_*` constants).
+    pub invariant: &'static str,
+    /// Human-readable evidence for the triage log.
+    pub detail: String,
+}
+
+impl Violation {
+    fn new(invariant: &'static str, detail: impl Into<String>) -> Violation {
+        Violation { invariant, detail: detail.into() }
+    }
+}
+
+/// The configured catalog runner: how many worker threads the parallel
+/// differential run uses and what chaos (if any) wraps the *search*
+/// oracle. The revalidation oracle is always fresh and chaos-free —
+/// that asymmetry is what lets injected verdict flips be caught.
+#[derive(Debug, Clone, Copy)]
+pub struct InvariantSuite {
+    /// Thread count of the parallel side of the differential pair.
+    pub threads: usize,
+    /// Optional fault injection around the search oracle only.
+    pub chaos: Option<ChaosConfig>,
+}
+
+impl InvariantSuite {
+    /// A clean suite comparing `threads=1` against `threads`.
+    pub fn new(threads: usize) -> InvariantSuite {
+        InvariantSuite { threads: threads.max(1), chaos: None }
+    }
+
+    /// Wraps the search oracle (not the revalidation oracle) in `chaos`.
+    pub fn with_chaos(mut self, chaos: ChaosConfig) -> InvariantSuite {
+        self.chaos = Some(chaos);
+        self
+    }
+
+    /// One search run. Deadline is pinned off and the thread count is
+    /// pinned explicitly so fuzz results never depend on ambient
+    /// `SEMINAL_THREADS` / `SEMINAL_DEADLINE_MS` settings.
+    fn run(&self, prog: &Program, threads: usize, guidance: bool) -> SearchReport {
+        let mut config =
+            if guidance { SearchConfig::default() } else { SearchConfig::without_blame_guidance() };
+        config.deadline = None;
+        match self.chaos {
+            Some(chaos) => SearchSession::builder(ChaosOracle::new(TypeCheckOracle::new(), chaos))
+                .config(config)
+                .threads(threads)
+                .memoize(true)
+                .build()
+                .expect("fuzz search config is valid")
+                .search(prog),
+            None => SearchSession::builder(TypeCheckOracle::new())
+                .config(config)
+                .threads(threads)
+                .memoize(true)
+                .build()
+                .expect("fuzz search config is valid")
+                .search(prog),
+        }
+    }
+
+    /// Runs the whole catalog against `prog`, returning every violation
+    /// (empty when all invariants hold).
+    pub fn check_case(&self, prog: &Program) -> Vec<Violation> {
+        let base = self.run(prog, 1, true);
+        let par = self.run(prog, self.threads, true);
+        let unguided = self.run(prog, 1, false);
+        let mut out = Vec::new();
+        out.extend(outcome_agreement(prog, &base));
+        out.extend(suggestion_revalidates(&base));
+        out.extend(pretty_roundtrip(prog));
+        out.extend(thread_identity(&base, &par, self.threads));
+        out.extend(probe_accounting(&base, &par, self.threads));
+        out.extend(blame_agreement(&base, &unguided));
+        out.extend(completion_consistency(&base));
+        out.extend(completion_consistency(&par));
+        out
+    }
+}
+
+/// Every reported suggestion's variant must re-typecheck under a fresh
+/// [`TypeCheckOracle`] — the paper's core promise. A memo bug, an engine
+/// race, or an injected verdict flip all surface here.
+pub fn suggestion_revalidates(report: &SearchReport) -> Option<Violation> {
+    for (rank, s) in report.suggestions().iter().enumerate() {
+        if check_program(&s.variant).is_err() {
+            return Some(Violation::new(
+                INV_SUGGESTION_REVALIDATES,
+                format!(
+                    "rank-{rank} suggestion `{}` -> `{}` does not re-typecheck",
+                    s.original_str, s.replacement_str
+                ),
+            ));
+        }
+    }
+    None
+}
+
+/// The report may claim `WellTyped` only when a fresh oracle agrees
+/// (and must claim it when one does).
+pub fn outcome_agreement(prog: &Program, report: &SearchReport) -> Option<Violation> {
+    let fresh_ok = check_program(prog).is_ok();
+    let reported_ok = matches!(report.outcome, Outcome::WellTyped);
+    if fresh_ok == reported_ok {
+        None
+    } else {
+        Some(Violation::new(
+            INV_OUTCOME_AGREEMENT,
+            format!("fresh oracle says well_typed={fresh_ok} but report says {reported_ok}"),
+        ))
+    }
+}
+
+/// Pretty-print → reparse → pretty-print must be a fixpoint: the search
+/// probes variants through exactly this pipeline, so a non-fixpoint
+/// means probes and suggestions describe a different program than the
+/// one on disk.
+pub fn pretty_roundtrip(prog: &Program) -> Option<Violation> {
+    let printed = program_to_string(prog);
+    match parse_program(&printed) {
+        Err(e) => Some(Violation::new(
+            INV_PRETTY_ROUNDTRIP,
+            format!("pretty-printed program does not reparse: {e}"),
+        )),
+        Ok(reparsed) => {
+            let again = program_to_string(&reparsed);
+            if again == printed {
+                None
+            } else {
+                Some(Violation::new(
+                    INV_PRETTY_ROUNDTRIP,
+                    "print -> reparse -> print is not a fixpoint".to_owned(),
+                ))
+            }
+        }
+    }
+}
+
+/// `threads=1` and `threads=N` must produce identical user-visible
+/// payloads and the same completion status.
+pub fn thread_identity(
+    base: &SearchReport,
+    par: &SearchReport,
+    threads: usize,
+) -> Option<Violation> {
+    if base.payload() != par.payload() {
+        return Some(Violation::new(
+            INV_THREAD_IDENTITY,
+            format!(
+                "payload diverged at {threads} threads ({} vs {} suggestions)",
+                base.suggestions().len(),
+                par.suggestions().len()
+            ),
+        ));
+    }
+    if base.completion != par.completion {
+        return Some(Violation::new(
+            INV_THREAD_IDENTITY,
+            format!(
+                "completion diverged at {threads} threads: {} vs {}",
+                base.completion, par.completion
+            ),
+        ));
+    }
+    None
+}
+
+/// `oracle_calls + memo_hits + probe_faults` — the logical probe count —
+/// must be conserved across thread counts.
+pub fn probe_accounting(
+    base: &SearchReport,
+    par: &SearchReport,
+    threads: usize,
+) -> Option<Violation> {
+    let (a, b) = (base.stats.logical_probes(), par.stats.logical_probes());
+    if a == b {
+        None
+    } else {
+        Some(Violation::new(
+            INV_PROBE_ACCOUNTING,
+            format!("logical probes diverged: {a} sequential vs {b} at {threads} threads"),
+        ))
+    }
+}
+
+/// Blame guidance reorders work but never changes the accepted set: the
+/// guided and unguided searches must report the same suggestions (as an
+/// unordered set of message-visible keys).
+pub fn blame_agreement(guided: &SearchReport, unguided: &SearchReport) -> Option<Violation> {
+    let keys = |r: &SearchReport| -> BTreeSet<(String, String, bool)> {
+        r.suggestions()
+            .iter()
+            .map(|s| (s.original_str.clone(), s.replacement_str.clone(), s.triaged))
+            .collect()
+    };
+    let (on, off) = (keys(guided), keys(unguided));
+    if on == off {
+        None
+    } else {
+        let missing: Vec<_> = off.difference(&on).map(|k| format!("{k:?}")).collect();
+        let extra: Vec<_> = on.difference(&off).map(|k| format!("{k:?}")).collect();
+        Some(Violation::new(
+            INV_BLAME_AGREEMENT,
+            format!(
+                "guided set != unguided set (missing: [{}], extra: [{}])",
+                missing.join(", "),
+                extra.join(", ")
+            ),
+        ))
+    }
+}
+
+/// `Completion` must agree with the stats that justify it: `Complete`
+/// means no faults and no exhausted budget, `Degraded` carries exactly
+/// the fault count, `BudgetExhausted` implies the stats flag, and a set
+/// stats flag forbids `Complete`.
+pub fn completion_consistency(report: &SearchReport) -> Option<Violation> {
+    let stats = &report.stats;
+    let bad = |why: String| Some(Violation::new(INV_COMPLETION_CONSISTENCY, why));
+    match report.completion {
+        Completion::Complete => {
+            if stats.probe_faults > 0 {
+                return bad(format!("Complete with {} probe faults", stats.probe_faults));
+            }
+            if stats.budget_exhausted {
+                return bad("Complete with budget_exhausted set".to_owned());
+            }
+        }
+        Completion::Degraded { faults } => {
+            if faults == 0 || faults != stats.probe_faults {
+                return bad(format!(
+                    "Degraded reports {faults} faults but stats counted {}",
+                    stats.probe_faults
+                ));
+            }
+            if stats.budget_exhausted {
+                return bad("Degraded outranked by budget_exhausted".to_owned());
+            }
+        }
+        Completion::BudgetExhausted => {
+            if !stats.budget_exhausted {
+                return bad("BudgetExhausted but stats.budget_exhausted is false".to_owned());
+            }
+        }
+        // Deadline/cancel carry no dedicated stats flags; their
+        // consistency is covered by the fault-tolerance suite.
+        Completion::DeadlineExpired | Completion::Cancelled => {}
+    }
+    if stats.budget_exhausted && report.completion.is_complete() {
+        return bad("stats.budget_exhausted set on a Complete run".to_owned());
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_scenarios_satisfy_the_whole_catalog() {
+        let suite = InvariantSuite::new(2);
+        for src in [
+            "let x = 1 + true",
+            "let add str lst = if List.mem str lst then lst else str :: lst\n\
+             let vList1 = [\"a\"]\n\
+             let s = \"b\"\n\
+             let r = add vList1 s\n",
+        ] {
+            let prog = parse_program(src).unwrap();
+            let violations = suite.check_case(&prog);
+            assert!(violations.is_empty(), "{src}: {violations:?}");
+        }
+    }
+
+    #[test]
+    fn flip_chaos_is_caught_by_the_catalog() {
+        // With every verdict inverted, the search either trusts a bogus
+        // acceptance (suggestion-revalidates) or declares an ill-typed
+        // program well-typed (outcome-agreement). Either way the catalog
+        // must fire — this is the intentionally-injected violation of
+        // the acceptance criteria.
+        let suite = InvariantSuite::new(2).with_chaos(ChaosConfig::flips(1729, 1000));
+        let prog = parse_program("let x = 1 + true").unwrap();
+        let violations = suite.check_case(&prog);
+        assert!(
+            violations.iter().any(|v| v.invariant == INV_SUGGESTION_REVALIDATES
+                || v.invariant == INV_OUTCOME_AGREEMENT),
+            "flip chaos went unnoticed: {violations:?}"
+        );
+    }
+}

@@ -52,6 +52,21 @@ impl ChaosConfig {
         }
     }
 
+    /// Verdict-flip injection only: `per_mille`/1000 of probes report the
+    /// inverted verdict. Unlike panics, a flip is invisible to the
+    /// fault-isolation layer — the search trusts it and can accept a
+    /// variant no clean oracle would. This is the adversary the fuzzing
+    /// harness's differential oracles exist to catch.
+    pub fn flips(seed: u64, per_mille: u16) -> ChaosConfig {
+        ChaosConfig {
+            seed,
+            panic_per_mille: 0,
+            flip_per_mille: per_mille,
+            delay_per_mille: 0,
+            delay: Duration::ZERO,
+        }
+    }
+
     /// Delay injection only: `per_mille`/1000 of probes sleep `delay`.
     pub fn delays(seed: u64, per_mille: u16, delay: Duration) -> ChaosConfig {
         ChaosConfig {

@@ -14,7 +14,10 @@
 //!   changes, adaptation to context, triage, ranking, messages;
 //! * [`corpus`] — the synthesized student corpus with ground truth;
 //! * [`eval`] — the §3 evaluation (five categories, Figures 5/7);
-//! * [`cpp`] — the §4 C++ template-function prototype.
+//! * [`cpp`] — the §4 C++ template-function prototype;
+//! * [`testkit`] — the deterministic property-fuzzing harness
+//!   (generative AST fuzzer, delta-debugging shrinker, differential
+//!   invariant oracles, golden regression corpus).
 //!
 //! ## Quickstart
 //!
@@ -41,4 +44,5 @@ pub use seminal_corpus as corpus;
 pub use seminal_cpp as cpp;
 pub use seminal_eval as eval;
 pub use seminal_ml as ml;
+pub use seminal_testkit as testkit;
 pub use seminal_typeck as typeck;

@@ -5,6 +5,7 @@
 //! seminal analyze <file.ml>        blamed-span localization report (no search)
 //! seminal metrics-check <file.json> validate a metrics snapshot against the schema
 //! seminal cpp <file.cpp>           run the C++ template-function prototype
+//! seminal fuzz                     run the property-fuzzing harness
 //! seminal demo                     run the paper's worked examples
 //! ```
 //!
@@ -27,10 +28,18 @@
 //! oracle-cost flame report). `metrics-check` validates a snapshot file
 //! against the schema with unknown fields rejected.
 //!
+//! `fuzz` runs the deterministic property-fuzzing harness from
+//! `seminal-testkit`: `--seed S --cases N` generate the campaign,
+//! `--shrink` minimizes failures, `--out PATH` streams failures as JSON
+//! lines, `--chaos-flip`/`--chaos-panic`/`--chaos-seed` inject faults
+//! into the search oracle (the intentional-violation mode), and `--cpp`
+//! switches to the index-keyed C++ loop. A clean campaign exits 0;
+//! invariant violations exit 1.
+//!
 //! Exit codes (see `--help`): 0 success/no errors, 1 type errors found or
-//! invalid metrics, 2 usage error, 3 parse error, 4 file I/O error,
-//! 5 type errors found but the search degraded (deadline, budget,
-//! cancellation, or isolated probe faults).
+//! invalid metrics or fuzz invariant violations, 2 usage error, 3 parse
+//! error, 4 file I/O error, 5 type errors found but the search degraded
+//! (deadline, budget, cancellation, or isolated probe faults).
 
 use seminal::core::{message, Outcome, SearchConfig, SearchSession};
 use seminal::ml::parser::parse_program;
@@ -75,6 +84,22 @@ struct Opts {
     /// Wall-clock deadline per search in milliseconds (`None` = config
     /// default, which honors `SEMINAL_DEADLINE_MS`).
     deadline_ms: Option<u64>,
+    /// Fuzz campaign seed (`fuzz`).
+    seed: u64,
+    /// Fuzz case count (`fuzz`).
+    cases: u64,
+    /// Minimize failing fuzz cases before reporting them (`fuzz`).
+    shrink: bool,
+    /// Stream fuzz failures as JSON lines to this path (`fuzz`).
+    out: Option<String>,
+    /// Verdict-flip injection rate in per mille (`fuzz`).
+    chaos_flip: u16,
+    /// Panic injection rate in per mille (`fuzz`).
+    chaos_panic: u16,
+    /// Seed for the chaos layer's own draws (`fuzz`).
+    chaos_seed: u64,
+    /// Run the index-keyed C++ fuzz loop instead of the Caml one (`fuzz`).
+    cpp: bool,
 }
 
 fn main() -> ExitCode {
@@ -89,6 +114,14 @@ fn main() -> ExitCode {
         trace_json: None,
         threads: None,
         deadline_ms: None,
+        seed: 42,
+        cases: 200,
+        shrink: false,
+        out: None,
+        chaos_flip: 0,
+        chaos_panic: 0,
+        chaos_seed: 0,
+        cpp: false,
     };
     let mut i = 0;
     while i < args.len() {
@@ -132,6 +165,56 @@ fn main() -> ExitCode {
                 }
                 None => return usage(),
             },
+            "--seed" => match args.get(i + 1).and_then(|s| s.parse::<u64>().ok()) {
+                Some(s) => {
+                    opts.seed = s;
+                    i += 2;
+                }
+                None => return usage(),
+            },
+            "--cases" => match args.get(i + 1).and_then(|s| s.parse::<u64>().ok()) {
+                Some(n) => {
+                    opts.cases = n;
+                    i += 2;
+                }
+                None => return usage(),
+            },
+            "--shrink" => {
+                opts.shrink = true;
+                i += 1;
+            }
+            "--out" => match args.get(i + 1) {
+                Some(path) => {
+                    opts.out = Some(path.clone());
+                    i += 2;
+                }
+                None => return usage(),
+            },
+            "--chaos-flip" => match args.get(i + 1).and_then(|s| s.parse::<u16>().ok()) {
+                Some(pm) => {
+                    opts.chaos_flip = pm;
+                    i += 2;
+                }
+                None => return usage(),
+            },
+            "--chaos-panic" => match args.get(i + 1).and_then(|s| s.parse::<u16>().ok()) {
+                Some(pm) => {
+                    opts.chaos_panic = pm;
+                    i += 2;
+                }
+                None => return usage(),
+            },
+            "--chaos-seed" => match args.get(i + 1).and_then(|s| s.parse::<u64>().ok()) {
+                Some(s) => {
+                    opts.chaos_seed = s;
+                    i += 2;
+                }
+                None => return usage(),
+            },
+            "--cpp" => {
+                opts.cpp = true;
+                i += 1;
+            }
             "--deadline-ms" => match args.get(i + 1).and_then(|s| s.parse::<u64>().ok()) {
                 // `0` is kept so the config builder reports the typed
                 // error, matching `--threads 0`.
@@ -168,6 +251,7 @@ fn main() -> ExitCode {
             Some(path) => check_cpp(path, &opts),
             None => usage(),
         },
+        Some("fuzz") => fuzz_cmd(&opts),
         Some("demo") => demo(),
         _ => usage(),
     }
@@ -181,6 +265,9 @@ fn usage() -> ExitCode {
          seminal analyze [--top N] <file.ml>    blamed-span localization report\n  \
          seminal metrics-check <file.json>      validate a metrics snapshot\n  \
          seminal cpp [--threads N] [--deadline-ms N] <file.cpp>    C++ prototype\n  \
+         seminal fuzz [--seed S] [--cases N] [--threads N] [--shrink] [--out PATH]\n               \
+         [--chaos-flip PM] [--chaos-panic PM] [--chaos-seed S] [--cpp]\n                            \
+         run the deterministic property-fuzzing harness\n  \
          seminal demo              run the paper's worked examples\n\n\
          `--deadline-ms N` bounds one search's wall clock (default honors\n\
          SEMINAL_DEADLINE_MS); when it expires the best-so-far suggestions\n\
@@ -443,6 +530,68 @@ fn check_cpp(path: &str, opts: &Opts) -> ExitCode {
     } else {
         eprintln!("search degraded: {} — suggestions are best-so-far", report.completion);
         ExitCode::from(EXIT_DEGRADED)
+    }
+}
+
+/// Runs the deterministic property-fuzzing harness (`seminal fuzz`).
+fn fuzz_cmd(opts: &Opts) -> ExitCode {
+    use seminal::testkit::{run_cpp_fuzz, run_fuzz, CppFuzzConfig, FuzzConfig};
+    let threads = opts.threads.unwrap_or(2);
+    if threads == 0 {
+        eprintln!("invalid configuration: --threads must be at least 1");
+        return ExitCode::from(EXIT_USAGE);
+    }
+    let (rendered, ok, jsonl) = if opts.cpp {
+        if opts.chaos_flip > 0 {
+            eprintln!("invalid configuration: the C++ loop has no --chaos-flip (panics only)");
+            return ExitCode::from(EXIT_USAGE);
+        }
+        let cfg = CppFuzzConfig {
+            threads,
+            chaos_panic_per_mille: opts.chaos_panic,
+            ..CppFuzzConfig::new(opts.seed, opts.cases)
+        };
+        let summary = run_cpp_fuzz(&cfg);
+        let jsonl: Vec<String> =
+            summary.failures.iter().map(|f| f.to_json().to_string_compact()).collect();
+        (summary.render(), summary.ok(), jsonl)
+    } else {
+        let chaos = (opts.chaos_flip > 0 || opts.chaos_panic > 0).then(|| {
+            let mut c = seminal::typeck::ChaosConfig::flips(opts.chaos_seed, opts.chaos_flip);
+            c.panic_per_mille = opts.chaos_panic;
+            c
+        });
+        let cfg = FuzzConfig {
+            threads,
+            shrink: opts.shrink,
+            chaos,
+            ..FuzzConfig::new(opts.seed, opts.cases)
+        };
+        let summary = run_fuzz(&cfg);
+        let jsonl: Vec<String> =
+            summary.failures.iter().map(|f| f.to_json().to_string_compact()).collect();
+        (summary.render(), summary.ok(), jsonl)
+    };
+    print!("{rendered}");
+    if let Some(out) = &opts.out {
+        // Always written — an empty artifact is how CI distinguishes a
+        // clean campaign from one that never ran.
+        let mut text = jsonl.join("\n");
+        if !text.is_empty() {
+            text.push('\n');
+        }
+        if let Err(e) = std::fs::write(out, text) {
+            eprintln!("cannot write {out}: {e}");
+            return ExitCode::from(EXIT_IO);
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        for line in &jsonl {
+            eprintln!("{line}");
+        }
+        ExitCode::from(EXIT_TYPE_ERRORS)
     }
 }
 

@@ -279,3 +279,43 @@ fn shipped_samples_all_work() {
         seminal().arg("cpp").arg(format!("{root}/samples/figure10.cpp")).output().expect("run cpp");
     assert!(String::from_utf8_lossy(&out.stdout).contains("ptr_fun(labs)"));
 }
+
+#[test]
+fn fuzz_subcommand_runs_a_clean_campaign() {
+    let out = seminal()
+        .args(["fuzz", "--seed", "42", "--cases", "10", "--threads", "2"])
+        .output()
+        .expect("run fuzz");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("fuzz.cases           10"));
+    assert!(stdout.contains("fuzz.vacuous_cases"));
+    assert!(stdout.contains("fuzz.failures        0"));
+}
+
+#[test]
+fn fuzz_chaos_flip_exits_one_and_writes_jsonl() {
+    let dir = std::env::temp_dir().join("seminal-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let artifact = dir.join("fuzz-failures.jsonl");
+    let out = seminal()
+        .args(["fuzz", "--seed", "42", "--cases", "3", "--chaos-flip", "1000"])
+        .args(["--chaos-seed", "1729", "--out"])
+        .arg(&artifact)
+        .output()
+        .expect("run fuzz with flip chaos");
+    assert_eq!(out.status.code(), Some(1), "verdict flips must fail the campaign");
+    let jsonl = std::fs::read_to_string(&artifact).unwrap();
+    let first = jsonl.lines().next().expect("at least one failure record");
+    assert!(first.contains("\"invariant\""));
+    assert!(first.contains("\"seed\""));
+    std::fs::remove_file(&artifact).ok();
+}
+
+#[test]
+fn fuzz_cpp_loop_runs_clean() {
+    let out =
+        seminal().args(["fuzz", "--cpp", "--seed", "42", "--cases", "10"]).output().expect("run");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("cppfuzz.failures       0"));
+}
