@@ -56,9 +56,24 @@ impl BlameAnalysis {
     }
 
     /// Blame quantized to thousandths, for integer tie-breaking in
-    /// suggestion ranking.
+    /// suggestion ranking. Positive scores never quantize to 0: a span
+    /// with any blame at all must stay distinguishable from a zero-blame
+    /// span, or the deferral predicate built on [`Self::is_zero_blame`]
+    /// and this quantization would disagree about the same site.
     pub fn milli_score_at(&self, span: Span) -> u32 {
-        (self.score_at(span) * 1000.0).round() as u32
+        milli(self.score_at(span))
+    }
+}
+
+/// Quantizes a normalized score to thousandths, clamping positive scores
+/// to at least 1 so they cannot collapse into the zero bucket (scores in
+/// `(0, 0.0005)` used to round to 0 and read as "no blame").
+pub(crate) fn milli(score: f64) -> u32 {
+    let m = (score * 1000.0).round() as u32;
+    if m == 0 && score > 0.0 {
+        1
+    } else {
+        m
     }
 }
 
@@ -104,23 +119,12 @@ pub fn analyze(prog: &Program) -> Option<BlameAnalysis> {
 }
 
 /// Deletion-shrinks the full (unsatisfiable) constraint list to a
-/// minimal unsatisfiable core: drop each constraint in turn and keep it
-/// dropped whenever the rest stays unsatisfiable. One replay per
-/// constraint; minimality (no proper unsat subset) follows from
-/// monotonicity of unification.
-fn shrink_core(trace: &ConstraintTrace) -> Vec<usize> {
-    let n = trace.constraints.len();
-    let mut keep = vec![true; n];
-    // Scan from the end: late constraints (nearest the failure) are the
-    // likeliest core members, and removing bulk early keeps replays of
-    // later candidates short.
-    for i in (0..n).rev() {
-        keep[i] = false;
-        if trace.subset_sat(&keep) {
-            keep[i] = true;
-        }
-    }
-    (0..n).filter(|&i| keep[i]).collect()
+/// minimal unsatisfiable core. The scan itself lives on the trace
+/// ([`ConstraintTrace::shrink_unsat_core`]) so the MCS backend can
+/// shrink within restricted universes; blame always shrinks over the
+/// whole constraint list.
+pub(crate) fn shrink_core(trace: &ConstraintTrace) -> Vec<usize> {
+    trace.shrink_unsat_core(&vec![true; trace.constraints.len()])
 }
 
 /// Enumerates a bounded set of minimal correction subsets drawn from the
@@ -172,8 +176,9 @@ fn enumerate_corrections(trace: &ConstraintTrace, core: &[usize]) -> Vec<Vec<usi
 
 /// Folds core membership and correction-subset membership into one
 /// normalized score per span. Aggregation is over a `BTreeMap` keyed by
-/// span, so the result is deterministic.
-fn score_spans(
+/// span, so the result is deterministic. Shared with the MCS backend,
+/// which passes its enumerated correction subsets as `corrections`.
+pub(crate) fn score_spans(
     trace: &ConstraintTrace,
     core: &[usize],
     corrections: &[Vec<usize>],
@@ -288,5 +293,33 @@ mod tests {
         let a = analyzed("let x = 3 + true");
         assert_eq!(a.milli_score_at(a.spans[0].span), 1000);
         assert_eq!(a.milli_score_at(Span::new(0, 3)), 0);
+    }
+
+    #[test]
+    fn tiny_positive_scores_do_not_quantize_to_zero() {
+        // A span with any blame at all must stay distinguishable from a
+        // zero-blame span: scores in (0, 0.0005) used to round to 0 and
+        // read as "no blame" to integer consumers, contradicting
+        // `is_zero_blame` on the same span.
+        use seminal_typeck::TypeErrorKind;
+        let blamed = Span::new(0, 4);
+        let a = BlameAnalysis {
+            error: TypeError {
+                kind: TypeErrorKind::Mismatch { found: "int".into(), expected: "bool".into() },
+                span: blamed,
+            },
+            core_size: 1,
+            correction_sets: 0,
+            elapsed: Duration::ZERO,
+            spans: vec![SpanBlame {
+                span: blamed,
+                score: 0.0004,
+                in_core: true,
+                fixes_alone: false,
+            }],
+        };
+        assert!(!a.is_zero_blame(blamed));
+        assert_eq!(a.milli_score_at(blamed), 1, "positive blame must quantize to >= 1");
+        assert_eq!(a.milli_score_at(Span::new(10, 12)), 0, "zero blame still quantizes to 0");
     }
 }

@@ -23,9 +23,26 @@
 //! search (visit high-blame subtrees first, defer enumeration at
 //! zero-blame sites), and the `seminal analyze` CLI prints the report
 //! directly as a standalone type-error linter.
+//!
+//! Since PR 6 the crate hosts a *second*, oracle-free backend next to
+//! blame analysis: the weighted **MCS** enumerator ([`mcs`]), which
+//! lowers the recorded constraints into weighted soft/hard clauses
+//! ([`weights`]) and enumerates ranked alternative minimal correction
+//! subsets by a grow-and-block loop over the same replay primitive.
+//! Both backends implement the [`LocalizationBackend`] trait and are
+//! selected by [`BackendKind`] (`seminal analyze --backend`, or
+//! `SearchConfig::guidance_backend` for the search).
 
+pub mod backend;
 pub mod blame;
+pub mod mcs;
 pub mod report;
+pub mod weights;
 
+pub use backend::{
+    backend, localize, BackendKind, BlameBackend, Localization, LocalizationBackend, McsBackend,
+};
 pub use blame::{analyze, BlameAnalysis, SpanBlame};
-pub use report::render_report;
+pub use mcs::{analyze_mcs, CorrectionSubset, McsAnalysis, McsMember};
+pub use report::{render_mcs_report, render_report};
+pub use weights::constraint_weights;

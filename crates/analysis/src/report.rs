@@ -1,7 +1,8 @@
-//! Rendering of blame analyses as a human-readable localization report —
-//! the output of `seminal analyze`.
+//! Rendering of blame and MCS analyses as human-readable localization
+//! reports — the output of `seminal analyze` (`--backend blame|mcs`).
 
 use crate::blame::BlameAnalysis;
+use crate::mcs::McsAnalysis;
 use seminal_ml::span::LineMap;
 
 /// Renders the top-`k` blamed spans with the baseline error on top, in
@@ -53,10 +54,73 @@ pub fn render_report(analysis: &BlameAnalysis, source: &str, k: usize) -> String
     out
 }
 
+/// Renders the top-`k` correction subsets of an MCS analysis with the
+/// baseline error on top: one block per ranked alternative, each member
+/// mapped to its source line with its repair hint.
+pub fn render_mcs_report(analysis: &McsAnalysis, source: &str, k: usize) -> String {
+    let lm = LineMap::new(source);
+    let mut out = String::new();
+    out.push_str(&analysis.error.render(source));
+    out.push('\n');
+    out.push('\n');
+
+    if analysis.subsets.is_empty() {
+        if analysis.core_size == 0 {
+            out.push_str(
+                "MCS analysis: no constraint system (naming error) and no repair candidates; \
+                 the location above is exact.\n",
+            );
+        } else {
+            out.push_str(&format!(
+                "MCS analysis: unsat core of {} constraint(s) but no enumerable correction \
+                 subset (conflict is not span-attributable).\n",
+                analysis.core_size,
+            ));
+        }
+        return out;
+    }
+
+    if analysis.core_size == 0 {
+        out.push_str(&format!(
+            "MCS analysis: naming error; {} candidate near-name repair(s), {:?}.\n",
+            analysis.subsets.len(),
+            analysis.elapsed,
+        ));
+    } else {
+        out.push_str(&format!(
+            "MCS analysis: {} soft / {} hard clause(s), {} correction subset(s) in {} replay(s), {:?}.\n",
+            analysis.soft_clauses,
+            analysis.hard_clauses,
+            analysis.subsets.len(),
+            analysis.replays,
+            analysis.elapsed,
+        ));
+    }
+
+    for (rank, s) in analysis.subsets.iter().take(k).enumerate() {
+        out.push_str(&format!(
+            "  alternative {} (weight {}, {} change(s)):\n",
+            rank + 1,
+            s.weight,
+            s.members.len(),
+        ));
+        for m in &s.members {
+            let text = m.span.text(source).trim();
+            let text = match text.find('\n') {
+                Some(pos) => format!("{} ...", &text[..pos].trim_end()),
+                None => text.to_owned(),
+            };
+            out.push_str(&format!("    {}  `{}`  — {}\n", lm.describe(m.span), text, m.hint));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::blame::analyze;
+    use crate::mcs::analyze_mcs;
     use seminal_ml::parser::parse_program;
 
     #[test]
@@ -85,5 +149,33 @@ mod tests {
         let r = render_report(&a, src, 5);
         assert!(r.contains("naming error"));
         assert!(r.contains("missing_name"));
+    }
+
+    #[test]
+    fn mcs_report_lists_ranked_alternatives() {
+        let src = "let f g = (g 1) + (g true)";
+        let a = analyze_mcs(&parse_program(src).unwrap()).unwrap();
+        let r = render_mcs_report(&a, src, 5);
+        assert!(r.contains("MCS analysis"), "{r}");
+        assert!(r.contains("alternative 1 (weight "), "{r}");
+        assert!(r.contains("alternative 2 (weight "), "{r}");
+    }
+
+    #[test]
+    fn mcs_report_caps_at_k() {
+        let src = "let f g = (g 1) + (g true)";
+        let a = analyze_mcs(&parse_program(src).unwrap()).unwrap();
+        let r = render_mcs_report(&a, src, 1);
+        assert!(r.contains("alternative 1"));
+        assert!(!r.contains("alternative 2"));
+    }
+
+    #[test]
+    fn mcs_report_shows_name_candidates() {
+        let src = "let main = print_";
+        let a = analyze_mcs(&parse_program(src).unwrap()).unwrap();
+        let r = render_mcs_report(&a, src, 5);
+        assert!(r.contains("naming error"), "{r}");
+        assert!(r.contains("replace `print_` with "), "{r}");
     }
 }

@@ -10,6 +10,7 @@
 //! (`threads == 0`, an empty trace ring) with a typed [`ConfigError`]
 //! instead of letting them panic deep inside a search.
 
+use seminal_analysis::BackendKind;
 use std::fmt;
 use std::time::Duration;
 
@@ -98,6 +99,14 @@ pub struct SearchConfig {
     /// The fallback makes the guidance sound — no suggestion reachable
     /// with this off is lost while budget remains, only found later.
     pub blame_guidance: bool,
+    /// Which localization backend feeds the guidance when
+    /// `blame_guidance` is on: [`BackendKind::Blame`] (the PR 1
+    /// unsat-core analysis, the default) or [`BackendKind::Mcs`] (the
+    /// weighted minimal-correction-subset enumerator). Both are
+    /// oracle-free, so the choice reorders probes but never changes the
+    /// suggestion set or `oracle_calls`. Ignored when `blame_guidance`
+    /// is off.
+    pub guidance_backend: BackendKind,
     /// Worker threads for the parallel probe engine. At 1 (the default)
     /// the search runs the sequential engine, byte-identical to the
     /// pre-engine tool. Above 1, each enumeration frontier is drained
@@ -162,6 +171,7 @@ impl Default for SearchConfig {
             collect_trace: false,
             trace_capacity: 262_144,
             blame_guidance: true,
+            guidance_backend: BackendKind::Blame,
             threads: default_threads(),
             deadline: default_deadline(),
         }
@@ -229,6 +239,12 @@ impl SearchConfig {
     /// paper's search, for the guidance ablation and its invariance tests.
     pub fn without_blame_guidance() -> SearchConfig {
         SearchConfig { blame_guidance: false, ..SearchConfig::default() }
+    }
+
+    /// Guidance fed by the weighted MCS backend instead of blame
+    /// analysis — same probe set, richer ranking signal.
+    pub fn with_mcs_guidance() -> SearchConfig {
+        SearchConfig { guidance_backend: BackendKind::Mcs, ..SearchConfig::default() }
     }
 
     /// Pure removal search (§2.1), for ablation benches.
@@ -335,6 +351,13 @@ impl SearchConfigBuilder {
         self
     }
 
+    /// Select the localization backend feeding the guidance.
+    #[must_use]
+    pub fn guidance_backend(mut self, kind: BackendKind) -> Self {
+        self.cfg.guidance_backend = kind;
+        self
+    }
+
     /// Wall-clock deadline for one search; `None` removes any limit
     /// (validated positive at build when set).
     #[must_use]
@@ -375,6 +398,10 @@ mod tests {
         assert!(!removal.constructive && !removal.adaptation && !removal.triage);
         assert!(full.blame_guidance, "guidance is on by default");
         assert!(!SearchConfig::without_blame_guidance().blame_guidance);
+        assert_eq!(full.guidance_backend, BackendKind::Blame);
+        assert_eq!(SearchConfig::with_mcs_guidance().guidance_backend, BackendKind::Mcs);
+        let built = SearchConfig::builder().guidance_backend(BackendKind::Mcs).build().unwrap();
+        assert_eq!(built.guidance_backend, BackendKind::Mcs);
     }
 
     #[test]

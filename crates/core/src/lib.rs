@@ -64,6 +64,11 @@ pub use session::{SearchSession, SearchSessionBuilder};
 pub use seminal_obs::Completion;
 pub use seminal_typeck::{Oracle, ProbeOutcome, TypeCheckOracle};
 
+// Re-export the localization-backend selector so configuring
+// `SearchConfig::guidance_backend` needs no direct `seminal-analysis`
+// dependency downstream.
+pub use seminal_analysis::BackendKind;
+
 // Re-export the observability layer the search reports through, so
 // downstream users can consume `SearchReport::records`/`metrics` and
 // attach sinks with one import.

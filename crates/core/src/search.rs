@@ -35,7 +35,7 @@ use crate::config::SearchConfig;
 use crate::engine::{MemoLookup, ProbeEngine};
 use crate::enumerate::changes_for;
 use crate::rank::rank;
-use seminal_analysis::BlameAnalysis;
+use seminal_analysis::Localization;
 use seminal_ml::ast::*;
 use seminal_ml::edit::{self, app_chain, Edit};
 use seminal_ml::pretty::{decl_to_string, expr_to_string, pat_to_string};
@@ -405,7 +405,7 @@ impl<O: Oracle> SearchCore<O> {
             tracer: Tracer::new(sinks),
             probe_label: None,
             local: LocalMetrics::default(),
-            blame: None,
+            guidance: None,
             deferred: Vec::new(),
             sites_pruned: 0,
         };
@@ -434,18 +434,24 @@ impl<O: Oracle> SearchCore<O> {
             Err(e) => e,
         };
 
-        // Constraint-blame pass (only on ill-typed input, so the
-        // well-typed bypass above stays a single oracle call).
+        // Localization pass (only on ill-typed input, so the well-typed
+        // bypass above stays a single oracle call). The backend is
+        // oracle-free either way; MCS merely ranks spans differently.
         let blame_clock = Instant::now();
         if self.config.blame_guidance {
             let span = run.tracer.open(SpanKind::BlamePass);
-            run.blame = seminal_analysis::analyze(prog);
+            run.guidance = seminal_analysis::localize(prog, self.config.guidance_backend);
             run.tracer.close(span);
         }
         let blame_time =
             if self.config.blame_guidance { blame_clock.elapsed() } else { Duration::ZERO };
         run.local.blame_ns = duration_ns(blame_time);
-        let core_size = run.blame.as_ref().map_or(0, |b| b.core_size);
+        if let Some(g) = &run.guidance {
+            run.local.backend_code = g.backend.metric_code();
+            run.local.mcs_subsets = g.subsets_enumerated;
+            run.local.mcs_solve_ns = g.solve_ns;
+        }
+        let core_size = run.guidance.as_ref().map_or(0, |b| b.core_size);
 
         // §2.1: find the first ill-typed definition. The checker aborts at
         // the first error and processes declarations in order, so when the
@@ -453,7 +459,7 @@ impl<O: Oracle> SearchCore<O> {
         // prefix is known to type-check and the probe loop is redundant.
         let prefix_span = run.tracer.open(SpanKind::PrefixLocalization);
         let mut first_bad = 0;
-        if run.blame.is_some() {
+        if run.guidance.is_some() {
             if let Some(d) = prog
                 .decls
                 .iter()
@@ -590,6 +596,13 @@ struct LocalMetrics {
     probes: [u64; ProbeKind::METRIC_KEYS.len()],
     triage_rounds: u64,
     blame_ns: u64,
+    /// `BackendKind::metric_code` of the localization backend that ran
+    /// (0 when guidance was off or the program was well-typed).
+    backend_code: u64,
+    /// Correction subsets the localization backend enumerated.
+    mcs_subsets: u64,
+    /// Pure MCS solver time (replay loop), nanoseconds.
+    mcs_solve_ns: u64,
     trace_dropped: u64,
 }
 
@@ -615,6 +628,13 @@ impl LocalMetrics {
         c.insert("descend.max_depth".to_owned(), self.max_depth);
         c.insert("elapsed_ns".to_owned(), duration_ns(stats.elapsed));
         c.insert("blame_ns".to_owned(), self.blame_ns);
+        c.insert(seminal_obs::keys::ANALYSIS_BACKEND.to_owned(), self.backend_code);
+        if self.backend_code == seminal_analysis::BackendKind::Mcs.metric_code() {
+            c.insert(seminal_obs::keys::MCS_SUBSETS_ENUMERATED.to_owned(), self.mcs_subsets);
+            let mut h = Histogram::default();
+            h.observe(self.mcs_solve_ns);
+            snap.histograms.insert(seminal_obs::keys::MCS_SOLVE_NS.to_owned(), h);
+        }
         c.insert("search_ns".to_owned(), duration_ns(stats.search_time()));
         if self.trace_dropped > 0 {
             c.insert("trace.dropped".to_owned(), self.trace_dropped);
@@ -728,9 +748,10 @@ struct Run<'a, O> {
     probe_label: Option<(ProbeKind, String, Span)>,
     /// Hot-path metric accumulators.
     local: LocalMetrics,
-    /// Blame analysis of the original program, when guidance is on and
-    /// the error has a constraint trace.
-    blame: Option<BlameAnalysis>,
+    /// Localization of the original program (blame or MCS backend, per
+    /// `SearchConfig::guidance_backend`), when guidance is on and the
+    /// error has a constraint trace.
+    guidance: Option<Localization>,
     /// Zero-blame sites whose enumeration was deferred for the fallback
     /// pass (node ids in the first-bad-prefix scope).
     deferred: Vec<NodeId>,
@@ -891,7 +912,7 @@ impl<O: Oracle> Run<'_, O> {
     /// Quantized blame score for a suggestion at `span` (0 with guidance
     /// off, so ranking is unchanged in that mode).
     fn blame_at(&self, span: Span) -> u32 {
-        self.blame.as_ref().map_or(0, |b| b.milli_score_at(span))
+        self.guidance.as_ref().map_or(0, |b| b.milli_score_at(span))
     }
 
     /// Opens a triage-round span and bumps the round counters.
@@ -1021,8 +1042,8 @@ impl<O: Oracle> Run<'_, O> {
         // out.
         let mut children = Vec::new();
         node.for_each_child(&mut |c| children.push((c.id, c.span)));
-        if let Some(blame) = &self.blame {
-            children.sort_by_key(|&(_, span)| std::cmp::Reverse(blame.milli_score_at(span)));
+        if let Some(guidance) = &self.guidance {
+            children.sort_by_key(|&(_, span)| std::cmp::Reverse(guidance.milli_score_at(span)));
         }
         // Speculative frontier: each child's own removal probe — the
         // first oracle query its recursive visit will issue.
@@ -1105,13 +1126,13 @@ impl<O: Oracle> Run<'_, O> {
     /// already localized, and their spans mix original and synthesized
     /// positions the blame map does not cover.
     fn defers(&self, node: &Expr, triaged: bool, triage_depth: usize) -> bool {
-        let Some(blame) = &self.blame else { return false };
+        let Some(guidance) = &self.guidance else { return false };
         !triaged
             && triage_depth == 0
             && !node.span.is_empty()
             && node.size() < self.cfg.triage_size_threshold
             && !matches!(node.kind, ExprKind::Var(_))
-            && blame.is_zero_blame(node.span)
+            && guidance.is_zero_blame(node.span)
     }
 
     /// Constructive-change and adaptation enumeration at one node whose

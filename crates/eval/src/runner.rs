@@ -227,6 +227,56 @@ mod tests {
     }
 
     #[test]
+    fn mcs_guidance_never_costs_more_oracle_calls() {
+        // PR 6 acceptance: both localization backends are oracle-free
+        // and guidance only reorders probes, so swapping blame guidance
+        // for MCS guidance must not change `oracle_calls` (or the
+        // suggestion payload) on any corpus file.
+        let files = generate(&small_config(7));
+        for file in &files {
+            let Ok(prog) = parse_program(&file.source) else { continue };
+            if check_program(&prog).is_ok() {
+                continue;
+            }
+            let blame_report = SearchSession::builder(TypeCheckOracle::new())
+                .threads(1)
+                .build()
+                .expect("default config is valid")
+                .search(&prog);
+            let mcs_report = SearchSession::builder(TypeCheckOracle::new())
+                .config(SearchConfig::with_mcs_guidance())
+                .threads(1)
+                .build()
+                .expect("mcs-guidance config is valid")
+                .search(&prog);
+            assert!(
+                mcs_report.stats.oracle_calls <= blame_report.stats.oracle_calls,
+                "{}: MCS guidance cost {} oracle calls vs blame's {}",
+                file.id,
+                mcs_report.stats.oracle_calls,
+                blame_report.stats.oracle_calls
+            );
+            // Backend scores feed ranking tie-breaks, so suggestion
+            // *order* may differ; the accepted *set* may not.
+            let set = |r: &seminal_core::SearchReport| {
+                r.payload().into_iter().collect::<std::collections::BTreeSet<_>>()
+            };
+            assert_eq!(
+                set(&blame_report),
+                set(&mcs_report),
+                "{}: guidance backends must accept the same suggestion set",
+                file.id
+            );
+            assert_eq!(
+                mcs_report.metrics.counter("analysis.backend"),
+                2,
+                "{}: MCS run must stamp analysis.backend=2",
+                file.id
+            );
+        }
+    }
+
+    #[test]
     fn parallel_evaluation_matches_sequential_in_order_and_content() {
         let files = generate(&small_config(6));
         let seq = evaluate_corpus_with(&files, 1);

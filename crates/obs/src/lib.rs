@@ -33,7 +33,7 @@ pub mod trace;
 
 pub use completion::Completion;
 pub use json::{parse as parse_json, Json, JsonError};
-pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot, SCHEMA};
+pub use metrics::{keys, Histogram, MetricsRegistry, MetricsSnapshot, SCHEMA};
 pub use profile::{profile, render as render_profile, ProfileNode, SpanProfile};
 pub use trace::{
     check_invariants, EventKind, JsonlSink, MemorySink, NullSink, ProbeKind, SpanKind, SrcSpan,

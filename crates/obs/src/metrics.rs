@@ -20,6 +20,20 @@ pub const SCHEMA: &str = "seminal-obs/metrics-v1";
 /// `u64::MAX`.
 pub const HISTOGRAM_BUCKETS: usize = 64;
 
+/// Well-known metric keys shared between producers (the search) and
+/// consumers (the eval runner, CI assertions). The registry itself is
+/// stringly-keyed; these constants exist so the localization-backend
+/// keys added in PR 6 cannot drift between crates.
+pub mod keys {
+    /// Counter: `BackendKind::metric_code` of the localization backend
+    /// that ran this search (0 = none, 1 = blame, 2 = mcs).
+    pub const ANALYSIS_BACKEND: &str = "analysis.backend";
+    /// Counter: correction subsets the MCS backend enumerated.
+    pub const MCS_SUBSETS_ENUMERATED: &str = "mcs.subsets_enumerated";
+    /// Histogram: pure MCS solve time (the replay loop), nanoseconds.
+    pub const MCS_SOLVE_NS: &str = "mcs.solve_ns";
+}
+
 /// A latency/size histogram with power-of-two buckets.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Histogram {

@@ -18,6 +18,7 @@
 //! | `thread-identity` | `threads=1` and `threads=N` reports have identical payloads and completion |
 //! | `probe-accounting` | `oracle_calls + memo_hits + probe_faults` is conserved across thread counts |
 //! | `blame-agreement` | blame-guided and unguided search accept the same suggestion set |
+//! | `backend-agreement` | the blame and MCS localization backends agree on well-typedness, baseline error, and core size; every MCS subset hits the blame core and its removal replays to SAT |
 //! | `completion-consistency` | `Completion` agrees with the stats that justify it |
 
 use seminal_core::{Outcome, SearchConfig, SearchReport, SearchSession};
@@ -40,6 +41,8 @@ pub const INV_THREAD_IDENTITY: &str = "thread-identity";
 pub const INV_PROBE_ACCOUNTING: &str = "probe-accounting";
 /// Stable identifier: guided/unguided suggestion-set agreement.
 pub const INV_BLAME_AGREEMENT: &str = "blame-agreement";
+/// Stable identifier: blame/MCS localization-backend agreement.
+pub const INV_BACKEND_AGREEMENT: &str = "backend-agreement";
 /// Stable identifier: `Completion` vs stats consistency.
 pub const INV_COMPLETION_CONSISTENCY: &str = "completion-consistency";
 
@@ -51,6 +54,7 @@ pub const ALL_INVARIANTS: &[&str] = &[
     INV_THREAD_IDENTITY,
     INV_PROBE_ACCOUNTING,
     INV_BLAME_AGREEMENT,
+    INV_BACKEND_AGREEMENT,
     INV_COMPLETION_CONSISTENCY,
 ];
 
@@ -131,6 +135,7 @@ impl InvariantSuite {
         out.extend(thread_identity(&base, &par, self.threads));
         out.extend(probe_accounting(&base, &par, self.threads));
         out.extend(blame_agreement(&base, &unguided));
+        out.extend(backend_agreement(prog));
         out.extend(completion_consistency(&base));
         out.extend(completion_consistency(&par));
         out
@@ -269,6 +274,70 @@ pub fn blame_agreement(guided: &SearchReport, unguided: &SearchReport) -> Option
     }
 }
 
+/// The two localization backends must agree wherever their theories
+/// overlap. Both are deterministic functions of the same recorded
+/// constraint trace, so:
+///
+/// * they agree on well-typedness (both `None` or both `Some`);
+/// * they report the same baseline error span and the same
+///   deletion-shrunk core size (it is literally the same shrinker);
+/// * by MUS/MCS hitting-set duality, every enumerated correction subset
+///   must contain at least one member overlapping a blame-positive span
+///   (every MCS hits every MUS, and the blame core is a MUS);
+/// * retracting any constraint-backed correction subset must replay to
+///   SAT on a fresh trace — that is what "correction subset" claims.
+pub fn backend_agreement(prog: &Program) -> Option<Violation> {
+    let bad = |why: String| Some(Violation::new(INV_BACKEND_AGREEMENT, why));
+    let (blame, mcs) = (seminal_analysis::analyze(prog), seminal_analysis::analyze_mcs(prog));
+    let (blame, mcs) = match (blame, mcs) {
+        (None, None) => return None,
+        (Some(b), None) => {
+            return bad(format!("blame localizes ({:?}) but MCS says well-typed", b.error.kind))
+        }
+        (None, Some(m)) => {
+            return bad(format!("MCS localizes ({:?}) but blame says well-typed", m.error.kind))
+        }
+        (Some(b), Some(m)) => (b, m),
+    };
+    if blame.error.span != mcs.error.span {
+        return bad(format!(
+            "baseline error spans diverge: blame {:?} vs MCS {:?}",
+            blame.error.span, mcs.error.span
+        ));
+    }
+    if blame.core_size != mcs.core_size {
+        return bad(format!(
+            "core sizes diverge: blame {} vs MCS {}",
+            blame.core_size, mcs.core_size
+        ));
+    }
+    if mcs.core_size == 0 {
+        // Naming error: no constraint system, nothing further to cross-check
+        // (MCS subsets there are heuristic near-name hints).
+        return None;
+    }
+    let trace = seminal_typeck::trace_program(prog);
+    for (rank, subset) in mcs.subsets.iter().enumerate() {
+        if !subset.members.iter().any(|m| blame.score_at(m.span) > 0.0) {
+            return bad(format!(
+                "MCS subset #{rank} misses every blame-positive span (hitting-set duality)"
+            ));
+        }
+        let mut keep = vec![true; trace.constraints.len()];
+        let mut constraint_backed = false;
+        for m in &subset.members {
+            if let Some(i) = m.constraint {
+                keep[i] = false;
+                constraint_backed = true;
+            }
+        }
+        if constraint_backed && !trace.subset_sat(&keep) {
+            return bad(format!("retracting MCS subset #{rank} does not restore SAT"));
+        }
+    }
+    None
+}
+
 /// `Completion` must agree with the stats that justify it: `Complete`
 /// means no faults and no exhausted budget, `Degraded` carries exactly
 /// the fault count, `BudgetExhausted` implies the stats flag, and a set
@@ -328,6 +397,20 @@ mod tests {
             let prog = parse_program(src).unwrap();
             let violations = suite.check_case(&prog);
             assert!(violations.is_empty(), "{src}: {violations:?}");
+        }
+    }
+
+    #[test]
+    fn backend_agreement_holds_on_representative_cases() {
+        for src in [
+            "let x = 1 + 2",              // well-typed: both None
+            "let x = 1 + true",           // single-MCS mismatch
+            "let f g = (g 1) + (g true)", // multi-MCS mismatch
+            "let main = print_",          // naming error
+            "let xs = [1; true; 3]",      // list element conflict
+        ] {
+            let prog = parse_program(src).unwrap();
+            assert_eq!(backend_agreement(&prog), None, "{src}");
         }
     }
 

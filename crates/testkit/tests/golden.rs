@@ -31,6 +31,36 @@ fn golden_corpus_replays_clean() {
     assert!(problems.is_empty(), "golden corpus deviations:\n{}", problems.join("\n"));
 }
 
+/// PR 6 acceptance gate: the MCS backend must rank at least two
+/// alternative correction subsets on at least 8 of the golden-corpus
+/// regressions. The backend is oracle-free by construction — analysis
+/// runs on the recorded constraint trace with no `Oracle` in reach —
+/// so the "zero oracle calls" half of the criterion is structural.
+#[test]
+fn mcs_backend_ranks_alternatives_on_golden_corpus() {
+    let corpus = load_corpus(&default_dir()).expect("checked-in corpus loads");
+    let total = corpus.entries.len();
+    let mut qualifying = 0usize;
+    let mut report = Vec::new();
+    for entry in &corpus.entries {
+        let source =
+            std::fs::read_to_string(default_dir().join(&entry.file)).expect("entry file reads");
+        let prog = parse_program(&source).expect("entry parses");
+        let subsets =
+            seminal_analysis::analyze_mcs(&prog).map_or(0, |analysis| analysis.subsets.len());
+        if subsets >= 2 {
+            qualifying += 1;
+        }
+        report.push(format!("{}: {subsets} subset(s)", entry.name));
+    }
+    assert!(total >= 12, "corpus has only {total} entries");
+    assert!(
+        qualifying >= 8,
+        "MCS ranked >=2 alternatives on only {qualifying}/{total} entries:\n{}",
+        report.join("\n")
+    );
+}
+
 /// Deterministically rebuilds the corpus: two shrunk ill-typed
 /// regressions per generator family (replayed clean), plus two chaos
 /// verdict-flip regressions at 2 threads shrunk to ≤ 20 nodes while the

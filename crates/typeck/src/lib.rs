@@ -45,5 +45,5 @@ pub use oracle::{
     guarded_check, guarded_probe, CountingOracle, InstrumentedOracle, Oracle, ProbeOutcome,
     TypeCheckOracle,
 };
-pub use record::{Constraint, ConstraintTrace};
+pub use record::{Constraint, ConstraintGraph, ConstraintTrace, GraphNode};
 pub use types::{pretty, Scheme, TvId, Ty};

@@ -14,9 +14,10 @@
 //! SMT-localization idea, transplanted to our in-process checker).
 
 use crate::error::TypeError;
-use crate::types::Ty;
+use crate::types::{TvId, Ty};
 use crate::unify::Unifier;
 use seminal_ml::span::Span;
+use std::collections::HashMap;
 
 /// One recorded unification demand `found = expected`.
 ///
@@ -73,5 +74,136 @@ impl ConstraintTrace {
             }
         }
         true
+    }
+
+    /// Deletion-shrinks the constraints enabled in `enabled` to a minimal
+    /// unsatisfiable core *within that universe*: each enabled constraint
+    /// is dropped in turn (latest first — the constraints nearest the
+    /// failure are the likeliest core members, and removing bulk early
+    /// keeps later replays short) and stays dropped whenever the rest
+    /// remains unsatisfiable. One replay per enabled constraint.
+    ///
+    /// Minimality (no proper unsatisfiable subset of the result) follows
+    /// from monotonicity of unification. The caller must pass an `enabled`
+    /// mask whose selected subset is unsatisfiable; with all constraints
+    /// enabled this is exactly the blame analysis' core shrinker.
+    pub fn shrink_unsat_core(&self, enabled: &[bool]) -> Vec<usize> {
+        debug_assert_eq!(enabled.len(), self.constraints.len());
+        let mut keep = enabled.to_vec();
+        for i in (0..keep.len()).rev() {
+            if !keep[i] {
+                continue;
+            }
+            keep[i] = false;
+            if self.subset_sat(&keep) {
+                keep[i] = true;
+            }
+        }
+        (0..keep.len()).filter(|&i| keep[i]).collect()
+    }
+
+    /// Exports the recorded constraint system as a [`ConstraintGraph`]:
+    /// one node per constraint carrying its span, softness (whether a
+    /// source position can be blamed for it), the type variables it
+    /// mentions, and its connected component under variable sharing.
+    ///
+    /// Constraints in different components cannot interact during replay
+    /// — unification only propagates information through shared
+    /// variables, and ground constraints are decided in isolation — so
+    /// any minimal correction subset is confined to the component of the
+    /// failing (final) constraint. MCS enumeration uses this to restrict
+    /// its soft-clause universe.
+    pub fn graph(&self) -> ConstraintGraph {
+        let n = self.constraints.len();
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut [usize], mut i: usize) -> usize {
+            while parent[i] != i {
+                parent[i] = parent[parent[i]];
+                i = parent[i];
+            }
+            i
+        }
+        let mut vars_of: Vec<Vec<TvId>> = Vec::with_capacity(n);
+        let mut owner: HashMap<TvId, usize> = HashMap::new();
+        for (i, c) in self.constraints.iter().enumerate() {
+            let mut vs = Vec::new();
+            c.found.vars(&mut vs);
+            c.expected.vars(&mut vs);
+            for &v in &vs {
+                match owner.get(&v) {
+                    Some(&j) => {
+                        let (a, b) = (find(&mut parent, i), find(&mut parent, j));
+                        if a != b {
+                            parent[a] = b;
+                        }
+                    }
+                    None => {
+                        owner.insert(v, i);
+                    }
+                }
+            }
+            vars_of.push(vs);
+        }
+        // Densely renumber components in first-appearance order so ids
+        // are deterministic and usable as indices.
+        let mut ids: HashMap<usize, usize> = HashMap::new();
+        let mut nodes = Vec::with_capacity(n);
+        for (i, c) in self.constraints.iter().enumerate() {
+            let root = find(&mut parent, i);
+            let next = ids.len();
+            let component = *ids.entry(root).or_insert(next);
+            nodes.push(GraphNode {
+                index: i,
+                span: c.span,
+                soft: !c.span.is_empty(),
+                vars: std::mem::take(&mut vars_of[i]),
+                component,
+            });
+        }
+        ConstraintGraph { nodes, num_components: ids.len() }
+    }
+}
+
+/// One node of the exported constraint graph (see
+/// [`ConstraintTrace::graph`]). `index` addresses the constraint in
+/// [`ConstraintTrace::constraints`] and in `subset_sat` masks.
+#[derive(Debug, Clone)]
+pub struct GraphNode {
+    /// Position in the recorded constraint list.
+    pub index: usize,
+    /// The span the checker would blame for this demand.
+    pub span: Span,
+    /// Whether the constraint is attributable to a source position —
+    /// empty-span (synthesized) constraints are well-formedness demands
+    /// no source edit can delete, so localization treats them as hard.
+    pub soft: bool,
+    /// Type variables the constraint mentions (deduplicated, in order of
+    /// first occurrence within `found` then `expected`).
+    pub vars: Vec<TvId>,
+    /// Connected component under transitive variable sharing; ground
+    /// constraints (no variables) form singleton components.
+    pub component: usize,
+}
+
+/// The variable-sharing view of a [`ConstraintTrace`], for localization
+/// backends that need to know which constraints can interact.
+#[derive(Debug, Clone)]
+pub struct ConstraintGraph {
+    /// One node per recorded constraint, in recording order.
+    pub nodes: Vec<GraphNode>,
+    /// Number of connected components (ids are `0..num_components`).
+    pub num_components: usize,
+}
+
+impl ConstraintGraph {
+    /// Component of the final (failing) constraint, if any constraints
+    /// were recorded.
+    pub fn failing_component(&self) -> Option<usize> {
+        self.nodes.last().map(|n| n.component)
+    }
+
+    /// Indices of the constraints in component `c`, in recording order.
+    pub fn component_members(&self, c: usize) -> Vec<usize> {
+        self.nodes.iter().filter(|n| n.component == c).map(|n| n.index).collect()
     }
 }

@@ -63,6 +63,12 @@ const EXIT_IO: u8 = 4;
 /// or oracle budget, was cancelled, or isolated probe faults, so the
 /// printed suggestions are best-so-far rather than exhaustive.
 const EXIT_DEGRADED: u8 = 5;
+/// The program is ill-typed but the localization backend produced no
+/// rankable core or span (`analyze` only): the error is real — the
+/// baseline message is still printed — but the backend has nothing to
+/// localize it with, so downstream tooling should fall back to the
+/// checker's own span.
+const EXIT_NO_CORE: u8 = 6;
 
 /// Options parsed from the command line.
 struct Opts {
@@ -100,6 +106,8 @@ struct Opts {
     chaos_seed: u64,
     /// Run the index-keyed C++ fuzz loop instead of the Caml one (`fuzz`).
     cpp: bool,
+    /// Localization backend for `analyze` and the guidance of `check`.
+    backend: seminal::analysis::BackendKind,
 }
 
 fn main() -> ExitCode {
@@ -122,6 +130,7 @@ fn main() -> ExitCode {
         chaos_panic: 0,
         chaos_seed: 0,
         cpp: false,
+        backend: seminal::analysis::BackendKind::Blame,
     };
     let mut i = 0;
     while i < args.len() {
@@ -215,6 +224,18 @@ fn main() -> ExitCode {
                 opts.cpp = true;
                 i += 1;
             }
+            "--backend" => {
+                match args.get(i + 1).and_then(|s| seminal::analysis::BackendKind::parse(s)) {
+                    Some(kind) => {
+                        opts.backend = kind;
+                        i += 2;
+                    }
+                    None => {
+                        eprintln!("--backend takes `blame` or `mcs`");
+                        return usage();
+                    }
+                }
+            }
             "--deadline-ms" => match args.get(i + 1).and_then(|s| s.parse::<u64>().ok()) {
                 // `0` is kept so the config builder reports the typed
                 // error, matching `--threads 0`.
@@ -261,8 +282,11 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  \
          seminal check [--top N] [--no-triage] [--threads N] [--deadline-ms N]\n               \
-         [--trace] [--profile] [--metrics-json PATH] [--trace-json PATH] <file.ml>\n  \
-         seminal analyze [--top N] <file.ml>    blamed-span localization report\n  \
+         [--backend blame|mcs] [--trace] [--profile] [--metrics-json PATH]\n               \
+         [--trace-json PATH] <file.ml>\n  \
+         seminal analyze [--top N] [--backend blame|mcs] <file.ml>\n                            \
+         localization report: blamed spans (blame, default) or\n                            \
+         ranked alternative correction subsets (mcs)\n  \
          seminal metrics-check <file.json>      validate a metrics snapshot\n  \
          seminal cpp [--threads N] [--deadline-ms N] <file.cpp>    C++ prototype\n  \
          seminal fuzz [--seed S] [--cases N] [--threads N] [--shrink] [--out PATH]\n               \
@@ -279,7 +303,10 @@ fn usage() -> ExitCode {
          3  the input file does not parse\n  \
          4  a file could not be read or written\n  \
          5  type errors found but the search degraded (deadline, budget,\n     \
-         cancellation, or isolated probe faults); suggestions are best-so-far"
+         cancellation, or isolated probe faults); suggestions are best-so-far\n  \
+         6  analyze: the program is ill-typed but the chosen backend produced\n     \
+         no core — nothing rankable to localize with (the baseline error is\n     \
+         still printed; fall back to the checker's own span)"
     );
     ExitCode::from(EXIT_USAGE)
 }
@@ -302,6 +329,7 @@ fn check_file(path: &str, opts: &Opts) -> ExitCode {
     let mut config =
         if opts.no_triage { SearchConfig::without_triage() } else { SearchConfig::default() };
     config.collect_trace = opts.trace || opts.profile || opts.metrics_json.is_some();
+    config.guidance_backend = opts.backend;
     let mut builder = SearchSession::builder(TypeCheckOracle::new()).config(config);
     if let Some(n) = opts.threads {
         builder = builder.threads(n);
@@ -442,14 +470,43 @@ fn analyze_file(path: &str, opts: &Opts) -> ExitCode {
             return ExitCode::from(EXIT_PARSE);
         }
     };
-    match seminal::analysis::analyze(&prog) {
-        None => {
+    use seminal::analysis::BackendKind;
+    // Render with the backend's own report, but decide the exit code on
+    // the backend-agnostic localization: ill-typed with an empty span
+    // ranking is exit 6, not 1, so scripts can tell "localized" apart
+    // from "error found, nothing to rank".
+    let (rendered, localization) = match opts.backend {
+        BackendKind::Blame => match seminal::analysis::analyze(&prog) {
+            None => (None, None),
+            Some(analysis) => (
+                Some(seminal::analysis::render_report(&analysis, &source, opts.top)),
+                Some(analysis.into_localization()),
+            ),
+        },
+        BackendKind::Mcs => match seminal::analysis::analyze_mcs(&prog) {
+            None => (None, None),
+            Some(analysis) => (
+                Some(seminal::analysis::render_mcs_report(&analysis, &source, opts.top)),
+                Some(analysis.into_localization()),
+            ),
+        },
+    };
+    match (rendered, localization) {
+        (Some(report), Some(loc)) => {
+            print!("{report}");
+            if loc.is_empty() {
+                eprintln!(
+                    "analysis produced no core: the {} backend has nothing to rank",
+                    loc.backend.name()
+                );
+                ExitCode::from(EXIT_NO_CORE)
+            } else {
+                ExitCode::from(EXIT_TYPE_ERRORS)
+            }
+        }
+        _ => {
             println!("{path}: no type errors");
             ExitCode::SUCCESS
-        }
-        Some(analysis) => {
-            print!("{}", seminal::analysis::render_report(&analysis, &source, opts.top));
-            ExitCode::from(EXIT_TYPE_ERRORS)
         }
     }
 }
