@@ -1,19 +1,23 @@
 //! Tracing-overhead bench: the cost of the observability layer on the
-//! Figure-5 bench set, in four configurations.
+//! Figure-5 bench set, in five configurations.
 //!
-//! * `tracing_disabled` — the default production path: no sinks, no
-//!   capture. The tracer is inert (no clock reads, no allocation for
-//!   targets); only the always-on metric counters and the per-probe
-//!   latency measurement remain. This is the configuration the < 2%
-//!   overhead budget (DESIGN.md §9) applies to.
+//! * `tracing_disabled` — the bare searcher: no sinks, no capture, and
+//!   the flight recorder explicitly off. The tracer is inert (no clock
+//!   reads, no allocation for targets); only the always-on metric
+//!   counters and the per-probe latency measurement remain. This is the
+//!   reference the < 2% overhead budget (DESIGN.md §9) applies to.
+//! * `flight_ring` — the *default production path*: the always-on
+//!   flight recorder's fixed-capacity ring as the only sink. Held to the
+//!   same < 2% budget, since every user pays for it by default.
 //! * `null_sink` — tracer enabled, records built and discarded: the
 //!   marginal cost of record construction.
 //! * `memory_capture` — `collect_trace`, ring-buffer capture.
 //! * `jsonl_stream` — records serialized to an `io::sink()` writer.
 //!
-//! Run with `OBS_OVERHEAD_ASSERT=1` to fail if the null-sink
-//! configuration exceeds the disabled one by more than 2% (left off by
-//! default: sub-percent wall-clock comparisons are too noisy for CI).
+//! Run with `OBS_OVERHEAD_ASSERT=1` to fail if the null-sink or
+//! flight-ring configuration exceeds the disabled one by more than 2%
+//! (left off by default: sub-percent wall-clock comparisons are too
+//! noisy for CI).
 
 use seminal_bench::bench_corpus;
 use seminal_core::{SearchConfig, SearchSession};
@@ -42,19 +46,29 @@ fn main() {
     assert!(!progs.is_empty());
     let iters = 5;
 
-    let disabled = SearchSession::builder(TypeCheckOracle::new()).build().unwrap();
+    let disabled =
+        SearchSession::builder(TypeCheckOracle::new()).flight_recorder(false).build().unwrap();
+
+    // The out-of-the-box default: flight recorder on, nothing else.
+    let flight = SearchSession::builder(TypeCheckOracle::new()).build().unwrap();
 
     let null_sink = SearchSession::builder(TypeCheckOracle::new())
+        .flight_recorder(false)
         .sink(Arc::new(NullSink) as Arc<dyn TraceSink>)
         .build()
         .unwrap();
 
     let capture = SearchSession::builder(TypeCheckOracle::new())
-        .config(SearchConfig { collect_trace: true, ..SearchConfig::default() })
+        .config(SearchConfig {
+            collect_trace: true,
+            flight_recorder: false,
+            ..SearchConfig::default()
+        })
         .build()
         .unwrap();
 
     let jsonl = SearchSession::builder(TypeCheckOracle::new())
+        .flight_recorder(false)
         .sink(Arc::new(JsonlSink::new(std::io::sink())) as Arc<dyn TraceSink>)
         .build()
         .unwrap();
@@ -65,9 +79,12 @@ fn main() {
     std::hint::black_box(measure(1, &progs, &disabled));
     let base_ns = measure(iters, &progs, &disabled);
     println!("tracing_disabled   mean {:>12} ns/sweep   (reference)", base_ns);
-    for (name, searcher) in
-        [("null_sink", &null_sink), ("memory_capture", &capture), ("jsonl_stream", &jsonl)]
-    {
+    for (name, searcher) in [
+        ("flight_ring", &flight),
+        ("null_sink", &null_sink),
+        ("memory_capture", &capture),
+        ("jsonl_stream", &jsonl),
+    ] {
         let ns = measure(iters, &progs, searcher);
         let overhead_milli = (ns.saturating_sub(base_ns)) * 1000 / base_ns.max(1);
         println!(
@@ -78,11 +95,13 @@ fn main() {
     }
 
     if std::env::var_os("OBS_OVERHEAD_ASSERT").is_some() {
-        let ns = measure(iters, &progs, &null_sink);
-        assert!(
-            ns.saturating_sub(base_ns) * 50 <= base_ns,
-            "null-sink tracing overhead above 2%: {ns} vs {base_ns} ns/sweep"
-        );
+        for (name, searcher) in [("null_sink", &null_sink), ("flight_ring", &flight)] {
+            let ns = measure(iters, &progs, searcher);
+            assert!(
+                ns.saturating_sub(base_ns) * 50 <= base_ns,
+                "{name} tracing overhead above 2%: {ns} vs {base_ns} ns/sweep"
+            );
+        }
         println!("overhead budget: OK (within 2%)");
     }
 }

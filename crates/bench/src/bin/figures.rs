@@ -154,14 +154,24 @@ fn eval_metrics(scale: usize, threads: usize, out: &str) {
     let wall = start.elapsed();
     let json = seminal_eval::bench_search_json_with(&results, threads, wall);
     std::fs::write(out, &json).expect("write metrics artifact");
+    let merged = seminal_eval::corpus_metrics(&results);
     println!(
         "wrote {} ({} files, {} oracle calls, {} threads, wall {:?})",
         out,
         results.len(),
-        seminal_eval::corpus_metrics(&results).counter("oracle_calls"),
+        merged.counter("oracle_calls"),
         threads,
         wall,
     );
+    if let Some(h) = merged.histograms.get("oracle.latency_ns") {
+        println!(
+            "oracle latency: p50 <= {}ns  p90 <= {}ns  p99 <= {}ns ({} observations)",
+            h.p50(),
+            h.p90(),
+            h.p99(),
+            h.count,
+        );
+    }
 }
 
 /// Per-fault-class breakdown (§3.3's qualitative comparison, made

@@ -22,6 +22,8 @@ pub enum ConfigError {
     ZeroThreads,
     /// `trace_capacity` must be at least 1 record.
     ZeroTraceCapacity,
+    /// `flight_capacity` must be at least 1 record.
+    ZeroFlightCapacity,
     /// `max_oracle_calls` must be at least 1 (the baseline check).
     ZeroOracleBudget,
     /// `max_suggestions` must be at least 1.
@@ -35,6 +37,7 @@ impl fmt::Display for ConfigError {
         match self {
             ConfigError::ZeroThreads => write!(f, "`threads` must be >= 1 (1 = sequential)"),
             ConfigError::ZeroTraceCapacity => write!(f, "`trace_capacity` must be >= 1 record"),
+            ConfigError::ZeroFlightCapacity => write!(f, "`flight_capacity` must be >= 1 record"),
             ConfigError::ZeroOracleBudget => write!(f, "`max_oracle_calls` must be >= 1"),
             ConfigError::ZeroSuggestionCap => write!(f, "`max_suggestions` must be >= 1"),
             ConfigError::ZeroDeadline => {
@@ -91,6 +94,19 @@ pub struct SearchConfig {
     /// `collect_trace` is on; oldest records are dropped beyond it and
     /// counted in the `trace.dropped` metric.
     pub trace_capacity: usize,
+    /// Keep the always-on flight recorder running: a fixed-capacity ring
+    /// of the most recent trace records, attached as an extra sink on
+    /// every search. When a run ends non-`Complete` or isolated probe
+    /// faults occurred, the ring's tail plus the final metrics snapshot
+    /// freeze into [`SearchReport::crash`](crate::search::SearchReport)
+    /// for post-mortem debugging. On by default — the ring is lock-cheap
+    /// and bounded, so ambient overhead stays within the `obs_overhead`
+    /// bench budget.
+    pub flight_recorder: bool,
+    /// Capacity (in records) of the flight-recorder ring when
+    /// `flight_recorder` is on; the oldest records are overwritten beyond
+    /// it and counted in the crash report's `records_dropped`.
+    pub flight_capacity: usize,
     /// Use the constraint-blame analysis (unsat-core localization, see
     /// `seminal-analysis`) to focus the search: the first bad declaration
     /// is read off the baseline error instead of probed prefix-by-prefix,
@@ -170,6 +186,8 @@ impl Default for SearchConfig {
             memoize_oracle: false,
             collect_trace: false,
             trace_capacity: 262_144,
+            flight_recorder: true,
+            flight_capacity: 1024,
             blame_guidance: true,
             guidance_backend: BackendKind::Blame,
             threads: default_threads(),
@@ -200,6 +218,9 @@ impl SearchConfig {
         }
         if self.trace_capacity == 0 {
             return Err(ConfigError::ZeroTraceCapacity);
+        }
+        if self.flight_recorder && self.flight_capacity == 0 {
+            return Err(ConfigError::ZeroFlightCapacity);
         }
         if self.max_oracle_calls == 0 {
             return Err(ConfigError::ZeroOracleBudget);
@@ -344,6 +365,21 @@ impl SearchConfigBuilder {
         self
     }
 
+    /// Enable/disable the always-on flight recorder.
+    #[must_use]
+    pub fn flight_recorder(mut self, on: bool) -> Self {
+        self.cfg.flight_recorder = on;
+        self
+    }
+
+    /// Flight-recorder ring capacity (validated `>= 1` at build when
+    /// the recorder is enabled).
+    #[must_use]
+    pub fn flight_capacity(mut self, records: usize) -> Self {
+        self.cfg.flight_capacity = records;
+        self
+    }
+
     /// Enable/disable constraint-blame guidance.
     #[must_use]
     pub fn blame_guidance(mut self, on: bool) -> Self {
@@ -416,11 +452,21 @@ mod tests {
         assert_eq!(cfg.threads, 4);
         assert!(cfg.memoize_oracle && cfg.collect_trace);
         assert_eq!(cfg.trace_capacity, 128);
+        assert!(cfg.flight_recorder, "flight recorder defaults on");
+        assert_eq!(cfg.flight_capacity, 1024);
 
         assert_eq!(SearchConfig::builder().threads(0).build(), Err(ConfigError::ZeroThreads));
         assert_eq!(
             SearchConfig::builder().trace_capacity(0).build(),
             Err(ConfigError::ZeroTraceCapacity)
+        );
+        assert_eq!(
+            SearchConfig::builder().flight_capacity(0).build(),
+            Err(ConfigError::ZeroFlightCapacity)
+        );
+        assert!(
+            SearchConfig::builder().flight_recorder(false).flight_capacity(0).build().is_ok(),
+            "capacity is irrelevant with the recorder off"
         );
         assert_eq!(
             SearchConfig::builder().max_oracle_calls(0).build(),

@@ -35,6 +35,7 @@
 use crate::budget::Budget;
 use seminal_ml::ast::Program;
 use seminal_ml::pretty::program_to_string;
+use seminal_obs::{EventKind, SpanContext, SpanKind, TraceHandle, Tracer};
 use seminal_typeck::{guarded_probe, Oracle, ProbeOutcome};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -197,6 +198,9 @@ pub struct ProbeEngine<'o, O> {
     /// Shared run bounds; workers poll `interrupted()` between chunks so
     /// a deadline or cancel drains the prefetch promptly.
     halt: Option<Budget>,
+    /// Trace fan-out for worker-side causal records (disabled by
+    /// default; see [`ProbeEngine::with_trace`]).
+    trace: TraceHandle,
 }
 
 impl<'o, O: Oracle> ProbeEngine<'o, O> {
@@ -212,6 +216,7 @@ impl<'o, O: Oracle> ProbeEngine<'o, O> {
             largest_batch: AtomicU64::new(0),
             probe_faults: AtomicU64::new(0),
             halt: None,
+            trace: TraceHandle::disabled(),
         }
     }
 
@@ -219,6 +224,16 @@ impl<'o, O: Oracle> ProbeEngine<'o, O> {
     /// a deadline expiry or cancellation.
     pub fn with_halt(oracle: &'o O, threads: usize, budget: Budget) -> ProbeEngine<'o, O> {
         ProbeEngine { halt: Some(budget), ..ProbeEngine::new(oracle, threads) }
+    }
+
+    /// Attaches a trace handle so workers can emit causal records: each
+    /// worker that claims work within a [`ProbeEngine::prefetch_under`]
+    /// batch opens a [`SpanKind::Worker`] span under the caller's
+    /// context and emits one [`EventKind::SpeculativeProbe`] per probe
+    /// it runs.
+    pub fn with_trace(mut self, trace: TraceHandle) -> ProbeEngine<'o, O> {
+        self.trace = trace;
+        self
     }
 
     fn interrupted(&self) -> bool {
@@ -259,6 +274,17 @@ impl<'o, O: Oracle> ProbeEngine<'o, O> {
     /// blocks until every verdict is cached. Variants already cached (or
     /// duplicated within the frontier) are dispatched once.
     pub fn prefetch(&self, variants: &[Program]) {
+        self.prefetch_under(variants, None);
+    }
+
+    /// [`ProbeEngine::prefetch`] with an explicit causal parent: when a
+    /// trace is attached ([`ProbeEngine::with_trace`]) and `parent` is
+    /// the caller's open span, every worker span of this batch opens
+    /// under it, so the parallel probes stay attributed to the search
+    /// step that caused them. The parent span must stay open for the
+    /// duration of the call — trivially true, since prefetch blocks
+    /// until the workers join.
+    pub fn prefetch_under(&self, variants: &[Program], parent: Option<SpanContext>) {
         if self.interrupted() {
             return;
         }
@@ -274,11 +300,21 @@ impl<'o, O: Oracle> ProbeEngine<'o, O> {
         self.batches.fetch_add(1, Ordering::Relaxed);
         self.prefetched.fetch_add(jobs.len() as u64, Ordering::Relaxed);
         self.largest_batch.fetch_max(jobs.len() as u64, Ordering::Relaxed);
+        let parent = if self.trace.enabled() { parent } else { None };
 
         let workers = self.threads.min(jobs.len());
         if workers <= 1 {
             let progs: Vec<&Program> = jobs.iter().map(|(_, p)| *p).collect();
-            self.run_chunk(&jobs, &progs, &(0..jobs.len()).collect::<Vec<_>>());
+            let mut span = parent.map(|ctx| self.open_worker_span(0, ctx));
+            self.run_chunk(
+                &jobs,
+                &progs,
+                &(0..jobs.len()).collect::<Vec<_>>(),
+                span.as_mut().map(|(t, _)| t),
+            );
+            if let Some((mut tracer, id)) = span {
+                tracer.close(id);
+            }
             return;
         }
 
@@ -301,25 +337,44 @@ impl<'o, O: Oracle> ProbeEngine<'o, O> {
                 scope.spawn(move || {
                     let mut chunk = Vec::with_capacity(CHUNK);
                     let mut progs: Vec<&Program> = Vec::with_capacity(CHUNK);
+                    // Opened lazily on the first claimed chunk, so idle
+                    // workers leave no empty tracks in the trace.
+                    let mut span: Option<(Tracer, u64)> = None;
                     loop {
                         // Poll the run bounds between chunks: a deadline
                         // or cancel drains the queue cooperatively (the
                         // in-flight chunk finishes, the rest is dropped).
                         if self.interrupted() {
-                            return;
+                            break;
                         }
                         chunk.clear();
                         take_work(queues, w, &mut chunk);
                         if chunk.is_empty() {
-                            return;
+                            break;
+                        }
+                        if span.is_none() {
+                            span = parent.map(|ctx| self.open_worker_span(w, ctx));
                         }
                         progs.clear();
                         progs.extend(chunk.iter().map(|&i| jobs[i].1));
-                        self.run_chunk(jobs, &progs, &chunk);
+                        self.run_chunk(jobs, &progs, &chunk, span.as_mut().map(|(t, _)| t));
+                    }
+                    if let Some((mut tracer, id)) = span {
+                        tracer.close(id);
                     }
                 });
             }
         });
+    }
+
+    /// Mints a per-worker tracer (worker `w` emits as thread `w + 1`;
+    /// thread 0 is the consumer) and opens its batch span under the
+    /// caller's cross-thread context.
+    fn open_worker_span(&self, w: usize, ctx: SpanContext) -> (Tracer, u64) {
+        let w = u32::try_from(w).unwrap_or(u32::MAX - 1);
+        let mut tracer = self.trace.thread_tracer(w + 1);
+        let id = tracer.open_under(ctx, SpanKind::Worker { index: w });
+        (tracer, id)
     }
 
     /// Checks one chunk through `Oracle::check_batch` and caches the
@@ -332,7 +387,13 @@ impl<'o, O: Oracle> ProbeEngine<'o, O> {
     /// guard so one poisoned variant is cached as `Faulted` while its
     /// chunk-mates keep their real verdicts — a fault never kills a
     /// worker or poisons the memo.
-    fn run_chunk(&self, jobs: &[(String, &Program)], progs: &[&Program], indices: &[usize]) {
+    fn run_chunk(
+        &self,
+        jobs: &[(String, &Program)],
+        progs: &[&Program],
+        indices: &[usize],
+        mut tracer: Option<&mut Tracer>,
+    ) {
         if indices.is_empty() {
             return;
         }
@@ -342,12 +403,15 @@ impl<'o, O: Oracle> ProbeEngine<'o, O> {
                 / indices.len() as u64;
             debug_assert_eq!(verdicts.len(), progs.len(), "check_batch must answer every variant");
             for (&i, verdict) in indices.iter().zip(&verdicts) {
-                self.memo.insert(
-                    jobs[i].0.clone(),
-                    ProbeOutcome::from_verdict(verdict),
-                    per_probe_ns,
-                    false,
-                );
+                let outcome = ProbeOutcome::from_verdict(verdict);
+                if let Some(t) = tracer.as_mut() {
+                    let _ = t.event(EventKind::SpeculativeProbe {
+                        outcome: outcome.passed(),
+                        faulted: false,
+                        latency_ns: per_probe_ns,
+                    });
+                }
+                self.memo.insert(jobs[i].0.clone(), outcome, per_probe_ns, false);
             }
             return;
         }
@@ -357,6 +421,13 @@ impl<'o, O: Oracle> ProbeEngine<'o, O> {
             let latency_ns = u64::try_from(clock.elapsed().as_nanos()).unwrap_or(u64::MAX);
             if outcome.faulted() {
                 self.probe_faults.fetch_add(1, Ordering::Relaxed);
+            }
+            if let Some(t) = tracer.as_mut() {
+                let _ = t.event(EventKind::SpeculativeProbe {
+                    outcome: outcome.passed(),
+                    faulted: outcome.faulted(),
+                    latency_ns,
+                });
             }
             self.memo.insert(jobs[i].0.clone(), outcome, latency_ns, false);
         }
@@ -493,6 +564,47 @@ mod tests {
             engine.memo().consume(&program_to_string(&trap)),
             MemoLookup::Hit { verdict: ProbeOutcome::Faulted, .. }
         ));
+    }
+
+    #[test]
+    fn traced_prefetch_attributes_worker_probes_to_the_caller_span() {
+        use seminal_obs::{check_invariants, MemorySink, TraceRecord};
+        let sink = std::sync::Arc::new(MemorySink::new(4096));
+        let mut tracer = Tracer::new(vec![sink.clone()]);
+        let root = tracer.open(SpanKind::Search);
+        let oracle = TypeCheckOracle::new();
+        let engine = ProbeEngine::new(&oracle, 4).with_trace(tracer.handle());
+        let variants: Vec<Program> =
+            (0..32).map(|i| parse_program(&format!("let v{i} = {i}")).unwrap()).collect();
+        engine.prefetch_under(&variants, tracer.context());
+        tracer.close(root);
+        let records = sink.drain();
+        check_invariants(&records).expect("engine records keep the stream valid");
+        let mut worker_spans = 0;
+        for rec in &records {
+            if let TraceRecord::Open { kind: SpanKind::Worker { .. }, parent, .. } = rec {
+                worker_spans += 1;
+                assert_eq!(*parent, Some(root), "worker spans hang under the caller's span");
+            }
+        }
+        assert!(worker_spans >= 1, "at least one worker claimed work");
+        let probes = records
+            .iter()
+            .filter(|r| {
+                matches!(r, TraceRecord::Event { kind: EventKind::SpeculativeProbe { .. }, .. })
+            })
+            .count() as u64;
+        assert_eq!(probes, engine.prefetched(), "one speculative event per prefetched probe");
+        // An untraced engine (no handle attached) emits nothing even
+        // when handed a context.
+        let silent = ProbeEngine::new(&oracle, 4);
+        let more: Vec<Program> =
+            (32..40).map(|i| parse_program(&format!("let v{i} = {i}")).unwrap()).collect();
+        let mut tracer2 = Tracer::new(vec![sink.clone()]);
+        let root2 = tracer2.open(SpanKind::Search);
+        silent.prefetch_under(&more, tracer2.context());
+        tracer2.close(root2);
+        assert_eq!(sink.drain().len(), 2, "only the open/close pair from the consumer");
     }
 
     #[test]

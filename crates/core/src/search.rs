@@ -41,8 +41,8 @@ use seminal_ml::edit::{self, app_chain, Edit};
 use seminal_ml::pretty::{decl_to_string, expr_to_string, pat_to_string};
 use seminal_ml::span::Span;
 use seminal_obs::{
-    Completion, EventKind, Histogram, MemorySink, MetricsSnapshot, ProbeKind, SpanKind, SrcSpan,
-    TraceRecord, TraceSink, Tracer,
+    Completion, CrashReport, EventKind, FlightRecorder, Histogram, MemorySink, MetricsSnapshot,
+    ProbeKind, SpanKind, SrcSpan, TraceRecord, TraceSink, Tracer,
 };
 use seminal_typeck::{
     check_program_types, guarded_check, guarded_probe, Oracle, ProbeOutcome, TypeError,
@@ -209,6 +209,12 @@ pub struct SearchReport {
     /// Aggregate counters and latency histograms for this search
     /// (always collected; schema `seminal-obs/metrics-v1`).
     pub metrics: MetricsSnapshot,
+    /// Post-mortem bundle built from the flight recorder whenever the
+    /// run ended non-`Complete` or isolated probe faults occurred:
+    /// the last trace records plus the final metrics snapshot
+    /// (schema `seminal-obs/crash-v1`). `None` on clean runs and when
+    /// [`SearchConfig::flight_recorder`](crate::SearchConfig) is off.
+    pub crash: Option<CrashReport>,
 }
 
 impl SearchReport {
@@ -364,12 +370,36 @@ impl<O: Oracle> SearchCore<O> {
     pub(crate) fn search(&self, prog: &Program) -> SearchReport {
         let budget =
             Budget::start(self.config.max_oracle_calls, self.config.deadline, self.handle.flag());
-        let engine = if self.config.threads > 1 {
-            Some(ProbeEngine::with_halt(&self.oracle, self.config.threads, budget.clone()))
+        // Sinks are assembled before the engine so worker threads can
+        // share the tracer through its cloneable handle: every parallel
+        // probe then opens under the search span that caused it.
+        let capture = if self.config.collect_trace {
+            Some(Arc::new(MemorySink::new(self.config.trace_capacity)))
         } else {
             None
         };
-        self.run_search(prog, engine.as_ref(), budget)
+        let flight = if self.config.flight_recorder {
+            Some(Arc::new(FlightRecorder::new(self.config.flight_capacity)))
+        } else {
+            None
+        };
+        let mut sinks = self.sinks.clone();
+        if let Some(c) = &capture {
+            sinks.push(c.clone() as Arc<dyn TraceSink>);
+        }
+        if let Some(f) = &flight {
+            sinks.push(f.clone() as Arc<dyn TraceSink>);
+        }
+        let tracer = Tracer::new(sinks);
+        let engine = if self.config.threads > 1 {
+            Some(
+                ProbeEngine::with_halt(&self.oracle, self.config.threads, budget.clone())
+                    .with_trace(tracer.handle()),
+            )
+        } else {
+            None
+        };
+        self.run_search(prog, engine.as_ref(), budget, tracer, capture, flight)
     }
 
     #[allow(deprecated)]
@@ -378,17 +408,11 @@ impl<O: Oracle> SearchCore<O> {
         prog: &Program,
         engine: Option<&ProbeEngine<'_, O>>,
         budget: Budget,
+        tracer: Tracer,
+        capture: Option<Arc<MemorySink>>,
+        flight: Option<Arc<FlightRecorder>>,
     ) -> SearchReport {
         let start = Instant::now();
-        let capture = if self.config.collect_trace {
-            Some(Arc::new(MemorySink::new(self.config.trace_capacity)))
-        } else {
-            None
-        };
-        let mut sinks = self.sinks.clone();
-        if let Some(c) = &capture {
-            sinks.push(c.clone() as Arc<dyn TraceSink>);
-        }
         let mut run = Run {
             oracle: &self.oracle,
             cfg: &self.config,
@@ -402,7 +426,7 @@ impl<O: Oracle> SearchCore<O> {
             suggestions: Vec::new(),
             memo: HashMap::new(),
             memo_hits: 0,
-            tracer: Tracer::new(sinks),
+            tracer,
             probe_label: None,
             local: LocalMetrics::default(),
             guidance: None,
@@ -429,6 +453,7 @@ impl<O: Oracle> SearchCore<O> {
                     trace: TraceEvent::from_records(&records),
                     records,
                     metrics,
+                    crash: None,
                 };
             }
             Err(e) => e,
@@ -466,7 +491,7 @@ impl<O: Oracle> SearchCore<O> {
                 .position(|decl| !baseline.span.is_empty() && decl.span.contains(baseline.span))
             {
                 first_bad = d + 1;
-                run.tracer.event(EventKind::PrefixLocalized {
+                let _ = run.tracer.event(EventKind::PrefixLocalized {
                     first_bad: first_bad as u32,
                     detail: format!("first {first_bad} declaration(s), blame-localized (no probe)"),
                 });
@@ -539,6 +564,32 @@ impl<O: Oracle> SearchCore<O> {
         }
         let mut metrics = run.local.snapshot(&stats, suggestions.len() as u64, completion);
         fold_engine_metrics(&mut metrics, engine);
+        // Post-mortem evidence: whenever the run ends anything but
+        // cleanly — a bound stopped it, or isolated probe faults thinned
+        // the plan — the flight recorder's tail and the final metrics
+        // freeze into a crash report the caller can persist.
+        let engine_faults = engine.map_or(0, |e| e.probe_faults());
+        let total_faults = stats.probe_faults.max(engine_faults);
+        let crash = match &flight {
+            Some(f) if !completion.is_complete() || total_faults > 0 => {
+                let (records, records_dropped) = f.snapshot();
+                let reason = if completion.is_complete() {
+                    format!("{total_faults} isolated probe fault(s)")
+                } else {
+                    format!("completion: {}", completion.tag())
+                };
+                Some(CrashReport {
+                    reason,
+                    completion: completion.tag().to_owned(),
+                    probe_faults: total_faults,
+                    threads: self.config.threads as u64,
+                    records_dropped,
+                    records,
+                    metrics: metrics.clone(),
+                })
+            }
+            _ => None,
+        };
         let outcome = if suggestions.is_empty() {
             Outcome::NoSuggestion
         } else {
@@ -552,6 +603,7 @@ impl<O: Oracle> SearchCore<O> {
             trace: TraceEvent::from_records(&records),
             records,
             metrics,
+            crash,
         }
     }
 }
@@ -868,7 +920,7 @@ impl<O: Oracle> Run<'_, O> {
             let room = self.cfg.max_oracle_calls.saturating_sub(self.calls);
             let cap = usize::try_from(room).unwrap_or(usize::MAX).min(variants.len());
             if cap > 0 {
-                engine.prefetch(&variants[..cap]);
+                engine.prefetch_under(&variants[..cap], self.tracer.context());
             }
         }
     }
@@ -893,7 +945,7 @@ impl<O: Oracle> Run<'_, O> {
             self.local.oracle_latency.observe(latency_ns);
         }
         if self.tracer.enabled() {
-            self.tracer.event(EventKind::OracleProbe {
+            let _ = self.tracer.event(EventKind::OracleProbe {
                 probe,
                 target,
                 span: src_span(span),

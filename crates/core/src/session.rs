@@ -157,6 +157,22 @@ impl<O: Oracle> SearchSessionBuilder<O> {
         self
     }
 
+    /// Enable/disable the always-on flight recorder (on by default);
+    /// see [`SearchConfig::flight_recorder`].
+    #[must_use]
+    pub fn flight_recorder(mut self, on: bool) -> Self {
+        self.config.flight_recorder = on;
+        self
+    }
+
+    /// Flight-recorder ring capacity in records (validated `>= 1` at
+    /// build when the recorder is on).
+    #[must_use]
+    pub fn flight_capacity(mut self, records: usize) -> Self {
+        self.config.flight_capacity = records;
+        self
+    }
+
     /// Attaches a trace sink; every search streams its records into it.
     #[must_use]
     pub fn sink(mut self, sink: Arc<dyn TraceSink>) -> Self {

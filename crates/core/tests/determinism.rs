@@ -141,6 +141,7 @@ fn raw_oracle_calls_reconcile_with_speculative_waste() {
 
 #[test]
 fn trace_invariants_hold_at_every_thread_count() {
+    use seminal_core::obs::{EventKind, SpanKind, TraceRecord};
     for (name, src) in SCENARIOS {
         for threads in THREAD_COUNTS {
             let report = run(src, threads);
@@ -153,14 +154,50 @@ fn trace_invariants_hold_at_every_thread_count() {
                 .filter(|r| {
                     matches!(
                         r,
-                        seminal_core::obs::TraceRecord::Event {
-                            kind: seminal_core::obs::EventKind::OracleProbe { cached: false, .. },
+                        TraceRecord::Event {
+                            kind: EventKind::OracleProbe { cached: false, .. },
                             ..
                         }
                     )
                 })
                 .count() as u64;
             assert_eq!(uncached, report.stats.oracle_calls, "{name} at {threads} threads");
+            // Parallel runs that prefetched must show causally-attributed
+            // worker activity: worker spans on distinct non-zero threads,
+            // each parented to a live search-side span.
+            if threads > 1 && report.metrics.counter("engine.prefetched") > 0 {
+                let worker_threads: std::collections::HashSet<u32> = report
+                    .records
+                    .iter()
+                    .filter(|r| {
+                        matches!(r, TraceRecord::Open { kind: SpanKind::Worker { .. }, .. })
+                    })
+                    .map(|r| r.thread())
+                    .collect();
+                assert!(
+                    !worker_threads.is_empty(),
+                    "{name} at {threads} threads: prefetching left no worker spans"
+                );
+                assert!(
+                    !worker_threads.contains(&0),
+                    "{name} at {threads} threads: worker spans must not claim the search thread"
+                );
+                let speculative = report
+                    .records
+                    .iter()
+                    .filter(|r| {
+                        matches!(
+                            r,
+                            TraceRecord::Event { kind: EventKind::SpeculativeProbe { .. }, .. }
+                        )
+                    })
+                    .count() as u64;
+                assert_eq!(
+                    speculative,
+                    report.metrics.counter("engine.prefetched"),
+                    "{name} at {threads} threads: one speculative event per prefetched probe"
+                );
+            }
         }
     }
 }

@@ -193,7 +193,7 @@ impl ProbeCtx<'_> {
             self.latency.observe(verdict.latency_ns);
         }
         if self.tracer.enabled() {
-            self.tracer.event(EventKind::OracleProbe {
+            let _ = self.tracer.event(EventKind::OracleProbe {
                 probe: kind,
                 target: probe.original.clone(),
                 span: SrcSpan::new(probe.span.start, probe.span.end),
@@ -527,7 +527,7 @@ fn search_cpp_impl(
         ctx.latency.observe(baseline_ns);
     }
     if ctx.tracer.enabled() {
-        ctx.tracer.event(EventKind::OracleProbe {
+        let _ = ctx.tracer.event(EventKind::OracleProbe {
             probe: ProbeKind::Baseline,
             target: String::new(),
             span: SrcSpan::EMPTY,

@@ -71,6 +71,7 @@ pub fn bench_search_json_with(
         ),
         ("p50_time_ns".to_owned(), Json::Num(quantile(500))),
         ("p90_time_ns".to_owned(), Json::Num(quantile(900))),
+        ("p99_time_ns".to_owned(), Json::Num(quantile(990))),
         ("metrics".to_owned(), merged.to_json()),
     ]);
     obj.to_string_pretty()

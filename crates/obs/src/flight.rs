@@ -1,0 +1,176 @@
+//! Always-on flight recorder: a fixed-capacity ring of the most recent
+//! trace records, kept cheap enough to leave enabled on every search.
+//!
+//! The searcher attaches a [`FlightRecorder`] by default (see
+//! `SearchConfig::flight_recorder` in `seminal-core`) even when full
+//! trace capture is off. When a search ends abnormally — a `Faulted`
+//! probe absorbed by panic isolation, or any non-`Complete` completion —
+//! the recorder's contents become the record tail of a
+//! [`crate::crash::CrashReport`], the post-mortem evidence for what the
+//! search was doing in its final moments.
+//!
+//! Cost model: the ring is preallocated at construction; recording a
+//! record is one short mutex hold, one clone, and one slot write — no
+//! allocation, no resizing. The `obs_overhead` bench holds this to the
+//! same <2% ambient budget as the disabled tracer.
+
+use crate::trace::{TraceRecord, TraceSink};
+use std::sync::Mutex;
+
+/// A lock-cheap fixed-capacity ring buffer of trace records.
+///
+/// Unlike [`crate::MemorySink`] (a capture buffer that is drained once
+/// into a report), the flight recorder is a continuously overwritten
+/// black box: [`FlightRecorder::snapshot`] reads the surviving tail
+/// without consuming it, so the same recorder can serve repeated
+/// searches on one session.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    state: Mutex<FlightState>,
+}
+
+#[derive(Debug)]
+struct FlightState {
+    /// Preallocated ring storage; `None` slots are not yet written.
+    slots: Vec<Option<TraceRecord>>,
+    /// Next slot to overwrite.
+    head: usize,
+    /// Records written in total (written − capacity, clamped at 0, is
+    /// the overwrite count).
+    written: u64,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the most recent `capacity` records
+    /// (`capacity` is clamped to at least 1).
+    pub fn new(capacity: usize) -> FlightRecorder {
+        let capacity = capacity.max(1);
+        FlightRecorder {
+            state: Mutex::new(FlightState { slots: vec![None; capacity], head: 0, written: 0 }),
+        }
+    }
+
+    /// The ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.state.lock().expect("flight recorder poisoned").slots.len()
+    }
+
+    /// The surviving records (oldest first) and how many older records
+    /// were overwritten to stay within capacity. Does not consume the
+    /// ring.
+    pub fn snapshot(&self) -> (Vec<TraceRecord>, u64) {
+        let state = self.state.lock().expect("flight recorder poisoned");
+        let capacity = state.slots.len();
+        let dropped = state.written.saturating_sub(capacity as u64);
+        let mut records = Vec::with_capacity(capacity.min(state.written as usize));
+        // Oldest surviving record sits at `head` once the ring has
+        // wrapped; before that, the ring is a plain prefix.
+        for offset in 0..capacity {
+            let idx = (state.head + offset) % capacity;
+            if let Some(rec) = &state.slots[idx] {
+                records.push(rec.clone());
+            }
+        }
+        (records, dropped)
+    }
+
+    /// Forgets everything recorded so far (the capacity is kept).
+    pub fn clear(&self) {
+        let mut state = self.state.lock().expect("flight recorder poisoned");
+        for slot in &mut state.slots {
+            *slot = None;
+        }
+        state.head = 0;
+        state.written = 0;
+    }
+}
+
+impl TraceSink for FlightRecorder {
+    fn record(&self, rec: &TraceRecord) {
+        let mut state = self.state.lock().expect("flight recorder poisoned");
+        let head = state.head;
+        state.slots[head] = Some(rec.clone());
+        state.head = (head + 1) % state.slots.len();
+        state.written += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceRecord;
+
+    fn rec(i: u64) -> TraceRecord {
+        TraceRecord::Close { id: i, thread: 0, at_ns: i }
+    }
+
+    #[test]
+    fn keeps_the_most_recent_records_oldest_first() {
+        let ring = FlightRecorder::new(3);
+        let (records, dropped) = ring.snapshot();
+        assert!(records.is_empty());
+        assert_eq!(dropped, 0);
+        for i in 0..5 {
+            ring.record(&rec(i));
+        }
+        let (records, dropped) = ring.snapshot();
+        assert_eq!(records, vec![rec(2), rec(3), rec(4)]);
+        assert_eq!(dropped, 2);
+        // Snapshot is non-destructive.
+        let (again, _) = ring.snapshot();
+        assert_eq!(again.len(), 3);
+    }
+
+    #[test]
+    fn partial_fill_snapshots_a_plain_prefix() {
+        let ring = FlightRecorder::new(8);
+        ring.record(&rec(1));
+        ring.record(&rec(2));
+        let (records, dropped) = ring.snapshot();
+        assert_eq!(records, vec![rec(1), rec(2)]);
+        assert_eq!(dropped, 0);
+    }
+
+    #[test]
+    fn clear_resets_contents_and_counts() {
+        let ring = FlightRecorder::new(2);
+        for i in 0..4 {
+            ring.record(&rec(i));
+        }
+        ring.clear();
+        let (records, dropped) = ring.snapshot();
+        assert!(records.is_empty());
+        assert_eq!(dropped, 0);
+        ring.record(&rec(9));
+        assert_eq!(ring.snapshot().0, vec![rec(9)]);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let ring = FlightRecorder::new(0);
+        assert_eq!(ring.capacity(), 1);
+        ring.record(&rec(1));
+        ring.record(&rec(2));
+        let (records, dropped) = ring.snapshot();
+        assert_eq!(records, vec![rec(2)]);
+        assert_eq!(dropped, 1);
+    }
+
+    #[test]
+    fn records_from_many_threads_are_all_counted() {
+        let ring = std::sync::Arc::new(FlightRecorder::new(64));
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let ring = std::sync::Arc::clone(&ring);
+                scope.spawn(move || {
+                    for i in 0..8 {
+                        ring.record(&rec(t * 100 + i));
+                    }
+                });
+            }
+        });
+        let (records, dropped) = ring.snapshot();
+        assert_eq!(records.len(), 32);
+        assert_eq!(dropped, 0);
+    }
+}

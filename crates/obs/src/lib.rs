@@ -12,6 +12,14 @@
 //! * [`metrics`] — a registry of counters and power-of-two latency
 //!   histograms with a stable, schema-versioned JSON snapshot
 //!   ([`metrics::SCHEMA`]) whose decoder rejects unknown fields;
+//! * [`flight`] — the always-on flight recorder: a lock-cheap
+//!   fixed-capacity ring of the most recent trace records;
+//! * [`crash`] — versioned crash reports bundling the flight-recorder
+//!   tail with the final metrics snapshot for post-mortem replay;
+//! * [`chrome`] — renders a captured trace as a Chrome `trace_event`
+//!   document (one track per worker) for `chrome://tracing`/Perfetto;
+//! * [`baseline`] — the perf-trend gate comparing a snapshot against a
+//!   committed baseline under counter/time tolerances;
 //! * [`profile`] — attributes cumulative oracle cost to source spans and
 //!   prints a text "flame" report;
 //! * [`json`] — the dependency-free JSON layer underneath both (the
@@ -25,17 +33,25 @@
 //! cycles), and **stable artifacts** (the snapshot schema is versioned
 //! and round-trip-checked in CI).
 
+pub mod baseline;
+pub mod chrome;
 pub mod completion;
+pub mod crash;
+pub mod flight;
 pub mod json;
 pub mod metrics;
 pub mod profile;
 pub mod trace;
 
+pub use baseline::{extract_snapshot, regressions, Tolerance};
+pub use chrome::chrome_trace;
 pub use completion::Completion;
+pub use crash::CrashReport;
+pub use flight::FlightRecorder;
 pub use json::{parse as parse_json, Json, JsonError};
 pub use metrics::{keys, Histogram, MetricsRegistry, MetricsSnapshot, SCHEMA};
 pub use profile::{profile, render as render_profile, ProfileNode, SpanProfile};
 pub use trace::{
-    check_invariants, EventKind, JsonlSink, MemorySink, NullSink, ProbeKind, SpanKind, SrcSpan,
-    TraceRecord, TraceSink, Tracer,
+    check_invariants, EventKind, JsonlSink, MemorySink, NullSink, ProbeKind, SpanContext, SpanKind,
+    SrcSpan, TraceError, TraceHandle, TraceRecord, TraceSink, Tracer,
 };

@@ -91,6 +91,21 @@ impl Histogram {
         }
         self.max
     }
+
+    /// Median upper bound (see [`Histogram::quantile_upper_bound`]).
+    pub fn p50(&self) -> u64 {
+        self.quantile_upper_bound(500)
+    }
+
+    /// 90th-percentile upper bound.
+    pub fn p90(&self) -> u64 {
+        self.quantile_upper_bound(900)
+    }
+
+    /// 99th-percentile upper bound.
+    pub fn p99(&self) -> u64 {
+        self.quantile_upper_bound(990)
+    }
 }
 
 /// Live registry: counters and histograms keyed by stable names.
@@ -395,6 +410,24 @@ mod tests {
         assert_eq!(h.buckets[9], 1);
         assert!(h.quantile_upper_bound(500) <= 7);
         assert!(h.quantile_upper_bound(1000) >= 1000 - 1);
+    }
+
+    #[test]
+    fn percentile_accessors_bound_the_observed_ranks() {
+        let mut h = Histogram::default();
+        assert_eq!((h.p50(), h.p90(), h.p99()), (0, 0, 0), "empty histogram");
+        // 100 observations: 1..=99 land in low buckets, one outlier in
+        // bucket ilog2(1<<20) = 20.
+        for v in 1..=99u64 {
+            h.observe(v);
+        }
+        h.observe(1 << 20);
+        assert_eq!(h.p50(), h.quantile_upper_bound(500));
+        assert!(h.p50() <= 63, "median of 1..=99 sits at or below bucket [32,64)");
+        assert!(h.p90() <= 127, "p90 is still inside the 1..=99 mass");
+        assert!(h.p99() <= 127, "rank 99 of 100 is the value 99");
+        assert!(h.quantile_upper_bound(1000) >= (1 << 20) - 1, "the outlier is the max");
+        assert!(h.p50() <= h.p90() && h.p90() <= h.p99(), "percentiles are monotone");
     }
 
     #[test]

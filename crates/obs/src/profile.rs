@@ -220,6 +220,7 @@ mod tests {
                 faulted: false,
                 latency_ns,
             },
+            thread: 0,
             at_ns: 0,
         }
     }

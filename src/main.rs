@@ -4,6 +4,7 @@
 //! seminal check <file.ml>          search an ill-typed Caml-subset file
 //! seminal analyze <file.ml>        blamed-span localization report (no search)
 //! seminal metrics-check <file.json> validate a metrics snapshot against the schema
+//! seminal crash show <file.json>   render a flight-recorder crash report
 //! seminal cpp <file.cpp>           run the C++ template-function prototype
 //! seminal fuzz                     run the property-fuzzing harness
 //! seminal demo                     run the paper's worked examples
@@ -25,8 +26,18 @@
 //! Observability flags on `check`: `--trace` (structured span/probe tree),
 //! `--trace-json PATH` (stream JSONL trace records), `--metrics-json PATH`
 //! (write the `seminal-obs/metrics-v1` snapshot), `--profile` (per-span
-//! oracle-cost flame report). `metrics-check` validates a snapshot file
-//! against the schema with unknown fields rejected.
+//! oracle-cost flame report), `--trace-chrome PATH` (write a Chrome
+//! `trace_event` document — one track per worker — loadable in
+//! `chrome://tracing` or Perfetto), `--crash-dir DIR` (persist the
+//! flight-recorder crash report when the run degrades or probes fault).
+//! `check` also accepts `--chaos-panic`/`--chaos-flip`/`--chaos-seed` to
+//! inject deterministic faults into the oracle, for exercising the
+//! post-mortem pipeline end to end. `metrics-check` validates a snapshot
+//! file against the schema with unknown fields rejected; with
+//! `--baseline FILE` it additionally gates the snapshot against a
+//! committed baseline (`--tolerance PCT` for counters, `--time-tolerance
+//! PCT` for `*_ns` values and latency percentiles), exiting 1 on any
+//! regression. `crash show` renders a `seminal-obs/crash-v1` report.
 //!
 //! `fuzz` runs the deterministic property-fuzzing harness from
 //! `seminal-testkit`: `--seed S --cases N` generate the campaign,
@@ -43,9 +54,10 @@
 
 use seminal::core::{message, Outcome, SearchConfig, SearchSession};
 use seminal::ml::parser::parse_program;
-use seminal::typeck::TypeCheckOracle;
+use seminal::typeck::{ChaosConfig, ChaosOracle, Oracle, TypeCheckOracle};
 use seminal_obs::{
-    profile, render_profile, EventKind, JsonlSink, MetricsSnapshot, SpanKind, TraceRecord,
+    chrome_trace, extract_snapshot, parse_json, profile, regressions, render_profile, CrashReport,
+    EventKind, JsonlSink, MetricsSnapshot, SpanKind, Tolerance, TraceRecord,
 };
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -84,6 +96,16 @@ struct Opts {
     metrics_json: Option<String>,
     /// Stream trace records as JSON lines.
     trace_json: Option<String>,
+    /// Write the captured trace as a Chrome `trace_event` document.
+    trace_chrome: Option<String>,
+    /// Directory to persist flight-recorder crash reports into.
+    crash_dir: Option<String>,
+    /// Baseline snapshot for the `metrics-check` perf-trend gate.
+    baseline: Option<String>,
+    /// Counter tolerance (percent) for the perf-trend gate.
+    tolerance: Option<u64>,
+    /// Time tolerance (percent) for `*_ns` values in the perf-trend gate.
+    time_tolerance: Option<u64>,
     /// Worker threads for the parallel probe engine (`None` = config
     /// default, which honors `SEMINAL_THREADS`).
     threads: Option<usize>,
@@ -120,6 +142,11 @@ fn main() -> ExitCode {
         profile: false,
         metrics_json: None,
         trace_json: None,
+        trace_chrome: None,
+        crash_dir: None,
+        baseline: None,
+        tolerance: None,
+        time_tolerance: None,
         threads: None,
         deadline_ms: None,
         seed: 42,
@@ -161,6 +188,41 @@ fn main() -> ExitCode {
             "--trace-json" => match args.get(i + 1) {
                 Some(path) => {
                     opts.trace_json = Some(path.clone());
+                    i += 2;
+                }
+                None => return usage(),
+            },
+            "--trace-chrome" => match args.get(i + 1) {
+                Some(path) => {
+                    opts.trace_chrome = Some(path.clone());
+                    i += 2;
+                }
+                None => return usage(),
+            },
+            "--crash-dir" => match args.get(i + 1) {
+                Some(dir) => {
+                    opts.crash_dir = Some(dir.clone());
+                    i += 2;
+                }
+                None => return usage(),
+            },
+            "--baseline" => match args.get(i + 1) {
+                Some(path) => {
+                    opts.baseline = Some(path.clone());
+                    i += 2;
+                }
+                None => return usage(),
+            },
+            "--tolerance" => match args.get(i + 1).and_then(|s| s.parse::<u64>().ok()) {
+                Some(pct) => {
+                    opts.tolerance = Some(pct);
+                    i += 2;
+                }
+                None => return usage(),
+            },
+            "--time-tolerance" => match args.get(i + 1).and_then(|s| s.parse::<u64>().ok()) {
+                Some(pct) => {
+                    opts.time_tolerance = Some(pct);
                     i += 2;
                 }
                 None => return usage(),
@@ -265,8 +327,12 @@ fn main() -> ExitCode {
             None => usage(),
         },
         Some("metrics-check") => match positional.get(1) {
-            Some(path) => metrics_check(path),
+            Some(path) => metrics_check(path, &opts),
             None => usage(),
+        },
+        Some("crash") => match (positional.get(1).copied(), positional.get(2)) {
+            (Some("show"), Some(path)) => crash_show(path),
+            _ => usage(),
         },
         Some("cpp") => match positional.get(1) {
             Some(path) => check_cpp(path, &opts),
@@ -283,11 +349,16 @@ fn usage() -> ExitCode {
         "usage:\n  \
          seminal check [--top N] [--no-triage] [--threads N] [--deadline-ms N]\n               \
          [--backend blame|mcs] [--trace] [--profile] [--metrics-json PATH]\n               \
-         [--trace-json PATH] <file.ml>\n  \
+         [--trace-json PATH] [--trace-chrome PATH] [--crash-dir DIR]\n               \
+         [--chaos-panic PM] [--chaos-flip PM] [--chaos-seed S] <file.ml>\n  \
          seminal analyze [--top N] [--backend blame|mcs] <file.ml>\n                            \
          localization report: blamed spans (blame, default) or\n                            \
          ranked alternative correction subsets (mcs)\n  \
-         seminal metrics-check <file.json>      validate a metrics snapshot\n  \
+         seminal metrics-check <file.json> [--baseline FILE] [--tolerance PCT]\n               \
+         [--time-tolerance PCT]\n                            \
+         validate a metrics snapshot; with --baseline, also gate\n                            \
+         counters and latency percentiles against a committed run\n  \
+         seminal crash show <file.json>         render a crash report\n  \
          seminal cpp [--threads N] [--deadline-ms N] <file.cpp>    C++ prototype\n  \
          seminal fuzz [--seed S] [--cases N] [--threads N] [--shrink] [--out PATH]\n               \
          [--chaos-flip PM] [--chaos-panic PM] [--chaos-seed S] [--cpp]\n                            \
@@ -326,11 +397,30 @@ fn check_file(path: &str, opts: &Opts) -> ExitCode {
             return ExitCode::from(EXIT_PARSE);
         }
     };
+    // The chaos layer changes the oracle's type, so the session is
+    // assembled in a generic helper.
+    if opts.chaos_panic > 0 || opts.chaos_flip > 0 {
+        let mut chaos = ChaosConfig::flips(opts.chaos_seed, opts.chaos_flip);
+        chaos.panic_per_mille = opts.chaos_panic;
+        run_check(path, &source, &prog, opts, ChaosOracle::new(TypeCheckOracle::new(), chaos))
+    } else {
+        run_check(path, &source, &prog, opts, TypeCheckOracle::new())
+    }
+}
+
+fn run_check<O: Oracle>(
+    path: &str,
+    source: &str,
+    prog: &seminal::ml::ast::Program,
+    opts: &Opts,
+    oracle: O,
+) -> ExitCode {
     let mut config =
         if opts.no_triage { SearchConfig::without_triage() } else { SearchConfig::default() };
-    config.collect_trace = opts.trace || opts.profile || opts.metrics_json.is_some();
+    config.collect_trace =
+        opts.trace || opts.profile || opts.metrics_json.is_some() || opts.trace_chrome.is_some();
     config.guidance_backend = opts.backend;
-    let mut builder = SearchSession::builder(TypeCheckOracle::new()).config(config);
+    let mut builder = SearchSession::builder(oracle).config(config);
     if let Some(n) = opts.threads {
         builder = builder.threads(n);
     }
@@ -355,12 +445,30 @@ fn check_file(path: &str, opts: &Opts) -> ExitCode {
             return ExitCode::from(EXIT_USAGE);
         }
     };
-    let report = session.search(&prog);
+    let report = session.search(prog);
     if let Some(out) = &opts.metrics_json {
         if let Err(e) = std::fs::write(out, report.metrics.to_json_string()) {
             eprintln!("cannot write {out}: {e}");
             return ExitCode::from(EXIT_IO);
         }
+    }
+    if let Some(out) = &opts.trace_chrome {
+        if let Err(e) = std::fs::write(out, chrome_trace(&report.records).to_string_pretty()) {
+            eprintln!("cannot write {out}: {e}");
+            return ExitCode::from(EXIT_IO);
+        }
+    }
+    if let (Some(dir), Some(crash)) = (&opts.crash_dir, &report.crash) {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {dir}: {e}");
+            return ExitCode::from(EXIT_IO);
+        }
+        let file = std::path::Path::new(dir).join(crash.file_name());
+        if let Err(e) = std::fs::write(&file, crash.to_json_string()) {
+            eprintln!("cannot write {}: {e}", file.display());
+            return ExitCode::from(EXIT_IO);
+        }
+        eprintln!("crash report written to {}", file.display());
     }
     match &report.outcome {
         Outcome::WellTyped => {
@@ -369,9 +477,9 @@ fn check_file(path: &str, opts: &Opts) -> ExitCode {
         }
         _ => {
             if let Some(err) = &report.baseline {
-                println!("Type-checker:\n{}\n", err.render(&source));
+                println!("Type-checker:\n{}\n", err.render(source));
             }
-            println!("Our approach:\n{}", message::render_report(&report, &source, opts.top));
+            println!("Our approach:\n{}", message::render_report(&report, source, opts.top));
             println!(
                 "({} oracle calls, {:?}{})",
                 report.stats.oracle_calls,
@@ -379,11 +487,11 @@ fn check_file(path: &str, opts: &Opts) -> ExitCode {
                 if report.stats.triage_used { ", triage used" } else { "" }
             );
             if opts.trace {
-                print!("{}", render_trace_tree(&report.records, &source));
+                print!("{}", render_trace_tree(&report.records, source));
             }
             if opts.profile {
                 println!();
-                print!("{}", render_profile(&profile(&report.records), Some(&source)));
+                print!("{}", render_profile(&profile(&report.records), Some(source)));
             }
             if report.completion.is_complete() {
                 ExitCode::from(EXIT_TYPE_ERRORS)
@@ -418,6 +526,7 @@ fn render_trace_tree(records: &[TraceRecord], source: &str) -> String {
                         format!("descend (line {})", line_of(span.start))
                     }
                     SpanKind::Triage { round } => format!("triage round {round}"),
+                    SpanKind::Worker { index } => format!("worker {index}"),
                 };
                 let _ = writeln!(out, "  {:indent$}{label}", "", indent = depth * 2);
                 depth += 1;
@@ -446,6 +555,21 @@ fn render_trace_tree(records: &[TraceRecord], source: &str) -> String {
                         out,
                         "  {:indent$}[loc] prefix  `{detail}`",
                         "",
+                        indent = depth * 2,
+                    );
+                }
+                EventKind::SpeculativeProbe { outcome, faulted, latency_ns } => {
+                    let _ = writeln!(
+                        out,
+                        "  {:indent$}[{}] speculative{}{}",
+                        "",
+                        if *outcome { "ok " } else { "err" },
+                        if *faulted { "  (faulted)" } else { "" },
+                        if *latency_ns > 0 {
+                            format!("  {}µs", latency_ns / 1_000)
+                        } else {
+                            String::new()
+                        },
                         indent = depth * 2,
                     );
                 }
@@ -513,8 +637,12 @@ fn analyze_file(path: &str, opts: &Opts) -> ExitCode {
 
 /// Validates a metrics snapshot file against the documented schema
 /// (`seminal-obs/metrics-v1`, unknown fields rejected) by round-tripping
-/// it through the strict reader.
-fn metrics_check(path: &str) -> ExitCode {
+/// it through the strict reader. With `--baseline FILE`, additionally
+/// runs the perf-trend gate: counters within `--tolerance` percent of
+/// the baseline, `*_ns` values and latency-histogram percentiles within
+/// `--time-tolerance` percent. Either file may be a bare snapshot or a
+/// `figures eval-metrics` BENCH artifact.
+fn metrics_check(path: &str, opts: &Opts) -> ExitCode {
     let text = match std::fs::read_to_string(path) {
         Ok(s) => s,
         Err(e) => {
@@ -522,22 +650,130 @@ fn metrics_check(path: &str) -> ExitCode {
             return ExitCode::from(EXIT_IO);
         }
     };
-    match MetricsSnapshot::from_json_str(&text) {
-        Ok(snap) => {
-            println!(
-                "{path}: valid {} snapshot ({} counters, {} histograms, {} oracle calls)",
-                seminal_obs::SCHEMA,
-                snap.counters.len(),
-                snap.histograms.len(),
-                snap.counter("oracle_calls"),
-            );
-            ExitCode::SUCCESS
+    let snap = match load_snapshot(path, &text) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    println!(
+        "{path}: valid {} snapshot ({} counters, {} histograms, {} oracle calls)",
+        seminal_obs::SCHEMA,
+        snap.counters.len(),
+        snap.histograms.len(),
+        snap.counter("oracle_calls"),
+    );
+    let Some(base_path) = &opts.baseline else { return ExitCode::SUCCESS };
+    let base_text = match std::fs::read_to_string(base_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {base_path}: {e}");
+            return ExitCode::from(EXIT_IO);
         }
+    };
+    let base = match load_snapshot(base_path, &base_text) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let tol = Tolerance {
+        counters_pct: opts.tolerance.unwrap_or(Tolerance::default().counters_pct),
+        times_pct: opts.time_tolerance.unwrap_or(Tolerance::default().times_pct),
+    };
+    let findings = regressions(&snap, &base, tol);
+    if findings.is_empty() {
+        println!(
+            "{path}: no regressions against {base_path} \
+             (counters +{}%, times +{}%)",
+            tol.counters_pct, tol.times_pct
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("{path}: {} regression(s) against {base_path}:", findings.len());
+        for f in &findings {
+            eprintln!("  {f}");
+        }
+        ExitCode::from(EXIT_TYPE_ERRORS)
+    }
+}
+
+/// Reads a snapshot out of `text`, which may be a bare
+/// `seminal-obs/metrics-v1` document (validated strictly) or a BENCH
+/// artifact embedding one under `"metrics"`.
+fn load_snapshot(path: &str, text: &str) -> Result<MetricsSnapshot, ExitCode> {
+    let doc = match parse_json(text) {
+        Ok(d) => d,
         Err(e) => {
             eprintln!("{path}: invalid metrics snapshot: {e}");
-            ExitCode::from(EXIT_TYPE_ERRORS)
+            return Err(ExitCode::from(EXIT_TYPE_ERRORS));
         }
+    };
+    extract_snapshot(&doc).map_err(|e| {
+        eprintln!("{path}: invalid metrics snapshot: {e}");
+        ExitCode::from(EXIT_TYPE_ERRORS)
+    })
+}
+
+/// Renders a `seminal-obs/crash-v1` flight-recorder report: the headline
+/// (why the run degraded), the key metrics, and the recorded trace tail.
+/// The tail is ring-truncated evidence, not a complete trace, so it is
+/// shown as-is rather than validated against the stream invariants.
+fn crash_show(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::from(EXIT_IO);
+        }
+    };
+    let report = match CrashReport::from_json_str(&text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{path}: invalid crash report: {e}");
+            return ExitCode::from(EXIT_TYPE_ERRORS);
+        }
+    };
+    println!("crash report ({}):", seminal_obs::crash::SCHEMA);
+    println!("  reason:        {}", report.reason);
+    println!("  completion:    {}", report.completion);
+    println!("  probe faults:  {}", report.probe_faults);
+    println!("  threads:       {}", report.threads);
+    println!(
+        "  oracle calls:  {} ({} memo hits)",
+        report.metrics.counter("oracle_calls"),
+        report.metrics.counter("memo_hits"),
+    );
+    println!(
+        "  trace tail:    {} record(s), {} dropped by the ring",
+        report.records.len(),
+        report.records_dropped
+    );
+    for rec in &report.records {
+        let line = match rec {
+            TraceRecord::Open { id, kind, thread, at_ns, .. } => {
+                format!("open  span {id} {} (thread {thread}, +{}µs)", kind.tag(), at_ns / 1_000)
+            }
+            TraceRecord::Close { id, thread, at_ns } => {
+                format!("close span {id} (thread {thread}, +{}µs)", at_ns / 1_000)
+            }
+            TraceRecord::Event { kind, thread, at_ns, .. } => {
+                let what = match kind {
+                    EventKind::OracleProbe { outcome, faulted, cached, .. } => format!(
+                        "oracle probe [{}]{}{}",
+                        if *outcome { "ok" } else { "err" },
+                        if *faulted { " faulted" } else { "" },
+                        if *cached { " cached" } else { "" },
+                    ),
+                    EventKind::SpeculativeProbe { outcome, faulted, .. } => format!(
+                        "speculative probe [{}]{}",
+                        if *outcome { "ok" } else { "err" },
+                        if *faulted { " faulted" } else { "" },
+                    ),
+                    EventKind::PrefixLocalized { detail, .. } => format!("localized: {detail}"),
+                };
+                format!("event {what} (thread {thread}, +{}µs)", at_ns / 1_000)
+            }
+        };
+        println!("    {line}");
     }
+    ExitCode::SUCCESS
 }
 
 fn check_cpp(path: &str, opts: &Opts) -> ExitCode {

@@ -319,3 +319,164 @@ fn fuzz_cpp_loop_runs_clean() {
     assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
     assert!(String::from_utf8_lossy(&out.stdout).contains("cppfuzz.failures       0"));
 }
+
+#[test]
+fn trace_chrome_exports_distinct_worker_tracks() {
+    let root = env!("CARGO_MANIFEST_DIR");
+    let dir = std::env::temp_dir().join("seminal-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("chrome-trace.json");
+    seminal()
+        .args(["check", "--threads", "4", "--trace-chrome"])
+        .arg(&path)
+        .arg(format!("{root}/samples/deadline_stress.ml"))
+        .output()
+        .expect("run check");
+    let text = std::fs::read_to_string(&path).expect("chrome trace written");
+    let doc = seminal_obs::parse_json(&text).expect("chrome trace is valid JSON");
+    let seminal_obs::Json::Arr(events) = doc.get("traceEvents").expect("traceEvents array") else {
+        panic!("traceEvents is not an array");
+    };
+    assert!(events.len() > 50, "expected a real trace, got {} events", events.len());
+    // Track names: the search thread plus named worker tracks.
+    let names: Vec<&str> = events
+        .iter()
+        .filter(|e| e.get("name").and_then(|n| n.as_str()) == Some("thread_name"))
+        .filter_map(|e| e.get("args")?.get("name")?.as_str())
+        .collect();
+    assert!(names.contains(&"search"), "{names:?}");
+    let workers: std::collections::HashSet<u64> = events
+        .iter()
+        .filter(|e| matches!(e.get("ph").and_then(|p| p.as_str()), Some("B" | "E" | "X" | "i")))
+        .filter_map(|e| e.get("tid")?.as_num())
+        .filter(|&tid| tid != 0)
+        .collect();
+    assert!(
+        workers.len() >= 2,
+        "expected >= 2 distinct worker tracks at 4 threads, saw {workers:?} ({names:?})"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn chaos_check_writes_a_crash_report_and_crash_show_renders_it() {
+    let root = env!("CARGO_MANIFEST_DIR");
+    let dir = std::env::temp_dir().join("seminal-cli-test").join("crash-reports");
+    std::fs::remove_dir_all(&dir).ok();
+    let out = seminal()
+        .args(["check", "--threads", "4", "--chaos-panic", "100", "--chaos-seed", "1729"])
+        .arg("--crash-dir")
+        .arg(&dir)
+        .arg(format!("{root}/samples/figure2.ml"))
+        .output()
+        .expect("run chaos check");
+    assert_eq!(
+        out.status.code(),
+        Some(5),
+        "isolated faults degrade the run; stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("crash report written to"), "{stderr}");
+    let report_path = std::fs::read_dir(&dir)
+        .expect("crash dir created")
+        .filter_map(Result::ok)
+        .find(|e| e.file_name().to_string_lossy().starts_with("seminal-crash-"))
+        .expect("a content-addressed crash file")
+        .path();
+    let text = std::fs::read_to_string(&report_path).unwrap();
+    let report =
+        seminal_obs::CrashReport::from_json_str(&text).expect("crash report is schema-valid");
+    assert!(report.probe_faults > 0, "the chaos faults are recorded");
+    assert!(!report.records.is_empty(), "the flight-recorder tail is present");
+    assert!(
+        report.records.iter().any(|r| matches!(
+            r,
+            seminal_obs::TraceRecord::Event {
+                kind: seminal_obs::EventKind::OracleProbe { faulted: true, .. },
+                ..
+            } | seminal_obs::TraceRecord::Event {
+                kind: seminal_obs::EventKind::SpeculativeProbe { faulted: true, .. },
+                ..
+            }
+        )),
+        "the faulted probe's record is in the tail"
+    );
+    assert!(report.metrics.counter("oracle_calls") > 0, "the metrics snapshot rode along");
+
+    let show = seminal().args(["crash", "show"]).arg(&report_path).output().unwrap();
+    assert_eq!(show.status.code(), Some(0), "{}", String::from_utf8_lossy(&show.stderr));
+    let stdout = String::from_utf8_lossy(&show.stdout);
+    assert!(stdout.contains("crash report (seminal-obs/crash-v1)"), "{stdout}");
+    assert!(stdout.contains("probe faults:"), "{stdout}");
+    assert!(stdout.contains("faulted"), "the faulted probe is visible:\n{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn clean_runs_write_no_crash_report() {
+    let root = env!("CARGO_MANIFEST_DIR");
+    let dir = std::env::temp_dir().join("seminal-cli-test").join("no-crash");
+    std::fs::remove_dir_all(&dir).ok();
+    let out = seminal()
+        .arg("check")
+        .arg("--crash-dir")
+        .arg(&dir)
+        .arg(format!("{root}/samples/figure2.ml"))
+        .output()
+        .expect("run check");
+    assert_eq!(out.status.code(), Some(1), "complete run, type errors found");
+    assert!(
+        !dir.exists() || std::fs::read_dir(&dir).unwrap().next().is_none(),
+        "a complete, fault-free run must not leave a crash report"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn metrics_check_baseline_gate_passes_and_catches_regressions() {
+    let root = env!("CARGO_MANIFEST_DIR");
+    let dir = std::env::temp_dir().join("seminal-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let snap_path = dir.join("gate-candidate.json");
+    seminal()
+        .args(["check", "--metrics-json"])
+        .arg(&snap_path)
+        .arg(format!("{root}/samples/figure2.ml"))
+        .output()
+        .expect("run check");
+    // A snapshot gated against itself passes.
+    let ok = seminal()
+        .arg("metrics-check")
+        .arg(&snap_path)
+        .arg("--baseline")
+        .arg(&snap_path)
+        .args(["--tolerance", "10", "--time-tolerance", "10000"])
+        .output()
+        .unwrap();
+    assert_eq!(ok.status.code(), Some(0), "{}", String::from_utf8_lossy(&ok.stderr));
+    assert!(String::from_utf8_lossy(&ok.stdout).contains("no regressions"));
+
+    // Synthetically inflate the candidate's work counters: the gate
+    // must fail and name the regressed counter.
+    let text = std::fs::read_to_string(&snap_path).unwrap();
+    let mut snap = seminal_obs::MetricsSnapshot::from_json_str(&text).unwrap();
+    let calls = snap.counter("oracle_calls");
+    snap.counters.insert("oracle_calls".to_owned(), calls * 10 + 100);
+    let inflated_path = dir.join("gate-inflated.json");
+    std::fs::write(&inflated_path, snap.to_json_string()).unwrap();
+    let bad = seminal()
+        .arg("metrics-check")
+        .arg(&inflated_path)
+        .arg("--baseline")
+        .arg(&snap_path)
+        .args(["--tolerance", "10", "--time-tolerance", "10000"])
+        .output()
+        .unwrap();
+    assert_eq!(bad.status.code(), Some(1), "inflated counters must fail the gate");
+    let stderr = String::from_utf8_lossy(&bad.stderr);
+    assert!(stderr.contains("regression"), "{stderr}");
+    assert!(stderr.contains("oracle_calls"), "{stderr}");
+    std::fs::remove_file(&snap_path).ok();
+    std::fs::remove_file(&inflated_path).ok();
+}
