@@ -46,6 +46,7 @@ pub mod change;
 pub mod config;
 pub mod engine;
 pub mod enumerate;
+pub mod memo;
 pub mod message;
 pub mod rank;
 pub mod search;
@@ -54,6 +55,7 @@ pub mod session;
 pub use budget::{Budget, SearchHandle, StopReason};
 pub use change::{Candidate, ChangeKind, Focus, Probe, Suggestion};
 pub use config::{ConfigError, SearchConfig, SearchConfigBuilder};
+pub use memo::{CrossRequestMemo, SharedMemoOracle, DEFAULT_CROSS_MEMO_CAPACITY};
 #[allow(deprecated)]
 pub use search::Searcher;
 pub use search::{CustomChange, Outcome, SearchReport, SearchStats};

@@ -288,7 +288,10 @@ impl<O: std::fmt::Debug> std::fmt::Debug for SearchCore<O> {
     since = "0.3.0",
     note = "use `SearchSession::builder(oracle)` — `.threads(n)`, \
             `.memoize(true)`, `.sink(s)`, `.custom_change(c)` replace \
-            `with_config`/`add_sink`/`add_change` mutation chains"
+            `with_config`/`add_sink`/`add_change` mutation chains; \
+            request-shaped callers (CLI front ends, servers) should go \
+            through `seminal_serve::dispatch`, the single place that \
+            maps API requests onto `SearchConfig`/`Budget`"
 )]
 pub struct Searcher<O> {
     core: SearchCore<O>,

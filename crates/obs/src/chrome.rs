@@ -120,6 +120,7 @@ fn span_name(kind: &SpanKind) -> String {
         SpanKind::Descend { span } => format!("descend [{},{})", span.start, span.end),
         SpanKind::Triage { round } => format!("triage round {round}"),
         SpanKind::Worker { index } => format!("worker {index} batch"),
+        SpanKind::Request { id } => format!("request {id}"),
         other => other.tag().to_owned(),
     }
 }

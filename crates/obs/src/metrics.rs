@@ -32,6 +32,25 @@ pub mod keys {
     pub const MCS_SUBSETS_ENUMERATED: &str = "mcs.subsets_enumerated";
     /// Histogram: pure MCS solve time (the replay loop), nanoseconds.
     pub const MCS_SOLVE_NS: &str = "mcs.solve_ns";
+    /// Counter: probes answered from the process-lifetime cross-request
+    /// memo (serve daemon, PR 8) without calling the real oracle.
+    pub const CROSS_REQUEST_HITS: &str = "memo.cross_request_hits";
+    /// Counter: probes that missed the cross-request memo and fell
+    /// through to the real oracle.
+    pub const CROSS_REQUEST_MISSES: &str = "memo.cross_request_misses";
+    /// Counter: verdicts evicted from the cross-request memo (FIFO,
+    /// per shard) to stay under its capacity.
+    pub const CROSS_REQUEST_EVICTIONS: &str = "memo.cross_request_evictions";
+    /// Gauge (reported as a counter): verdicts resident in the
+    /// cross-request memo when the snapshot was taken.
+    pub const CROSS_REQUEST_ENTRIES: &str = "memo.cross_request_entries";
+    /// Counter: calls that reached the real (inner) oracle this request
+    /// — the number the e2e warm-cache test pins to zero.
+    pub const ORACLE_REAL_CALLS: &str = "oracle.real_calls";
+    /// Counter: API requests dispatched by this server process.
+    pub const SERVER_REQUESTS: &str = "server.requests";
+    /// Histogram: wall-clock time to dispatch one API request, ns.
+    pub const SERVER_REQUEST_NS: &str = "server.request_ns";
 }
 
 /// A latency/size histogram with power-of-two buckets.

@@ -95,6 +95,14 @@ pub enum SpanKind {
         /// 0-based worker index within the engine.
         index: u32,
     },
+    /// The whole lifetime of a `seminal serve` process (or one served
+    /// connection) — the root every [`SpanKind::Request`] opens under.
+    Server,
+    /// One API request dispatched by the serve daemon.
+    Request {
+        /// The client-supplied request id (`seminal-api/v1` `id` field).
+        id: u64,
+    },
 }
 
 impl SpanKind {
@@ -107,6 +115,8 @@ impl SpanKind {
             SpanKind::Descend { .. } => "descend",
             SpanKind::Triage { .. } => "triage",
             SpanKind::Worker { .. } => "worker",
+            SpanKind::Server => "server",
+            SpanKind::Request { .. } => "request",
         }
     }
 }
@@ -339,6 +349,9 @@ impl TraceRecord {
                     SpanKind::Worker { index } => {
                         members.push(("index".to_owned(), Json::Num(u64::from(*index))));
                     }
+                    SpanKind::Request { id } => {
+                        members.push(("request_id".to_owned(), Json::Num(*id)));
+                    }
                     _ => {}
                 }
                 members.push(("thread".to_owned(), Json::Num(u64::from(*thread))));
@@ -444,6 +457,13 @@ impl TraceRecord {
                     },
                     "worker" => SpanKind::Worker {
                         index: num_u32(json, "index").ok_or("worker span missing \"index\"")?,
+                    },
+                    "server" => SpanKind::Server,
+                    "request" => SpanKind::Request {
+                        id: json
+                            .get("request_id")
+                            .and_then(Json::as_num)
+                            .ok_or("request span missing \"request_id\"")?,
                     },
                     other => return Err(format!("unknown span kind {other:?}")),
                 };

@@ -1,0 +1,315 @@
+//! The single entry point mapping API requests onto searches.
+//!
+//! [`dispatch`] is the **only** place in the workspace that turns a
+//! [`Request`]'s fields into a `SearchConfig`/`Budget` — both the
+//! serve daemon's connection loop and the one-shot CLI subcommands
+//! call it, so exit codes, degraded statuses, crash attachment, and
+//! admission control cannot drift between the two front ends.
+//! Configuration problems surface as the builder's own typed
+//! `ConfigError`, wrapped in [`ApiError`], wrapped in an
+//! [`ErrorResponse`] — never as an ad-hoc string.
+//!
+//! [`ServerState`] is what makes the daemon warm: the process-lifetime
+//! [`CrossRequestMemo`] every request's oracle is wrapped over, plus
+//! the running metrics aggregate a `metrics` request snapshots.
+
+use crate::api::{
+    AnalyzeRequest, AnalyzeResponse, ApiError, CheckRequest, CheckResponse, ErrorResponse,
+    MetricsResponse, PayloadEntry, Request, Response, ShutdownResponse, StatsSummary, Status,
+};
+use seminal_analysis::BackendKind;
+use seminal_core::{
+    message, CrossRequestMemo, Outcome, SearchConfig, SearchReport, SearchSession,
+    SharedMemoOracle, DEFAULT_CROSS_MEMO_CAPACITY,
+};
+use seminal_ml::parser::parse_program;
+use seminal_obs::{keys, MetricsSnapshot, TraceSink};
+use seminal_typeck::{ChaosConfig, ChaosOracle, Oracle, TypeCheckOracle};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Process-lifetime server state shared by every request.
+pub struct ServerState {
+    memo: Arc<CrossRequestMemo>,
+    /// Running aggregate of every request's metrics (counters add,
+    /// histograms combine — the eval runner's merge semantics).
+    totals: Mutex<MetricsSnapshot>,
+    requests: AtomicU64,
+}
+
+impl ServerState {
+    /// State with the default cross-request memo capacity.
+    #[must_use]
+    pub fn new() -> ServerState {
+        ServerState::with_memo_capacity(DEFAULT_CROSS_MEMO_CAPACITY)
+    }
+
+    /// State with an explicit memo capacity (`--memo-capacity`).
+    #[must_use]
+    pub fn with_memo_capacity(capacity: usize) -> ServerState {
+        ServerState {
+            memo: Arc::new(CrossRequestMemo::new(capacity)),
+            totals: Mutex::new(MetricsSnapshot::default()),
+            requests: AtomicU64::new(0),
+        }
+    }
+
+    /// The shared cross-request memo.
+    #[must_use]
+    pub fn memo(&self) -> &Arc<CrossRequestMemo> {
+        &self.memo
+    }
+
+    /// Requests dispatched so far.
+    #[must_use]
+    pub fn requests_served(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// The process-wide `seminal-obs/metrics-v1` snapshot: the merged
+    /// per-request metrics, with the cross-request memo counters and
+    /// server counters re-stamped from their live process totals (they
+    /// are gauges/process counters, not summable per-request deltas).
+    #[must_use]
+    pub fn process_snapshot(&self) -> MetricsSnapshot {
+        let mut snap = self.totals.lock().expect("server totals poisoned").clone();
+        snap.counters.insert(keys::CROSS_REQUEST_HITS.to_owned(), self.memo.hits());
+        snap.counters.insert(keys::CROSS_REQUEST_MISSES.to_owned(), self.memo.misses());
+        snap.counters.insert(keys::CROSS_REQUEST_EVICTIONS.to_owned(), self.memo.evictions());
+        snap.counters.insert(keys::CROSS_REQUEST_ENTRIES.to_owned(), self.memo.entries() as u64);
+        snap.counters.insert(keys::SERVER_REQUESTS.to_owned(), self.requests_served());
+        snap
+    }
+
+    /// Folds one request's metrics and wall-clock cost into the totals.
+    fn absorb(&self, per_request: Option<&MetricsSnapshot>, request_ns: u64) {
+        let mut totals = self.totals.lock().expect("server totals poisoned");
+        if let Some(snap) = per_request {
+            totals.merge(snap);
+        }
+        totals
+            .histograms
+            .entry(keys::SERVER_REQUEST_NS.to_owned())
+            .or_default()
+            .observe(request_ns);
+    }
+}
+
+impl Default for ServerState {
+    fn default() -> ServerState {
+        ServerState::new()
+    }
+}
+
+/// Front-end attachments that are not part of the wire request: trace
+/// sinks (`--trace-json`) and whether to capture the record stream in
+/// the report (`--trace`/`--profile`/`--trace-chrome`).
+#[derive(Default)]
+pub struct DispatchHooks {
+    /// Sinks every trace record is streamed to.
+    pub sinks: Vec<Arc<dyn TraceSink>>,
+    /// Capture records in the returned report (costs memory; the wire
+    /// response never carries raw records).
+    pub collect_trace: bool,
+}
+
+/// A dispatched request: the wire response, plus the in-process
+/// [`SearchReport`] for front ends that render more than the wire form
+/// carries (`--trace`, `--profile`, `--trace-chrome`).
+pub struct Dispatched {
+    /// What goes on the wire.
+    pub response: Response,
+    /// The full report, for `check` requests that ran a search.
+    pub report: Option<SearchReport>,
+}
+
+/// Serves one request against the shared state. Never panics on bad
+/// input: malformed configuration comes back as an
+/// [`ErrorResponse`] with [`Status::InvalidRequest`].
+pub fn dispatch(state: &ServerState, request: &Request) -> Dispatched {
+    dispatch_with(state, request, DispatchHooks::default())
+}
+
+/// [`dispatch`] with front-end hooks attached.
+pub fn dispatch_with(state: &ServerState, request: &Request, hooks: DispatchHooks) -> Dispatched {
+    state.requests.fetch_add(1, Ordering::Relaxed);
+    let started = Instant::now();
+    let dispatched = match request {
+        Request::Check(c) => run_check(state, c, &hooks),
+        Request::Analyze(a) => run_analyze(a),
+        Request::Metrics(m) => Dispatched {
+            response: Response::Metrics(MetricsResponse {
+                id: m.id,
+                status: Status::Ok,
+                metrics: state.process_snapshot(),
+            }),
+            report: None,
+        },
+        Request::Shutdown(s) => Dispatched {
+            response: Response::Shutdown(ShutdownResponse {
+                id: s.id,
+                status: Status::Ok,
+                requests_served: state.requests_served(),
+            }),
+            report: None,
+        },
+    };
+    let per_request = match &dispatched.response {
+        Response::Check(r) => Some(&r.metrics),
+        _ => None,
+    };
+    state.absorb(per_request, started.elapsed().as_nanos() as u64);
+    dispatched
+}
+
+fn error_response(id: u64, status: Status, error: String) -> Dispatched {
+    Dispatched { response: Response::Error(ErrorResponse { id, status, error }), report: None }
+}
+
+/// `check`: assemble the oracle (chaos injection changes its type, so
+/// the session is built in a generic helper) and run the search.
+fn run_check(state: &ServerState, c: &CheckRequest, hooks: &DispatchHooks) -> Dispatched {
+    let prog = match parse_program(&c.source) {
+        Ok(p) => p,
+        Err(e) => return error_response(c.id, Status::ParseError, e.to_string()),
+    };
+    if c.chaos_flip > 0 || c.chaos_panic > 0 {
+        let mut chaos = ChaosConfig::flips(c.chaos_seed, c.chaos_flip);
+        chaos.panic_per_mille = c.chaos_panic;
+        run_search(state, c, hooks, &prog, ChaosOracle::new(TypeCheckOracle::new(), chaos))
+    } else {
+        run_search(state, c, hooks, &prog, TypeCheckOracle::new())
+    }
+}
+
+fn run_search<O: Oracle>(
+    state: &ServerState,
+    c: &CheckRequest,
+    hooks: &DispatchHooks,
+    prog: &seminal_ml::ast::Program,
+    inner: O,
+) -> Dispatched {
+    let mut config =
+        if c.no_triage { SearchConfig::without_triage() } else { SearchConfig::default() };
+    config.collect_trace = hooks.collect_trace;
+    config.guidance_backend = c.backend;
+    // Every probe goes through the process-lifetime memo; a warm
+    // identical request is answered without touching the real oracle.
+    let oracle = SharedMemoOracle::new(inner, state.memo.clone());
+    let mut builder = SearchSession::builder(&oracle).config(config);
+    if let Some(n) = c.threads {
+        let Ok(n) = usize::try_from(n) else {
+            return error_response(
+                c.id,
+                Status::InvalidRequest,
+                ApiError::BadValue { field: "threads", why: "does not fit usize".to_owned() }
+                    .to_string(),
+            );
+        };
+        builder = builder.threads(n);
+    }
+    if let Some(ms) = c.deadline_ms {
+        // Admission control: the per-request deadline becomes the
+        // search `Budget`'s wall-clock bound.
+        builder = builder.deadline_ms(ms);
+    }
+    for sink in &hooks.sinks {
+        builder = builder.sink(sink.clone());
+    }
+    // The builder's typed validation is the admission check — there is
+    // deliberately no second hand-rolled validator here.
+    let session = match builder.build() {
+        Ok(s) => s,
+        Err(e) => {
+            return error_response(c.id, Status::InvalidRequest, ApiError::from(e).to_string())
+        }
+    };
+    let report = session.search(prog);
+
+    let mut metrics = report.metrics.clone();
+    metrics.counters.insert(keys::CROSS_REQUEST_HITS.to_owned(), oracle.hits());
+    metrics.counters.insert(keys::CROSS_REQUEST_MISSES.to_owned(), oracle.misses());
+    metrics.counters.insert(keys::CROSS_REQUEST_EVICTIONS.to_owned(), oracle.evictions());
+    metrics.counters.insert(keys::CROSS_REQUEST_ENTRIES.to_owned(), state.memo.entries() as u64);
+    // Every cross-request miss is exactly one inner-oracle invocation.
+    metrics.counters.insert(keys::ORACLE_REAL_CALLS.to_owned(), oracle.misses());
+
+    let status = match &report.outcome {
+        Outcome::WellTyped => Status::Ok,
+        _ if report.completion.is_complete() => Status::TypeErrors,
+        _ => Status::Degraded,
+    };
+    let response = Response::Check(Box::new(CheckResponse {
+        id: c.id,
+        status,
+        completion: report.completion.tag().to_owned(),
+        baseline: report.baseline.as_ref().map(|e| e.render(&c.source)),
+        rendered: message::render_report(
+            &report,
+            &c.source,
+            usize::try_from(c.top).unwrap_or(usize::MAX),
+        ),
+        payload: report
+            .payload()
+            .into_iter()
+            .map(|(original, replacement, new_type, triaged)| PayloadEntry {
+                original,
+                replacement,
+                new_type,
+                triaged,
+            })
+            .collect(),
+        stats: StatsSummary {
+            oracle_calls: report.stats.oracle_calls,
+            elapsed_ns: report.stats.elapsed.as_nanos() as u64,
+            triage_used: report.stats.triage_used,
+        },
+        metrics,
+        crash: report.crash.clone(),
+    }));
+    Dispatched { response, report: Some(report) }
+}
+
+/// `analyze`: oracle-free localization. Rendered with the backend's
+/// own report; the status comes from the backend-agnostic
+/// localization, so "error found, nothing to rank" ([`Status::NoCore`])
+/// stays distinct from "localized" ([`Status::TypeErrors`]).
+fn run_analyze(a: &AnalyzeRequest) -> Dispatched {
+    let prog = match parse_program(&a.source) {
+        Ok(p) => p,
+        Err(e) => return error_response(a.id, Status::ParseError, e.to_string()),
+    };
+    let top = usize::try_from(a.top).unwrap_or(usize::MAX);
+    let (rendered, localization) = match a.backend {
+        BackendKind::Blame => match seminal_analysis::analyze(&prog) {
+            None => (None, None),
+            Some(analysis) => (
+                Some(seminal_analysis::render_report(&analysis, &a.source, top)),
+                Some(analysis.into_localization()),
+            ),
+        },
+        BackendKind::Mcs => match seminal_analysis::analyze_mcs(&prog) {
+            None => (None, None),
+            Some(analysis) => (
+                Some(seminal_analysis::render_mcs_report(&analysis, &a.source, top)),
+                Some(analysis.into_localization()),
+            ),
+        },
+    };
+    let response = match (rendered, localization) {
+        (Some(report), Some(loc)) => Response::Analyze(AnalyzeResponse {
+            id: a.id,
+            status: if loc.is_empty() { Status::NoCore } else { Status::TypeErrors },
+            backend: a.backend,
+            rendered: report,
+        }),
+        _ => Response::Analyze(AnalyzeResponse {
+            id: a.id,
+            status: Status::Ok,
+            backend: a.backend,
+            rendered: String::new(),
+        }),
+    };
+    Dispatched { response, report: None }
+}

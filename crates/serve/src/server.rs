@@ -1,0 +1,206 @@
+//! The long-lived daemon: newline-delimited JSON over stdio or TCP.
+//!
+//! One request per line, one response per line, flushed after every
+//! response so a pipe-driven client can interleave. The connection
+//! loop is transport-agnostic ([`serve_lines`] takes any
+//! `BufRead`/`Write` pair); [`serve_stdio`] wires it to the process's
+//! standard streams and [`serve_tcp`] accepts connections on a socket,
+//! one thread per connection over the same shared [`ServerState`] —
+//! so a `check` warmed over one connection is warm for all of them.
+//!
+//! Every connection opens a `SpanKind::Server` root span and nests one
+//! `SpanKind::Request` span per request under it; with a crash
+//! directory configured, per-request crash reports are persisted
+//! exactly like `seminal check --crash-dir`.
+
+use crate::api::{ErrorResponse, Request, Response, Status};
+use crate::dispatch::{dispatch_with, DispatchHooks, ServerState};
+use seminal_obs::{parse_json, Json, SpanKind, TraceSink, Tracer};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Transport-independent serving options.
+#[derive(Default, Clone)]
+pub struct ServeOptions {
+    /// Persist per-request flight-recorder crash reports here.
+    pub crash_dir: Option<PathBuf>,
+    /// Stream every request's trace records to these sinks.
+    pub sinks: Vec<Arc<dyn TraceSink>>,
+}
+
+/// What one connection loop did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Requests answered on this connection.
+    pub requests: u64,
+    /// Whether a `shutdown` request ended the loop (as opposed to EOF).
+    pub shutdown: bool,
+}
+
+/// Serves one connection: reads NDJSON requests off `input`, writes
+/// NDJSON responses to `output`, until EOF or a `shutdown` request.
+///
+/// # Errors
+///
+/// Only transport I/O errors propagate; malformed requests are
+/// answered with an [`ErrorResponse`] and the loop continues.
+pub fn serve_lines<R: BufRead, W: Write>(
+    state: &ServerState,
+    options: &ServeOptions,
+    input: R,
+    mut output: W,
+) -> std::io::Result<ServeSummary> {
+    // Server/request spans stream straight to the configured sinks;
+    // with no sinks the tracer is disabled and costs nothing.
+    let mut tracer = Tracer::new(options.sinks.clone());
+    let root = tracer.open(SpanKind::Server);
+    let mut summary = ServeSummary { requests: 0, shutdown: false };
+    for line in input.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        summary.requests += 1;
+        let (response, is_shutdown) = match Request::from_json_str(&line) {
+            Err(e) => (
+                Response::Error(ErrorResponse {
+                    id: id_hint(&line),
+                    status: Status::InvalidRequest,
+                    error: e.to_string(),
+                }),
+                false,
+            ),
+            Ok(request) => {
+                let span = tracer.open(SpanKind::Request { id: request.id() });
+                let hooks = DispatchHooks { sinks: options.sinks.clone(), collect_trace: false };
+                let dispatched = dispatch_with(state, &request, hooks);
+                tracer.close(span);
+                if let (Some(dir), Some(report)) = (&options.crash_dir, &dispatched.report) {
+                    if let Some(crash) = &report.crash {
+                        persist_crash(dir, &crash.file_name(), &crash.to_json_string());
+                    }
+                }
+                (dispatched.response, matches!(request, Request::Shutdown(_)))
+            }
+        };
+        writeln!(output, "{}", response.to_json_string())?;
+        output.flush()?;
+        if is_shutdown {
+            summary.shutdown = true;
+            break;
+        }
+    }
+    tracer.close(root);
+    Ok(summary)
+}
+
+/// Best-effort `id` recovery from a line that failed strict decoding,
+/// so the error response still correlates with the request.
+fn id_hint(line: &str) -> u64 {
+    parse_json(line).ok().and_then(|j| j.get("id").and_then(Json::as_num)).unwrap_or(0)
+}
+
+/// Best-effort crash persistence: serving must not die because the
+/// crash directory did (the report is still in the response).
+fn persist_crash(dir: &Path, file_name: &str, body: &str) {
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("cannot create {}: {e}", dir.display());
+        return;
+    }
+    let file = dir.join(file_name);
+    match std::fs::write(&file, body) {
+        Ok(()) => eprintln!("crash report written to {}", file.display()),
+        Err(e) => eprintln!("cannot write {}: {e}", file.display()),
+    }
+}
+
+/// Serves the process's standard streams until EOF or `shutdown`.
+///
+/// # Errors
+///
+/// Transport I/O errors.
+pub fn serve_stdio(state: &ServerState, options: &ServeOptions) -> std::io::Result<ServeSummary> {
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    serve_lines(state, options, stdin.lock(), stdout.lock())
+}
+
+/// Accepts connections on `listener`, one thread per connection over
+/// the shared `state`, until any connection receives `shutdown`.
+///
+/// # Errors
+///
+/// Transport I/O errors from the accept loop (per-connection errors
+/// are reported to stderr and drop only that connection).
+pub fn serve_tcp(
+    state: &ServerState,
+    options: &ServeOptions,
+    listener: &TcpListener,
+) -> std::io::Result<ServeSummary> {
+    listener.set_nonblocking(true)?;
+    let stop = AtomicBool::new(false);
+    let mut total = ServeSummary { requests: 0, shutdown: false };
+    std::thread::scope(|scope| -> std::io::Result<()> {
+        while !stop.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((stream, _addr)) => {
+                    let stop = &stop;
+                    let options = options.clone();
+                    scope.spawn(move || match serve_connection(state, &options, stream) {
+                        Ok(summary) if summary.shutdown => stop.store(true, Ordering::SeqCst),
+                        Ok(_) => {}
+                        Err(e) => eprintln!("connection error: {e}"),
+                    });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    })?;
+    total.requests = state.requests_served();
+    total.shutdown = true;
+    Ok(total)
+}
+
+fn serve_connection(
+    state: &ServerState,
+    options: &ServeOptions,
+    stream: TcpStream,
+) -> std::io::Result<ServeSummary> {
+    let reader = BufReader::new(stream.try_clone()?);
+    serve_lines(state, options, reader, stream)
+}
+
+/// Client mode (`seminal serve --connect ADDR`): forwards NDJSON lines
+/// from `input` to a running server and prints each response line.
+///
+/// # Errors
+///
+/// Connection or transport I/O errors.
+pub fn forward<R: BufRead, W: Write>(addr: &str, input: R, mut output: W) -> std::io::Result<()> {
+    let stream = TcpStream::connect(addr)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut stream = stream;
+    for line in input.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        writeln!(stream, "{line}")?;
+        stream.flush()?;
+        let mut response = String::new();
+        if reader.read_line(&mut response)? == 0 {
+            break;
+        }
+        output.write_all(response.as_bytes())?;
+        output.flush()?;
+    }
+    Ok(())
+}

@@ -1,0 +1,104 @@
+//! Content fingerprints for programs and their top-level subtrees.
+//!
+//! The serve daemon's cross-request memo (PR 8) needs a key that is
+//! stable across processes and across re-parses of the same text:
+//! `NodeId`s are neither (the parser hands them out in visit order), so
+//! the key is an FNV-1a hash over the **pretty-printed** subtree — the
+//! same canonical text the in-search [`ShardedMemo`] already keys on,
+//! compressed to a `u64` so millions of verdicts fit in memory.
+//!
+//! Two programs collide only if their printed forms collide under
+//! FNV-1a 64; for a cache of probe verdicts that is an acceptable risk
+//! (a collision can at worst replay a stale verdict, never corrupt the
+//! search — and the differential suites would catch a systematic one).
+//!
+//! [`ShardedMemo`]: ../seminal_core/engine/struct.ShardedMemo.html
+
+use seminal_ml::ast::Program;
+use seminal_ml::pretty::decl_to_string;
+
+/// FNV-1a 64-bit offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over raw bytes — the same function the probe engine uses for
+/// shard selection, exposed here so every fingerprint in the workspace
+/// agrees byte-for-byte.
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Fingerprint of one top-level declaration subtree: FNV-1a over its
+/// pretty-printed text.
+#[must_use]
+pub fn decl_fingerprints(prog: &Program) -> Vec<u64> {
+    prog.decls.iter().map(|d| fnv1a(decl_to_string(d).as_bytes())).collect()
+}
+
+/// Fingerprint of a whole program: the per-declaration subtree hashes
+/// folded through FNV-1a again (rather than hashing the concatenated
+/// text) so that a shared prefix of declarations contributes the same
+/// partial state regardless of what follows — the property an
+/// incremental per-subtree cache would build on.
+#[must_use]
+pub fn program_fingerprint(prog: &Program) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for sub in decl_fingerprints(prog) {
+        for b in sub.to_le_bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seminal_ml::parser::parse_program;
+
+    #[test]
+    fn identical_text_identical_fingerprint() {
+        let a = parse_program("let x = 1 + true\nlet y = x").unwrap();
+        let b = parse_program("let x = 1 + true\nlet y = x").unwrap();
+        assert_eq!(program_fingerprint(&a), program_fingerprint(&b));
+    }
+
+    #[test]
+    fn whitespace_normalizes_through_pretty() {
+        // The key is the printed form, not the source text.
+        let a = parse_program("let x = 1 + true").unwrap();
+        let b = parse_program("let x =  1   + true").unwrap();
+        assert_eq!(program_fingerprint(&a), program_fingerprint(&b));
+    }
+
+    #[test]
+    fn different_programs_differ() {
+        let a = parse_program("let x = 1 + true").unwrap();
+        let b = parse_program("let x = 1 + 2").unwrap();
+        assert_ne!(program_fingerprint(&a), program_fingerprint(&b));
+    }
+
+    #[test]
+    fn shared_prefix_shares_decl_hashes() {
+        let a = parse_program("let x = 1\nlet y = true").unwrap();
+        let b = parse_program("let x = 1\nlet y = false").unwrap();
+        let (fa, fb) = (decl_fingerprints(&a), decl_fingerprints(&b));
+        assert_eq!(fa[0], fb[0]);
+        assert_ne!(fa[1], fb[1]);
+    }
+
+    #[test]
+    fn matches_raw_fnv_of_printed_decls() {
+        let p = parse_program("let x = 1").unwrap();
+        let subs = decl_fingerprints(&p);
+        assert_eq!(subs[0], fnv1a(decl_to_string(&p.decls[0]).as_bytes()));
+    }
+}

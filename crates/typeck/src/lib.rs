@@ -31,6 +31,7 @@
 pub mod chaos;
 pub mod env;
 pub mod error;
+pub mod fingerprint;
 pub mod infer;
 pub mod oracle;
 pub mod record;
@@ -40,6 +41,7 @@ pub mod unify;
 
 pub use chaos::{ChaosConfig, ChaosOracle};
 pub use error::{TypeError, TypeErrorKind};
+pub use fingerprint::{decl_fingerprints, program_fingerprint};
 pub use infer::{check_program, check_program_types, trace_program};
 pub use oracle::{
     guarded_check, guarded_probe, CountingOracle, InstrumentedOracle, Oracle, ProbeOutcome,

@@ -12,6 +12,9 @@
 //!   constraint system (unsat cores, correction subsets, span scores);
 //! * [`core`] — the search system: top-down removal, constructive
 //!   changes, adaptation to context, triage, ranking, messages;
+//! * [`serve`] — the `seminal-api/v1` request/response schema, the
+//!   `dispatch` entry point both front ends share, and the long-lived
+//!   `seminal serve` daemon with its cross-request memo;
 //! * [`corpus`] — the synthesized student corpus with ground truth;
 //! * [`eval`] — the §3 evaluation (five categories, Figures 5/7);
 //! * [`cpp`] — the §4 C++ template-function prototype;
@@ -44,5 +47,6 @@ pub use seminal_corpus as corpus;
 pub use seminal_cpp as cpp;
 pub use seminal_eval as eval;
 pub use seminal_ml as ml;
+pub use seminal_serve as serve;
 pub use seminal_testkit as testkit;
 pub use seminal_typeck as typeck;

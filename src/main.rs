@@ -7,6 +7,7 @@
 //! seminal crash show <file.json>   render a flight-recorder crash report
 //! seminal cpp <file.cpp>           run the C++ template-function prototype
 //! seminal fuzz                     run the property-fuzzing harness
+//! seminal serve                    long-lived NDJSON request server
 //! seminal demo                     run the paper's worked examples
 //! ```
 //!
@@ -39,6 +40,16 @@
 //! PCT` for `*_ns` values and latency percentiles), exiting 1 on any
 //! regression. `crash show` renders a `seminal-obs/crash-v1` report.
 //!
+//! `check` and `analyze` are thin clients of the `seminal-api/v1`
+//! request API: they build a request from their flags and feed it to
+//! the same `seminal_serve::dispatch` entry point the long-lived
+//! `seminal serve` daemon serves, so exit codes, degraded statuses,
+//! and crash attachment cannot drift between the two front ends.
+//! `serve` speaks newline-delimited JSON over stdio (default) or TCP
+//! (`--tcp ADDR`), holds a process-lifetime cross-request memo
+//! (`--memo-capacity N` verdicts), and `--connect ADDR` turns the
+//! binary into a line-forwarding client for testing a running server.
+//!
 //! `fuzz` runs the deterministic property-fuzzing harness from
 //! `seminal-testkit`: `--seed S --cases N` generate the campaign,
 //! `--shrink` minimizes failures, `--out PATH` streams failures as JSON
@@ -52,9 +63,10 @@
 //! error, 4 file I/O error, 5 type errors found but the search degraded
 //! (deadline, budget, cancellation, or isolated probe faults).
 
-use seminal::core::{message, Outcome, SearchConfig, SearchSession};
-use seminal::ml::parser::parse_program;
-use seminal::typeck::{ChaosConfig, ChaosOracle, Oracle, TypeCheckOracle};
+use seminal::serve::{
+    dispatch, dispatch_with, AnalyzeRequest, CheckRequest, DispatchHooks, Dispatched, Request,
+    Response, ServeOptions, ServerState, Status,
+};
 use seminal_obs::{
     chrome_trace, extract_snapshot, parse_json, profile, regressions, render_profile, CrashReport,
     EventKind, JsonlSink, MetricsSnapshot, SpanKind, Tolerance, TraceRecord,
@@ -75,12 +87,9 @@ const EXIT_IO: u8 = 4;
 /// or oracle budget, was cancelled, or isolated probe faults, so the
 /// printed suggestions are best-so-far rather than exhaustive.
 const EXIT_DEGRADED: u8 = 5;
-/// The program is ill-typed but the localization backend produced no
-/// rankable core or span (`analyze` only): the error is real — the
-/// baseline message is still printed — but the backend has nothing to
-/// localize it with, so downstream tooling should fall back to the
-/// checker's own span.
-const EXIT_NO_CORE: u8 = 6;
+// Exit 6 ("analyze: no rankable core") has no local constant: the
+// dispatch path derives it from `Status::NoCore` via the shared
+// `seminal::serve::EXIT_CODES` table.
 
 /// Options parsed from the command line.
 struct Opts {
@@ -130,6 +139,12 @@ struct Opts {
     cpp: bool,
     /// Localization backend for `analyze` and the guidance of `check`.
     backend: seminal::analysis::BackendKind,
+    /// Bind the serve daemon to this TCP address instead of stdio.
+    tcp: Option<String>,
+    /// Client mode: forward stdin lines to a running server (`serve`).
+    connect: Option<String>,
+    /// Cross-request memo capacity in verdicts (`serve`).
+    memo_capacity: Option<usize>,
 }
 
 fn main() -> ExitCode {
@@ -158,6 +173,9 @@ fn main() -> ExitCode {
         chaos_seed: 0,
         cpp: false,
         backend: seminal::analysis::BackendKind::Blame,
+        tcp: None,
+        connect: None,
+        memo_capacity: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -298,6 +316,27 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "--tcp" => match args.get(i + 1) {
+                Some(addr) => {
+                    opts.tcp = Some(addr.clone());
+                    i += 2;
+                }
+                None => return usage(),
+            },
+            "--connect" => match args.get(i + 1) {
+                Some(addr) => {
+                    opts.connect = Some(addr.clone());
+                    i += 2;
+                }
+                None => return usage(),
+            },
+            "--memo-capacity" => match args.get(i + 1).and_then(|s| s.parse::<usize>().ok()) {
+                Some(n) => {
+                    opts.memo_capacity = Some(n);
+                    i += 2;
+                }
+                None => return usage(),
+            },
             "--deadline-ms" => match args.get(i + 1).and_then(|s| s.parse::<u64>().ok()) {
                 // `0` is kept so the config builder reports the typed
                 // error, matching `--threads 0`.
@@ -339,13 +378,14 @@ fn main() -> ExitCode {
             None => usage(),
         },
         Some("fuzz") => fuzz_cmd(&opts),
+        Some("serve") => serve_cmd(&opts),
         Some("demo") => demo(),
         _ => usage(),
     }
 }
 
 fn usage() -> ExitCode {
-    eprintln!(
+    eprint!(
         "usage:\n  \
          seminal check [--top N] [--no-triage] [--threads N] [--deadline-ms N]\n               \
          [--backend blame|mcs] [--trace] [--profile] [--metrics-json PATH]\n               \
@@ -363,25 +403,24 @@ fn usage() -> ExitCode {
          seminal fuzz [--seed S] [--cases N] [--threads N] [--shrink] [--out PATH]\n               \
          [--chaos-flip PM] [--chaos-panic PM] [--chaos-seed S] [--cpp]\n                            \
          run the deterministic property-fuzzing harness\n  \
+         seminal serve [--tcp ADDR | --connect ADDR] [--memo-capacity N]\n               \
+         [--crash-dir DIR] [--trace-json PATH]\n                            \
+         long-lived seminal-api/v1 request server (NDJSON over\n                            \
+         stdio, or TCP with --tcp; --connect forwards stdin lines\n                            \
+         to a running server)\n  \
          seminal demo              run the paper's worked examples\n\n\
          `--deadline-ms N` bounds one search's wall clock (default honors\n\
          SEMINAL_DEADLINE_MS); when it expires the best-so-far suggestions\n\
          are still printed and the run exits 5.\n\n\
-         exit codes:\n  \
-         0  no type errors (check/analyze/cpp); metrics file valid (metrics-check)\n  \
-         1  type errors found; metrics file invalid\n  \
-         2  usage error\n  \
-         3  the input file does not parse\n  \
-         4  a file could not be read or written\n  \
-         5  type errors found but the search degraded (deadline, budget,\n     \
-         cancellation, or isolated probe faults); suggestions are best-so-far\n  \
-         6  analyze: the program is ill-typed but the chosen backend produced\n     \
-         no core — nothing rankable to localize with (the baseline error is\n     \
-         still printed; fall back to the checker's own span)"
+         {}",
+        seminal::serve::render_exit_table_help()
     );
     ExitCode::from(EXIT_USAGE)
 }
 
+/// `seminal check`: builds a `seminal-api/v1` request from the flags
+/// and feeds it to the same `dispatch` the serve daemon uses; only the
+/// rendering below is CLI-specific.
 fn check_file(path: &str, opts: &Opts) -> ExitCode {
     let source = match std::fs::read_to_string(path) {
         Ok(s) => s,
@@ -390,63 +429,62 @@ fn check_file(path: &str, opts: &Opts) -> ExitCode {
             return ExitCode::from(EXIT_IO);
         }
     };
-    let prog = match parse_program(&source) {
-        Ok(p) => p,
-        Err(e) => {
-            eprintln!("{e}");
-            return ExitCode::from(EXIT_PARSE);
-        }
+    let request = Request::Check(CheckRequest {
+        id: 0,
+        source: source.clone(),
+        top: opts.top as u64,
+        no_triage: opts.no_triage,
+        backend: opts.backend,
+        threads: opts.threads.map(|n| n as u64),
+        deadline_ms: opts.deadline_ms,
+        chaos_flip: opts.chaos_flip,
+        chaos_panic: opts.chaos_panic,
+        chaos_seed: opts.chaos_seed,
+    });
+    let mut hooks = DispatchHooks {
+        sinks: Vec::new(),
+        collect_trace: opts.trace
+            || opts.profile
+            || opts.metrics_json.is_some()
+            || opts.trace_chrome.is_some(),
     };
-    // The chaos layer changes the oracle's type, so the session is
-    // assembled in a generic helper.
-    if opts.chaos_panic > 0 || opts.chaos_flip > 0 {
-        let mut chaos = ChaosConfig::flips(opts.chaos_seed, opts.chaos_flip);
-        chaos.panic_per_mille = opts.chaos_panic;
-        run_check(path, &source, &prog, opts, ChaosOracle::new(TypeCheckOracle::new(), chaos))
-    } else {
-        run_check(path, &source, &prog, opts, TypeCheckOracle::new())
-    }
-}
-
-fn run_check<O: Oracle>(
-    path: &str,
-    source: &str,
-    prog: &seminal::ml::ast::Program,
-    opts: &Opts,
-    oracle: O,
-) -> ExitCode {
-    let mut config =
-        if opts.no_triage { SearchConfig::without_triage() } else { SearchConfig::default() };
-    config.collect_trace =
-        opts.trace || opts.profile || opts.metrics_json.is_some() || opts.trace_chrome.is_some();
-    config.guidance_backend = opts.backend;
-    let mut builder = SearchSession::builder(oracle).config(config);
-    if let Some(n) = opts.threads {
-        builder = builder.threads(n);
-    }
-    if let Some(ms) = opts.deadline_ms {
-        builder = builder.deadline_ms(ms);
-    }
     if let Some(out) = &opts.trace_json {
         match std::fs::File::create(out) {
-            Ok(f) => {
-                builder = builder.sink(Arc::new(JsonlSink::new(std::io::BufWriter::new(f))));
-            }
+            Ok(f) => hooks.sinks.push(Arc::new(JsonlSink::new(std::io::BufWriter::new(f)))),
             Err(e) => {
                 eprintln!("cannot write {out}: {e}");
                 return ExitCode::from(EXIT_IO);
             }
         }
     }
-    let session = match builder.build() {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("invalid configuration: {e}");
-            return ExitCode::from(EXIT_USAGE);
+    // One-shot runs get a fresh (cold) server state; only a long-lived
+    // `seminal serve` process keeps the cross-request memo warm.
+    let state = ServerState::new();
+    render_check(path, &source, opts, dispatch_with(&state, &request, hooks))
+}
+
+/// Renders a dispatched `check` to the terminal, byte-identical to the
+/// pre-dispatch CLI: the exit code comes from the response's status,
+/// the prose from the in-process report.
+fn render_check(path: &str, source: &str, opts: &Opts, dispatched: Dispatched) -> ExitCode {
+    let resp = match dispatched.response {
+        Response::Error(err) => {
+            match err.status {
+                Status::ParseError => eprintln!("{}", err.error),
+                _ => eprintln!("invalid configuration: {}", err.error),
+            }
+            return ExitCode::from(err.status.exit_code());
+        }
+        Response::Check(resp) => resp,
+        other => {
+            eprintln!("unexpected response type {:?}", other.kind());
+            return ExitCode::from(EXIT_IO);
         }
     };
-    let report = session.search(prog);
+    let report = dispatched.report.expect("a check response carries its report");
     if let Some(out) = &opts.metrics_json {
+        // The report's own snapshot (without the per-request
+        // cross-memo deltas): the PR 2 artifact contract.
         if let Err(e) = std::fs::write(out, report.metrics.to_json_string()) {
             eprintln!("cannot write {out}: {e}");
             return ExitCode::from(EXIT_IO);
@@ -470,37 +508,31 @@ fn run_check<O: Oracle>(
         }
         eprintln!("crash report written to {}", file.display());
     }
-    match &report.outcome {
-        Outcome::WellTyped => {
-            println!("{path}: no type errors");
-            ExitCode::SUCCESS
-        }
-        _ => {
-            if let Some(err) = &report.baseline {
-                println!("Type-checker:\n{}\n", err.render(source));
-            }
-            println!("Our approach:\n{}", message::render_report(&report, source, opts.top));
-            println!(
-                "({} oracle calls, {:?}{})",
-                report.stats.oracle_calls,
-                report.stats.elapsed,
-                if report.stats.triage_used { ", triage used" } else { "" }
-            );
-            if opts.trace {
-                print!("{}", render_trace_tree(&report.records, source));
-            }
-            if opts.profile {
-                println!();
-                print!("{}", render_profile(&profile(&report.records), Some(source)));
-            }
-            if report.completion.is_complete() {
-                ExitCode::from(EXIT_TYPE_ERRORS)
-            } else {
-                eprintln!("search degraded: {} — suggestions are best-so-far", report.completion);
-                ExitCode::from(EXIT_DEGRADED)
-            }
-        }
+    if resp.status == Status::Ok {
+        println!("{path}: no type errors");
+        return ExitCode::SUCCESS;
     }
+    if let Some(baseline) = &resp.baseline {
+        println!("Type-checker:\n{baseline}\n");
+    }
+    println!("Our approach:\n{}", resp.rendered);
+    println!(
+        "({} oracle calls, {:?}{})",
+        report.stats.oracle_calls,
+        report.stats.elapsed,
+        if report.stats.triage_used { ", triage used" } else { "" }
+    );
+    if opts.trace {
+        print!("{}", render_trace_tree(&report.records, source));
+    }
+    if opts.profile {
+        println!();
+        print!("{}", render_profile(&profile(&report.records), Some(source)));
+    }
+    if resp.status != Status::TypeErrors {
+        eprintln!("search degraded: {} — suggestions are best-so-far", report.completion);
+    }
+    ExitCode::from(resp.status.exit_code())
 }
 
 /// Renders the structured record stream as an indented span tree with one
@@ -527,6 +559,8 @@ fn render_trace_tree(records: &[TraceRecord], source: &str) -> String {
                     }
                     SpanKind::Triage { round } => format!("triage round {round}"),
                     SpanKind::Worker { index } => format!("worker {index}"),
+                    SpanKind::Server => "server".to_owned(),
+                    SpanKind::Request { id } => format!("request {id}"),
                 };
                 let _ = writeln!(out, "  {:indent$}{label}", "", indent = depth * 2);
                 depth += 1;
@@ -579,6 +613,8 @@ fn render_trace_tree(records: &[TraceRecord], source: &str) -> String {
     out
 }
 
+/// `seminal analyze`: the same thin-client pattern as `check` — build
+/// a request, dispatch it, render the response.
 fn analyze_file(path: &str, opts: &Opts) -> ExitCode {
     let source = match std::fs::read_to_string(path) {
         Ok(s) => s,
@@ -587,50 +623,101 @@ fn analyze_file(path: &str, opts: &Opts) -> ExitCode {
             return ExitCode::from(EXIT_IO);
         }
     };
-    let prog = match parse_program(&source) {
-        Ok(p) => p,
-        Err(e) => {
-            eprintln!("{e}");
-            return ExitCode::from(EXIT_PARSE);
+    let request = Request::Analyze(AnalyzeRequest {
+        id: 0,
+        source,
+        top: opts.top as u64,
+        backend: opts.backend,
+        deadline_ms: opts.deadline_ms,
+    });
+    let state = ServerState::new();
+    match dispatch(&state, &request).response {
+        Response::Error(err) => {
+            match err.status {
+                Status::ParseError => eprintln!("{}", err.error),
+                _ => eprintln!("invalid configuration: {}", err.error),
+            }
+            ExitCode::from(err.status.exit_code())
         }
+        Response::Analyze(resp) => {
+            match resp.status {
+                Status::Ok => println!("{path}: no type errors"),
+                Status::NoCore => {
+                    print!("{}", resp.rendered);
+                    eprintln!(
+                        "analysis produced no core: the {} backend has nothing to rank",
+                        resp.backend.name()
+                    );
+                }
+                _ => print!("{}", resp.rendered),
+            }
+            ExitCode::from(resp.status.exit_code())
+        }
+        other => {
+            eprintln!("unexpected response type {:?}", other.kind());
+            ExitCode::from(EXIT_IO)
+        }
+    }
+}
+
+/// `seminal serve`: the long-lived daemon (or, with `--connect`, a
+/// line-forwarding client for one).
+fn serve_cmd(opts: &Opts) -> ExitCode {
+    if let Some(addr) = &opts.connect {
+        let stdin = std::io::stdin();
+        return match seminal::serve::forward(addr, stdin.lock(), std::io::stdout()) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("cannot connect to {addr}: {e}");
+                ExitCode::from(EXIT_IO)
+            }
+        };
+    }
+    let mut options = ServeOptions {
+        crash_dir: opts.crash_dir.as_ref().map(std::path::PathBuf::from),
+        sinks: Vec::new(),
     };
-    use seminal::analysis::BackendKind;
-    // Render with the backend's own report, but decide the exit code on
-    // the backend-agnostic localization: ill-typed with an empty span
-    // ranking is exit 6, not 1, so scripts can tell "localized" apart
-    // from "error found, nothing to rank".
-    let (rendered, localization) = match opts.backend {
-        BackendKind::Blame => match seminal::analysis::analyze(&prog) {
-            None => (None, None),
-            Some(analysis) => (
-                Some(seminal::analysis::render_report(&analysis, &source, opts.top)),
-                Some(analysis.into_localization()),
-            ),
-        },
-        BackendKind::Mcs => match seminal::analysis::analyze_mcs(&prog) {
-            None => (None, None),
-            Some(analysis) => (
-                Some(seminal::analysis::render_mcs_report(&analysis, &source, opts.top)),
-                Some(analysis.into_localization()),
-            ),
-        },
-    };
-    match (rendered, localization) {
-        (Some(report), Some(loc)) => {
-            print!("{report}");
-            if loc.is_empty() {
-                eprintln!(
-                    "analysis produced no core: the {} backend has nothing to rank",
-                    loc.backend.name()
-                );
-                ExitCode::from(EXIT_NO_CORE)
-            } else {
-                ExitCode::from(EXIT_TYPE_ERRORS)
+    if let Some(out) = &opts.trace_json {
+        match std::fs::File::create(out) {
+            Ok(f) => options.sinks.push(Arc::new(JsonlSink::new(std::io::BufWriter::new(f)))),
+            Err(e) => {
+                eprintln!("cannot write {out}: {e}");
+                return ExitCode::from(EXIT_IO);
             }
         }
-        _ => {
-            println!("{path}: no type errors");
+    }
+    let state = match opts.memo_capacity {
+        Some(n) => ServerState::with_memo_capacity(n),
+        None => ServerState::new(),
+    };
+    let served = if let Some(addr) = &opts.tcp {
+        let listener = match std::net::TcpListener::bind(addr) {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("cannot bind {addr}: {e}");
+                return ExitCode::from(EXIT_IO);
+            }
+        };
+        match listener.local_addr() {
+            Ok(local) => eprintln!("seminal serve: listening on {local}"),
+            Err(_) => eprintln!("seminal serve: listening on {addr}"),
+        }
+        seminal::serve::serve_tcp(&state, &options, &listener)
+    } else {
+        seminal::serve::serve_stdio(&state, &options)
+    };
+    match served {
+        Ok(summary) => {
+            eprintln!(
+                "seminal serve: {} request(s) served, {}",
+                summary.requests,
+                if summary.shutdown { "shut down cleanly" } else { "input closed" }
+            );
             ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("serve transport error: {e}");
+            ExitCode::from(EXIT_IO)
         }
     }
 }
@@ -890,13 +977,15 @@ fn fuzz_cmd(opts: &Opts) -> ExitCode {
 
 fn demo() -> ExitCode {
     let figure2 = "let map2 f aList bList = List.map (fun (a, b) -> f a b) (List.combine aList bList)\nlet lst = map2 (fun (x, y) -> x + y) [1;2;3] [4;5;6]\nlet ans = List.filter (fun x -> x == 0) lst\n";
-    let prog = parse_program(figure2).expect("figure 2 parses");
-    let session =
-        SearchSession::builder(TypeCheckOracle::new()).build().expect("default config is valid");
-    let report = session.search(&prog);
-    if let Some(err) = &report.baseline {
-        println!("Type-checker:\n{}\n", err.render(figure2));
+    let request = Request::Check(CheckRequest { top: 1, ..CheckRequest::new(0, figure2) });
+    let state = ServerState::new();
+    let Response::Check(resp) = dispatch(&state, &request).response else {
+        eprintln!("figure 2 did not dispatch");
+        return ExitCode::from(EXIT_IO);
+    };
+    if let Some(baseline) = &resp.baseline {
+        println!("Type-checker:\n{baseline}\n");
     }
-    println!("Our approach:\n{}", message::render_report(&report, figure2, 1));
+    println!("Our approach:\n{}", resp.rendered);
     ExitCode::SUCCESS
 }

@@ -1,0 +1,226 @@
+//! End-to-end tests of `seminal serve`: a real child process speaking
+//! `seminal-api/v1` NDJSON over its standard streams.
+//!
+//! The headline property (ISSUE 8 acceptance): a warm second `check`
+//! request for an identical program is answered entirely from the
+//! cross-request memo — zero real oracle calls — with a payload
+//! byte-identical to the cold one.
+
+use seminal::serve::{CheckRequest, Request, Response, ShutdownRequest, Status};
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Child, Command, Stdio};
+
+const FIGURE2: &str = include_str!("../samples/figure2.ml");
+
+/// Kills the server on test panic so a failed assertion cannot leave
+/// an orphaned child holding the pipes open. The response reader lives
+/// here too so buffered read-ahead survives across round trips.
+struct ServerGuard {
+    child: Child,
+    reader: BufReader<std::process::ChildStdout>,
+}
+
+impl Drop for ServerGuard {
+    fn drop(&mut self) {
+        self.child.kill().ok();
+        self.child.wait().ok();
+    }
+}
+
+fn spawn_serve(extra_args: &[&str]) -> ServerGuard {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_seminal"))
+        .arg("serve")
+        .args(extra_args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn seminal serve");
+    let reader = BufReader::new(child.stdout.take().expect("server stdout"));
+    ServerGuard { child, reader }
+}
+
+/// Sends one NDJSON line and reads one NDJSON response line.
+fn round_trip(server: &mut ServerGuard, line: &str) -> Response {
+    let stdin = server.child.stdin.as_mut().expect("server stdin");
+    writeln!(stdin, "{line}").expect("write request");
+    stdin.flush().expect("flush request");
+    let mut response = String::new();
+    server.reader.read_line(&mut response).expect("read response");
+    assert!(!response.is_empty(), "server closed the pipe without answering {line}");
+    Response::from_json_str(response.trim_end())
+        .unwrap_or_else(|e| panic!("response line is not valid seminal-api/v1 ({e}): {response}"))
+}
+
+fn shutdown_clean(mut server: ServerGuard) {
+    let shutdown = Request::Shutdown(ShutdownRequest { id: 99, deadline_ms: None });
+    let resp = round_trip(&mut server, &shutdown.to_json_string());
+    let Response::Shutdown(resp) = resp else { panic!("shutdown answered {resp:?}") };
+    assert_eq!(resp.status, Status::Ok);
+    let status = server.child.wait().expect("server exits after shutdown");
+    assert_eq!(status.code(), Some(0), "clean serve shutdown exits 0");
+    // Disarm the guard's kill: the child is already reaped.
+    std::mem::forget(server);
+}
+
+#[test]
+fn warm_second_check_is_answered_from_the_cross_request_memo() {
+    let mut server = spawn_serve(&[]);
+    let req = |id| Request::Check(CheckRequest::new(id, FIGURE2)).to_json_string();
+
+    let Response::Check(cold) = round_trip(&mut server, &req(1)) else {
+        panic!("check answered with a non-check response");
+    };
+    assert_eq!(cold.id, 1);
+    assert_eq!(cold.status, Status::TypeErrors);
+    assert!(cold.rendered.contains("fun x y -> x + y"), "{}", cold.rendered);
+    assert!(!cold.payload.is_empty());
+    assert!(
+        cold.metrics.counter("oracle.real_calls") > 0,
+        "the cold request must consult the real oracle"
+    );
+
+    let Response::Check(warm) = round_trip(&mut server, &req(2)) else {
+        panic!("check answered with a non-check response");
+    };
+    assert_eq!(warm.id, 2);
+    assert_eq!(warm.status, Status::TypeErrors);
+    assert_eq!(warm.payload, cold.payload, "identical program, identical suggestions");
+    assert_eq!(warm.rendered, cold.rendered);
+    assert!(
+        warm.metrics.counter("memo.cross_request_hits") > 0,
+        "the warm request must hit the cross-request memo"
+    );
+    assert_eq!(
+        warm.metrics.counter("oracle.real_calls"),
+        0,
+        "a fully warm request issues zero real oracle calls"
+    );
+
+    shutdown_clean(server);
+}
+
+#[test]
+fn metrics_request_snapshots_the_whole_process() {
+    let mut server = spawn_serve(&[]);
+    let check = Request::Check(CheckRequest::new(7, FIGURE2)).to_json_string();
+    round_trip(&mut server, &check);
+
+    let metrics = "{\"api\":\"seminal-api/v1\",\"id\":8,\"type\":\"metrics\"}";
+    let Response::Metrics(resp) = round_trip(&mut server, metrics) else {
+        panic!("metrics answered with a non-metrics response");
+    };
+    assert_eq!(resp.id, 8);
+    assert_eq!(resp.status, Status::Ok);
+    assert_eq!(resp.metrics.counter("server.requests"), 2, "the metrics request counts itself");
+    assert!(resp.metrics.counter("oracle_calls") > 0, "check work is merged into process totals");
+    assert!(
+        resp.metrics.counter("memo.cross_request_entries") > 0,
+        "the memo retains verdicts after the request finishes"
+    );
+    // The snapshot is itself a valid metrics-v1 document.
+    let text = resp.metrics.to_json_string();
+    seminal_obs::MetricsSnapshot::from_json_str(&text).expect("snapshot round-trips");
+
+    shutdown_clean(server);
+}
+
+#[test]
+fn malformed_and_invalid_requests_do_not_kill_the_server() {
+    let mut server = spawn_serve(&[]);
+
+    // Not JSON at all.
+    let Response::Error(err) = round_trip(&mut server, "not json") else {
+        panic!("garbage must be answered with an error response");
+    };
+    assert_eq!(err.status, Status::InvalidRequest);
+
+    // JSON, but an unknown field (strict schema).
+    let Response::Error(err) = round_trip(
+        &mut server,
+        "{\"api\":\"seminal-api/v1\",\"id\":3,\"type\":\"metrics\",\"bogus\":1}",
+    ) else {
+        panic!("unknown fields must be rejected");
+    };
+    assert_eq!(err.id, 3, "the id is still recovered from the bad line");
+    assert!(err.error.contains("bogus"), "{}", err.error);
+
+    // Decodes fine, but the configuration is invalid: zero threads.
+    let bad_config =
+        Request::Check(CheckRequest { threads: Some(0), ..CheckRequest::new(4, FIGURE2) })
+            .to_json_string();
+    let Response::Error(err) = round_trip(&mut server, &bad_config) else {
+        panic!("invalid configurations must be rejected");
+    };
+    assert_eq!(err.id, 4);
+    assert_eq!(err.status, Status::InvalidRequest);
+
+    // A source that does not parse is a per-request parse error.
+    let unparseable = Request::Check(CheckRequest::new(5, "let = = =")).to_json_string();
+    let Response::Error(err) = round_trip(&mut server, &unparseable) else {
+        panic!("parse failures must be answered, not fatal");
+    };
+    assert_eq!(err.id, 5);
+    assert_eq!(err.status, Status::ParseError);
+
+    // The server is still alive and serving after all of that.
+    let Response::Check(ok) = round_trip(
+        &mut server,
+        &Request::Check(CheckRequest::new(6, "let x = 1 + 2")).to_json_string(),
+    ) else {
+        panic!("the server must still serve after bad requests");
+    };
+    assert_eq!(ok.status, Status::Ok);
+
+    shutdown_clean(server);
+}
+
+#[test]
+fn served_check_agrees_with_the_one_shot_cli() {
+    // The acceptance criterion behind routing both front ends through
+    // `dispatch`: the served response's exit-code semantics match what
+    // `seminal check` on the same program exits with.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/samples/figure2.ml");
+    let one_shot = Command::new(env!("CARGO_BIN_EXE_seminal"))
+        .arg("check")
+        .arg(path)
+        .output()
+        .expect("run one-shot check");
+
+    let mut server = spawn_serve(&[]);
+    let Response::Check(served) =
+        round_trip(&mut server, &Request::Check(CheckRequest::new(1, FIGURE2)).to_json_string())
+    else {
+        panic!("check answered with a non-check response");
+    };
+    shutdown_clean(server);
+
+    assert_eq!(
+        i32::from(served.status.exit_code()),
+        one_shot.status.code().expect("one-shot exit code"),
+        "served status and one-shot exit code come from the same table"
+    );
+    let stdout = String::from_utf8_lossy(&one_shot.stdout);
+    assert!(
+        stdout.contains(served.rendered.trim_end()),
+        "one-shot output must contain the served rendered report verbatim.\n\
+         served:\n{}\none-shot:\n{stdout}",
+        served.rendered
+    );
+}
+
+#[test]
+fn readme_and_usage_render_the_shared_exit_code_table() {
+    let readme = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/README.md"))
+        .expect("read README.md");
+    assert!(
+        readme.contains(&seminal::serve::render_exit_table_markdown()),
+        "README's exit-code table must be exactly `render_exit_table_markdown()` — \
+         regenerate it instead of editing by hand"
+    );
+    let usage = Command::new(env!("CARGO_BIN_EXE_seminal")).output().expect("run seminal");
+    let stderr = String::from_utf8_lossy(&usage.stderr);
+    for line in seminal::serve::render_exit_table_help().lines() {
+        assert!(stderr.contains(line), "usage is missing `{line}`:\n{stderr}");
+    }
+}
