@@ -10,8 +10,9 @@
 //! [`ErrorResponse`] — never as an ad-hoc string.
 //!
 //! [`ServerState`] is what makes the daemon warm: the process-lifetime
-//! [`CrossRequestMemo`] every request's oracle is wrapped over, plus
-//! the running metrics aggregate a `metrics` request snapshots.
+//! [`CrossRequestMemo`] every clean request's oracle is wrapped over
+//! (chaos requests bypass it — see `MemoUse`), plus the running
+//! metrics aggregate a `metrics` request snapshots.
 
 use crate::api::{
     AnalyzeRequest, AnalyzeResponse, ApiError, CheckRequest, CheckResponse, ErrorResponse,
@@ -24,7 +25,7 @@ use seminal_core::{
 };
 use seminal_ml::parser::parse_program;
 use seminal_obs::{keys, MetricsSnapshot, TraceSink};
-use seminal_typeck::{ChaosConfig, ChaosOracle, Oracle, TypeCheckOracle};
+use seminal_typeck::{ChaosConfig, ChaosOracle, CountingOracle, Oracle, TypeCheckOracle};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -167,6 +168,22 @@ fn error_response(id: u64, status: Status, error: String) -> Dispatched {
     Dispatched { response: Response::Error(ErrorResponse { id, status, error }), report: None }
 }
 
+/// How a `check` request's probes relate to the shared cross-request
+/// memo. Chaos-flipped verdicts are ordinary `Ok`/`Err` returns (unlike
+/// panics, which always propagate uncached), so letting a chaos request
+/// share the memo would cache corrupted verdicts by fingerprint and
+/// replay them to later clean requests — and, in the other direction, a
+/// warm memo would answer chaos probes from cache and neutralize the
+/// injection. Chaos requests therefore bypass the memo entirely.
+enum MemoUse<'a> {
+    /// Probes go through the shared memo; the wrapper's per-request
+    /// counters are stamped into the response metrics.
+    Shared(&'a SharedMemoOracle<TypeCheckOracle>),
+    /// Probes never touch the shared memo (chaos injection active);
+    /// `oracle.real_calls` comes from the counting wrapper instead.
+    Bypassed(&'a CountingOracle<ChaosOracle<TypeCheckOracle>>),
+}
+
 /// `check`: assemble the oracle (chaos injection changes its type, so
 /// the session is built in a generic helper) and run the search.
 fn run_check(state: &ServerState, c: &CheckRequest, hooks: &DispatchHooks) -> Dispatched {
@@ -177,9 +194,14 @@ fn run_check(state: &ServerState, c: &CheckRequest, hooks: &DispatchHooks) -> Di
     if c.chaos_flip > 0 || c.chaos_panic > 0 {
         let mut chaos = ChaosConfig::flips(c.chaos_seed, c.chaos_flip);
         chaos.panic_per_mille = c.chaos_panic;
-        run_search(state, c, hooks, &prog, ChaosOracle::new(TypeCheckOracle::new(), chaos))
+        let oracle = CountingOracle::new(ChaosOracle::new(TypeCheckOracle::new(), chaos));
+        run_search(state, c, hooks, &prog, &oracle, MemoUse::Bypassed(&oracle))
     } else {
-        run_search(state, c, hooks, &prog, TypeCheckOracle::new())
+        // Every probe goes through the process-lifetime memo; a warm
+        // identical request is answered without touching the real
+        // oracle.
+        let oracle = SharedMemoOracle::new(TypeCheckOracle::new(), state.memo.clone());
+        run_search(state, c, hooks, &prog, &oracle, MemoUse::Shared(&oracle))
     }
 }
 
@@ -188,16 +210,14 @@ fn run_search<O: Oracle>(
     c: &CheckRequest,
     hooks: &DispatchHooks,
     prog: &seminal_ml::ast::Program,
-    inner: O,
+    oracle: &O,
+    memo: MemoUse<'_>,
 ) -> Dispatched {
     let mut config =
         if c.no_triage { SearchConfig::without_triage() } else { SearchConfig::default() };
     config.collect_trace = hooks.collect_trace;
     config.guidance_backend = c.backend;
-    // Every probe goes through the process-lifetime memo; a warm
-    // identical request is answered without touching the real oracle.
-    let oracle = SharedMemoOracle::new(inner, state.memo.clone());
-    let mut builder = SearchSession::builder(&oracle).config(config);
+    let mut builder = SearchSession::builder(oracle).config(config);
     if let Some(n) = c.threads {
         let Ok(n) = usize::try_from(n) else {
             return error_response(
@@ -228,12 +248,19 @@ fn run_search<O: Oracle>(
     let report = session.search(prog);
 
     let mut metrics = report.metrics.clone();
-    metrics.counters.insert(keys::CROSS_REQUEST_HITS.to_owned(), oracle.hits());
-    metrics.counters.insert(keys::CROSS_REQUEST_MISSES.to_owned(), oracle.misses());
-    metrics.counters.insert(keys::CROSS_REQUEST_EVICTIONS.to_owned(), oracle.evictions());
+    let (hits, misses, evictions, real_calls) = match memo {
+        // Every cross-request miss is exactly one inner-oracle
+        // invocation.
+        MemoUse::Shared(shared) => {
+            (shared.hits(), shared.misses(), shared.evictions(), shared.misses())
+        }
+        MemoUse::Bypassed(counting) => (0, 0, 0, counting.calls()),
+    };
+    metrics.counters.insert(keys::CROSS_REQUEST_HITS.to_owned(), hits);
+    metrics.counters.insert(keys::CROSS_REQUEST_MISSES.to_owned(), misses);
+    metrics.counters.insert(keys::CROSS_REQUEST_EVICTIONS.to_owned(), evictions);
     metrics.counters.insert(keys::CROSS_REQUEST_ENTRIES.to_owned(), state.memo.entries() as u64);
-    // Every cross-request miss is exactly one inner-oracle invocation.
-    metrics.counters.insert(keys::ORACLE_REAL_CALLS.to_owned(), oracle.misses());
+    metrics.counters.insert(keys::ORACLE_REAL_CALLS.to_owned(), real_calls);
 
     let status = match &report.outcome {
         Outcome::WellTyped => Status::Ok,
@@ -312,4 +339,61 @@ fn run_analyze(a: &AnalyzeRequest) -> Dispatched {
         }),
     };
     Dispatched { response, report: None }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ILL_TYPED: &str = "let x = 1 + true";
+
+    fn check_response(state: &ServerState, request: &Request) -> CheckResponse {
+        match dispatch(state, request).response {
+            Response::Check(r) => *r,
+            other => panic!("check answered with a non-check response: {other:?}"),
+        }
+    }
+
+    /// The memo.rs invariant: a chaotic oracle must not poison verdicts
+    /// for later requests. Flipped verdicts are ordinary returns, so
+    /// the only safe memo interaction for a chaos request is none at
+    /// all — no reads (a warm memo would neutralize the injection) and
+    /// no writes (a later clean request would replay corruption).
+    #[test]
+    fn chaos_requests_bypass_the_shared_memo() {
+        let state = ServerState::new();
+        let clean = Request::Check(CheckRequest::new(1, ILL_TYPED));
+        let cold = check_response(&state, &clean);
+        assert!(cold.metrics.counter("oracle.real_calls") > 0);
+        let warmed_entries = state.memo().entries();
+        assert!(warmed_entries > 0, "the clean request must warm the memo");
+        let (hits, misses) = (state.memo().hits(), state.memo().misses());
+
+        let chaos = Request::Check(CheckRequest {
+            chaos_flip: 1000,
+            chaos_seed: 7,
+            ..CheckRequest::new(2, ILL_TYPED)
+        });
+        let flipped = check_response(&state, &chaos);
+        assert_eq!(flipped.metrics.counter("memo.cross_request_hits"), 0);
+        assert_eq!(flipped.metrics.counter("memo.cross_request_misses"), 0);
+        assert!(
+            flipped.metrics.counter("oracle.real_calls") > 0,
+            "every chaos probe must reach the injected oracle"
+        );
+        assert_eq!(state.memo().hits(), hits, "chaos must not read the shared memo");
+        assert_eq!(state.memo().misses(), misses, "chaos must not probe the shared memo");
+        assert_eq!(
+            state.memo().entries(),
+            warmed_entries,
+            "chaos must not write into the shared memo"
+        );
+
+        // A later identical clean request is still answered entirely
+        // from the unpoisoned memo, matching the cold payload.
+        let warm = check_response(&state, &Request::Check(CheckRequest::new(3, ILL_TYPED)));
+        assert_eq!(warm.metrics.counter("oracle.real_calls"), 0);
+        assert_eq!(warm.payload, cold.payload);
+        assert_eq!(warm.rendered, cold.rendered);
+    }
 }

@@ -35,7 +35,10 @@ pub struct ServeOptions {
 /// What one connection loop did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServeSummary {
-    /// Requests answered on this connection.
+    /// Requests dispatched on this connection — the same definition
+    /// `ShutdownResponse::requests_served` uses process-wide, so the
+    /// stdio trailer and the TCP summary agree. Malformed lines are
+    /// answered with an error response but not counted.
     pub requests: u64,
     /// Whether a `shutdown` request ended the loop (as opposed to EOF).
     pub shutdown: bool,
@@ -64,7 +67,6 @@ pub fn serve_lines<R: BufRead, W: Write>(
         if line.trim().is_empty() {
             continue;
         }
-        summary.requests += 1;
         let (response, is_shutdown) = match Request::from_json_str(&line) {
             Err(e) => (
                 Response::Error(ErrorResponse {
@@ -75,6 +77,7 @@ pub fn serve_lines<R: BufRead, W: Write>(
                 false,
             ),
             Ok(request) => {
+                summary.requests += 1;
                 let span = tracer.open(SpanKind::Request { id: request.id() });
                 let hooks = DispatchHooks { sinks: options.sinks.clone(), collect_trace: false };
                 let dispatched = dispatch_with(state, &request, hooks);
@@ -174,6 +177,10 @@ fn serve_connection(
     options: &ServeOptions,
     stream: TcpStream,
 ) -> std::io::Result<ServeSummary> {
+    // On macOS/BSD an accepted socket inherits O_NONBLOCK from the
+    // non-blocking listener; the connection loop needs blocking reads
+    // and writes or every line I/O fails with WouldBlock.
+    stream.set_nonblocking(false)?;
     let reader = BufReader::new(stream.try_clone()?);
     serve_lines(state, options, reader, stream)
 }

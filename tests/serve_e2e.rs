@@ -52,7 +52,9 @@ fn round_trip(server: &mut ServerGuard, line: &str) -> Response {
         .unwrap_or_else(|e| panic!("response line is not valid seminal-api/v1 ({e}): {response}"))
 }
 
-fn shutdown_clean(mut server: ServerGuard) {
+/// Shuts the server down cleanly, returning the dispatched-request
+/// count the shutdown response reported.
+fn shutdown_clean(mut server: ServerGuard) -> u64 {
     let shutdown = Request::Shutdown(ShutdownRequest { id: 99, deadline_ms: None });
     let resp = round_trip(&mut server, &shutdown.to_json_string());
     let Response::Shutdown(resp) = resp else { panic!("shutdown answered {resp:?}") };
@@ -61,6 +63,7 @@ fn shutdown_clean(mut server: ServerGuard) {
     assert_eq!(status.code(), Some(0), "clean serve shutdown exits 0");
     // Disarm the guard's kill: the child is already reaped.
     std::mem::forget(server);
+    resp.requests_served
 }
 
 #[test]
@@ -172,7 +175,78 @@ fn malformed_and_invalid_requests_do_not_kill_the_server() {
     };
     assert_eq!(ok.status, Status::Ok);
 
-    shutdown_clean(server);
+    // Only the three decodable requests plus the shutdown were
+    // dispatched; the two malformed lines were answered with errors
+    // but never reached dispatch, and both transports' summaries use
+    // this same dispatched-request definition.
+    assert_eq!(shutdown_clean(server), 4, "malformed lines are not counted as requests");
+}
+
+/// Kills a child on test panic without holding any of its pipes.
+struct KillOnDrop(Child);
+
+impl Drop for KillOnDrop {
+    fn drop(&mut self) {
+        self.0.kill().ok();
+        self.0.wait().ok();
+    }
+}
+
+/// The TCP transport end-to-end: bind an ephemeral port, connect, run
+/// a check and a clean shutdown. Regression test for accepted sockets
+/// inheriting `O_NONBLOCK` from the non-blocking listener (macOS/BSD
+/// behavior), which made every connection's line I/O fail with
+/// `WouldBlock` and drop the connection.
+#[test]
+fn tcp_connection_serves_checks_and_shuts_down_cleanly() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_seminal"))
+        .args(["serve", "--tcp", "127.0.0.1:0"])
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn seminal serve --tcp");
+    let mut stderr = BufReader::new(child.stderr.take().expect("server stderr"));
+    let mut guard = KillOnDrop(child);
+
+    // The daemon announces the resolved ephemeral address on stderr
+    // before it starts accepting.
+    let mut banner = String::new();
+    stderr.read_line(&mut banner).expect("read the listen banner");
+    let addr = banner.trim().rsplit(' ').next().expect("address in banner").to_owned();
+
+    let mut stream = std::net::TcpStream::connect(&addr)
+        .unwrap_or_else(|e| panic!("connect to {addr} ({banner:?}): {e}"));
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut round_trip = |line: &str| -> Response {
+        writeln!(stream, "{line}").expect("write request");
+        stream.flush().expect("flush request");
+        let mut response = String::new();
+        reader.read_line(&mut response).expect("read response");
+        assert!(!response.is_empty(), "server closed the connection without answering {line}");
+        Response::from_json_str(response.trim_end()).unwrap_or_else(|e| {
+            panic!("response line is not valid seminal-api/v1 ({e}): {response}")
+        })
+    };
+
+    let Response::Check(check) =
+        round_trip(&Request::Check(CheckRequest::new(1, FIGURE2)).to_json_string())
+    else {
+        panic!("check answered with a non-check response");
+    };
+    assert_eq!(check.id, 1);
+    assert_eq!(check.status, Status::TypeErrors);
+
+    let shutdown = Request::Shutdown(ShutdownRequest { id: 2, deadline_ms: None }).to_json_string();
+    let Response::Shutdown(resp) = round_trip(&shutdown) else {
+        panic!("shutdown answered with a non-shutdown response");
+    };
+    assert_eq!(resp.status, Status::Ok);
+    assert_eq!(resp.requests_served, 2, "both dispatched requests are counted");
+
+    let status = guard.0.wait().expect("server exits after shutdown");
+    assert_eq!(status.code(), Some(0), "clean TCP shutdown exits 0");
+    std::mem::forget(guard);
 }
 
 #[test]
