@@ -142,6 +142,15 @@ pub struct SearchConfig {
     /// unbounded. The default honors `SEMINAL_DEADLINE_MS` the way
     /// `threads` honors `SEMINAL_THREADS`.
     pub deadline: Option<Duration>,
+    /// Wall-clock already consumed before the search started — queue
+    /// wait under the serve daemon's admission control. Charged against
+    /// `deadline` when the budget clock starts, so a request's
+    /// `deadline_ms` bounds its *end-to-end* latency rather than
+    /// restarting once a worker picks it up. When the lag meets or
+    /// exceeds the deadline the search still runs its baseline check
+    /// and reports `Completion::DeadlineExpired` with best-so-far
+    /// suggestions. Zero (the default) charges nothing.
+    pub admission_lag: Duration,
 }
 
 /// Default thread count: `SEMINAL_THREADS` when set to a positive
@@ -192,6 +201,7 @@ impl Default for SearchConfig {
             guidance_backend: BackendKind::Blame,
             threads: default_threads(),
             deadline: default_deadline(),
+            admission_lag: Duration::ZERO,
         }
     }
 }

@@ -371,8 +371,16 @@ impl<O: Oracle> SearchCore<O> {
     /// consumes, so the suggestion set and ranks are unchanged while
     /// wall-clock drops (see `crate::engine`).
     pub(crate) fn search(&self, prog: &Program) -> SearchReport {
-        let budget =
-            Budget::start(self.config.max_oracle_calls, self.config.deadline, self.handle.flag());
+        // Queue wait under admission control is part of the deadline:
+        // a request that waited 40ms of a 50ms deadline gets a 10ms
+        // search, and one whose wait consumed the whole deadline runs
+        // just the baseline check before reporting DeadlineExpired.
+        let deadline = self
+            .config
+            .deadline
+            .map(|d| d.saturating_sub(self.config.admission_lag))
+            .map(|d| if d.is_zero() { Duration::from_nanos(1) } else { d });
+        let budget = Budget::start(self.config.max_oracle_calls, deadline, self.handle.flag());
         // Sinks are assembled before the engine so worker threads can
         // share the tracer through its cloneable handle: every parallel
         // probe then opens under the search span that caused it.

@@ -150,6 +150,16 @@ impl<O: Oracle> SearchSessionBuilder<O> {
         self.deadline(Some(Duration::from_millis(ms)))
     }
 
+    /// Wall-clock already spent queued before this search started
+    /// (admission-control wait); charged against the deadline so
+    /// `deadline` bounds end-to-end latency. See
+    /// [`SearchConfig::admission_lag`](crate::SearchConfig).
+    #[must_use]
+    pub fn admission_lag(mut self, lag: Duration) -> Self {
+        self.config.admission_lag = lag;
+        self
+    }
+
     /// Capture the structured trace into each report.
     #[must_use]
     pub fn collect_trace(mut self, on: bool) -> Self {

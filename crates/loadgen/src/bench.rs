@@ -1,0 +1,112 @@
+//! The `seminal-bench/serve-v1` artifact (`BENCH_serve.json`).
+//!
+//! Same family as the eval runner's `BENCH_search.json`: a flat object
+//! of counters and nanosecond quantiles, with the server's own
+//! `seminal-obs/metrics-v1` snapshot embedded under `"metrics"` so
+//! `seminal metrics-check --baseline` can gate it. Deliberately no
+//! top-level `"schema"` member — that spelling marks a *bare* metrics
+//! snapshot to the baseline extractor; the artifact version rides in
+//! `"bench_schema"` instead.
+
+use crate::replay::LoadReport;
+use seminal_obs::Json;
+
+/// Version tag of the serve bench artifact.
+pub const BENCH_SERVE_SCHEMA: &str = "seminal-bench/serve-v1";
+
+/// The `p`-th percentile of an ascending-sorted sample (nearest-rank).
+#[must_use]
+pub fn percentile(sorted: &[u64], p: u64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (sorted.len() as u64 * p).div_ceil(100).max(1);
+    sorted[usize::try_from(rank - 1).unwrap_or(0).min(sorted.len() - 1)]
+}
+
+/// Renders a replay into the versioned bench artifact. `cores` scales
+/// the throughput-per-core figure (pass the machine's parallelism).
+#[must_use]
+pub fn bench_serve_json(report: &LoadReport, cores: u64) -> Json {
+    let lat = &report.latencies_ns;
+    let mean = if lat.is_empty() { 0 } else { lat.iter().sum::<u64>() / lat.len() as u64 };
+    // requests/sec scaled by 1000 (the JSON dialect is integer-only).
+    let throughput_milli_rps =
+        report.requests.saturating_mul(1_000_000_000_000) / report.wall_clock_ns.max(1);
+    let cores = cores.max(1);
+    let mut members: Vec<(String, Json)> = vec![
+        ("bench".to_owned(), Json::Str("serve".to_owned())),
+        ("bench_schema".to_owned(), Json::Str(BENCH_SERVE_SCHEMA.to_owned())),
+        ("clients".to_owned(), Json::Num(report.clients as u64)),
+        ("requests".to_owned(), Json::Num(report.requests)),
+        ("completed".to_owned(), Json::Num(report.completed)),
+        ("degraded".to_owned(), Json::Num(report.degraded)),
+        ("shed".to_owned(), Json::Num(report.shed)),
+        ("errors".to_owned(), Json::Num(report.errors)),
+        ("malformed".to_owned(), Json::Num(report.malformed)),
+        ("accounting_violations".to_owned(), Json::Num(report.accounting_violations)),
+        ("shed_rate_milli".to_owned(), Json::Num(report.shed_rate_milli())),
+        ("degraded_rate_milli".to_owned(), Json::Num(report.degraded_rate_milli())),
+        ("memo_hit_rate_milli".to_owned(), Json::Num(report.memo_hit_rate_milli())),
+        ("mean_latency_ns".to_owned(), Json::Num(mean)),
+        ("p50_latency_ns".to_owned(), Json::Num(percentile(lat, 50))),
+        ("p90_latency_ns".to_owned(), Json::Num(percentile(lat, 90))),
+        ("p99_latency_ns".to_owned(), Json::Num(percentile(lat, 99))),
+        ("wall_clock_ns".to_owned(), Json::Num(report.wall_clock_ns)),
+        ("cores".to_owned(), Json::Num(cores)),
+        ("throughput_milli_rps".to_owned(), Json::Num(throughput_milli_rps)),
+        ("throughput_per_core_milli_rps".to_owned(), Json::Num(throughput_milli_rps / cores)),
+    ];
+    if let Some(snapshot) = &report.snapshot {
+        members.push(("metrics".to_owned(), snapshot.to_json()));
+    }
+    Json::Obj(members)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seminal_obs::{parse_json, MetricsSnapshot};
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&sorted, 50), 50);
+        assert_eq!(percentile(&sorted, 99), 99);
+        assert_eq!(percentile(&sorted, 100), 100);
+        assert_eq!(percentile(&[7], 50), 7);
+        assert_eq!(percentile(&[], 99), 0);
+    }
+
+    #[test]
+    fn artifact_round_trips_and_embeds_the_snapshot() {
+        let report = LoadReport {
+            clients: 2,
+            requests: 10,
+            completed: 7,
+            degraded: 2,
+            shed: 1,
+            errors: 0,
+            malformed: 0,
+            accounting_violations: 0,
+            latencies_ns: vec![100, 200, 300, 400, 500, 600, 700, 800, 900, 1_000],
+            per_client_requests: vec![5, 5],
+            wall_clock_ns: 1_000_000,
+            snapshot: Some(MetricsSnapshot::default()),
+            requests_served: Some(12),
+            control_requests: 2,
+        };
+        let rendered = bench_serve_json(&report, 4).to_string_pretty();
+        let parsed = parse_json(&rendered).expect("artifact must be valid JSON");
+        assert_eq!(parsed.get("bench_schema").and_then(Json::as_str), Some(BENCH_SERVE_SCHEMA));
+        assert_eq!(parsed.get("shed_rate_milli").and_then(Json::as_num), Some(100));
+        assert_eq!(parsed.get("p50_latency_ns").and_then(Json::as_num), Some(500));
+        assert!(
+            parsed.get("schema").is_none(),
+            "a top-level schema key would make the baseline \
+             extractor misread the artifact as a bare snapshot"
+        );
+        let embedded = parsed.get("metrics").expect("embedded snapshot");
+        MetricsSnapshot::from_json(embedded).expect("embedded snapshot must deserialize");
+    }
+}

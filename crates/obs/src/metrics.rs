@@ -51,6 +51,19 @@ pub mod keys {
     pub const SERVER_REQUESTS: &str = "server.requests";
     /// Histogram: wall-clock time to dispatch one API request, ns.
     pub const SERVER_REQUEST_NS: &str = "server.request_ns";
+    /// Counter: requests shed by admission control (answered with a
+    /// typed `Overloaded` response carrying `retry_after_ms`) plus
+    /// connections refused at the `--max-connections` cap.
+    pub const SERVER_SHED: &str = "server.shed";
+    /// Gauge (reported as a counter): work requests holding an
+    /// admission permit when the snapshot was taken.
+    pub const SERVER_INFLIGHT: &str = "server.inflight";
+    /// Histogram: time a request waited in the bounded admission queue
+    /// before dispatch, ns.
+    pub const SERVER_QUEUE_DEPTH_NS: &str = "server.queue_depth_ns";
+    /// Counter: wall-clock the last graceful drain spent waiting for
+    /// in-flight connections at shutdown, ns.
+    pub const SERVER_DRAIN_NS: &str = "server.drain_ns";
 }
 
 /// A latency/size histogram with power-of-two buckets.

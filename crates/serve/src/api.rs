@@ -27,7 +27,7 @@ pub const SCHEMA: &str = "seminal-api/v1";
 
 /// One row per process exit code: the single source of truth rendered
 /// into `--help`, the README table, and [`Status::exit_code`].
-pub const EXIT_CODES: [(u8, &str); 7] = [
+pub const EXIT_CODES: [(u8, &str); 8] = [
     (0, "success: no type errors (check/analyze/cpp), valid metrics file, clean fuzz campaign, or clean serve shutdown"),
     (1, "type errors found; invalid metrics file; fuzz invariant violations"),
     (2, "usage error or invalid request configuration"),
@@ -35,6 +35,7 @@ pub const EXIT_CODES: [(u8, &str); 7] = [
     (4, "a file could not be read or written"),
     (5, "type errors found but the search degraded (deadline, budget, cancellation, or isolated probe faults); suggestions are best-so-far"),
     (6, "analyze: ill-typed but the chosen backend produced no rankable core; fall back to the checker's own span"),
+    (7, "request shed by overload control (serve): the server is saturated; retry after the response's retry_after_ms backoff"),
 ];
 
 /// Renders [`EXIT_CODES`] for `--help`.
@@ -79,6 +80,11 @@ pub enum Status {
     /// Ill-typed, but the localization backend produced nothing
     /// rankable (`analyze` only).
     NoCore,
+    /// The server shed this request under overload: admitting it would
+    /// have outlived its deadline in the bounded queue (or the
+    /// connection cap was reached). Retry after the accompanying
+    /// `retry_after_ms`.
+    Overloaded,
 }
 
 impl Status {
@@ -93,6 +99,7 @@ impl Status {
             Status::IoError => 4,
             Status::Degraded => 5,
             Status::NoCore => 6,
+            Status::Overloaded => 7,
         }
     }
 
@@ -107,6 +114,7 @@ impl Status {
             Status::IoError => "io_error",
             Status::Degraded => "degraded",
             Status::NoCore => "no_core",
+            Status::Overloaded => "overloaded",
         }
     }
 
@@ -121,6 +129,7 @@ impl Status {
             Status::IoError,
             Status::Degraded,
             Status::NoCore,
+            Status::Overloaded,
         ]
         .into_iter()
         .find(|s| s.tag() == tag)
@@ -535,6 +544,21 @@ pub struct ShutdownResponse {
     pub requests_served: u64,
 }
 
+/// Response when admission control shed the request under overload.
+/// Always [`Status::Overloaded`]; the request was *not* run — the
+/// client should retry after `retry_after_ms` (plus its own jitter).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OverloadedResponse {
+    /// Echo of the request id.
+    pub id: u64,
+    /// Always [`Status::Overloaded`].
+    pub status: Status,
+    /// Server's estimate of when capacity frees up, milliseconds. The
+    /// `forward` client and `loadgen` honor it (with jitter) before
+    /// resending.
+    pub retry_after_ms: u64,
+}
+
 /// Response when the request could not be served at all.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ErrorResponse {
@@ -559,6 +583,8 @@ pub enum Response {
     Metrics(MetricsResponse),
     /// Answer to [`Request::Shutdown`].
     Shutdown(ShutdownResponse),
+    /// The request was shed by admission control under overload.
+    Overloaded(OverloadedResponse),
     /// The request could not be served.
     Error(ErrorResponse),
 }
@@ -572,6 +598,7 @@ impl Response {
             Response::Analyze(r) => r.id,
             Response::Metrics(r) => r.id,
             Response::Shutdown(r) => r.id,
+            Response::Overloaded(r) => r.id,
             Response::Error(r) => r.id,
         }
     }
@@ -584,6 +611,7 @@ impl Response {
             Response::Analyze(r) => r.status,
             Response::Metrics(r) => r.status,
             Response::Shutdown(r) => r.status,
+            Response::Overloaded(r) => r.status,
             Response::Error(r) => r.status,
         }
     }
@@ -596,6 +624,7 @@ impl Response {
             Response::Analyze(_) => "analyze",
             Response::Metrics(_) => "metrics",
             Response::Shutdown(_) => "shutdown",
+            Response::Overloaded(_) => "overloaded",
             Response::Error(_) => "error",
         }
     }
@@ -666,6 +695,9 @@ impl Response {
             }
             Response::Shutdown(r) => {
                 members.push(("requests_served".to_owned(), Json::Num(r.requests_served)));
+            }
+            Response::Overloaded(r) => {
+                members.push(("retry_after_ms".to_owned(), Json::Num(r.retry_after_ms)));
             }
             Response::Error(r) => {
                 members.push(("error".to_owned(), Json::Str(r.error.clone())));
@@ -798,6 +830,23 @@ impl Response {
                     id,
                     status,
                     requests_served: req_num(json, "requests_served")?,
+                }))
+            }
+            "overloaded" => {
+                check_fields(
+                    json,
+                    &["api", "id", "type", "status", "exit_code", "retry_after_ms"],
+                )?;
+                if status != Status::Overloaded {
+                    return Err(ApiError::BadValue {
+                        field: "status",
+                        why: "an overloaded response is always status \"overloaded\"".to_owned(),
+                    });
+                }
+                Ok(Response::Overloaded(OverloadedResponse {
+                    id,
+                    status,
+                    retry_after_ms: req_num(json, "retry_after_ms")?,
                 }))
             }
             "error" => {
@@ -1040,6 +1089,7 @@ mod tests {
             Status::IoError,
             Status::Degraded,
             Status::NoCore,
+            Status::Overloaded,
         ] {
             assert_eq!(Status::from_tag(status.tag()), Some(status));
             seen.push(status.exit_code());
@@ -1047,6 +1097,32 @@ mod tests {
         seen.sort_unstable();
         let table: Vec<u8> = EXIT_CODES.iter().map(|(c, _)| *c).collect();
         assert_eq!(seen, table);
+    }
+
+    #[test]
+    fn overloaded_response_roundtrips() {
+        let resp = Response::Overloaded(OverloadedResponse {
+            id: 11,
+            status: Status::Overloaded,
+            retry_after_ms: 250,
+        });
+        let wire = resp.to_json_string();
+        assert!(wire.contains("\"retry_after_ms\":250"), "{wire}");
+        let parsed = Response::from_json_str(&wire).unwrap();
+        assert_eq!(parsed, resp);
+        assert_eq!(parsed.to_json_string(), wire, "re-serialization is byte-identical");
+        assert_eq!(parsed.exit_code(), 7);
+    }
+
+    #[test]
+    fn overloaded_response_rejects_foreign_status() {
+        // `type: overloaded` is inseparable from `status: overloaded`;
+        // a shed response must never masquerade as a success.
+        let line = r#"{"api":"seminal-api/v1","id":1,"type":"overloaded","status":"ok","exit_code":0,"retry_after_ms":10}"#;
+        assert!(matches!(
+            Response::from_json_str(line),
+            Err(ApiError::BadValue { field: "status", .. })
+        ));
     }
 
     #[test]

@@ -16,8 +16,10 @@
 
 use crate::api::{
     AnalyzeRequest, AnalyzeResponse, ApiError, CheckRequest, CheckResponse, ErrorResponse,
-    MetricsResponse, PayloadEntry, Request, Response, ShutdownResponse, StatsSummary, Status,
+    MetricsResponse, OverloadedResponse, PayloadEntry, Request, Response, ShutdownResponse,
+    StatsSummary, Status,
 };
+use crate::overload::{Admission, OverloadPolicy};
 use seminal_analysis::BackendKind;
 use seminal_core::{
     message, CrossRequestMemo, Outcome, SearchConfig, SearchReport, SearchSession,
@@ -28,7 +30,26 @@ use seminal_obs::{keys, MetricsSnapshot, TraceSink};
 use seminal_typeck::{ChaosConfig, ChaosOracle, CountingOracle, Oracle, TypeCheckOracle};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Construction-time server tuning: memo capacity plus the overload
+/// policy the admission gate enforces.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Cross-request memo capacity (`--memo-capacity`).
+    pub memo_capacity: usize,
+    /// Admission-gate policy (`--max-inflight`).
+    pub overload: OverloadPolicy,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            memo_capacity: DEFAULT_CROSS_MEMO_CAPACITY,
+            overload: OverloadPolicy::default(),
+        }
+    }
+}
 
 /// Process-lifetime server state shared by every request.
 pub struct ServerState {
@@ -37,23 +58,49 @@ pub struct ServerState {
     /// histograms combine — the eval runner's merge semantics).
     totals: Mutex<MetricsSnapshot>,
     requests: AtomicU64,
+    admission: Admission,
+    /// How long the last graceful drain took (`server.drain_ns`).
+    drain_ns: AtomicU64,
 }
 
 impl ServerState {
     /// State with the default cross-request memo capacity.
     #[must_use]
     pub fn new() -> ServerState {
-        ServerState::with_memo_capacity(DEFAULT_CROSS_MEMO_CAPACITY)
+        ServerState::with_config(ServerConfig::default())
     }
 
     /// State with an explicit memo capacity (`--memo-capacity`).
     #[must_use]
     pub fn with_memo_capacity(capacity: usize) -> ServerState {
+        ServerState::with_config(ServerConfig {
+            memo_capacity: capacity,
+            ..ServerConfig::default()
+        })
+    }
+
+    /// State with full construction-time tuning.
+    #[must_use]
+    pub fn with_config(config: ServerConfig) -> ServerState {
         ServerState {
-            memo: Arc::new(CrossRequestMemo::new(capacity)),
+            memo: Arc::new(CrossRequestMemo::new(config.memo_capacity)),
             totals: Mutex::new(MetricsSnapshot::default()),
             requests: AtomicU64::new(0),
+            admission: Admission::new(config.overload),
+            drain_ns: AtomicU64::new(0),
         }
+    }
+
+    /// The admission gate (connection front ends use it to shed whole
+    /// connections past `--max-connections` with an honest retry hint).
+    #[must_use]
+    pub fn admission(&self) -> &Admission {
+        &self.admission
+    }
+
+    /// Records how long the listener's graceful drain took.
+    pub fn note_drain(&self, drain: Duration) {
+        self.drain_ns.store(u64::try_from(drain.as_nanos()).unwrap_or(u64::MAX), Ordering::Relaxed);
     }
 
     /// The shared cross-request memo.
@@ -80,6 +127,10 @@ impl ServerState {
         snap.counters.insert(keys::CROSS_REQUEST_EVICTIONS.to_owned(), self.memo.evictions());
         snap.counters.insert(keys::CROSS_REQUEST_ENTRIES.to_owned(), self.memo.entries() as u64);
         snap.counters.insert(keys::SERVER_REQUESTS.to_owned(), self.requests_served());
+        snap.counters.insert(keys::SERVER_SHED.to_owned(), self.admission.shed());
+        snap.counters.insert(keys::SERVER_INFLIGHT.to_owned(), self.admission.inflight() as u64);
+        snap.counters
+            .insert(keys::SERVER_DRAIN_NS.to_owned(), self.drain_ns.load(Ordering::Relaxed));
         snap
     }
 
@@ -94,6 +145,16 @@ impl ServerState {
             .entry(keys::SERVER_REQUEST_NS.to_owned())
             .or_default()
             .observe(request_ns);
+    }
+
+    /// Records one admitted request's queue wait.
+    fn observe_queue(&self, queued: Duration) {
+        let mut totals = self.totals.lock().expect("server totals poisoned");
+        totals
+            .histograms
+            .entry(keys::SERVER_QUEUE_DEPTH_NS.to_owned())
+            .or_default()
+            .observe(u64::try_from(queued.as_nanos()).unwrap_or(u64::MAX));
     }
 }
 
@@ -137,8 +198,25 @@ pub fn dispatch_with(state: &ServerState, request: &Request, hooks: DispatchHook
     state.requests.fetch_add(1, Ordering::Relaxed);
     let started = Instant::now();
     let dispatched = match request {
-        Request::Check(c) => run_check(state, c, &hooks),
-        Request::Analyze(a) => run_analyze(a),
+        // Work requests pass the admission gate; `metrics` and
+        // `shutdown` never do — a saturated server must still answer
+        // health checks and must always be stoppable.
+        Request::Check(c) => match state.admission.admit(c.deadline_ms) {
+            Err(retry_after_ms) => overloaded(c.id, retry_after_ms),
+            Ok(permit) => {
+                state.observe_queue(permit.queued());
+                run_check(state, c, &hooks, permit.queued())
+                // `permit` drops here: slot freed, service time fed to
+                // the shed estimator.
+            }
+        },
+        Request::Analyze(a) => match state.admission.admit(a.deadline_ms) {
+            Err(retry_after_ms) => overloaded(a.id, retry_after_ms),
+            Ok(permit) => {
+                state.observe_queue(permit.queued());
+                run_analyze(a)
+            }
+        },
         Request::Metrics(m) => Dispatched {
             response: Response::Metrics(MetricsResponse {
                 id: m.id,
@@ -168,6 +246,20 @@ fn error_response(id: u64, status: Status, error: String) -> Dispatched {
     Dispatched { response: Response::Error(ErrorResponse { id, status, error }), report: None }
 }
 
+/// The typed load-shedding response: the request was well-formed but
+/// the server is saturated; `retry_after_ms` is its own estimate of
+/// when a slot frees up.
+fn overloaded(id: u64, retry_after_ms: u64) -> Dispatched {
+    Dispatched {
+        response: Response::Overloaded(OverloadedResponse {
+            id,
+            status: Status::Overloaded,
+            retry_after_ms,
+        }),
+        report: None,
+    }
+}
+
 /// How a `check` request's probes relate to the shared cross-request
 /// memo. Chaos-flipped verdicts are ordinary `Ok`/`Err` returns (unlike
 /// panics, which always propagate uncached), so letting a chaos request
@@ -186,7 +278,12 @@ enum MemoUse<'a> {
 
 /// `check`: assemble the oracle (chaos injection changes its type, so
 /// the session is built in a generic helper) and run the search.
-fn run_check(state: &ServerState, c: &CheckRequest, hooks: &DispatchHooks) -> Dispatched {
+fn run_check(
+    state: &ServerState,
+    c: &CheckRequest,
+    hooks: &DispatchHooks,
+    queued: Duration,
+) -> Dispatched {
     let prog = match parse_program(&c.source) {
         Ok(p) => p,
         Err(e) => return error_response(c.id, Status::ParseError, e.to_string()),
@@ -195,13 +292,13 @@ fn run_check(state: &ServerState, c: &CheckRequest, hooks: &DispatchHooks) -> Di
         let mut chaos = ChaosConfig::flips(c.chaos_seed, c.chaos_flip);
         chaos.panic_per_mille = c.chaos_panic;
         let oracle = CountingOracle::new(ChaosOracle::new(TypeCheckOracle::new(), chaos));
-        run_search(state, c, hooks, &prog, &oracle, MemoUse::Bypassed(&oracle))
+        run_search(state, c, hooks, queued, &prog, &oracle, MemoUse::Bypassed(&oracle))
     } else {
         // Every probe goes through the process-lifetime memo; a warm
         // identical request is answered without touching the real
         // oracle.
         let oracle = SharedMemoOracle::new(TypeCheckOracle::new(), state.memo.clone());
-        run_search(state, c, hooks, &prog, &oracle, MemoUse::Shared(&oracle))
+        run_search(state, c, hooks, queued, &prog, &oracle, MemoUse::Shared(&oracle))
     }
 }
 
@@ -209,6 +306,7 @@ fn run_search<O: Oracle>(
     state: &ServerState,
     c: &CheckRequest,
     hooks: &DispatchHooks,
+    queued: Duration,
     prog: &seminal_ml::ast::Program,
     oracle: &O,
     memo: MemoUse<'_>,
@@ -231,8 +329,10 @@ fn run_search<O: Oracle>(
     }
     if let Some(ms) = c.deadline_ms {
         // Admission control: the per-request deadline becomes the
-        // search `Budget`'s wall-clock bound.
-        builder = builder.deadline_ms(ms);
+        // search `Budget`'s wall-clock bound, and time already burned
+        // queuing for an admission slot is charged against it so
+        // `deadline_ms` bounds *end-to-end* latency, not just search.
+        builder = builder.deadline_ms(ms).admission_lag(queued);
     }
     for sink in &hooks.sinks {
         builder = builder.sink(sink.clone());
@@ -352,6 +452,47 @@ mod tests {
             Response::Check(r) => *r,
             other => panic!("check answered with a non-check response: {other:?}"),
         }
+    }
+
+    /// A saturated gate answers work requests with the typed
+    /// `overloaded` response — counted as served, stamped into the
+    /// process snapshot — while `metrics`/`shutdown` bypass the gate.
+    #[test]
+    fn saturated_gate_sheds_with_a_typed_response() {
+        let state = ServerState::with_config(ServerConfig {
+            overload: OverloadPolicy {
+                max_inflight: 1,
+                // A 1s service estimate makes any small deadline doomed.
+                expected_service_ns: 1_000_000_000,
+                ..OverloadPolicy::default()
+            },
+            ..ServerConfig::default()
+        });
+        let held = state.admission().admit(None).expect("free gate admits");
+
+        let doomed = Request::Check(CheckRequest {
+            deadline_ms: Some(5),
+            ..CheckRequest::new(9, ILL_TYPED)
+        });
+        match dispatch(&state, &doomed).response {
+            Response::Overloaded(o) => {
+                assert_eq!(o.id, 9);
+                assert_eq!(o.status, Status::Overloaded);
+                assert!(o.retry_after_ms > 0, "shed must carry a retry hint");
+            }
+            other => panic!("saturated check must shed, got {other:?}"),
+        }
+
+        // Health checks are never shed, even at saturation.
+        let metrics = dispatch(
+            &state,
+            &Request::Metrics(crate::api::MetricsRequest { id: 10, deadline_ms: None }),
+        );
+        let Response::Metrics(m) = metrics.response else { panic!("metrics must bypass the gate") };
+        assert_eq!(m.metrics.counter(keys::SERVER_SHED), 1);
+        assert_eq!(m.metrics.counter(keys::SERVER_INFLIGHT), 1);
+        assert_eq!(state.requests_served(), 2, "shed requests still count as served");
+        drop(held);
     }
 
     /// The memo.rs invariant: a chaotic oracle must not poison verdicts

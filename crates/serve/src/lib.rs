@@ -14,10 +14,16 @@
 //!   [`ServerState`]: the process-lifetime [`CrossRequestMemo`] that
 //!   keeps probe verdicts warm across requests, and the merged
 //!   process metrics a `metrics` request snapshots.
+//! * [`overload`] — bounded admission in front of the dispatcher:
+//!   `--max-inflight` concurrent work requests, deadline-aware load
+//!   shedding with typed `overloaded` responses, and the queue-wait
+//!   measurement that keeps `deadline_ms` an end-to-end bound.
 //! * [`server`] — the transport: newline-delimited JSON over stdio
-//!   ([`serve_stdio`]) or TCP ([`serve_tcp`], one thread per
-//!   connection over the same state), plus the [`forward`] client
-//!   mode behind `seminal serve --connect`.
+//!   ([`serve_stdio`]) or TCP ([`serve_tcp`], a bounded thread per
+//!   connection over the same state, graceful drain on shutdown),
+//!   plus the [`forward`] client mode behind `seminal serve
+//!   --connect` (reconnect backoff, `retry_after_ms`-honoring
+//!   resends).
 //!
 //! The one-shot CLI subcommands build the same `Request` values from
 //! their flags and call the same [`dispatch`], so exit codes and
@@ -43,12 +49,18 @@
 
 pub mod api;
 pub mod dispatch;
+pub mod overload;
 pub mod server;
 
 pub use api::{
     render_exit_table_help, render_exit_table_markdown, AnalyzeRequest, AnalyzeResponse, ApiError,
-    CheckRequest, CheckResponse, ErrorResponse, MetricsRequest, MetricsResponse, PayloadEntry,
-    Request, Response, ShutdownRequest, ShutdownResponse, StatsSummary, Status, EXIT_CODES, SCHEMA,
+    CheckRequest, CheckResponse, ErrorResponse, MetricsRequest, MetricsResponse,
+    OverloadedResponse, PayloadEntry, Request, Response, ShutdownRequest, ShutdownResponse,
+    StatsSummary, Status, EXIT_CODES, SCHEMA,
 };
-pub use dispatch::{dispatch, dispatch_with, DispatchHooks, Dispatched, ServerState};
-pub use server::{forward, serve_lines, serve_stdio, serve_tcp, ServeOptions, ServeSummary};
+pub use dispatch::{dispatch, dispatch_with, DispatchHooks, Dispatched, ServerConfig, ServerState};
+pub use overload::{Admission, OverloadPolicy, Permit, DEFAULT_MAX_INFLIGHT};
+pub use server::{
+    forward, forward_with, serve_lines, serve_stdio, serve_tcp, ForwardOptions, ServeOptions,
+    ServeSummary,
+};

@@ -15,6 +15,9 @@
 //! * [`serve`] — the `seminal-api/v1` request/response schema, the
 //!   `dispatch` entry point both front ends share, and the long-lived
 //!   `seminal serve` daemon with its cross-request memo;
+//! * [`loadgen`] — the chaos-under-load harness: concurrent TCP
+//!   replay of the Figure 6 session model against a live server,
+//!   rendered into the `seminal-bench/serve-v1` artifact;
 //! * [`corpus`] — the synthesized student corpus with ground truth;
 //! * [`eval`] — the §3 evaluation (five categories, Figures 5/7);
 //! * [`cpp`] — the §4 C++ template-function prototype;
@@ -46,6 +49,7 @@ pub use seminal_core as core;
 pub use seminal_corpus as corpus;
 pub use seminal_cpp as cpp;
 pub use seminal_eval as eval;
+pub use seminal_loadgen as loadgen;
 pub use seminal_ml as ml;
 pub use seminal_serve as serve;
 pub use seminal_testkit as testkit;

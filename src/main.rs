@@ -8,6 +8,7 @@
 //! seminal cpp <file.cpp>           run the C++ template-function prototype
 //! seminal fuzz                     run the property-fuzzing harness
 //! seminal serve                    long-lived NDJSON request server
+//! seminal loadgen                  chaos-under-load harness (BENCH_serve.json)
 //! seminal demo                     run the paper's worked examples
 //! ```
 //!
@@ -145,6 +146,24 @@ struct Opts {
     connect: Option<String>,
     /// Cross-request memo capacity in verdicts (`serve`).
     memo_capacity: Option<usize>,
+    /// Concurrent-connection cap for the TCP daemon (`serve --tcp`).
+    max_connections: Option<usize>,
+    /// Admission-gate concurrency (`serve`, `loadgen`).
+    max_inflight: Option<usize>,
+    /// Graceful-drain budget in milliseconds on shutdown (`serve`).
+    drain_ms: Option<u64>,
+    /// Per-connection idle timeout in ms; 0 disables (`serve --tcp`).
+    idle_timeout_ms: Option<u64>,
+    /// Per-response timeout in milliseconds (`serve --connect`).
+    timeout_ms: Option<u64>,
+    /// Concurrent load clients (`loadgen`).
+    clients: Option<usize>,
+    /// Distinct corpus problems per client (`loadgen`).
+    problems: Option<usize>,
+    /// Think time between a client's requests in ms (`loadgen`).
+    arrival_ms: Option<u64>,
+    /// Per-mille of load requests carrying chaos flags (`loadgen`).
+    chaos_share: u16,
 }
 
 fn main() -> ExitCode {
@@ -176,6 +195,15 @@ fn main() -> ExitCode {
         tcp: None,
         connect: None,
         memo_capacity: None,
+        max_connections: None,
+        max_inflight: None,
+        drain_ms: None,
+        idle_timeout_ms: None,
+        timeout_ms: None,
+        clients: None,
+        problems: None,
+        arrival_ms: None,
+        chaos_share: 0,
     };
     let mut i = 0;
     while i < args.len() {
@@ -337,6 +365,69 @@ fn main() -> ExitCode {
                 }
                 None => return usage(),
             },
+            "--max-connections" => match args.get(i + 1).and_then(|s| s.parse::<usize>().ok()) {
+                Some(n) => {
+                    opts.max_connections = Some(n);
+                    i += 2;
+                }
+                None => return usage(),
+            },
+            "--max-inflight" => match args.get(i + 1).and_then(|s| s.parse::<usize>().ok()) {
+                Some(n) => {
+                    opts.max_inflight = Some(n);
+                    i += 2;
+                }
+                None => return usage(),
+            },
+            "--drain-ms" => match args.get(i + 1).and_then(|s| s.parse::<u64>().ok()) {
+                Some(ms) => {
+                    opts.drain_ms = Some(ms);
+                    i += 2;
+                }
+                None => return usage(),
+            },
+            "--idle-timeout-ms" => match args.get(i + 1).and_then(|s| s.parse::<u64>().ok()) {
+                Some(ms) => {
+                    opts.idle_timeout_ms = Some(ms);
+                    i += 2;
+                }
+                None => return usage(),
+            },
+            "--timeout-ms" => match args.get(i + 1).and_then(|s| s.parse::<u64>().ok()) {
+                Some(ms) => {
+                    opts.timeout_ms = Some(ms);
+                    i += 2;
+                }
+                None => return usage(),
+            },
+            "--clients" => match args.get(i + 1).and_then(|s| s.parse::<usize>().ok()) {
+                Some(n) => {
+                    opts.clients = Some(n);
+                    i += 2;
+                }
+                None => return usage(),
+            },
+            "--problems" => match args.get(i + 1).and_then(|s| s.parse::<usize>().ok()) {
+                Some(n) => {
+                    opts.problems = Some(n);
+                    i += 2;
+                }
+                None => return usage(),
+            },
+            "--arrival-ms" => match args.get(i + 1).and_then(|s| s.parse::<u64>().ok()) {
+                Some(ms) => {
+                    opts.arrival_ms = Some(ms);
+                    i += 2;
+                }
+                None => return usage(),
+            },
+            "--chaos-share" => match args.get(i + 1).and_then(|s| s.parse::<u16>().ok()) {
+                Some(pm) => {
+                    opts.chaos_share = pm;
+                    i += 2;
+                }
+                None => return usage(),
+            },
             "--deadline-ms" => match args.get(i + 1).and_then(|s| s.parse::<u64>().ok()) {
                 // `0` is kept so the config builder reports the typed
                 // error, matching `--threads 0`.
@@ -379,6 +470,7 @@ fn main() -> ExitCode {
         },
         Some("fuzz") => fuzz_cmd(&opts),
         Some("serve") => serve_cmd(&opts),
+        Some("loadgen") => loadgen_cmd(&opts),
         Some("demo") => demo(),
         _ => usage(),
     }
@@ -404,10 +496,21 @@ fn usage() -> ExitCode {
          [--chaos-flip PM] [--chaos-panic PM] [--chaos-seed S] [--cpp]\n                            \
          run the deterministic property-fuzzing harness\n  \
          seminal serve [--tcp ADDR | --connect ADDR] [--memo-capacity N]\n               \
-         [--crash-dir DIR] [--trace-json PATH]\n                            \
+         [--max-connections N] [--max-inflight N] [--drain-ms N]\n               \
+         [--idle-timeout-ms N] [--timeout-ms N] [--crash-dir DIR]\n               \
+         [--trace-json PATH]\n                            \
          long-lived seminal-api/v1 request server (NDJSON over\n                            \
          stdio, or TCP with --tcp; --connect forwards stdin lines\n                            \
-         to a running server)\n  \
+         to a running server, with --timeout-ms bounding each\n                            \
+         response; requests past the admission gate's capacity\n                            \
+         are shed with a typed `overloaded` response)\n  \
+         seminal loadgen [--connect ADDR] [--clients N] [--problems N] [--seed S]\n               \
+         [--arrival-ms N] [--deadline-ms N] [--chaos-share PM]\n               \
+         [--chaos-flip PM] [--chaos-panic PM] [--max-inflight N]\n               \
+         [--max-connections N] [--memo-capacity N] [--out PATH]\n                            \
+         replay the paper's recompile-session model as concurrent\n                            \
+         TCP clients (self-hosted server unless --connect) and\n                            \
+         write the seminal-bench/serve-v1 artifact\n  \
          seminal demo              run the paper's worked examples\n\n\
          `--deadline-ms N` bounds one search's wall clock (default honors\n\
          SEMINAL_DEADLINE_MS); when it expires the best-so-far suggestions\n\
@@ -665,18 +768,37 @@ fn analyze_file(path: &str, opts: &Opts) -> ExitCode {
 fn serve_cmd(opts: &Opts) -> ExitCode {
     if let Some(addr) = &opts.connect {
         let stdin = std::io::stdin();
-        return match seminal::serve::forward(addr, stdin.lock(), std::io::stdout()) {
+        let forward_options = seminal::serve::ForwardOptions {
+            timeout_ms: opts.timeout_ms,
+            ..seminal::serve::ForwardOptions::default()
+        };
+        return match seminal::serve::forward_with(
+            addr,
+            &forward_options,
+            stdin.lock(),
+            std::io::stdout(),
+        ) {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
-                eprintln!("cannot connect to {addr}: {e}");
+                eprintln!("forward to {addr} failed: {e}");
                 ExitCode::from(EXIT_IO)
             }
         };
     }
     let mut options = ServeOptions {
         crash_dir: opts.crash_dir.as_ref().map(std::path::PathBuf::from),
-        sinks: Vec::new(),
+        ..ServeOptions::default()
     };
+    if let Some(n) = opts.max_connections {
+        options.max_connections = n;
+    }
+    if let Some(ms) = opts.drain_ms {
+        options.drain_ms = ms;
+    }
+    if let Some(ms) = opts.idle_timeout_ms {
+        // `--idle-timeout-ms 0` disables the idle disconnect.
+        options.idle_timeout_ms = (ms > 0).then_some(ms);
+    }
     if let Some(out) = &opts.trace_json {
         match std::fs::File::create(out) {
             Ok(f) => options.sinks.push(Arc::new(JsonlSink::new(std::io::BufWriter::new(f)))),
@@ -686,10 +808,14 @@ fn serve_cmd(opts: &Opts) -> ExitCode {
             }
         }
     }
-    let state = match opts.memo_capacity {
-        Some(n) => ServerState::with_memo_capacity(n),
-        None => ServerState::new(),
-    };
+    let mut config = seminal::serve::ServerConfig::default();
+    if let Some(n) = opts.memo_capacity {
+        config.memo_capacity = n;
+    }
+    if let Some(n) = opts.max_inflight {
+        config.overload.max_inflight = n;
+    }
+    let state = ServerState::with_config(config);
     let served = if let Some(addr) = &opts.tcp {
         let listener = match std::net::TcpListener::bind(addr) {
             Ok(l) => l,
@@ -720,6 +846,93 @@ fn serve_cmd(opts: &Opts) -> ExitCode {
             ExitCode::from(EXIT_IO)
         }
     }
+}
+
+/// `seminal loadgen`: replay the Figure 6 session model as concurrent
+/// TCP clients — against `--connect ADDR`, or self-hosted against an
+/// ephemeral in-process server — and render the run as a
+/// `seminal-bench/serve-v1` artifact (`--out PATH`, else stdout).
+///
+/// Exits 0 on a well-formed run; exits 1 if any response was malformed,
+/// errored, or violated the probe-accounting identity. Shed and
+/// degraded responses are expected outcomes under load, not failures.
+fn loadgen_cmd(opts: &Opts) -> ExitCode {
+    use seminal::loadgen::{bench_serve_json, percentile, LoadConfig, ServerTuning};
+    let defaults = LoadConfig::default();
+    // A bare `--chaos-share` still injects: fall back to the library's
+    // flip/panic rates so the chaos slice is never a silent no-op.
+    let (chaos_flip, chaos_panic) = if opts.chaos_flip == 0 && opts.chaos_panic == 0 {
+        (defaults.chaos_flip, defaults.chaos_panic)
+    } else {
+        (opts.chaos_flip, opts.chaos_panic)
+    };
+    let cfg = LoadConfig {
+        clients: opts.clients.unwrap_or(defaults.clients),
+        problems_per_client: opts.problems.unwrap_or(defaults.problems_per_client),
+        seed: opts.seed,
+        arrival_ms: opts.arrival_ms.unwrap_or(defaults.arrival_ms),
+        deadline_ms: opts.deadline_ms.or(defaults.deadline_ms),
+        chaos_share_milli: opts.chaos_share,
+        chaos_flip,
+        chaos_panic,
+        max_group: defaults.max_group,
+        top: opts.top as u64,
+    };
+    let report = if let Some(addr) = &opts.connect {
+        seminal::loadgen::replay(addr, &cfg, false)
+    } else {
+        let mut tuning = ServerTuning::default();
+        if let Some(n) = opts.memo_capacity {
+            tuning.memo_capacity = n;
+        }
+        if let Some(n) = opts.max_inflight {
+            tuning.max_inflight = n;
+        }
+        if let Some(n) = opts.max_connections {
+            tuning.max_connections = n;
+        }
+        if let Some(ms) = opts.drain_ms {
+            tuning.drain_ms = ms;
+        }
+        seminal::loadgen::run_self_hosted(&cfg, &tuning)
+    };
+    let report = match report {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("loadgen transport error: {e}");
+            return ExitCode::from(EXIT_IO);
+        }
+    };
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get() as u64);
+    let artifact = bench_serve_json(&report, cores).to_string_pretty();
+    if let Some(path) = &opts.out {
+        if let Err(e) = std::fs::write(path, artifact + "\n") {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::from(EXIT_IO);
+        }
+        eprintln!("loadgen: wrote {path}");
+    } else {
+        println!("{artifact}");
+    }
+    eprintln!(
+        "loadgen: {} client(s), {} request(s): {} completed, {} degraded, {} shed, \
+         {} error(s), {} malformed, {} accounting violation(s); p50 {:.1}ms p99 {:.1}ms",
+        report.clients,
+        report.requests,
+        report.completed,
+        report.degraded,
+        report.shed,
+        report.errors,
+        report.malformed,
+        report.accounting_violations,
+        percentile(&report.latencies_ns, 50) as f64 / 1e6,
+        percentile(&report.latencies_ns, 99) as f64 / 1e6,
+    );
+    if report.malformed > 0 || report.errors > 0 || report.accounting_violations > 0 {
+        eprintln!("loadgen: run violated the serving contract");
+        return ExitCode::from(EXIT_TYPE_ERRORS);
+    }
+    ExitCode::SUCCESS
 }
 
 /// Validates a metrics snapshot file against the documented schema

@@ -192,6 +192,235 @@ impl Drop for KillOnDrop {
     }
 }
 
+/// Spawns `serve --tcp 127.0.0.1:0` plus `extra_args` and returns the
+/// guarded child with the ephemeral address from its listen banner.
+fn spawn_tcp_serve(extra_args: &[&str]) -> (KillOnDrop, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_seminal"))
+        .args(["serve", "--tcp", "127.0.0.1:0"])
+        .args(extra_args)
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn seminal serve --tcp");
+    let mut stderr = BufReader::new(child.stderr.take().expect("server stderr"));
+    let mut banner = String::new();
+    stderr.read_line(&mut banner).expect("read the listen banner");
+    let addr = banner.trim().rsplit(' ').next().expect("address in banner").to_owned();
+    // Keep draining stderr so a chatty (or panicking) server never
+    // blocks on a full pipe — and its diagnostics reach the test log.
+    std::thread::spawn(move || {
+        for line in stderr.lines() {
+            let Ok(line) = line else { break };
+            eprintln!("[serve] {line}");
+        }
+    });
+    (KillOnDrop(child), addr)
+}
+
+/// A line-oriented `seminal-api/v1` TCP client.
+struct TcpClient {
+    stream: std::net::TcpStream,
+    reader: BufReader<std::net::TcpStream>,
+}
+
+impl TcpClient {
+    fn connect(addr: &str) -> TcpClient {
+        let stream =
+            std::net::TcpStream::connect(addr).unwrap_or_else(|e| panic!("connect to {addr}: {e}"));
+        stream.set_nodelay(true).ok();
+        let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+        TcpClient { stream, reader }
+    }
+
+    fn round_trip(&mut self, request: &Request) -> Response {
+        let mut line = request.to_json_string();
+        line.push('\n');
+        self.stream.write_all(line.as_bytes()).expect("write request");
+        self.stream.flush().expect("flush request");
+        let mut response = String::new();
+        self.reader.read_line(&mut response).expect("read response");
+        assert!(!response.is_empty(), "server closed the connection without answering {line}");
+        Response::from_json_str(response.trim_end()).unwrap_or_else(|e| {
+            panic!("response line is not valid seminal-api/v1 ({e}): {response}")
+        })
+    }
+}
+
+/// Waits for the child to exit on its own, failing after `limit`.
+fn wait_with_deadline(guard: &mut KillOnDrop, limit: std::time::Duration) -> i32 {
+    let started = std::time::Instant::now();
+    loop {
+        if let Some(status) = guard.0.try_wait().expect("poll server") {
+            return status.code().expect("server exit code");
+        }
+        assert!(
+            started.elapsed() < limit,
+            "server still running {limit:?} after shutdown — drain is hanging"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+}
+
+/// The tentpole's concurrency acceptance: four simultaneous TCP
+/// connections are all served, every one of their warm checks is
+/// answered from the shared cross-request memo without touching the
+/// real oracle, and the per-connection request counts sum exactly to
+/// the `requests_served` the shutdown response reports.
+#[test]
+fn four_concurrent_connections_share_the_memo_and_the_request_count() {
+    let (mut guard, addr) = spawn_tcp_serve(&[]);
+
+    // Warm the memo with one cold check first.
+    let mut warmer = TcpClient::connect(&addr);
+    let Response::Check(cold) = warmer.round_trip(&Request::Check(CheckRequest::new(1, FIGURE2)))
+    else {
+        panic!("warming check answered with a non-check response");
+    };
+    assert!(cold.metrics.counter("oracle.real_calls") > 0);
+
+    const CLIENTS: u64 = 4;
+    const PER_CLIENT: u64 = 2;
+    let per_connection: Vec<u64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|client| {
+                let addr = &addr;
+                scope.spawn(move || {
+                    let mut conn = TcpClient::connect(addr);
+                    let mut sent = 0;
+                    for seq in 0..PER_CLIENT {
+                        let id = (client + 2) * 100 + seq;
+                        let Response::Check(warm) =
+                            conn.round_trip(&Request::Check(CheckRequest::new(id, FIGURE2)))
+                        else {
+                            panic!("concurrent check answered with a non-check response");
+                        };
+                        sent += 1;
+                        assert_eq!(warm.id, id);
+                        assert_eq!(
+                            warm.metrics.counter("oracle.real_calls"),
+                            0,
+                            "a warm concurrent check must be served from the shared memo"
+                        );
+                        assert!(warm.metrics.counter("memo.cross_request_hits") > 0);
+                    }
+                    sent
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+    });
+
+    let mut control = TcpClient::connect(&addr);
+    let Response::Shutdown(resp) =
+        control.round_trip(&Request::Shutdown(ShutdownRequest { id: 999, deadline_ms: None }))
+    else {
+        panic!("shutdown answered with a non-shutdown response");
+    };
+    let client_sum: u64 = per_connection.iter().sum();
+    assert_eq!(
+        resp.requests_served,
+        1 + client_sum + 1,
+        "warm-up + every connection's requests + the shutdown itself"
+    );
+    assert_eq!(wait_with_deadline(&mut guard, std::time::Duration::from_secs(10)), 0);
+    std::mem::forget(guard);
+}
+
+/// Regression test for the shutdown hang: a connected client that
+/// never sends anything must not block the drain. The server has to
+/// notice the stop flag, force-close the idle connection after the
+/// drain budget, and exit — under the old 20ms-sleep accept loop plus
+/// unbounded connection joins it would hang forever.
+#[test]
+fn idle_client_does_not_block_shutdown() {
+    let (mut guard, addr) = spawn_tcp_serve(&["--drain-ms", "300"]);
+
+    // An idle connection: opened, never written to.
+    let idle = TcpClient::connect(&addr);
+
+    let mut control = TcpClient::connect(&addr);
+    let Response::Shutdown(resp) =
+        control.round_trip(&Request::Shutdown(ShutdownRequest { id: 1, deadline_ms: None }))
+    else {
+        panic!("shutdown answered with a non-shutdown response");
+    };
+    assert_eq!(resp.status, Status::Ok);
+
+    // Drain budget 300ms + force-close grace; 10s is pure slack.
+    assert_eq!(wait_with_deadline(&mut guard, std::time::Duration::from_secs(10)), 0);
+    drop(idle);
+    std::mem::forget(guard);
+}
+
+/// The load-shedding acceptance: with a single admission slot held
+/// busy, a concurrent check with a 1ms deadline is answered with a
+/// typed `overloaded` response carrying a retry hint — not an error,
+/// not a hang, not a dropped connection.
+#[test]
+fn saturated_admission_gate_sheds_with_a_typed_response() {
+    let (mut guard, addr) = spawn_tcp_serve(&["--max-inflight", "1"]);
+
+    // Keep the one slot busy: a pump thread sends chaos-flagged checks
+    // back to back. Chaos requests bypass the cross-request memo, so
+    // each one really occupies the slot for a full search.
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let shed = std::thread::scope(|scope| {
+        let pump = scope.spawn(|| {
+            let mut conn = TcpClient::connect(&addr);
+            let mut id = 10;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                let request = CheckRequest {
+                    chaos_flip: 1,
+                    chaos_seed: id,
+                    ..CheckRequest::new(id, FIGURE2)
+                };
+                let response = conn.round_trip(&Request::Check(request));
+                assert!(
+                    matches!(response, Response::Check(_)),
+                    "the pump's un-deadlined checks must complete, got {response:?}"
+                );
+                id += 1;
+            }
+        });
+
+        // Probe with doomed deadlines until one lands while the slot
+        // is held. Each probe either completes (it caught the gate
+        // idle) or sheds — both well-formed; we need one shed.
+        let mut conn = TcpClient::connect(&addr);
+        let mut shed = None;
+        for seq in 0..200 {
+            let request =
+                CheckRequest { deadline_ms: Some(1), ..CheckRequest::new(10_000 + seq, FIGURE2) };
+            match conn.round_trip(&Request::Check(request)) {
+                Response::Overloaded(o) => {
+                    shed = Some(o);
+                    break;
+                }
+                Response::Check(_) => std::thread::sleep(std::time::Duration::from_millis(2)),
+                other => panic!("a doomed check must complete or shed, got {other:?}"),
+            }
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        pump.join().expect("pump thread");
+        shed
+    });
+
+    let shed = shed.expect("200 doomed probes against a busy single-slot gate must shed once");
+    assert_eq!(shed.status, Status::Overloaded);
+    assert!(shed.retry_after_ms > 0, "a shed must carry an actionable retry hint");
+
+    let mut control = TcpClient::connect(&addr);
+    let Response::Shutdown(resp) =
+        control.round_trip(&Request::Shutdown(ShutdownRequest { id: 1, deadline_ms: None }))
+    else {
+        panic!("shutdown answered with a non-shutdown response");
+    };
+    assert_eq!(resp.status, Status::Ok);
+    assert_eq!(wait_with_deadline(&mut guard, std::time::Duration::from_secs(10)), 0);
+    std::mem::forget(guard);
+}
+
 /// The TCP transport end-to-end: bind an ephemeral port, connect, run
 /// a check and a clean shutdown. Regression test for accepted sockets
 /// inheriting `O_NONBLOCK` from the non-blocking listener (macOS/BSD
