@@ -151,6 +151,17 @@ pub struct SearchConfig {
     /// and reports `Completion::DeadlineExpired` with best-so-far
     /// suggestions. Zero (the default) charges nothing.
     pub admission_lag: Duration,
+    /// Use the checkpointed incremental oracle
+    /// ([`CheckpointedOracle`](seminal_typeck::CheckpointedOracle)):
+    /// probes re-infer only from their first edited declaration forward,
+    /// resuming from per-declaration snapshots, instead of re-checking
+    /// the whole program from scratch. Verdicts — and therefore the
+    /// suggestion set and report payload — are byte-identical either way
+    /// (the `incremental-scratch-identity` differential oracle pins
+    /// this); only `oracle.latency_ns` and the `oracle.incremental_*`
+    /// counters move. On by default; `--no-incremental` is the CLI
+    /// escape hatch.
+    pub incremental_oracle: bool,
 }
 
 /// Default thread count: `SEMINAL_THREADS` when set to a positive
@@ -202,6 +213,7 @@ impl Default for SearchConfig {
             threads: default_threads(),
             deadline: default_deadline(),
             admission_lag: Duration::ZERO,
+            incremental_oracle: true,
         }
     }
 }
@@ -276,6 +288,14 @@ impl SearchConfig {
     /// analysis — same probe set, richer ranking signal.
     pub fn with_mcs_guidance() -> SearchConfig {
         SearchConfig { guidance_backend: BackendKind::Mcs, ..SearchConfig::default() }
+    }
+
+    /// The scratch oracle (`--no-incremental`): every probe re-infers
+    /// the whole program, as the 2007 tool did. The escape hatch for
+    /// bisecting a suspected incremental-oracle bug — results must be
+    /// byte-identical to the default.
+    pub fn without_incremental_oracle() -> SearchConfig {
+        SearchConfig { incremental_oracle: false, ..SearchConfig::default() }
     }
 
     /// Pure removal search (§2.1), for ablation benches.
@@ -412,6 +432,13 @@ impl SearchConfigBuilder {
         self
     }
 
+    /// Enable/disable the checkpointed incremental oracle.
+    #[must_use]
+    pub fn incremental_oracle(mut self, on: bool) -> Self {
+        self.cfg.incremental_oracle = on;
+        self
+    }
+
     /// Validates and produces the configuration.
     ///
     /// # Errors
@@ -499,6 +526,14 @@ mod tests {
             SearchConfig::builder().deadline(Some(Duration::from_millis(50))).build().unwrap();
         assert_eq!(cfg.deadline, Some(Duration::from_millis(50)));
         assert!(SearchConfig::builder().deadline(None).build().is_ok());
+    }
+
+    #[test]
+    fn incremental_oracle_defaults_on_with_an_escape_hatch() {
+        assert!(SearchConfig::default().incremental_oracle);
+        assert!(!SearchConfig::without_incremental_oracle().incremental_oracle);
+        let cfg = SearchConfig::builder().incremental_oracle(false).build().unwrap();
+        assert!(!cfg.incremental_oracle);
     }
 
     #[test]

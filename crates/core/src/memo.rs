@@ -209,6 +209,10 @@ impl<O: Oracle> Oracle for SharedMemoOracle<O> {
         }
         verdict
     }
+
+    fn incremental_stats(&self) -> Option<seminal_typeck::oracle::IncrementalStats> {
+        self.inner.incremental_stats()
+    }
 }
 
 #[cfg(test)]

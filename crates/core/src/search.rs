@@ -45,7 +45,8 @@ use seminal_obs::{
     ProbeKind, SpanKind, SrcSpan, TraceRecord, TraceSink, Tracer,
 };
 use seminal_typeck::{
-    check_program_types, guarded_check, guarded_probe, Oracle, ProbeOutcome, TypeError,
+    check_program_types, guarded_check, guarded_probe, IncrementalStats, Oracle, ProbeOutcome,
+    TypeError,
 };
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -424,6 +425,7 @@ impl<O: Oracle> SearchCore<O> {
         flight: Option<Arc<FlightRecorder>>,
     ) -> SearchReport {
         let start = Instant::now();
+        let inc_before = self.oracle.incremental_stats();
         let mut run = Run {
             oracle: &self.oracle,
             cfg: &self.config,
@@ -456,6 +458,11 @@ impl<O: Oracle> SearchCore<O> {
                 let records = capture.as_ref().map(|c| c.drain()).unwrap_or_default();
                 let mut metrics = run.local.snapshot(&stats, 0, Completion::Complete);
                 fold_engine_metrics(&mut metrics, engine);
+                fold_incremental_metrics(
+                    &mut metrics,
+                    inc_before,
+                    self.oracle.incremental_stats(),
+                );
                 return SearchReport {
                     outcome: Outcome::WellTyped,
                     completion: Completion::Complete,
@@ -575,6 +582,7 @@ impl<O: Oracle> SearchCore<O> {
         }
         let mut metrics = run.local.snapshot(&stats, suggestions.len() as u64, completion);
         fold_engine_metrics(&mut metrics, engine);
+        fold_incremental_metrics(&mut metrics, inc_before, self.oracle.incremental_stats());
         // Post-mortem evidence: whenever the run ends anything but
         // cleanly — a bound stopped it, or isolated probe faults thinned
         // the plan — the flight recorder's tail and the final metrics
@@ -643,6 +651,31 @@ fn fold_engine_metrics<O: Oracle>(
     c.insert("engine.largest_batch".to_owned(), e.largest_batch());
     c.insert("engine.speculative_waste".to_owned(), e.memo().unconsumed());
     c.insert("engine.probe_faults".to_owned(), e.probe_faults());
+}
+
+/// Folds the incremental oracle's counter deltas (cumulative stats
+/// snapshotted at run start vs. run end) into a finished snapshot. Only
+/// present when an incremental oracle sits somewhere in the stack, so
+/// scratch-oracle snapshots are unchanged.
+fn fold_incremental_metrics(
+    metrics: &mut MetricsSnapshot,
+    before: Option<IncrementalStats>,
+    after: Option<IncrementalStats>,
+) {
+    let (Some(b), Some(a)) = (before, after) else { return };
+    let c = &mut metrics.counters;
+    c.insert(
+        seminal_obs::keys::ORACLE_INCREMENTAL_HITS.to_owned(),
+        a.incremental_hits.saturating_sub(b.incremental_hits),
+    );
+    c.insert(
+        seminal_obs::keys::ORACLE_DECLS_RECHECK.to_owned(),
+        a.decls_recheck.saturating_sub(b.decls_recheck),
+    );
+    c.insert(
+        seminal_obs::keys::ORACLE_ROLLBACK_NS.to_owned(),
+        a.rollback_ns.saturating_sub(b.rollback_ns),
+    );
 }
 
 /// Allocation-free accumulators for the per-search metrics snapshot —
@@ -996,7 +1029,9 @@ impl<O: Oracle> Run<'_, O> {
                 // Declaration-level `let` → `let rec` (Figure 3's last row).
                 if !*rec && bindings.iter().all(|b| matches!(b.pat.kind, PatKind::Var(_))) {
                     let mut variant = scope.prog.clone();
-                    if let DeclKind::Let { rec, .. } = &mut variant.decls[idx].kind {
+                    if let DeclKind::Let { rec, .. } =
+                        &mut std::sync::Arc::make_mut(&mut variant.decls[idx]).kind
+                    {
                         *rec = true;
                     }
                     self.label(
@@ -1665,9 +1700,11 @@ impl<O: Oracle> Run<'_, O> {
             let context_str = variant
                 .decls
                 .iter()
-                .map(decl_to_string)
+                .map(|d| decl_to_string(d))
                 .find(|s| s.contains("match"))
-                .unwrap_or_else(|| variant.decls.last().map(decl_to_string).unwrap_or_default());
+                .unwrap_or_else(|| {
+                    variant.decls.last().map(|d| decl_to_string(d)).unwrap_or_default()
+                });
             self.suggestions.push(Suggestion {
                 focus: Focus::Pat { target: pat.id, replacement: Pat::wild(Span::DUMMY) },
                 kind: ChangeKind::Removal,

@@ -9,9 +9,18 @@
 //! constant across thread counts. Cancellation and deadlines degrade the
 //! same way: cooperative stop, best-so-far payload, honest completion.
 
+//! Since the checkpointed incremental oracle landed, the whole suite is
+//! additionally pinned in **both** oracle modes: chaos wraps *outside*
+//! the checkpointed oracle and injection decisions are a pure function
+//! of rendered text and seed, so the same variants must fault — and the
+//! payloads, completions, and probe accounting must stay identical —
+//! whether the clean probes are answered incrementally or from scratch.
+//! (The C++ prototype's chaos loop is untouched by this: the
+//! checkpointed oracle is Caml-only.)
+
 use seminal_core::{Completion, SearchReport, SearchSession};
 use seminal_ml::parser::parse_program;
-use seminal_typeck::{ChaosConfig, ChaosOracle, TypeCheckOracle};
+use seminal_typeck::{ChaosConfig, ChaosOracle, CheckpointedOracle, TypeCheckOracle};
 use std::sync::Once;
 use std::time::{Duration, Instant};
 
@@ -70,10 +79,16 @@ fn quiet_chaos_panics() {
 }
 
 fn run_chaotic(src: &str, seed: u64, threads: usize) -> SearchReport {
+    run_chaotic_mode(src, seed, threads, true)
+}
+
+fn run_chaotic_mode(src: &str, seed: u64, threads: usize, incremental: bool) -> SearchReport {
     quiet_chaos_panics();
     let prog = parse_program(src).unwrap_or_else(|e| panic!("parse: {e}"));
-    let oracle =
-        ChaosOracle::new(TypeCheckOracle::new(), ChaosConfig::panics(seed, PANIC_PER_MILLE));
+    let oracle = ChaosOracle::new(
+        CheckpointedOracle::with_enabled(incremental),
+        ChaosConfig::panics(seed, PANIC_PER_MILLE),
+    );
     SearchSession::builder(oracle).threads(threads).memoize(true).build().unwrap().search(&prog)
 }
 
@@ -118,19 +133,23 @@ fn every_chaotic_search_finishes_and_reports_faults_honestly() {
 
 #[test]
 fn chaotic_payloads_and_completion_are_identical_across_thread_counts() {
-    for (name, src) in SCENARIOS {
-        let base = run_chaotic(src, 42, 1);
-        for threads in [2, 8] {
-            let par = run_chaotic(src, 42, threads);
-            assert_eq!(
-                payload(&base),
-                payload(&par),
-                "{name}: chaotic payload changed at {threads} threads"
-            );
-            assert_eq!(
-                base.completion, par.completion,
-                "{name}: completion changed at {threads} threads"
-            );
+    for incremental in [true, false] {
+        for (name, src) in SCENARIOS {
+            let base = run_chaotic_mode(src, 42, 1, incremental);
+            for threads in [2, 8] {
+                let par = run_chaotic_mode(src, 42, threads, incremental);
+                assert_eq!(
+                    payload(&base),
+                    payload(&par),
+                    "{name} (incremental={incremental}): \
+                     chaotic payload changed at {threads} threads"
+                );
+                assert_eq!(
+                    base.completion, par.completion,
+                    "{name} (incremental={incremental}): \
+                     completion changed at {threads} threads"
+                );
+            }
         }
     }
 }
@@ -139,20 +158,51 @@ fn chaotic_payloads_and_completion_are_identical_across_thread_counts() {
 fn chaotic_probe_accounting_reconciles_across_thread_counts() {
     // Every logical probe is exactly one of: real oracle call, memo hit,
     // isolated fault. The partition varies with the schedule; the sum
-    // may not.
+    // may not — in either oracle mode.
+    for incremental in [true, false] {
+        for (name, src) in SCENARIOS {
+            let base = run_chaotic_mode(src, 42, 1, incremental);
+            let logical = base.stats.oracle_calls + base.stats.memo_hits + base.stats.probe_faults;
+            for threads in [2, 8] {
+                let par = run_chaotic_mode(src, 42, threads, incremental);
+                assert_eq!(
+                    par.stats.oracle_calls + par.stats.memo_hits + par.stats.probe_faults,
+                    logical,
+                    "{name} (incremental={incremental}): probe accounting diverged at \
+                     {threads} threads ({} calls + {} hits + {} faults, sequential was {logical})",
+                    par.stats.oracle_calls,
+                    par.stats.memo_hits,
+                    par.stats.probe_faults,
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn chaotic_runs_are_identical_between_incremental_and_scratch_oracles() {
+    // Injection decisions are text-keyed, so the same variants fault in
+    // both oracle modes; everything user-visible — payload, completion,
+    // and the full probe accounting partition — must therefore be
+    // byte-identical between the checkpointed and scratch paths, at
+    // every pinned thread count.
     for (name, src) in SCENARIOS {
-        let base = run_chaotic(src, 42, 1);
-        let logical = base.stats.oracle_calls + base.stats.memo_hits + base.stats.probe_faults;
-        for threads in [2, 8] {
-            let par = run_chaotic(src, 42, threads);
+        for threads in THREAD_COUNTS {
+            let incr = run_chaotic_mode(src, 42, threads, true);
+            let scratch = run_chaotic_mode(src, 42, threads, false);
             assert_eq!(
-                par.stats.oracle_calls + par.stats.memo_hits + par.stats.probe_faults,
-                logical,
-                "{name}: probe accounting diverged at {threads} threads \
-                 ({} calls + {} hits + {} faults, sequential was {logical})",
-                par.stats.oracle_calls,
-                par.stats.memo_hits,
-                par.stats.probe_faults,
+                payload(&incr),
+                payload(&scratch),
+                "{name} at {threads} threads: payload depends on the oracle mode"
+            );
+            assert_eq!(
+                incr.completion, scratch.completion,
+                "{name} at {threads} threads: completion depends on the oracle mode"
+            );
+            assert_eq!(
+                (incr.stats.oracle_calls, incr.stats.memo_hits, incr.stats.probe_faults),
+                (scratch.stats.oracle_calls, scratch.stats.memo_hits, scratch.stats.probe_faults),
+                "{name} at {threads} threads: probe accounting depends on the oracle mode"
             );
         }
     }

@@ -19,7 +19,7 @@ use seminal_core::{SearchConfig, SearchSession};
 use seminal_corpus::CorpusFile;
 use seminal_ml::parser::parse_program;
 use seminal_obs::MetricsSnapshot;
-use seminal_typeck::{check_program, TypeCheckOracle};
+use seminal_typeck::{check_program, CheckpointedOracle};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, PoisonError};
@@ -145,12 +145,20 @@ fn guarded_evaluate(file: &CorpusFile) -> Result<FileResult, String> {
 /// Runs all three systems over one file. Sessions are pinned to
 /// `threads(1)` so per-file results do not depend on `SEMINAL_THREADS`
 /// or on the worker count of the surrounding corpus run.
+///
+/// Both searching systems answer probes through the checkpointed
+/// incremental oracle — the production default — so the
+/// `BENCH_search.json` artifact's latency histograms and the
+/// `oracle.decls_recheck` / `oracle.incremental_hits` counters measure
+/// the path users actually run. The differential test layer pins the
+/// reports byte-identical to the scratch oracle's, so judgments and
+/// call counts are unchanged by this choice.
 fn evaluate_file(file: &CorpusFile) -> Result<FileResult, String> {
-    let full_session = SearchSession::builder(TypeCheckOracle::new())
+    let full_session = SearchSession::builder(CheckpointedOracle::new())
         .threads(1)
         .build()
         .expect("default config with threads=1 is valid");
-    let nt_session = SearchSession::builder(TypeCheckOracle::new())
+    let nt_session = SearchSession::builder(CheckpointedOracle::new())
         .config(SearchConfig::without_triage())
         .threads(1)
         .build()
@@ -184,6 +192,7 @@ fn evaluate_file(file: &CorpusFile) -> Result<FileResult, String> {
 mod tests {
     use super::*;
     use seminal_corpus::generate::{generate, small_config};
+    use seminal_typeck::TypeCheckOracle;
 
     #[test]
     fn evaluation_produces_a_result_per_file() {

@@ -8,6 +8,7 @@
 
 use crate::span::Span;
 use std::fmt;
+use std::sync::Arc;
 
 /// Identity of an AST node, unique within one [`Program`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -298,9 +299,19 @@ pub enum DeclKind {
 }
 
 /// A whole source file: the unit the searcher operates on.
+///
+/// Declarations are held behind [`Arc`] so that cloning a program — and
+/// building probe variants that differ in a single declaration — shares
+/// every untouched top-level subtree instead of deep-copying it. The
+/// incremental oracle leans on that sharing: two programs whose leading
+/// declarations are pointer-equal provably have the same prefix, so the
+/// checker can resume from a snapshot instead of re-inferring from
+/// scratch. All `Arc`s here are handed out by the parser and by
+/// [`edit::apply`](crate::edit::apply); mutate one in place only through
+/// [`Arc::make_mut`], which unshares exactly the declaration touched.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Program {
-    pub decls: Vec<Decl>,
+    pub decls: Vec<Arc<Decl>>,
     /// Next unassigned [`NodeId`]; managed by the parser and by `edit`.
     pub next_id: u32,
 }
@@ -320,7 +331,8 @@ impl Program {
 
     /// A copy containing only the first `n` declarations — the prefix
     /// programs the searcher feeds to the oracle to localize the first
-    /// ill-typed top-level definition (§2.1).
+    /// ill-typed top-level definition (§2.1). With `Arc`-shared
+    /// declarations this is `n` refcount bumps, not a deep copy.
     pub fn prefix(&self, n: usize) -> Program {
         Program { decls: self.decls[..n.min(self.decls.len())].to_vec(), next_id: self.next_id }
     }

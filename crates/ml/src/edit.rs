@@ -9,6 +9,7 @@
 use crate::ast::*;
 use crate::span::Span;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A batch of node substitutions to apply atomically.
 ///
@@ -53,6 +54,59 @@ impl Edit {
     pub fn len(&self) -> usize {
         self.exprs.len() + self.pats.len()
     }
+
+    /// Whether any substitution target lives inside `p`.
+    fn touches_pat(&self, p: &Pat) -> bool {
+        if self.pats.contains_key(&p.id) {
+            return true;
+        }
+        let mut hit = false;
+        p.for_each_child(&mut |child| hit = hit || self.touches_pat(child));
+        hit
+    }
+
+    /// Whether any substitution target lives inside `e`, including in
+    /// patterns nested under it (fun params, let bindings, match arms).
+    fn touches_expr(&self, e: &Expr) -> bool {
+        if self.exprs.contains_key(&e.id) {
+            return true;
+        }
+        if !self.pats.is_empty() {
+            let pat_hit = match &e.kind {
+                ExprKind::Fun(ps, _) => ps.iter().any(|p| self.touches_pat(p)),
+                ExprKind::Let { bindings, .. } => bindings.iter().any(|b| {
+                    self.touches_pat(&b.pat) || b.params.iter().any(|p| self.touches_pat(p))
+                }),
+                ExprKind::Match(_, arms) | ExprKind::Try(_, arms) => {
+                    arms.iter().any(|arm| self.touches_pat(&arm.pat))
+                }
+                _ => false,
+            };
+            if pat_hit {
+                return true;
+            }
+        }
+        let mut hit = false;
+        e.for_each_child(&mut |child| hit = hit || self.touches_expr(child));
+        hit
+    }
+
+    /// Whether applying this edit can change `d` at all. Declarations
+    /// that contain no target are shared untouched by [`apply`].
+    fn touches_decl(&self, d: &Decl) -> bool {
+        if self.is_empty() {
+            return false;
+        }
+        match &d.kind {
+            DeclKind::Let { bindings, .. } => bindings.iter().any(|b| {
+                self.touches_pat(&b.pat)
+                    || b.params.iter().any(|p| self.touches_pat(p))
+                    || self.touches_expr(&b.body)
+            }),
+            DeclKind::Expr(e) => self.touches_expr(e),
+            DeclKind::Type(_) | DeclKind::Exception(_, _) => false,
+        }
+    }
 }
 
 /// Applies `edit` to `prog`, returning the edited copy.
@@ -63,7 +117,15 @@ impl Edit {
 /// original source location.
 pub fn apply(prog: &Program, edit: &Edit) -> Program {
     let mut cx = Applier { edit, next_id: prog.next_id };
-    let decls = prog.decls.iter().map(|d| cx.decl(d)).collect();
+    // Structure sharing: a declaration that contains no substitution
+    // target is returned as the same `Arc`, so a probe variant deep-copies
+    // only the edited declaration. The incremental oracle detects the
+    // shared prefix by pointer equality and skips re-inferring it.
+    let decls = prog
+        .decls
+        .iter()
+        .map(|d| if edit.touches_decl(d) { Arc::new(cx.decl(d)) } else { Arc::clone(d) })
+        .collect();
     Program { decls, next_id: cx.next_id }
 }
 
@@ -535,7 +597,7 @@ mod tests {
     fn validate_rejects_duplicates_and_synth() {
         let mut prog = parse_program("let x = 1 + 2").unwrap();
         // Force a duplicate id.
-        if let DeclKind::Let { bindings, .. } = &mut prog.decls[0].kind {
+        if let DeclKind::Let { bindings, .. } = &mut Arc::make_mut(&mut prog.decls[0]).kind {
             if let ExprKind::BinOp(_, l, r) = &mut bindings[0].body.kind {
                 r.id = l.id;
             }
@@ -543,7 +605,7 @@ mod tests {
         assert!(matches!(validate(&prog), Err(ValidationError::DuplicateId(_))));
 
         let mut prog = parse_program("let x = 1").unwrap();
-        if let DeclKind::Let { bindings, .. } = &mut prog.decls[0].kind {
+        if let DeclKind::Let { bindings, .. } = &mut Arc::make_mut(&mut prog.decls[0]).kind {
             bindings[0].body.id = NodeId::SYNTH;
         }
         assert_eq!(validate(&prog), Err(ValidationError::SynthId));

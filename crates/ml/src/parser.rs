@@ -91,7 +91,7 @@ pub fn parse_program(source: &str) -> Result<Program, ParseError> {
             break;
         }
         let decl = p.decl(&mut program)?;
-        program.decls.push(decl);
+        program.decls.push(std::sync::Arc::new(decl));
     }
     Ok(program)
 }

@@ -47,6 +47,17 @@ pub mod keys {
     /// Counter: calls that reached the real (inner) oracle this request
     /// — the number the e2e warm-cache test pins to zero.
     pub const ORACLE_REAL_CALLS: &str = "oracle.real_calls";
+    /// Counter: probes the incremental (checkpointed) oracle answered by
+    /// reusing a previously checked declaration prefix — including probes
+    /// answered entirely from the cached chain without any re-inference.
+    pub const ORACLE_INCREMENTAL_HITS: &str = "oracle.incremental_hits";
+    /// Counter: declarations the incremental oracle actually re-inferred.
+    /// The whole point of the checkpointed path is that this stays well
+    /// under `oracle_calls × decls`, the scratch oracle's cost.
+    pub const ORACLE_DECLS_RECHECK: &str = "oracle.decls_recheck";
+    /// Counter: nanoseconds the incremental oracle spent rolling the
+    /// union-find trail and environment back after tail re-inference.
+    pub const ORACLE_ROLLBACK_NS: &str = "oracle.rollback_ns";
     /// Counter: API requests dispatched by this server process.
     pub const SERVER_REQUESTS: &str = "server.requests";
     /// Histogram: wall-clock time to dispatch one API request, ns.

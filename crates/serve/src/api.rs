@@ -220,6 +220,11 @@ pub struct CheckRequest {
     pub chaos_panic: u16,
     /// Chaos: seed for the injection layer's own draws.
     pub chaos_seed: u64,
+    /// Disable the checkpointed incremental oracle for this request
+    /// (probes re-infer the whole program from scratch). Optional on the
+    /// wire, default `false` — existing v1 clients get the incremental
+    /// path automatically.
+    pub no_incremental: bool,
 }
 
 impl CheckRequest {
@@ -237,6 +242,7 @@ impl CheckRequest {
             chaos_flip: 0,
             chaos_panic: 0,
             chaos_seed: 0,
+            no_incremental: false,
         }
     }
 }
@@ -340,6 +346,9 @@ impl Request {
                 if r.chaos_seed > 0 {
                     members.push(("chaos_seed".to_owned(), Json::Num(r.chaos_seed)));
                 }
+                if r.no_incremental {
+                    members.push(("no_incremental".to_owned(), Json::Bool(true)));
+                }
             }
             Request::Analyze(r) => {
                 members.push(("source".to_owned(), Json::Str(r.source.clone())));
@@ -403,6 +412,7 @@ impl Request {
                         "chaos_flip",
                         "chaos_panic",
                         "chaos_seed",
+                        "no_incremental",
                     ],
                 )?;
                 Ok(Request::Check(CheckRequest {
@@ -416,6 +426,7 @@ impl Request {
                     chaos_flip: opt_per_mille(json, "chaos_flip")?,
                     chaos_panic: opt_per_mille(json, "chaos_panic")?,
                     chaos_seed: opt_num(json, "chaos_seed")?.unwrap_or(0),
+                    no_incremental: opt_bool(json, "no_incremental")?,
                 }))
             }
             "analyze" => {
@@ -936,6 +947,14 @@ fn opt_num(json: &Json, field: &'static str) -> Result<Option<u64>, ApiError> {
         None => Ok(None),
         Some(Json::Num(n)) => Ok(Some(*n)),
         Some(_) => Err(ApiError::BadValue { field, why: "not a number".to_owned() }),
+    }
+}
+
+fn opt_bool(json: &Json, field: &'static str) -> Result<bool, ApiError> {
+    match json.get(field) {
+        None => Ok(false),
+        Some(Json::Bool(b)) => Ok(*b),
+        Some(_) => Err(ApiError::BadValue { field, why: "not a boolean".to_owned() }),
     }
 }
 

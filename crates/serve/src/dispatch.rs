@@ -27,7 +27,7 @@ use seminal_core::{
 };
 use seminal_ml::parser::parse_program;
 use seminal_obs::{keys, MetricsSnapshot, TraceSink};
-use seminal_typeck::{ChaosConfig, ChaosOracle, CountingOracle, Oracle, TypeCheckOracle};
+use seminal_typeck::{ChaosConfig, ChaosOracle, CheckpointedOracle, CountingOracle, Oracle};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -270,10 +270,10 @@ fn overloaded(id: u64, retry_after_ms: u64) -> Dispatched {
 enum MemoUse<'a> {
     /// Probes go through the shared memo; the wrapper's per-request
     /// counters are stamped into the response metrics.
-    Shared(&'a SharedMemoOracle<TypeCheckOracle>),
+    Shared(&'a SharedMemoOracle<CheckpointedOracle>),
     /// Probes never touch the shared memo (chaos injection active);
     /// `oracle.real_calls` comes from the counting wrapper instead.
-    Bypassed(&'a CountingOracle<ChaosOracle<TypeCheckOracle>>),
+    Bypassed(&'a CountingOracle<ChaosOracle<CheckpointedOracle>>),
 }
 
 /// `check`: assemble the oracle (chaos injection changes its type, so
@@ -288,16 +288,22 @@ fn run_check(
         Ok(p) => p,
         Err(e) => return error_response(c.id, Status::ParseError, e.to_string()),
     };
+    // The real checker for this request: checkpointed (incremental)
+    // unless the client opted out. Chaos wraps *outside* the
+    // checkpointed oracle — injection decisions are a pure function of
+    // rendered text and seed, so they are identical whichever inner
+    // path answers the clean probes.
+    let checker = CheckpointedOracle::with_enabled(!c.no_incremental);
     if c.chaos_flip > 0 || c.chaos_panic > 0 {
         let mut chaos = ChaosConfig::flips(c.chaos_seed, c.chaos_flip);
         chaos.panic_per_mille = c.chaos_panic;
-        let oracle = CountingOracle::new(ChaosOracle::new(TypeCheckOracle::new(), chaos));
+        let oracle = CountingOracle::new(ChaosOracle::new(checker, chaos));
         run_search(state, c, hooks, queued, &prog, &oracle, MemoUse::Bypassed(&oracle))
     } else {
         // Every probe goes through the process-lifetime memo; a warm
         // identical request is answered without touching the real
         // oracle.
-        let oracle = SharedMemoOracle::new(TypeCheckOracle::new(), state.memo.clone());
+        let oracle = SharedMemoOracle::new(checker, state.memo.clone());
         run_search(state, c, hooks, queued, &prog, &oracle, MemoUse::Shared(&oracle))
     }
 }

@@ -1,0 +1,1 @@
+let bad = pair

@@ -1,0 +1,1 @@
+let u1 = twice

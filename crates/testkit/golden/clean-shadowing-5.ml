@@ -1,0 +1,1 @@
+let wrong = x

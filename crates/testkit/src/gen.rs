@@ -16,7 +16,7 @@
 use seminal_corpus::rng::SplitMix64;
 use seminal_corpus::{mutate_chain, ALL_KINDS, TEMPLATES};
 
-/// The five adversarial program families.
+/// The six adversarial program families.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Family {
     /// Nesting chosen to land near (sometimes beyond) the depth guards.
@@ -30,16 +30,22 @@ pub enum Family {
     WideMatch,
     /// A raw [`mutate_chain`] over a corpus template — may be vacuous.
     MutationChain,
+    /// A many-declaration program with let-polymorphic generalization
+    /// sites where the ill-typed use sits in the first, middle, or last
+    /// declaration — the adversarial workload for the checkpointed
+    /// incremental oracle's prefix reuse and rollback.
+    CheckpointStress,
 }
 
 impl Family {
     /// All families, in generation-weight order.
-    pub const ALL: [Family; 5] = [
+    pub const ALL: [Family; 6] = [
         Family::DeepNesting,
         Family::Shadowing,
         Family::PolyRecursion,
         Family::WideMatch,
         Family::MutationChain,
+        Family::CheckpointStress,
     ];
 
     /// Stable label for reports and JSONL artifacts.
@@ -50,6 +56,7 @@ impl Family {
             Family::PolyRecursion => "poly-recursion",
             Family::WideMatch => "wide-match",
             Family::MutationChain => "mutation-chain",
+            Family::CheckpointStress => "checkpoint-stress",
         }
     }
 }
@@ -86,6 +93,7 @@ pub fn generate_case(seed: u64, index: u64) -> GeneratedCase {
         Family::PolyRecursion => poly_recursion(&mut rng),
         Family::WideMatch => wide_match(&mut rng),
         Family::MutationChain => chain(&mut rng),
+        Family::CheckpointStress => checkpoint_stress(&mut rng),
     };
     GeneratedCase { index, family, seed: per_case, source }
 }
@@ -199,6 +207,47 @@ fn wide_match(rng: &mut SplitMix64) -> String {
     src.push_str("  | _ -> \"rest\"\n");
     src.push_str(&format!("let shown = classify {}\n", rng.random_range(0..20u64)));
     src
+}
+
+/// Many top-level declarations around let-polymorphic generalization
+/// sites, with the ill-typed declaration planted first, in the middle,
+/// or last. The incremental oracle snapshots inference state at every
+/// declaration boundary, so each position stresses a different path:
+/// an early error forces near-full recheck, a late one maximizes prefix
+/// reuse, and the polymorphic helpers in between catch any
+/// over-generalization leaking out of a rolled-back tail.
+fn checkpoint_stress(rng: &mut SplitMix64) -> String {
+    let mut decls: Vec<String> = vec![
+        "let id x = x".to_owned(),
+        "let pair x = (x, x)".to_owned(),
+        "let twice f x = f (f x)".to_owned(),
+    ];
+    // Monomorphic padding that *uses* the polymorphic helpers at
+    // concrete types, so a stale generalization would be observable.
+    let pads = rng.random_range(2..5usize);
+    for i in 0..pads {
+        let use_site = match rng.random_range(0..4usize) {
+            0 => format!("let u{i} = id {i}"),
+            1 => format!("let u{i} = pair \"s{i}\""),
+            2 => format!("let u{i} = twice (fun n -> n + {i}) {i}"),
+            _ => format!("let u{i} = List.map id [{i}; {i}]"),
+        };
+        decls.push(use_site);
+    }
+    // The planted error: first, middle, or last declaration.
+    let bad = match rng.random_range(0..4usize) {
+        0 => "let bad = id 1 ^ \"tail\"".to_owned(),
+        1 => "let bad = pair true + 1".to_owned(),
+        2 => "let bad = twice id true + 1".to_owned(),
+        _ => "let bad = if id true then 1 else \"s\"".to_owned(),
+    };
+    let slot = match rng.random_range(0..3usize) {
+        0 => 0,                  // first: no reusable prefix
+        1 => decls.len() / 2,    // middle: partial reuse + rollback
+        _ => decls.len(),        // last: maximal prefix reuse
+    };
+    decls.insert(slot, bad);
+    decls.join("\n") + "\n"
 }
 
 /// A raw mutation chain over a random corpus template. No ill-typed

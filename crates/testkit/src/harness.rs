@@ -32,13 +32,25 @@ pub struct FuzzConfig {
     pub chaos: Option<ChaosConfig>,
     /// Property-evaluation budget per shrink.
     pub max_shrink_evals: usize,
+    /// Oracle mode of the suite's primary runs: checkpointed incremental
+    /// (the shipping default) or from-scratch (`--no-incremental`). The
+    /// incremental-vs-scratch differential invariant runs either way.
+    pub incremental: bool,
 }
 
 impl FuzzConfig {
     /// The standard configuration: differential pair at 2 threads,
-    /// shrinking off, no chaos.
+    /// shrinking off, no chaos, incremental oracle on.
     pub fn new(seed: u64, cases: u64) -> FuzzConfig {
-        FuzzConfig { seed, cases, threads: 2, shrink: false, chaos: None, max_shrink_evals: 400 }
+        FuzzConfig {
+            seed,
+            cases,
+            threads: 2,
+            shrink: false,
+            chaos: None,
+            max_shrink_evals: 400,
+            incremental: true,
+        }
     }
 }
 
@@ -144,7 +156,7 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzSummary {
 }
 
 fn run_fuzz_inner(cfg: &FuzzConfig) -> FuzzSummary {
-    let mut suite = InvariantSuite::new(cfg.threads);
+    let mut suite = InvariantSuite::new(cfg.threads).with_incremental(cfg.incremental);
     if let Some(chaos) = cfg.chaos {
         suite = suite.with_chaos(chaos);
     }

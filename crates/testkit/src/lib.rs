@@ -11,15 +11,20 @@
 //! * [`gen`] — a deterministic, seed-driven generator of *adversarial*
 //!   ill-typed Caml-subset programs: deep nesting straddling the parser
 //!   and inference depth guards, shadowing chains, polymorphic-recursion
-//!   attempts, wide `match` arms, and raw mutation chains over the
+//!   attempts, wide `match` arms, raw mutation chains over the
 //!   corpus templates (which, unlike [`seminal_corpus::mutate`], may be
-//!   *vacuous* — still well-typed — and are counted rather than hidden);
+//!   *vacuous* — still well-typed — and are counted rather than hidden),
+//!   and checkpoint-stress programs that plant the error in the first,
+//!   middle, or last of many declarations around let-polymorphic
+//!   generalization sites;
 //! * [`oracles`] — the differential invariant catalog checked on every
 //!   case: suggestions re-typecheck under a fresh oracle, pretty-print →
 //!   reparse is a fixpoint, `threads=1` vs `threads=N` payloads are
 //!   identical, the `oracle_calls + memo_hits + probe_faults`
-//!   conservation identity, blame-guided vs unguided agreement, and
-//!   `Completion` consistency with the run's stats;
+//!   conservation identity, blame-guided vs unguided agreement,
+//!   `Completion` consistency with the run's stats, and
+//!   incremental-vs-scratch oracle identity (payloads, ranks, and probe
+//!   accounting must not depend on the checkpointed fast path);
 //! * [`shrink`] — a delta-debugging shrinker that minimizes a failing
 //!   program while preserving the violated invariant, validating every
 //!   candidate through the same render→reparse pipeline the harness

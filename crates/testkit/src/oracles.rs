@@ -20,13 +20,14 @@
 //! | `blame-agreement` | blame-guided and unguided search accept the same suggestion set |
 //! | `backend-agreement` | the blame and MCS localization backends agree on well-typedness, baseline error, and core size; every MCS subset hits the blame core and its removal replays to SAT |
 //! | `completion-consistency` | `Completion` agrees with the stats that justify it |
+//! | `incremental-scratch-identity` | the checkpointed incremental oracle and a from-scratch oracle produce byte-identical payloads, ranks, and probe accounting |
 
 use seminal_core::{Outcome, SearchConfig, SearchReport, SearchSession};
 use seminal_ml::ast::Program;
 use seminal_ml::parser::parse_program;
 use seminal_ml::pretty::program_to_string;
 use seminal_obs::Completion;
-use seminal_typeck::{check_program, ChaosConfig, ChaosOracle, TypeCheckOracle};
+use seminal_typeck::{check_program, ChaosConfig, ChaosOracle, CheckpointedOracle};
 use std::collections::BTreeSet;
 
 /// Stable identifier: suggestions re-typecheck under a fresh oracle.
@@ -45,6 +46,8 @@ pub const INV_BLAME_AGREEMENT: &str = "blame-agreement";
 pub const INV_BACKEND_AGREEMENT: &str = "backend-agreement";
 /// Stable identifier: `Completion` vs stats consistency.
 pub const INV_COMPLETION_CONSISTENCY: &str = "completion-consistency";
+/// Stable identifier: incremental vs from-scratch oracle identity.
+pub const INV_INCREMENTAL_SCRATCH_IDENTITY: &str = "incremental-scratch-identity";
 
 /// Every invariant name, in catalog order.
 pub const ALL_INVARIANTS: &[&str] = &[
@@ -56,6 +59,7 @@ pub const ALL_INVARIANTS: &[&str] = &[
     INV_BLAME_AGREEMENT,
     INV_BACKEND_AGREEMENT,
     INV_COMPLETION_CONSISTENCY,
+    INV_INCREMENTAL_SCRATCH_IDENTITY,
 ];
 
 /// One invariant violation: which oracle fired and why.
@@ -83,12 +87,17 @@ pub struct InvariantSuite {
     pub threads: usize,
     /// Optional fault injection around the search oracle only.
     pub chaos: Option<ChaosConfig>,
+    /// Whether the primary runs use the checkpointed incremental oracle
+    /// (the shipping default) or the from-scratch path. Either way the
+    /// `incremental-scratch-identity` differential runs both modes and
+    /// compares them.
+    pub incremental: bool,
 }
 
 impl InvariantSuite {
     /// A clean suite comparing `threads=1` against `threads`.
     pub fn new(threads: usize) -> InvariantSuite {
-        InvariantSuite { threads: threads.max(1), chaos: None }
+        InvariantSuite { threads: threads.max(1), chaos: None, incremental: true }
     }
 
     /// Wraps the search oracle (not the revalidation oracle) in `chaos`.
@@ -97,22 +106,44 @@ impl InvariantSuite {
         self
     }
 
+    /// Selects the primary runs' oracle mode (incremental or scratch).
+    pub fn with_incremental(mut self, incremental: bool) -> InvariantSuite {
+        self.incremental = incremental;
+        self
+    }
+
+    /// One search run in the suite's own oracle mode.
+    fn run(&self, prog: &Program, threads: usize, guidance: bool) -> SearchReport {
+        self.run_mode(prog, threads, guidance, self.incremental)
+    }
+
     /// One search run. Deadline is pinned off and the thread count is
     /// pinned explicitly so fuzz results never depend on ambient
-    /// `SEMINAL_THREADS` / `SEMINAL_DEADLINE_MS` settings.
-    fn run(&self, prog: &Program, threads: usize, guidance: bool) -> SearchReport {
+    /// `SEMINAL_THREADS` / `SEMINAL_DEADLINE_MS` settings. Chaos, when
+    /// configured, wraps *outside* the checkpointed oracle — injection
+    /// decisions are a pure function of rendered text and seed, so they
+    /// are identical in both oracle modes.
+    fn run_mode(
+        &self,
+        prog: &Program,
+        threads: usize,
+        guidance: bool,
+        incremental: bool,
+    ) -> SearchReport {
         let mut config =
             if guidance { SearchConfig::default() } else { SearchConfig::without_blame_guidance() };
         config.deadline = None;
+        config.incremental_oracle = incremental;
+        let checker = CheckpointedOracle::with_enabled(incremental);
         match self.chaos {
-            Some(chaos) => SearchSession::builder(ChaosOracle::new(TypeCheckOracle::new(), chaos))
+            Some(chaos) => SearchSession::builder(ChaosOracle::new(checker, chaos))
                 .config(config)
                 .threads(threads)
                 .memoize(true)
                 .build()
                 .expect("fuzz search config is valid")
                 .search(prog),
-            None => SearchSession::builder(TypeCheckOracle::new())
+            None => SearchSession::builder(checker)
                 .config(config)
                 .threads(threads)
                 .memoize(true)
@@ -128,6 +159,10 @@ impl InvariantSuite {
         let base = self.run(prog, 1, true);
         let par = self.run(prog, self.threads, true);
         let unguided = self.run(prog, 1, false);
+        // The incremental-vs-scratch differential: one extra sequential
+        // run in the *opposite* oracle mode, compared against `base`.
+        let other = self.run_mode(prog, 1, true, !self.incremental);
+        let (incr, scratch) = if self.incremental { (&base, &other) } else { (&other, &base) };
         let mut out = Vec::new();
         out.extend(outcome_agreement(prog, &base));
         out.extend(suggestion_revalidates(&base));
@@ -138,6 +173,7 @@ impl InvariantSuite {
         out.extend(backend_agreement(prog));
         out.extend(completion_consistency(&base));
         out.extend(completion_consistency(&par));
+        out.extend(incremental_scratch_identity(incr, scratch));
         out
     }
 }
@@ -334,6 +370,44 @@ pub fn backend_agreement(prog: &Program) -> Option<Violation> {
         if constraint_backed && !trace.subset_sat(&keep) {
             return bad(format!("retracting MCS subset #{rank} does not restore SAT"));
         }
+    }
+    None
+}
+
+/// The checkpointed incremental oracle must be observationally invisible:
+/// against a from-scratch oracle on the same program, the user-visible
+/// payload must be byte-identical (the ordered comparison also pins
+/// suggestion ranks), the completion must match, and the probe accounting
+/// (`oracle_calls`, `memo_hits`, `probe_faults`) must be identical —
+/// prefix reuse saves *inference work inside* a call, never a call.
+pub fn incremental_scratch_identity(
+    incr: &SearchReport,
+    scratch: &SearchReport,
+) -> Option<Violation> {
+    let bad = |why: String| Some(Violation::new(INV_INCREMENTAL_SCRATCH_IDENTITY, why));
+    if incr.payload() != scratch.payload() {
+        return bad(format!(
+            "payload diverged: {} incremental vs {} scratch suggestions (or rank order changed)",
+            incr.suggestions().len(),
+            scratch.suggestions().len()
+        ));
+    }
+    if incr.completion != scratch.completion {
+        return bad(format!(
+            "completion diverged: {} incremental vs {} scratch",
+            incr.completion, scratch.completion
+        ));
+    }
+    let count = |r: &SearchReport| {
+        (r.stats.oracle_calls, r.stats.memo_hits, r.stats.probe_faults, r.stats.first_bad_decl)
+    };
+    if count(incr) != count(scratch) {
+        return bad(format!(
+            "probe accounting diverged: {:?} incremental vs {:?} scratch \
+             (oracle_calls, memo_hits, probe_faults, first_bad_decl)",
+            count(incr),
+            count(scratch)
+        ));
     }
     None
 }

@@ -27,6 +27,10 @@ fn golden_corpus_replays_clean() {
             && e.chaos.is_some()),
         "corpus must include a chaos-interaction regression at 2 threads"
     );
+    assert!(
+        corpus.entries.iter().filter(|e| e.name.contains("checkpoint-stress")).count() >= 2,
+        "corpus must include two shrunk checkpoint-stress regressions"
+    );
     let problems = corpus.replay();
     assert!(problems.is_empty(), "golden corpus deviations:\n{}", problems.join("\n"));
 }
@@ -70,10 +74,13 @@ fn mcs_backend_ranks_alternatives_on_golden_corpus() {
 fn regenerate_golden_corpus() {
     let mut entries: Vec<(GoldenEntry, String)> = Vec::new();
 
+    // Two shrunk regressions per family — including `checkpoint-stress`,
+    // whose entries pin the incremental oracle's prefix-reuse paths.
+    let clean_target = 2 * u32::try_from(seminal_testkit::gen::Family::ALL.len()).unwrap();
     let mut per_family: BTreeMap<&str, u32> = BTreeMap::new();
     let mut index = 0u64;
-    while per_family.values().sum::<u32>() < 10 {
-        assert!(index < 2000, "generator never yielded 10 clean-corpus cases");
+    while per_family.values().sum::<u32>() < clean_target {
+        assert!(index < 4000, "generator never yielded {clean_target} clean-corpus cases");
         let case = generate_case(42, index);
         index += 1;
         let Ok(prog) = parse_program(&case.source) else { continue };
@@ -149,7 +156,7 @@ fn regenerate_golden_corpus() {
         }
     }
     assert!(caught >= 2, "could not mint two caught chaos regressions");
-    assert!(entries.len() >= 12);
+    assert!(entries.len() >= 14);
 
     let dir = default_dir();
     save_corpus(&dir, &entries).expect("corpus written");

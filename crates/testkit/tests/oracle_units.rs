@@ -14,8 +14,9 @@ use seminal_ml::edit;
 use seminal_ml::parser::parse_program;
 use seminal_obs::Completion;
 use seminal_testkit::oracles::{
-    blame_agreement, completion_consistency, outcome_agreement, pretty_roundtrip, probe_accounting,
-    suggestion_revalidates, thread_identity, INV_BLAME_AGREEMENT, INV_COMPLETION_CONSISTENCY,
+    blame_agreement, completion_consistency, incremental_scratch_identity, outcome_agreement,
+    pretty_roundtrip, probe_accounting, suggestion_revalidates, thread_identity,
+    INV_BLAME_AGREEMENT, INV_COMPLETION_CONSISTENCY, INV_INCREMENTAL_SCRATCH_IDENTITY,
     INV_OUTCOME_AGREEMENT, INV_PRETTY_ROUNDTRIP, INV_PROBE_ACCOUNTING, INV_SUGGESTION_REVALIDATES,
     INV_THREAD_IDENTITY,
 };
@@ -122,6 +123,50 @@ fn blame_agreement_rejects_a_dropped_suggestion() {
     let v = blame_agreement(&guided, &unguided).expect("set divergence must be caught");
     assert_eq!(v.invariant, INV_BLAME_AGREEMENT);
     assert!(v.detail.contains("extra"), "detail lists the extra key: {}", v.detail);
+}
+
+#[test]
+fn incremental_scratch_identity_rejects_each_divergence() {
+    let (_, scratch) = real_report(ILL_TYPED);
+    assert!(
+        incremental_scratch_identity(&scratch, &scratch).is_none(),
+        "a report is identical to itself"
+    );
+
+    // Payload divergence: the incremental side dropped a suggestion, as
+    // a stale checkpoint that mis-accepts a probe would cause.
+    let mut incr = scratch.clone();
+    if let Outcome::Suggestions(s) = &mut incr.outcome {
+        s.pop();
+    }
+    let v = incremental_scratch_identity(&incr, &scratch).expect("dropped suggestion");
+    assert_eq!(v.invariant, INV_INCREMENTAL_SCRATCH_IDENTITY);
+    assert!(v.detail.contains("payload"), "detail blames the payload: {}", v.detail);
+
+    // Rank divergence with the same suggestion *set*: swap the top two.
+    let mut incr = scratch.clone();
+    if let Outcome::Suggestions(s) = &mut incr.outcome {
+        if s.len() >= 2 {
+            s.swap(0, 1);
+            assert!(
+                incremental_scratch_identity(&incr, &scratch).is_some(),
+                "rank swap must be caught"
+            );
+        }
+    }
+
+    // Completion divergence.
+    let mut incr = scratch.clone();
+    incr.completion = Completion::DeadlineExpired;
+    let v = incremental_scratch_identity(&incr, &scratch).expect("completion divergence");
+    assert!(v.detail.contains("completion"), "detail blames completion: {}", v.detail);
+
+    // Probe-accounting divergence: a call the incremental path skipped
+    // outright (reuse must save work inside a call, never a call).
+    let mut incr = scratch.clone();
+    incr.stats.oracle_calls -= 1;
+    let v = incremental_scratch_identity(&incr, &scratch).expect("missing oracle call");
+    assert!(v.detail.contains("accounting"), "detail blames accounting: {}", v.detail);
 }
 
 #[test]

@@ -138,6 +138,10 @@ impl<O: Oracle> Oracle for ChaosOracle<O> {
         }
         verdict
     }
+
+    fn incremental_stats(&self) -> Option<crate::oracle::IncrementalStats> {
+        self.inner.incremental_stats()
+    }
 }
 
 fn fnv1a(bytes: &[u8]) -> u64 {

@@ -2,6 +2,7 @@
 
 use crate::types::{Scheme, TvId, Ty};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// What is known about a data constructor.
 #[derive(Debug, Clone, PartialEq)]
@@ -50,6 +51,11 @@ impl TypeInfo {
 
 /// The global (per-check) environment seeded from the standard library and
 /// extended by the program's own declarations.
+///
+/// The three name-keyed maps sit behind [`Arc`]: cloning an `Env` (the
+/// stdlib seed, or an incremental-oracle snapshot) shares them, and the
+/// rare writers — `type`/`exception` declarations — go through
+/// [`Arc::make_mut`], copy-on-write. Reads auto-deref.
 #[derive(Debug, Clone, Default)]
 pub struct Env {
     /// Value bindings, innermost last; lookup scans from the end.
@@ -57,9 +63,9 @@ pub struct Env {
     /// How many leading `values` entries come from the standard library
     /// (those schemes are closed, so generalization can skip them).
     pub stdlib_len: usize,
-    pub ctors: HashMap<String, CtorInfo>,
-    pub fields: HashMap<String, FieldInfo>,
-    pub types: HashMap<String, TypeInfo>,
+    pub ctors: Arc<HashMap<String, CtorInfo>>,
+    pub fields: Arc<HashMap<String, FieldInfo>>,
+    pub types: Arc<HashMap<String, TypeInfo>>,
 }
 
 impl Env {

@@ -14,7 +14,7 @@
 //!
 //! [`ShardedMemo`]: ../seminal_core/engine/struct.ShardedMemo.html
 
-use seminal_ml::ast::Program;
+use seminal_ml::ast::{Decl, DeclKind, Program};
 use seminal_ml::pretty::decl_to_string;
 
 /// FNV-1a 64-bit offset basis.
@@ -40,6 +40,38 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
 #[must_use]
 pub fn decl_fingerprints(prog: &Program) -> Vec<u64> {
     prog.decls.iter().map(|d| fnv1a(decl_to_string(d).as_bytes())).collect()
+}
+
+/// Fingerprint of one declaration including its source spans: the
+/// pretty-printed text folded together with every node span.
+///
+/// The incremental oracle uses this — not the text-only hash — to decide
+/// that two declarations are interchangeable as a checked prefix. Text
+/// equality alone is not enough there: type errors carry spans, so two
+/// declarations that print identically but sit at different source
+/// offsets must *not* be treated as the same prefix (the cached
+/// `TypeError` would point at the wrong place). Node ids are deliberately
+/// excluded — they never influence inference or its errors.
+#[must_use]
+pub fn decl_fingerprint_spanned(d: &Decl) -> u64 {
+    let mut hash = fnv1a(decl_to_string(d).as_bytes());
+    let mut mix = |start: u32, end: u32| {
+        for b in start.to_le_bytes().into_iter().chain(end.to_le_bytes()) {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+    };
+    mix(d.span.start, d.span.end);
+    d.for_each_expr(&mut |e| mix(e.span.start, e.span.end));
+    if let DeclKind::Let { bindings, .. } = &d.kind {
+        for b in bindings {
+            b.pat.walk(&mut |p| mix(p.span.start, p.span.end));
+            for param in &b.params {
+                param.walk(&mut |p| mix(p.span.start, p.span.end));
+            }
+        }
+    }
+    hash
 }
 
 /// Fingerprint of a whole program: the per-declaration subtree hashes

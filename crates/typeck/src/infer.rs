@@ -30,9 +30,73 @@ use std::collections::{HashMap, HashSet};
 /// The first [`TypeError`] in inference order (the baseline message the
 /// paper compares against).
 pub fn check_program(prog: &Program) -> Result<(), TypeError> {
-    let mut infer = Infer::new(&[]);
-    infer.run(prog)?;
+    let mut state = InferState::initial();
+    for decl in &prog.decls {
+        state.check_decl(decl)?;
+    }
     Ok(())
+}
+
+/// Inference state at a top-level declaration boundary: the variable
+/// store, the environment, and the per-declaration annotation-variable
+/// scope. This is the unit the incremental oracle snapshots — checking a
+/// program is exactly `initial()` followed by [`InferState::check_decl`]
+/// per declaration ([`check_program`] is implemented that way), so a
+/// state resumed from a snapshot continues byte-identically to a scratch
+/// run over the same prefix.
+///
+/// Cloning is cheap for the `Env` maps (`Arc`-shared) and proportional to
+/// the variable store otherwise.
+#[derive(Debug, Clone, Default)]
+pub struct InferState {
+    pub(crate) uni: Unifier,
+    pub(crate) env: Env,
+    pub(crate) annot_vars: HashMap<String, Ty>,
+}
+
+impl InferState {
+    /// The state before any declaration: the standard environment and an
+    /// empty variable store.
+    pub fn initial() -> InferState {
+        InferState {
+            uni: Unifier::new(),
+            env: stdlib_env().clone(),
+            annot_vars: HashMap::new(),
+        }
+    }
+
+    /// Checks one top-level declaration, advancing the state past it.
+    ///
+    /// `annot_vars` deliberately persists across declarations (a `type`
+    /// declaration may resolve an annotation variable introduced by the
+    /// declaration before it), matching the whole-program checker.
+    ///
+    /// # Errors
+    ///
+    /// The first [`TypeError`] in inference order. On error the state is
+    /// left with whatever partial bindings inference made — callers that
+    /// need to reuse the state roll the unifier back via a checkpoint.
+    pub fn check_decl(&mut self, d: &Decl) -> Result<(), TypeError> {
+        let mut infer = Infer {
+            uni: std::mem::take(&mut self.uni),
+            depth: 0,
+            env: std::mem::take(&mut self.env),
+            capture: HashSet::new(),
+            captured: HashMap::new(),
+            annot_vars: std::mem::take(&mut self.annot_vars),
+            recorder: None,
+        };
+        let result = infer.decl(d);
+        self.uni = infer.uni;
+        self.env = infer.env;
+        self.annot_vars = infer.annot_vars;
+        result
+    }
+
+    /// Number of type variables allocated so far.
+    pub fn num_vars(&self) -> usize {
+        self.uni.len()
+    }
 }
 
 /// Checks a whole program with the constraint recorder enabled, returning
@@ -131,8 +195,7 @@ impl Infer {
                     Some(t) => Some(self.conv_type(t, d.span)?),
                     None => None,
                 };
-                self.env
-                    .ctors
+                std::sync::Arc::make_mut(&mut self.env.ctors)
                     .insert(name.clone(), CtorInfo { vars: Vec::new(), arg, result: Ty::exn() });
                 Ok(())
             }
@@ -152,7 +215,7 @@ impl Infer {
                 },
                 TypeDefBody::Variant(_) => TypeInfo::Data { arity: def.params.len() },
             };
-            self.env.types.insert(def.name.clone(), info);
+            std::sync::Arc::make_mut(&mut self.env.types).insert(def.name.clone(), info);
         }
         for def in defs {
             // Allocate scheme variables for the parameters.
@@ -174,7 +237,7 @@ impl Infer {
                             Some(t) => Some(self.conv_type_with(t, &param_map, span)?),
                             None => None,
                         };
-                        self.env.ctors.insert(
+                        std::sync::Arc::make_mut(&mut self.env.ctors).insert(
                             cname.clone(),
                             CtorInfo { vars: vars.clone(), arg, result: result.clone() },
                         );
@@ -183,7 +246,7 @@ impl Infer {
                 TypeDefBody::Record(fields) => {
                     for f in fields {
                         let fty = self.conv_type_with(&f.ty, &param_map, span)?;
-                        self.env.fields.insert(
+                        std::sync::Arc::make_mut(&mut self.env.fields).insert(
                             f.name.clone(),
                             FieldInfo {
                                 vars: vars.clone(),

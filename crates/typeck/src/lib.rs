@@ -32,6 +32,7 @@ pub mod chaos;
 pub mod env;
 pub mod error;
 pub mod fingerprint;
+pub mod incremental;
 pub mod infer;
 pub mod oracle;
 pub mod record;
@@ -41,11 +42,12 @@ pub mod unify;
 
 pub use chaos::{ChaosConfig, ChaosOracle};
 pub use error::{TypeError, TypeErrorKind};
-pub use fingerprint::{decl_fingerprints, program_fingerprint};
-pub use infer::{check_program, check_program_types, trace_program};
+pub use fingerprint::{decl_fingerprint_spanned, decl_fingerprints, program_fingerprint};
+pub use incremental::CheckpointedOracle;
+pub use infer::{check_program, check_program_types, trace_program, InferState};
 pub use oracle::{
-    guarded_check, guarded_probe, CountingOracle, InstrumentedOracle, Oracle, ProbeOutcome,
-    TypeCheckOracle,
+    guarded_check, guarded_probe, CountingOracle, IncrementalStats, InstrumentedOracle, Oracle,
+    ProbeOutcome, TypeCheckOracle,
 };
 pub use record::{Constraint, ConstraintGraph, ConstraintTrace, GraphNode};
 pub use types::{pretty, Scheme, TvId, Ty};

@@ -83,6 +83,23 @@ pub fn guarded_check<O: Oracle + ?Sized>(oracle: &O, prog: &Program) -> Result<(
         .unwrap_or(Err(TypeError { kind: TypeErrorKind::OracleFault, span: Span::DUMMY }))
 }
 
+/// Counters published by an incremental oracle (see
+/// [`crate::incremental::CheckpointedOracle`]): cumulative since
+/// construction, read via [`Oracle::incremental_stats`]. The search layer
+/// snapshots them around a run and reports the deltas under the
+/// `oracle.incremental_hits` / `oracle.decls_recheck` /
+/// `oracle.rollback_ns` metric keys.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IncrementalStats {
+    /// Probes that reused a checked prefix (including ones answered
+    /// entirely from cache).
+    pub incremental_hits: u64,
+    /// Declarations actually re-inferred across all checks.
+    pub decls_recheck: u64,
+    /// Nanoseconds spent rolling state back after tail re-inference.
+    pub rollback_ns: u64,
+}
+
 /// A black-box type checker.
 ///
 /// Oracles are `Send + Sync`: the parallel probe engine shares one oracle
@@ -111,6 +128,13 @@ pub trait Oracle: Send + Sync {
     /// inference order when ill-typed.
     fn check_batch(&self, progs: &[&Program]) -> Vec<Result<(), TypeError>> {
         progs.iter().map(|p| self.check(p)).collect()
+    }
+
+    /// Incremental-oracle counters, when an incremental oracle sits
+    /// somewhere in this oracle stack. Wrappers forward to their inner
+    /// oracle; leaf oracles without incremental state return `None`.
+    fn incremental_stats(&self) -> Option<IncrementalStats> {
+        None
     }
 }
 
@@ -168,11 +192,19 @@ impl<O: Oracle> Oracle for CountingOracle<O> {
         self.calls.fetch_add(1, Ordering::Relaxed);
         self.inner.check(prog)
     }
+
+    fn incremental_stats(&self) -> Option<IncrementalStats> {
+        self.inner.incremental_stats()
+    }
 }
 
 impl<O: Oracle + ?Sized> Oracle for &O {
     fn check(&self, prog: &Program) -> Result<(), TypeError> {
         (**self).check(prog)
+    }
+
+    fn incremental_stats(&self) -> Option<IncrementalStats> {
+        (**self).incremental_stats()
     }
 }
 
@@ -217,6 +249,10 @@ impl<O: Oracle> Oracle for InstrumentedOracle<O> {
         }
         self.registry.observe("oracle.check_latency_ns", ns);
         verdict
+    }
+
+    fn incremental_stats(&self) -> Option<IncrementalStats> {
+        self.inner.incremental_stats()
     }
 }
 

@@ -52,15 +52,15 @@ pub fn build_stdlib() -> Env {
         ("ref", 1),
         ("option", 1),
     ] {
-        env.types.insert(name.to_owned(), TypeInfo::Data { arity });
+        std::sync::Arc::make_mut(&mut env.types).insert(name.to_owned(), TypeInfo::Data { arity });
     }
 
     // --- Built-in constructors -------------------------------------------
-    env.ctors.insert(
+    std::sync::Arc::make_mut(&mut env.ctors).insert(
         "None".to_owned(),
         CtorInfo { vars: vec![A], arg: None, result: Ty::Con("option".into(), vec![a()]) },
     );
-    env.ctors.insert(
+    std::sync::Arc::make_mut(&mut env.ctors).insert(
         "Some".to_owned(),
         CtorInfo { vars: vec![A], arg: Some(a()), result: Ty::Con("option".into(), vec![a()]) },
     );
@@ -73,7 +73,8 @@ pub fn build_stdlib() -> Env {
         ("Invalid_argument", Some(Ty::string())),
         ("Division_by_zero", None),
     ] {
-        env.ctors.insert(name.to_owned(), CtorInfo { vars: Vec::new(), arg, result: Ty::exn() });
+        std::sync::Arc::make_mut(&mut env.ctors)
+            .insert(name.to_owned(), CtorInfo { vars: Vec::new(), arg, result: Ty::exn() });
     }
 
     // --- List ------------------------------------------------------------

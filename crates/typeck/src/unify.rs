@@ -1,5 +1,14 @@
 //! The unification engine: a mutable store of type variables with
 //! occurs-checked unification.
+//!
+//! The store doubles as a *trail-recording* union-find (the SMT push/pop
+//! analogue): while at least one [`Unifier::checkpoint`] is active, every
+//! destructive binding write — including path compression — logs the
+//! overwritten value on a trail, and [`Unifier::rollback`] replays the
+//! trail in reverse to restore the store byte-for-byte. The incremental
+//! oracle uses this to probe a declaration tail against a shared prefix
+//! substitution and then undo the probe in O(probe) instead of cloning
+//! the whole store.
 
 use crate::types::{TvId, Ty};
 
@@ -15,9 +24,18 @@ pub enum UnifyError {
 
 /// The variable store. `None` = unbound; `Some(ty)` = bound (possibly to
 /// another variable, forming chains that `resolve` compresses).
+///
+/// With no active checkpoint the trail machinery is dormant and costs one
+/// `is_empty` branch per binding write, so the scratch (non-incremental)
+/// path pays nothing.
 #[derive(Debug, Default, Clone)]
 pub struct Unifier {
     bindings: Vec<Option<Ty>>,
+    /// Overwritten `(var, previous binding)` pairs, oldest first. Only
+    /// populated while `checkpoints` is non-empty.
+    trail: Vec<(u32, Option<Ty>)>,
+    /// Stack of `(trail length, store length)` marks, innermost last.
+    checkpoints: Vec<(usize, usize)>,
 }
 
 impl Unifier {
@@ -30,7 +48,7 @@ impl Unifier {
     /// counterpart of a recorded run whose constraints mention variable
     /// ids up to `n` (see [`crate::record::ConstraintTrace`]).
     pub fn with_vars(n: usize) -> Unifier {
-        Unifier { bindings: vec![None; n] }
+        Unifier { bindings: vec![None; n], trail: Vec::new(), checkpoints: Vec::new() }
     }
 
     /// Allocates a fresh unbound variable.
@@ -38,6 +56,70 @@ impl Unifier {
         let id = TvId(self.bindings.len() as u32);
         self.bindings.push(None);
         Ty::Var(id)
+    }
+
+    /// Overwrites a binding, logging the displaced value when a
+    /// checkpoint is active. Every destructive write in this module goes
+    /// through here so rollback is exact (path compression included).
+    fn set_binding(&mut self, v: u32, value: Option<Ty>) {
+        if !self.checkpoints.is_empty() {
+            self.trail.push((v, self.bindings[v as usize].clone()));
+        }
+        self.bindings[v as usize] = value;
+    }
+
+    /// Marks the current store state. Until the matching [`rollback`]
+    /// (or [`commit`]) every binding write is trailed.
+    ///
+    /// [`rollback`]: Unifier::rollback
+    /// [`commit`]: Unifier::commit
+    pub fn checkpoint(&mut self) {
+        self.checkpoints.push((self.trail.len(), self.bindings.len()));
+    }
+
+    /// Undoes every write since the innermost open checkpoint: trailed
+    /// bindings are restored newest-first, then variables allocated since
+    /// the mark are deallocated. Checkpoints pop in LIFO order.
+    ///
+    /// # Panics
+    ///
+    /// If no checkpoint is open.
+    pub fn rollback(&mut self) {
+        let (trail_mark, vars_mark) =
+            self.checkpoints.pop().expect("rollback without an open checkpoint");
+        while self.trail.len() > trail_mark {
+            let (v, old) = self.trail.pop().expect("trail shorter than checkpoint mark");
+            // Writes to variables allocated after the mark are discarded
+            // wholesale by the truncate below.
+            if (v as usize) < vars_mark {
+                self.bindings[v as usize] = old;
+            }
+        }
+        self.bindings.truncate(vars_mark);
+    }
+
+    /// Closes the innermost checkpoint, keeping its writes. Outer
+    /// checkpoints can still roll them back; once the last checkpoint
+    /// closes the trail is dropped.
+    ///
+    /// # Panics
+    ///
+    /// If no checkpoint is open.
+    pub fn commit(&mut self) {
+        self.checkpoints.pop().expect("commit without an open checkpoint");
+        if self.checkpoints.is_empty() {
+            self.trail.clear();
+        }
+    }
+
+    /// Number of open checkpoints.
+    pub fn checkpoint_depth(&self) -> usize {
+        self.checkpoints.len()
+    }
+
+    /// Number of trailed writes (0 whenever no checkpoint is open).
+    pub fn trail_len(&self) -> usize {
+        self.trail.len()
     }
 
     /// Number of variables allocated so far.
@@ -61,7 +143,7 @@ impl Unifier {
                     return ty.clone();
                 };
                 let root = self.shallow_resolve(&bound);
-                self.bindings[v.0 as usize] = Some(root.clone());
+                self.set_binding(v.0, Some(root.clone()));
                 root
             }
             other => other.clone(),
@@ -113,7 +195,7 @@ impl Unifier {
                     let full = self.resolve(&rb);
                     return Err(UnifyError::Infinite(ra, full));
                 }
-                self.bindings[x.0 as usize] = Some(rb);
+                self.set_binding(x.0, Some(rb));
                 Ok(())
             }
             (_, Ty::Var(y)) => {
@@ -121,7 +203,7 @@ impl Unifier {
                     let full = self.resolve(&ra);
                     return Err(UnifyError::Infinite(rb, full));
                 }
-                self.bindings[y.0 as usize] = Some(ra);
+                self.set_binding(y.0, Some(ra));
                 Ok(())
             }
             (Ty::Con(n1, a1), Ty::Con(n2, a2)) if n1 == n2 && a1.len() == a2.len() => {
@@ -258,5 +340,134 @@ mod tests {
         u.unify(&b, &Ty::int()).unwrap();
         u.unify(&a, &Ty::list(b.clone())).unwrap();
         assert_eq!(pretty(&u.resolve(&a)), "int list");
+    }
+
+    /// Fully resolves every allocated variable — the observational state
+    /// of the store (binding vectors may differ by path compression).
+    fn observe(u: &mut Unifier) -> Vec<Ty> {
+        (0..u.len()).map(|i| u.resolve(&Ty::Var(TvId(i as u32)))).collect()
+    }
+
+    #[test]
+    fn rollback_restores_observational_state() {
+        let mut u = Unifier::new();
+        let a = u.fresh();
+        let b = u.fresh();
+        let c = u.fresh();
+        u.unify(&a, &b).unwrap();
+        let before = observe(&mut u);
+
+        u.checkpoint();
+        u.unify(&b, &Ty::int()).unwrap();
+        u.unify(&c, &Ty::list(a.clone())).unwrap();
+        let fresh = u.fresh();
+        u.unify(&fresh, &Ty::bool()).unwrap();
+        assert_ne!(observe(&mut u)[..3], before[..]);
+        u.rollback();
+
+        assert_eq!(observe(&mut u), before);
+        assert_eq!(u.len(), 3, "variables allocated under the checkpoint are deallocated");
+        assert_eq!(u.trail_len(), 0, "trail must be empty at top level");
+        assert_eq!(u.checkpoint_depth(), 0);
+    }
+
+    #[test]
+    fn rollback_undoes_path_compression() {
+        let mut u = Unifier::new();
+        let a = u.fresh();
+        let b = u.fresh();
+        let c = u.fresh();
+        // Build the chain a -> b -> c; `observe` would compress it, so
+        // keep it raw going into the checkpoint.
+        u.unify(&a, &b).unwrap();
+        u.unify(&b, &c).unwrap();
+
+        u.checkpoint();
+        // Resolving `a` path-compresses the chain — destructive writes
+        // into *prefix-owned* variables that must be trailed even though
+        // no new unification happened.
+        let _ = u.resolve(&a);
+        u.unify(&c, &Ty::int()).unwrap();
+        assert!(u.trail_len() > 0);
+        u.rollback();
+
+        assert_eq!(u.trail_len(), 0);
+        assert_eq!(u.len(), 3);
+        // The chain still links a and b to the (again unbound) root c.
+        assert_eq!(observe(&mut u), vec![c.clone(), c.clone(), c]);
+    }
+
+    #[test]
+    fn nested_checkpoints_pop_lifo() {
+        let mut u = Unifier::new();
+        let a = u.fresh();
+        let b = u.fresh();
+
+        u.checkpoint();
+        u.unify(&a, &Ty::int()).unwrap();
+        let mid = observe(&mut u);
+
+        u.checkpoint();
+        u.unify(&b, &Ty::bool()).unwrap();
+        assert_eq!(u.checkpoint_depth(), 2);
+        u.rollback(); // inner: undoes only the `b` binding
+
+        assert_eq!(observe(&mut u), mid);
+        assert_eq!(u.checkpoint_depth(), 1);
+        u.rollback(); // outer: undoes the `a` binding too
+
+        assert_eq!(observe(&mut u), vec![a.clone(), b.clone()]);
+        assert_eq!(u.trail_len(), 0);
+    }
+
+    #[test]
+    fn commit_keeps_writes_and_outer_rollback_still_works() {
+        let mut u = Unifier::new();
+        let a = u.fresh();
+        let b = u.fresh();
+        let before = observe(&mut u);
+
+        u.checkpoint();
+        u.unify(&a, &Ty::int()).unwrap();
+        u.checkpoint();
+        u.unify(&b, &Ty::bool()).unwrap();
+        u.commit(); // inner commit: `b` binding survives…
+        assert_eq!(u.resolve(&b), Ty::bool());
+        u.rollback(); // …until the outer checkpoint rolls everything back.
+
+        assert_eq!(observe(&mut u), before);
+        assert_eq!(u.trail_len(), 0);
+    }
+
+    #[test]
+    fn trail_is_dormant_without_checkpoints() {
+        let mut u = Unifier::new();
+        let a = u.fresh();
+        u.unify(&a, &Ty::int()).unwrap();
+        assert_eq!(u.trail_len(), 0, "no checkpoint open, nothing may be trailed");
+    }
+
+    #[test]
+    fn failed_unification_under_checkpoint_rolls_back_partial_bindings() {
+        let mut u = Unifier::new();
+        let a = u.fresh();
+        let before = observe(&mut u);
+
+        u.checkpoint();
+        // (a, int) vs (bool, int list): binds a := bool before failing on
+        // int vs int list — partial sub-unification bindings are exactly
+        // what the trail must clean up after a failed probe.
+        let t1 = Ty::Tuple(vec![a.clone(), Ty::int()]);
+        let t2 = Ty::Tuple(vec![Ty::bool(), Ty::list(Ty::int())]);
+        assert!(u.unify(&t1, &t2).is_err());
+        u.rollback();
+
+        assert_eq!(observe(&mut u), before);
+    }
+
+    #[test]
+    #[should_panic(expected = "rollback without an open checkpoint")]
+    fn rollback_without_checkpoint_panics() {
+        Unifier::new().rollback();
     }
 }

@@ -599,7 +599,11 @@ fn pathological_nesting_is_a_too_deep_diagnostic_not_an_overflow() {
         e = Expr::synth(ExprKind::UnOp(UnOp::Neg, Box::new(e)), Span::DUMMY);
     }
     let prog = Program {
-        decls: vec![Decl { id: NodeId::SYNTH, span: Span::DUMMY, kind: DeclKind::Expr(e) }],
+        decls: vec![std::sync::Arc::new(Decl {
+            id: NodeId::SYNTH,
+            span: Span::DUMMY,
+            kind: DeclKind::Expr(e),
+        })],
         next_id: 0,
     };
     let err = check_program(&prog).expect_err("the guard must fire before the stack overflows");

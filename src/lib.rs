@@ -51,6 +51,7 @@ pub use seminal_cpp as cpp;
 pub use seminal_eval as eval;
 pub use seminal_loadgen as loadgen;
 pub use seminal_ml as ml;
+pub use seminal_obs as obs;
 pub use seminal_serve as serve;
 pub use seminal_testkit as testkit;
 pub use seminal_typeck as typeck;

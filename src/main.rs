@@ -98,6 +98,10 @@ struct Opts {
     top: usize,
     /// Disable triage (§2.4) — the evaluation's ablation, exposed for use.
     no_triage: bool,
+    /// Disable the checkpointed incremental oracle (`check`, `fuzz`):
+    /// probes re-infer the whole program from scratch. The escape hatch
+    /// for bisecting a suspected incremental-path bug.
+    no_incremental: bool,
     /// Print the structured search trace (spans nested, one line per probe).
     trace: bool,
     /// Print the per-span oracle-cost flame report.
@@ -172,6 +176,7 @@ fn main() -> ExitCode {
     let mut opts = Opts {
         top: 3,
         no_triage: false,
+        no_incremental: false,
         trace: false,
         profile: false,
         metrics_json: None,
@@ -214,6 +219,10 @@ fn main() -> ExitCode {
             }
             "--no-triage" => {
                 opts.no_triage = true;
+                i += 1;
+            }
+            "--no-incremental" => {
+                opts.no_incremental = true;
                 i += 1;
             }
             "--trace" => {
@@ -479,10 +488,11 @@ fn main() -> ExitCode {
 fn usage() -> ExitCode {
     eprint!(
         "usage:\n  \
-         seminal check [--top N] [--no-triage] [--threads N] [--deadline-ms N]\n               \
-         [--backend blame|mcs] [--trace] [--profile] [--metrics-json PATH]\n               \
-         [--trace-json PATH] [--trace-chrome PATH] [--crash-dir DIR]\n               \
-         [--chaos-panic PM] [--chaos-flip PM] [--chaos-seed S] <file.ml>\n  \
+         seminal check [--top N] [--no-triage] [--no-incremental] [--threads N]\n               \
+         [--deadline-ms N] [--backend blame|mcs] [--trace] [--profile]\n               \
+         [--metrics-json PATH] [--trace-json PATH] [--trace-chrome PATH]\n               \
+         [--crash-dir DIR] [--chaos-panic PM] [--chaos-flip PM]\n               \
+         [--chaos-seed S] <file.ml>\n  \
          seminal analyze [--top N] [--backend blame|mcs] <file.ml>\n                            \
          localization report: blamed spans (blame, default) or\n                            \
          ranked alternative correction subsets (mcs)\n  \
@@ -493,7 +503,8 @@ fn usage() -> ExitCode {
          seminal crash show <file.json>         render a crash report\n  \
          seminal cpp [--threads N] [--deadline-ms N] <file.cpp>    C++ prototype\n  \
          seminal fuzz [--seed S] [--cases N] [--threads N] [--shrink] [--out PATH]\n               \
-         [--chaos-flip PM] [--chaos-panic PM] [--chaos-seed S] [--cpp]\n                            \
+         [--chaos-flip PM] [--chaos-panic PM] [--chaos-seed S] [--cpp]\n               \
+         [--no-incremental]\n                            \
          run the deterministic property-fuzzing harness\n  \
          seminal serve [--tcp ADDR | --connect ADDR] [--memo-capacity N]\n               \
          [--max-connections N] [--max-inflight N] [--drain-ms N]\n               \
@@ -543,6 +554,7 @@ fn check_file(path: &str, opts: &Opts) -> ExitCode {
         chaos_flip: opts.chaos_flip,
         chaos_panic: opts.chaos_panic,
         chaos_seed: opts.chaos_seed,
+        no_incremental: opts.no_incremental,
     });
     let mut hooks = DispatchHooks {
         sinks: Vec::new(),
@@ -1158,6 +1170,7 @@ fn fuzz_cmd(opts: &Opts) -> ExitCode {
             threads,
             shrink: opts.shrink,
             chaos,
+            incremental: !opts.no_incremental,
             ..FuzzConfig::new(opts.seed, opts.cases)
         };
         let summary = run_fuzz(&cfg);
